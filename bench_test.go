@@ -1,0 +1,369 @@
+package rapidware
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rapidware/internal/audio"
+	"rapidware/internal/endpoint"
+	"rapidware/internal/experiment"
+	"rapidware/internal/fec"
+	"rapidware/internal/filter"
+	"rapidware/internal/gf256"
+	"rapidware/internal/packet"
+	"rapidware/internal/stream"
+	"rapidware/internal/wireless"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 7 — FEC(6,4) audio trace at 25 m from the access point.
+// Paper: 98.54% of packets received raw, 99.98% after reconstruction.
+// ---------------------------------------------------------------------------
+
+// BenchmarkFigure7FECAudioTrace regenerates the Figure 7 series. The
+// benchmark output reports the measured received/reconstructed percentages as
+// custom metrics alongside the runtime.
+func BenchmarkFigure7FECAudioTrace(b *testing.B) {
+	cfg := experiment.DefaultFigure7Config()
+	cfg.AudioSeconds = 30 // 1,500 packets per iteration keeps iterations tractable
+	var lastReceived, lastReconstructed float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(2001 + i)
+		res, err := experiment.RunFigure7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastReceived = res.ReceivedRate
+		lastReconstructed = res.ReconstructedRate
+	}
+	b.ReportMetric(lastReceived*100, "%received")
+	b.ReportMetric(lastReconstructed*100, "%reconstructed")
+}
+
+// ---------------------------------------------------------------------------
+// E2 — loss versus distance, raw and with FEC; E2b — demand-driven FEC.
+// ---------------------------------------------------------------------------
+
+// BenchmarkDistanceSweepFEC regenerates the distance sweep table (E2).
+func BenchmarkDistanceSweepFEC(b *testing.B) {
+	cfg := experiment.DefaultDistanceSweepConfig()
+	cfg.AudioSeconds = 8
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(7 + i)
+		if _, err := experiment.RunDistanceSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistanceSweepAdaptiveFEC regenerates the adaptive roaming
+// experiment (E2b): an observer/responder pair inserting and removing the FEC
+// filter as the simulated user walks away from and back to the access point.
+func BenchmarkDistanceSweepAdaptiveFEC(b *testing.B) {
+	cfg := experiment.DefaultAdaptiveWalkConfig()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(23 + i)
+		res, err := experiment.RunAdaptiveWalk(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Insertions == 0 {
+			b.Fatal("adaptive FEC never engaged")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E3 — live filter insertion on a running stream.
+// ---------------------------------------------------------------------------
+
+// BenchmarkLiveFilterInsertion measures the latency of splicing a filter into
+// a live chain (the paper's §4 add() protocol), reported per operation.
+func BenchmarkLiveFilterInsertion(b *testing.B) {
+	cfg := experiment.LiveInsertionConfig{StreamBytes: 8 << 20, Splices: b.N, ChunkSize: 2048}
+	res, err := experiment.RunLiveInsertion(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Intact {
+		b.Fatal("stream corrupted during live insertion")
+	}
+	b.ReportMetric(float64(res.InsertLatency.Mean().Microseconds()), "insert-us/op")
+	b.ReportMetric(float64(res.RemoveLatency.Mean().Microseconds()), "remove-us/op")
+}
+
+// ---------------------------------------------------------------------------
+// E4 — FEC group size sweep.
+// ---------------------------------------------------------------------------
+
+// BenchmarkFECGroupSizeSweep regenerates the (n,k) sweep table.
+func BenchmarkFECGroupSizeSweep(b *testing.B) {
+	cfg := experiment.DefaultGroupSizeSweepConfig()
+	cfg.AudioSeconds = 8
+	cfg.Receivers = 2
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(11 + i)
+		if _, err := experiment.RunGroupSizeSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E7 — repair scheme comparison: FEC vs NACK-based ARQ vs no repair.
+// ---------------------------------------------------------------------------
+
+// BenchmarkRepairComparison regenerates the E7 table comparing proactive FEC
+// against the retransmission baseline over the same channel.
+func BenchmarkRepairComparison(b *testing.B) {
+	cfg := experiment.DefaultRepairComparisonConfig()
+	cfg.AudioSeconds = 8
+	cfg.Receivers = 2
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(31 + i)
+		if _, err := experiment.RunRepairComparison(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E5 — detachable-stream / chain-depth overhead (ablation).
+// ---------------------------------------------------------------------------
+
+// onceReader serves its payload once and then reports EOF.
+type onceReader struct {
+	payload []byte
+	off     int
+}
+
+func (o *onceReader) Read(p []byte) (int, error) {
+	if o.off >= len(o.payload) {
+		return 0, io.EOF
+	}
+	n := copy(p, o.payload[o.off:])
+	o.off += n
+	return n, nil
+}
+
+// benchChainThroughput pushes size bytes through a chain with depth null
+// filters between the endpoints and reports throughput.
+func benchChainThroughput(b *testing.B, depth int, size int) {
+	b.Helper()
+	payload := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		chain := filter.NewChain(fmt.Sprintf("depth-%d", depth))
+		in := endpoint.NewReader("in", &onceReader{payload: payload})
+		out := endpoint.NewWriter("out", io.Discard)
+		stages := []filter.Filter{in}
+		for d := 0; d < depth; d++ {
+			stages = append(stages, filter.NewNull(fmt.Sprintf("null-%d", d)))
+		}
+		stages = append(stages, out)
+		for _, s := range stages {
+			if err := chain.Append(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := chain.Start(); err != nil {
+			b.Fatal(err)
+		}
+		out.Wait()
+		b.StopTimer()
+		chain.Stop()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkNullProxyThroughput measures the cost of the full proxy data path
+// (two endpoints, detachable streams, no interior filters).
+func BenchmarkNullProxyThroughput(b *testing.B) {
+	benchChainThroughput(b, 0, 1<<20)
+}
+
+// BenchmarkChainDepth quantifies the per-filter cost of lengthening the chain.
+func BenchmarkChainDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("filters-%d", depth), func(b *testing.B) {
+			benchChainThroughput(b, depth, 1<<20)
+		})
+	}
+}
+
+// BenchmarkDetachableStreamCopy measures raw detachable-pipe bandwidth, the
+// primitive underlying every chain hop, for comparison with BenchmarkIOPipe.
+func BenchmarkDetachableStreamCopy(b *testing.B) {
+	payload := make([]byte, 64*1024)
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		r, w := stream.Pipe()
+		go func() {
+			w.Write(payload)
+			w.Close()
+		}()
+		if _, err := io.Copy(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIOPipe is the stdlib baseline for BenchmarkDetachableStreamCopy.
+func BenchmarkIOPipe(b *testing.B) {
+	payload := make([]byte, 64*1024)
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		r, w := io.Pipe()
+		go func() {
+			w.Write(payload)
+			w.Close()
+		}()
+		if _, err := io.Copy(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPauseReconnect measures the cost of the pause/reconnect splice
+// primitive itself on an idle stream.
+func BenchmarkPauseReconnect(b *testing.B) {
+	r, w := stream.Pipe()
+	go io.Copy(io.Discard, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Pause(); err != nil {
+			b.Fatal(err)
+		}
+		if err := stream.Reconnect(w, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E6 — erasure coder cost (the reason FEC is offloaded to a proxy).
+// ---------------------------------------------------------------------------
+
+// BenchmarkFECEncode measures block encoding throughput for several (n,k).
+func BenchmarkFECEncode(b *testing.B) {
+	for _, params := range []fec.Params{{K: 4, N: 6}, {K: 4, N: 8}, {K: 8, N: 12}} {
+		b.Run(params.String(), func(b *testing.B) {
+			coder, err := fec.NewCoder(params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			sources := make([][]byte, params.K)
+			for i := range sources {
+				sources[i] = make([]byte, 1024)
+				rng.Read(sources[i])
+			}
+			b.SetBytes(int64(params.K * 1024))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coder.EncodeParity(sources); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFECDecode measures reconstruction cost with the maximum number of
+// data losses the code can repair.
+func BenchmarkFECDecode(b *testing.B) {
+	for _, params := range []fec.Params{{K: 4, N: 6}, {K: 8, N: 12}} {
+		b.Run(params.String(), func(b *testing.B) {
+			coder, err := fec.NewCoder(params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(2))
+			sources := make([][]byte, params.K)
+			for i := range sources {
+				sources[i] = make([]byte, 1024)
+				rng.Read(sources[i])
+			}
+			shares, err := coder.Encode(sources)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Drop the first n-k data shares; decode from the rest.
+			have := make(map[int][]byte)
+			for idx := params.N - params.K; idx < params.N; idx++ {
+				have[idx] = shares[idx]
+			}
+			b.SetBytes(int64(params.K * 1024))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coder.Decode(have); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGF256MatrixInvert isolates the decode-path matrix inversion.
+func BenchmarkGF256MatrixInvert(b *testing.B) {
+	m := gf256.Vandermonde(12, 8).SelectRows([]int{4, 5, 6, 7, 8, 9, 10, 11})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Invert(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks: simulator and workload generation rates, so
+// experiment runtimes can be decomposed.
+// ---------------------------------------------------------------------------
+
+// BenchmarkWirelessChannelBroadcast measures the simulator's packet rate with
+// three attached receivers.
+func BenchmarkWirelessChannelBroadcast(b *testing.B) {
+	ch := wireless.NewChannel(wireless.WaveLAN2Mbps())
+	defer ch.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := ch.Attach(fmt.Sprintf("rx-%d", i), wireless.NewDistanceLoss(25, 1.2), int64(i), 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Keep the receiver buffers drained so broadcasts never hit the overflow
+	// path.
+	for _, r := range ch.Receivers() {
+		go func(r *wireless.Receiver) {
+			for {
+				if _, err := r.Buffer().Get(); err != nil {
+					return
+				}
+			}
+		}(r)
+	}
+	payload := make([]byte, 320)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &packet.Packet{Seq: uint64(i), Kind: packet.KindData, Payload: payload}
+		if _, err := ch.Broadcast(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAudioSynthesis measures workload-generation cost.
+func BenchmarkAudioSynthesis(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := audio.GenerateSpeechLike(audio.PaperFormat(), 10*time.Second, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

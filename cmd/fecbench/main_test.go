@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"figure7", []string{"-experiment", "figure7", "-seconds", "4"}, "Figure 7"},
+		{"adaptive", []string{"-experiment", "adaptive"}, "demand-driven FEC"},
+		{"liveinsert", []string{"-experiment", "liveinsert"}, "stream intact"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(c.args, &out); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, out.String())
+			}
+		})
+	}
+}
+
+func TestRunDistanceAndGroupSize(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "distance", "-seconds", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "metres") {
+		t.Fatalf("distance output malformed:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-experiment", "groupsize", "-seconds", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(6,4)") {
+		t.Fatalf("groupsize output malformed:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "nope"}, &out); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunSeedOverride(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-experiment", "figure7", "-seconds", "3", "-seed", "5"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-experiment", "figure7", "-seconds", "3", "-seed", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}

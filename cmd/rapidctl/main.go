@@ -1,0 +1,155 @@
+// Command rapidctl is the ControlManager command-line client: it connects to
+// a rapidproxy's control port and queries or reconfigures its filter chain.
+//
+// Usage:
+//
+//	rapidctl -addr host:7100 status
+//	rapidctl -addr host:7100 kinds
+//	rapidctl -addr host:7100 insert <kind> <position> [key=value ...]
+//	rapidctl -addr host:7100 remove <position|filter-name>
+//	rapidctl -addr host:7100 move <from> <to>
+//	rapidctl -addr host:7100 upload <kind> [key=value ...]
+//	rapidctl -addr host:7100 ping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rapidware/internal/control"
+	"rapidware/internal/core"
+	"rapidware/internal/filter"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatalf("rapidctl: %v", err)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("rapidctl", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:7100", "control address of the proxy")
+		proxy   = fs.String("proxy", "", "proxy name (needed only when a server manages several)")
+		timeout = fs.Duration("timeout", 3*time.Second, "dial timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing command (status|kinds|insert|remove|move|upload|ping)")
+	}
+
+	client, err := control.Dial(*addr, *timeout)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch rest[0] {
+	case "ping":
+		names, err := client.Ping()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ok: proxies %v\n", names)
+	case "status":
+		st, err := client.Status(*proxy)
+		if err != nil {
+			return err
+		}
+		printStatus(out, st)
+	case "kinds":
+		kinds, err := client.Kinds(*proxy)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, strings.Join(kinds, "\n"))
+	case "insert":
+		if len(rest) < 3 {
+			return fmt.Errorf("usage: insert <kind> <position> [key=value ...]")
+		}
+		pos, err := strconv.Atoi(rest[2])
+		if err != nil {
+			return fmt.Errorf("invalid position %q: %w", rest[2], err)
+		}
+		st, err := client.Insert(*proxy, specFromArgs(rest[1], rest[3:]), pos)
+		if err != nil {
+			return err
+		}
+		printStatus(out, st)
+	case "upload":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: upload <kind> [key=value ...]")
+		}
+		names, err := client.Upload(*proxy, specFromArgs(rest[1], rest[2:]))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "container: %v\n", names)
+	case "remove":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: remove <position|filter-name>")
+		}
+		var st *core.Status
+		if pos, convErr := strconv.Atoi(rest[1]); convErr == nil {
+			st, err = client.Remove(*proxy, pos)
+		} else {
+			st, err = client.RemoveByName(*proxy, rest[1])
+		}
+		if err != nil {
+			return err
+		}
+		printStatus(out, st)
+	case "move":
+		if len(rest) < 3 {
+			return fmt.Errorf("usage: move <from> <to>")
+		}
+		from, err1 := strconv.Atoi(rest[1])
+		to, err2 := strconv.Atoi(rest[2])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("move positions must be integers")
+		}
+		st, err := client.Move(*proxy, from, to)
+		if err != nil {
+			return err
+		}
+		printStatus(out, st)
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+	return nil
+}
+
+// specFromArgs builds a filter spec from a kind and key=value parameters. The
+// special key "name" sets the instance name.
+func specFromArgs(kind string, params []string) filter.Spec {
+	spec := filter.Spec{Kind: kind, Params: map[string]string{}}
+	for _, kv := range params {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		if parts[0] == "name" {
+			spec.Name = parts[1]
+			continue
+		}
+		spec.Params[parts[0]] = parts[1]
+	}
+	return spec
+}
+
+func printStatus(out *os.File, st *core.Status) {
+	fmt.Fprintf(out, "proxy %s  running=%v  uptime=%dms  inserts=%d removes=%d  intact=%v\n",
+		st.Name, st.Running, st.UptimeMs, st.Insertions, st.Removals, st.ChainIntact)
+	for _, f := range st.Filters {
+		fmt.Fprintf(out, "  [%d] %-30s running=%v\n", f.Position, f.Name, f.Running)
+	}
+}

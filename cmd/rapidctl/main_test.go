@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rapidware/internal/control"
+	"rapidware/internal/core"
+	"rapidware/internal/filter"
+)
+
+// startTestServer brings up a control server managing one proxy and returns
+// its address.
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	p := core.New("ctl-test")
+	if err := p.SetEndpoints(filter.NewNull("in"), filter.NewNull("out")); err != nil {
+		t.Fatal(err)
+	}
+	s := control.NewServer(nil, p)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return addr
+}
+
+// captureOutput runs fn with stdout-like capture through a temp file.
+func captureOutput(t *testing.T, fn func(out *os.File) error) string {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestStatusKindsPing(t *testing.T) {
+	addr := startTestServer(t)
+	out := captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "status"}, f)
+	})
+	if !strings.Contains(out, "proxy ctl-test") || !strings.Contains(out, "[0]") {
+		t.Fatalf("status output:\n%s", out)
+	}
+	out = captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "kinds"}, f)
+	})
+	if !strings.Contains(out, "null") {
+		t.Fatalf("kinds output:\n%s", out)
+	}
+	out = captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "ping"}, f)
+	})
+	if !strings.Contains(out, "ok:") {
+		t.Fatalf("ping output:\n%s", out)
+	}
+}
+
+func TestInsertMoveRemoveFlow(t *testing.T) {
+	addr := startTestServer(t)
+	out := captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "insert", "counting", "1", "name=tap"}, f)
+	})
+	if !strings.Contains(out, "tap") {
+		t.Fatalf("insert output:\n%s", out)
+	}
+	out = captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "insert", "checksum", "2", "name=sum"}, f)
+	})
+	if !strings.Contains(out, "sum") {
+		t.Fatalf("second insert output:\n%s", out)
+	}
+	out = captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "move", "1", "2"}, f)
+	})
+	if !strings.Contains(out, "inserts=2") {
+		t.Fatalf("move output:\n%s", out)
+	}
+	// Remove by name, then by position.
+	out = captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "remove", "sum"}, f)
+	})
+	if strings.Count(out, "[") != 3 {
+		t.Fatalf("remove-by-name output:\n%s", out)
+	}
+	out = captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "remove", "1"}, f)
+	})
+	if strings.Count(out, "[") != 2 {
+		t.Fatalf("remove-by-position output:\n%s", out)
+	}
+}
+
+func TestUploadCommand(t *testing.T) {
+	addr := startTestServer(t)
+	out := captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "upload", "delay", "name=later", "ms=2"}, f)
+	})
+	if !strings.Contains(out, "later") {
+		t.Fatalf("upload output:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	addr := startTestServer(t)
+	cases := [][]string{
+		{"-addr", addr}, // missing command
+		{"-addr", addr, "definitely-not-a-command"}, // unknown command
+		{"-addr", addr, "insert", "null"},           // missing position
+		{"-addr", addr, "insert", "null", "xyz"},    // bad position
+		{"-addr", addr, "remove"},                   // missing operand
+		{"-addr", addr, "move", "1"},                // missing target
+		{"-addr", addr, "move", "a", "b"},           // non-numeric
+		{"-addr", addr, "upload"},                   // missing kind
+	}
+	for _, args := range cases {
+		if err := run(args, os.Stdout); err == nil {
+			t.Fatalf("args %v: expected an error", args)
+		}
+	}
+}
+
+func TestDialError(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:1", "-timeout", "50ms", "status"}, os.Stdout); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestServerSideErrorPropagates(t *testing.T) {
+	addr := startTestServer(t)
+	if err := run([]string{"-addr", addr, "insert", "not-a-kind", "1"}, os.Stdout); err == nil {
+		t.Fatal("expected error for unknown filter kind")
+	}
+}

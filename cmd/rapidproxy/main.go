@@ -1,0 +1,161 @@
+// Command rapidproxy runs a RAPIDware proxy node: it accepts a data stream on
+// one TCP port, forwards it to a downstream address through a dynamically
+// reconfigurable filter chain, and exposes the control protocol on a second
+// port so rapidctl (or any ControlManager) can insert, remove and reorder
+// filters on the live stream.
+//
+// Usage:
+//
+//	rapidproxy -name edge -listen :7000 -forward host:8000 -control :7100 \
+//	    [-filters counting,checksum] [-fec 6,4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"rapidware/internal/audio"
+	"rapidware/internal/control"
+	"rapidware/internal/core"
+	"rapidware/internal/endpoint"
+	"rapidware/internal/fec"
+	"rapidware/internal/fecproxy"
+	"rapidware/internal/filter"
+	"rapidware/internal/transcode"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatalf("rapidproxy: %v", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rapidproxy", flag.ContinueOnError)
+	var (
+		name        = fs.String("name", "rapidproxy", "proxy name reported over the control protocol")
+		listenAddr  = fs.String("listen", ":7000", "address to accept the incoming data stream on")
+		forwardAddr = fs.String("forward", "", "downstream address to forward the stream to (required)")
+		controlAddr = fs.String("control", ":7100", "address for the management (control) protocol")
+		filters     = fs.String("filters", "", "comma-separated filter kinds to install at startup")
+		fecSpec     = fs.String("fec", "", "install an FEC encoder with parameters n,k (e.g. 6,4)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *forwardAddr == "" {
+		return fmt.Errorf("-forward is required")
+	}
+
+	logger := log.New(os.Stderr, "rapidproxy ", log.LstdFlags)
+
+	// Registry with every filter kind this build knows about.
+	registry := filter.NewRegistry()
+	if err := transcode.RegisterKinds(registry, audio.PaperFormat()); err != nil {
+		return err
+	}
+	if err := registry.Register("fec-encoder", func(s filter.Spec) (filter.Filter, error) {
+		params, err := parseFECParams(s.Params["nk"])
+		if err != nil {
+			return nil, err
+		}
+		return fecproxy.NewEncoderFilter(s.Name, params, 1)
+	}); err != nil {
+		return err
+	}
+	if err := registry.Register("fec-decoder", func(s filter.Spec) (filter.Filter, error) {
+		return fecproxy.NewDecoderFilter(s.Name, nil), nil
+	}); err != nil {
+		return err
+	}
+
+	proxy := core.New(*name, core.WithRegistry(registry))
+
+	// Wait for the upstream connection, then dial downstream.
+	ln, err := net.Listen("tcp", *listenAddr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	logger.Printf("waiting for data stream on %s", ln.Addr())
+	upstream, err := ln.Accept()
+	if err != nil {
+		return err
+	}
+	downstream, err := net.Dial("tcp", *forwardAddr)
+	if err != nil {
+		return err
+	}
+	if err := proxy.SetEndpoints(
+		endpoint.NewReader("upstream:"+upstream.RemoteAddr().String(), upstream),
+		endpoint.NewWriter("downstream:"+*forwardAddr, downstream),
+	); err != nil {
+		return err
+	}
+
+	// Pre-install requested filters.
+	pos := 1
+	for _, kind := range splitList(*filters) {
+		if _, err := proxy.InsertSpec(filter.Spec{Kind: kind}, pos); err != nil {
+			return fmt.Errorf("install filter %q: %w", kind, err)
+		}
+		pos++
+	}
+	if *fecSpec != "" {
+		if _, err := proxy.InsertSpec(filter.Spec{
+			Kind:   "fec-encoder",
+			Name:   "fec-encoder(" + *fecSpec + ")",
+			Params: map[string]string{"nk": *fecSpec},
+		}, pos); err != nil {
+			return fmt.Errorf("install FEC encoder: %w", err)
+		}
+	}
+
+	if err := proxy.Start(); err != nil {
+		return err
+	}
+	logger.Printf("forwarding %s -> %s with chain %v", *listenAddr, *forwardAddr, proxy.Chain().Names())
+
+	server := control.NewServer(logger, proxy)
+	boundControl, err := server.Listen(*controlAddr)
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	logger.Printf("control protocol on %s", boundControl)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Printf("shutting down")
+	return proxy.Stop()
+}
+
+// parseFECParams parses "n,k" into fec.Params.
+func parseFECParams(s string) (fec.Params, error) {
+	var n, k int
+	if _, err := fmt.Sscanf(s, "%d,%d", &n, &k); err != nil {
+		return fec.Params{}, fmt.Errorf("invalid FEC parameters %q (want n,k): %w", s, err)
+	}
+	p := fec.Params{K: k, N: n}
+	return p, p.Validate()
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if trimmed := strings.TrimSpace(part); trimmed != "" {
+			out = append(out, trimmed)
+		}
+	}
+	return out
+}

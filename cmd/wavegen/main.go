@@ -1,0 +1,64 @@
+// Command wavegen generates synthetic WAV audio in the paper's format (8000
+// samples/s, 8-bit, stereo), used as the workload for the FEC audio proxy
+// experiments in place of the paper's live recordings.
+//
+// Usage:
+//
+//	wavegen -seconds 108 -kind speech -seed 2001 -out audio.wav
+//	wavegen -seconds 10 -kind tone -freq 440 -out tone.wav
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rapidware/internal/audio"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatalf("wavegen: %v", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wavegen", flag.ContinueOnError)
+	var (
+		seconds = fs.Float64("seconds", 10, "duration of audio to generate")
+		kind    = fs.String("kind", "speech", "speech|tone")
+		freq    = fs.Float64("freq", 440, "tone frequency (kind=tone)")
+		seed    = fs.Int64("seed", 1, "random seed (kind=speech)")
+		out     = fs.String("out", "out.wav", "output file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	format := audio.PaperFormat()
+	duration := time.Duration(*seconds * float64(time.Second))
+
+	var pcm []byte
+	var err error
+	switch *kind {
+	case "speech":
+		pcm, err = audio.GenerateSpeechLike(format, duration, *seed)
+	case "tone":
+		pcm, err = audio.GenerateTone(format, *freq, duration)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	wav, err := audio.EncodeWAV(format, pcm)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, wav, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s, %d bytes of PCM (%.1f s)\n", *out, format, len(pcm), format.Duration(len(pcm)).Seconds())
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rapidware/internal/audio"
+)
+
+func TestRunGeneratesValidWAV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "speech.wav")
+	if err := run([]string{"-seconds", "0.5", "-kind", "speech", "-seed", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	format, pcm, err := audio.DecodeWAV(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != audio.PaperFormat() {
+		t.Fatalf("format = %+v", format)
+	}
+	if len(pcm) != 8000 { // 0.5 s × 16000 B/s
+		t.Fatalf("pcm length = %d, want 8000", len(pcm))
+	}
+}
+
+func TestRunTone(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "tone.wav")
+	if err := run([]string{"-seconds", "0.25", "-kind", "tone", "-freq", "1000", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	if err := run([]string{"-kind", "whalesong"}); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestRunUnwritableOutput(t *testing.T) {
+	if err := run([]string{"-seconds", "0.1", "-out", "/nonexistent-dir/x.wav"}); err == nil {
+		t.Fatal("expected error for unwritable output path")
+	}
+}

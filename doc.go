@@ -1,0 +1,16 @@
+// Package rapidware is a Go reproduction of "Design of Composable Proxy
+// Filters for Heterogeneous Mobile Computing" (McKinley & Padmanabhan, IEEE
+// Workshop on Wireless Networks and Mobile Computing / ICDCS-21, 2001).
+//
+// The library implements the paper's detachable streams (pausable,
+// reconnectable pipes), composable proxy filter chains with live insertion,
+// removal and reordering, the (n,k) block-erasure FEC filters used for audio
+// multicast over lossy wireless LANs, the RAPIDware observer/responder
+// adaptation components, the Pavilion collaborative-session substrate, and a
+// wireless channel simulator that stands in for the paper's WaveLAN testbed.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate every figure of the paper's
+// evaluation; cmd/fecbench prints the same tables from the command line.
+package rapidware

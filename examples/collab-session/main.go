@@ -1,0 +1,71 @@
+// Collaborative session example: the Pavilion substrate the paper builds on.
+// An instructor leads a collaborative browsing session; URL loads are fetched
+// through a caching proxy (so repeated visits are served from the cache, as
+// for memory-limited handhelds) and multicast to every participant. Floor
+// control passes leadership between participants.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rapidware/internal/cache"
+	"rapidware/internal/session"
+)
+
+func main() {
+	// A synthetic "web" stands in for the wired network content.
+	fetchCount := 0
+	web := func(url string) ([]byte, error) {
+		fetchCount++
+		return []byte(fmt.Sprintf("<html><body>content of %s</body></html>", url)), nil
+	}
+	// The leader's HTTP proxy caches objects on behalf of handheld clients.
+	proxy, err := cache.NewProxy(1<<20, web)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sess, err := session.New("distributed-systems-lecture", proxy.Get)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	// Participants join: the instructor first (and so holds the floor).
+	if _, err := sess.Join("instructor"); err != nil {
+		log.Fatal(err)
+	}
+	student1, _ := sess.Join("wireless-laptop")
+	student2, _ := sess.Join("palmtop")
+	fmt.Printf("session %q members: %v, leader: %s\n", "distributed-systems-lecture", sess.Members(), sess.Leader())
+
+	// The instructor drives the browse; everyone observes the same pages.
+	pages := []string{
+		"http://course.example.edu/syllabus",
+		"http://course.example.edu/lecture-9/proxy-filters",
+		"http://course.example.edu/syllabus", // revisit: served from the cache
+	}
+	for _, url := range pages {
+		if err := sess.LoadURL("instructor", url); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("loaded %d pages, %d fetched from the network, cache hit rate %.0f%%\n",
+		len(pages), fetchCount, proxy.Cache().HitRate()*100)
+	fmt.Printf("palmtop history: %d pages\n", len(student2.History()))
+
+	// A student requests the floor; the instructor releases it.
+	if err := sess.RequestFloor("wireless-laptop"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.ReleaseFloor("instructor"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("floor passed to: %s\n", sess.Leader())
+	if err := sess.LoadURL("wireless-laptop", "http://course.example.edu/question-3"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("laptop-led page observed by everyone: %d entries in laptop history, %d in palmtop history\n",
+		len(student1.History()), len(student2.History()))
+}

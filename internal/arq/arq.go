@@ -1,0 +1,210 @@
+// Package arq implements a NACK-based retransmission (ARQ) repair scheme for
+// wireless multicast. It is the natural baseline the paper's FEC approach is
+// an alternative to: instead of sending proactive parity, receivers detect
+// gaps in the sequence space and ask the sender to retransmit. The experiment
+// harness compares the two over the same simulated channel (EXPERIMENTS.md
+// E7): ARQ pays less bandwidth when loss is rare but adds at least a round
+// trip of delay to every repaired packet and scales poorly as independent
+// losses at different receivers each trigger their own retransmissions —
+// exactly the argument the paper makes for parity-based repair of multicast.
+package arq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rapidware/internal/packet"
+)
+
+// Errors returned by the ARQ components.
+var (
+	// ErrNotBuffered is returned when a retransmission is requested for a
+	// packet that has already left the sender's history window.
+	ErrNotBuffered = errors.New("arq: packet no longer buffered")
+)
+
+// Sender transmits data packets and answers retransmission requests from a
+// bounded history of recently sent packets. It is safe for concurrent use.
+type Sender struct {
+	transmit func(*packet.Packet) error
+
+	mu            sync.Mutex
+	history       map[uint64]*packet.Packet
+	order         []uint64
+	historyLimit  int
+	nextSeq       uint64
+	sent          uint64
+	retransmitted uint64
+}
+
+// NewSender returns a sender that transmits packets via transmit and keeps the
+// last historyLimit packets available for retransmission.
+func NewSender(historyLimit int, transmit func(*packet.Packet) error) (*Sender, error) {
+	if transmit == nil {
+		return nil, errors.New("arq: transmit function is required")
+	}
+	if historyLimit <= 0 {
+		historyLimit = 1024
+	}
+	return &Sender{
+		transmit:     transmit,
+		history:      make(map[uint64]*packet.Packet),
+		historyLimit: historyLimit,
+	}, nil
+}
+
+// Send stamps the next sequence number on a copy of payload and transmits it.
+// It returns the assigned sequence number.
+func (s *Sender) Send(payload []byte) (uint64, error) {
+	s.mu.Lock()
+	seq := s.nextSeq
+	s.nextSeq++
+	p := &packet.Packet{Seq: seq, Kind: packet.KindData, Payload: append([]byte(nil), payload...)}
+	s.history[seq] = p
+	s.order = append(s.order, seq)
+	if len(s.order) > s.historyLimit {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.history, oldest)
+	}
+	s.sent++
+	s.mu.Unlock()
+	return seq, s.transmit(p.Clone())
+}
+
+// Retransmit answers a NACK for seq. The retransmission goes through the same
+// transmit path (and is therefore subject to loss again).
+func (s *Sender) Retransmit(seq uint64) error {
+	s.mu.Lock()
+	p, ok := s.history[seq]
+	if ok {
+		s.retransmitted++
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: seq %d", ErrNotBuffered, seq)
+	}
+	return s.transmit(p.Clone())
+}
+
+// Stats returns the number of original transmissions and retransmissions.
+func (s *Sender) Stats() (sent, retransmitted uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sent, s.retransmitted
+}
+
+// Next returns the next sequence number that Send will assign.
+func (s *Sender) Next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq
+}
+
+// Receiver tracks which sequence numbers have arrived, exposes the current
+// gaps (the NACK list), and records how many repair rounds each recovered
+// packet needed. It is safe for concurrent use.
+type Receiver struct {
+	mu        sync.Mutex
+	received  map[uint64]bool
+	attempts  map[uint64]int
+	expected  uint64 // one past the highest sequence number ever observed or expected
+	maxNACKs  int
+	recovered map[uint64]int // seq -> round on which it finally arrived
+}
+
+// NewReceiver returns a receiver that gives up on a packet after maxNACKs
+// unanswered repair requests (<=0 selects 3, a typical bound for isochronous
+// traffic where late packets are useless).
+func NewReceiver(maxNACKs int) *Receiver {
+	if maxNACKs <= 0 {
+		maxNACKs = 3
+	}
+	return &Receiver{
+		received:  make(map[uint64]bool),
+		attempts:  make(map[uint64]int),
+		recovered: make(map[uint64]int),
+		maxNACKs:  maxNACKs,
+	}
+}
+
+// Deliver records an arriving packet. round is 0 for original transmissions
+// and the repair round number for retransmissions. It reports whether the
+// packet was new.
+func (r *Receiver) Deliver(p *packet.Packet, round int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p.Seq+1 > r.expected {
+		r.expected = p.Seq + 1
+	}
+	if r.received[p.Seq] {
+		return false
+	}
+	r.received[p.Seq] = true
+	if round > 0 {
+		r.recovered[p.Seq] = round
+	}
+	return true
+}
+
+// ExpectUpTo tells the receiver that sequence numbers [0, n) were sent, so
+// trailing losses are counted even if nothing after them arrives.
+func (r *Receiver) ExpectUpTo(n uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.expected {
+		r.expected = n
+	}
+}
+
+// Missing returns the sequence numbers that have not arrived and have not yet
+// exhausted their NACK budget, incrementing each one's attempt counter. It is
+// the NACK list for the next repair round.
+func (r *Receiver) Missing() []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []uint64
+	for seq := uint64(0); seq < r.expected; seq++ {
+		if r.received[seq] {
+			continue
+		}
+		if r.attempts[seq] >= r.maxNACKs {
+			continue
+		}
+		r.attempts[seq]++
+		out = append(out, seq)
+	}
+	return out
+}
+
+// Stats summarizes the receiver's state: packets delivered, packets recovered
+// by retransmission (a subset of delivered), packets permanently lost, and
+// the mean number of repair rounds a recovered packet waited.
+func (r *Receiver) Stats() (delivered, recovered, lost int, meanRepairRounds float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delivered = len(r.received)
+	recovered = len(r.recovered)
+	lost = int(r.expected) - delivered
+	if recovered > 0 {
+		total := 0
+		for _, rounds := range r.recovered {
+			total += rounds
+		}
+		meanRepairRounds = float64(total) / float64(recovered)
+	}
+	return delivered, recovered, lost, meanRepairRounds
+}
+
+// DeliveredRate returns the fraction of expected packets that arrived.
+func (r *Receiver) DeliveredRate() float64 {
+	delivered, _, _, _ := r.Stats()
+	r.mu.Lock()
+	expected := r.expected
+	r.mu.Unlock()
+	if expected == 0 {
+		return 1
+	}
+	return float64(delivered) / float64(expected)
+}

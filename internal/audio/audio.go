@@ -1,0 +1,225 @@
+// Package audio provides the audio substrate for the FEC proxy experiments:
+// the PCM format used in the paper (8000 samples/s, 8-bit, stereo), WAV
+// encoding/decoding, synthetic audio generation (the paper recorded live
+// audio, which we substitute with deterministic synthesis), and the
+// packetizer that turns a PCM stream into the fixed-interval packets carried
+// over the wireless LAN.
+package audio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Format describes a PCM audio format.
+type Format struct {
+	// SampleRate is the number of samples per second per channel.
+	SampleRate int
+	// Channels is the number of interleaved channels.
+	Channels int
+	// BitsPerSample is the sample width; only 8 and 16 are supported.
+	BitsPerSample int
+}
+
+// PaperFormat returns the format used in the paper's experiments: "8000
+// samples per second for two 8-bit/sample stereo channels".
+func PaperFormat() Format {
+	return Format{SampleRate: 8000, Channels: 2, BitsPerSample: 8}
+}
+
+// Validate reports whether the format is usable.
+func (f Format) Validate() error {
+	if f.SampleRate <= 0 {
+		return fmt.Errorf("audio: invalid sample rate %d", f.SampleRate)
+	}
+	if f.Channels <= 0 {
+		return fmt.Errorf("audio: invalid channel count %d", f.Channels)
+	}
+	if f.BitsPerSample != 8 && f.BitsPerSample != 16 {
+		return fmt.Errorf("audio: unsupported bits per sample %d", f.BitsPerSample)
+	}
+	return nil
+}
+
+// BytesPerSecond returns the PCM data rate of the format.
+func (f Format) BytesPerSecond() int {
+	return f.SampleRate * f.Channels * f.BitsPerSample / 8
+}
+
+// BytesPerFrame returns the size of one sample across all channels.
+func (f Format) BytesPerFrame() int {
+	return f.Channels * f.BitsPerSample / 8
+}
+
+// Duration returns the playback duration of a PCM payload of n bytes.
+func (f Format) Duration(n int) time.Duration {
+	bps := f.BytesPerSecond()
+	if bps == 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(bps) * float64(time.Second))
+}
+
+// String renders the format.
+func (f Format) String() string {
+	return fmt.Sprintf("%dHz/%dbit/%dch", f.SampleRate, f.BitsPerSample, f.Channels)
+}
+
+// GenerateTone synthesizes duration of PCM audio containing a sine tone of
+// the given frequency at moderate amplitude, identical in every channel.
+// Output is unsigned for 8-bit formats and signed little-endian for 16-bit,
+// matching WAV conventions.
+func GenerateTone(f Format, freq float64, duration time.Duration) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	frames := int(float64(f.SampleRate) * duration.Seconds())
+	out := make([]byte, 0, frames*f.BytesPerFrame())
+	for i := 0; i < frames; i++ {
+		v := math.Sin(2 * math.Pi * freq * float64(i) / float64(f.SampleRate))
+		out = appendSample(out, f, v*0.6)
+	}
+	return out, nil
+}
+
+// GenerateSpeechLike synthesizes duration of audio that loosely resembles
+// speech for test purposes: a mixture of drifting tones and noise bursts with
+// pauses, produced deterministically from seed.
+func GenerateSpeechLike(f Format, duration time.Duration, seed int64) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	frames := int(float64(f.SampleRate) * duration.Seconds())
+	out := make([]byte, 0, frames*f.BytesPerFrame())
+	freq := 120 + rng.Float64()*80
+	amp := 0.5
+	for i := 0; i < frames; i++ {
+		// Every ~50 ms, drift the fundamental and occasionally go silent,
+		// mimicking syllables and pauses.
+		if i%(f.SampleRate/20) == 0 {
+			freq = 100 + rng.Float64()*300
+			if rng.Float64() < 0.15 {
+				amp = 0
+			} else {
+				amp = 0.3 + rng.Float64()*0.4
+			}
+		}
+		tpos := float64(i) / float64(f.SampleRate)
+		v := amp * (0.7*math.Sin(2*math.Pi*freq*tpos) + 0.3*math.Sin(2*math.Pi*2.1*freq*tpos))
+		v += (rng.Float64() - 0.5) * 0.05 // breath noise
+		out = appendSample(out, f, v)
+	}
+	return out, nil
+}
+
+// appendSample appends one frame (all channels) of the value v in [-1,1].
+func appendSample(out []byte, f Format, v float64) []byte {
+	if v > 1 {
+		v = 1
+	}
+	if v < -1 {
+		v = -1
+	}
+	for c := 0; c < f.Channels; c++ {
+		switch f.BitsPerSample {
+		case 8:
+			out = append(out, byte(int((v+1)/2*255)))
+		case 16:
+			s := int16(v * math.MaxInt16)
+			out = binary.LittleEndian.AppendUint16(out, uint16(s))
+		}
+	}
+	return out
+}
+
+// WAV container errors.
+var (
+	ErrNotWAV       = errors.New("audio: not a RIFF/WAVE file")
+	ErrWAVTruncated = errors.New("audio: WAV data truncated")
+	ErrWAVFormat    = errors.New("audio: unsupported WAV format chunk")
+)
+
+// EncodeWAV wraps PCM data in a minimal canonical WAV (RIFF) container, the
+// ".WAV ... Windows PCM-based waveform audio file format" of the paper.
+func EncodeWAV(f Format, pcm []byte) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	byteRate := f.BytesPerSecond()
+	blockAlign := f.BytesPerFrame()
+	out := make([]byte, 0, 44+len(pcm))
+	out = append(out, "RIFF"...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(36+len(pcm)))
+	out = append(out, "WAVE"...)
+	out = append(out, "fmt "...)
+	out = binary.LittleEndian.AppendUint32(out, 16)
+	out = binary.LittleEndian.AppendUint16(out, 1) // PCM
+	out = binary.LittleEndian.AppendUint16(out, uint16(f.Channels))
+	out = binary.LittleEndian.AppendUint32(out, uint32(f.SampleRate))
+	out = binary.LittleEndian.AppendUint32(out, uint32(byteRate))
+	out = binary.LittleEndian.AppendUint16(out, uint16(blockAlign))
+	out = binary.LittleEndian.AppendUint16(out, uint16(f.BitsPerSample))
+	out = append(out, "data"...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(pcm)))
+	out = append(out, pcm...)
+	return out, nil
+}
+
+// DecodeWAV parses a canonical WAV container and returns its format and PCM
+// payload. Only uncompressed PCM is supported.
+func DecodeWAV(data []byte) (Format, []byte, error) {
+	if len(data) < 44 {
+		return Format{}, nil, ErrWAVTruncated
+	}
+	if string(data[0:4]) != "RIFF" || string(data[8:12]) != "WAVE" {
+		return Format{}, nil, ErrNotWAV
+	}
+	// Walk chunks to find "fmt " and "data"; canonical files have them in
+	// order but other chunks (LIST, fact) may intervene.
+	var f Format
+	var pcm []byte
+	sawFmt, sawData := false, false
+	off := 12
+	for off+8 <= len(data) {
+		id := string(data[off : off+4])
+		size := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+		body := off + 8
+		if body+size > len(data) {
+			return Format{}, nil, ErrWAVTruncated
+		}
+		switch id {
+		case "fmt ":
+			if size < 16 {
+				return Format{}, nil, ErrWAVFormat
+			}
+			audioFormat := binary.LittleEndian.Uint16(data[body:])
+			if audioFormat != 1 {
+				return Format{}, nil, fmt.Errorf("%w: compression code %d", ErrWAVFormat, audioFormat)
+			}
+			f.Channels = int(binary.LittleEndian.Uint16(data[body+2:]))
+			f.SampleRate = int(binary.LittleEndian.Uint32(data[body+4:]))
+			f.BitsPerSample = int(binary.LittleEndian.Uint16(data[body+14:]))
+			sawFmt = true
+		case "data":
+			pcm = append([]byte(nil), data[body:body+size]...)
+			sawData = true
+		}
+		// Chunks are word aligned.
+		if size%2 == 1 {
+			size++
+		}
+		off = body + size
+	}
+	if !sawFmt || !sawData {
+		return Format{}, nil, ErrWAVTruncated
+	}
+	if err := f.Validate(); err != nil {
+		return Format{}, nil, fmt.Errorf("%w: %v", ErrWAVFormat, err)
+	}
+	return f, pcm, nil
+}

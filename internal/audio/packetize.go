@@ -1,0 +1,149 @@
+package audio
+
+import (
+	"fmt"
+	"time"
+)
+
+// Packetizer splits a PCM stream into the fixed-interval chunks that the
+// paper's proxy multicasts (and the FEC encoder groups into blocks).
+type Packetizer struct {
+	format   Format
+	interval time.Duration
+	chunk    int
+}
+
+// NewPacketizer returns a packetizer producing one payload per interval of
+// audio. The interval must cover at least one frame.
+func NewPacketizer(f Format, interval time.Duration) (*Packetizer, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("audio: non-positive packet interval %v", interval)
+	}
+	frames := int(float64(f.SampleRate) * interval.Seconds())
+	if frames < 1 {
+		return nil, fmt.Errorf("audio: interval %v shorter than one frame", interval)
+	}
+	return &Packetizer{format: f, interval: interval, chunk: frames * f.BytesPerFrame()}, nil
+}
+
+// PayloadSize returns the size in bytes of each full payload.
+func (p *Packetizer) PayloadSize() int { return p.chunk }
+
+// Interval returns the audio duration carried by each payload.
+func (p *Packetizer) Interval() time.Duration { return p.interval }
+
+// Split divides pcm into consecutive payloads. The final payload may be
+// shorter than PayloadSize; payloads alias the input slice.
+func (p *Packetizer) Split(pcm []byte) [][]byte {
+	var out [][]byte
+	for off := 0; off < len(pcm); off += p.chunk {
+		end := off + p.chunk
+		if end > len(pcm) {
+			end = len(pcm)
+		}
+		out = append(out, pcm[off:end])
+	}
+	return out
+}
+
+// Reassembler rebuilds a PCM stream from packet payloads at the receiver,
+// substituting silence for packets that never arrive so playback timing is
+// preserved (the audible "degradation" the paper describes for lost packets).
+type Reassembler struct {
+	format    Format
+	chunk     int
+	payloads  map[int][]byte
+	maxIndex  int
+	haveAny   bool
+	silenceAt byte
+}
+
+// NewReassembler returns a reassembler for payloads produced by a packetizer
+// with the same format and payload size.
+func NewReassembler(f Format, payloadSize int) (*Reassembler, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if payloadSize <= 0 {
+		return nil, fmt.Errorf("audio: non-positive payload size %d", payloadSize)
+	}
+	silence := byte(0)
+	if f.BitsPerSample == 8 {
+		silence = 128 // unsigned 8-bit midpoint
+	}
+	return &Reassembler{
+		format:    f,
+		chunk:     payloadSize,
+		payloads:  make(map[int][]byte),
+		silenceAt: silence,
+	}, nil
+}
+
+// Add stores the payload for packet index idx (0-based position in the
+// original stream). Later duplicates overwrite earlier ones.
+func (r *Reassembler) Add(idx int, payload []byte) {
+	if idx < 0 {
+		return
+	}
+	r.payloads[idx] = append([]byte(nil), payload...)
+	if !r.haveAny || idx > r.maxIndex {
+		r.maxIndex = idx
+		r.haveAny = true
+	}
+}
+
+// MarkExpected notes that packets up to and including idx were transmitted,
+// so trailing losses still produce silence in the output.
+func (r *Reassembler) MarkExpected(idx int) {
+	if idx < 0 {
+		return
+	}
+	if !r.haveAny || idx > r.maxIndex {
+		r.maxIndex = idx
+		r.haveAny = true
+	}
+}
+
+// Missing returns the indices for which no payload was received.
+func (r *Reassembler) Missing() []int {
+	if !r.haveAny {
+		return nil
+	}
+	var missing []int
+	for i := 0; i <= r.maxIndex; i++ {
+		if _, ok := r.payloads[i]; !ok {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
+// PCM renders the reassembled stream, inserting silence for missing packets.
+func (r *Reassembler) PCM() []byte {
+	if !r.haveAny {
+		return nil
+	}
+	out := make([]byte, 0, (r.maxIndex+1)*r.chunk)
+	for i := 0; i <= r.maxIndex; i++ {
+		if p, ok := r.payloads[i]; ok {
+			out = append(out, p...)
+		} else {
+			for j := 0; j < r.chunk; j++ {
+				out = append(out, r.silenceAt)
+			}
+		}
+	}
+	return out
+}
+
+// Completeness returns the fraction of expected packets that were received,
+// the receiver-side audio quality proxy used in the experiments.
+func (r *Reassembler) Completeness() float64 {
+	if !r.haveAny {
+		return 1
+	}
+	return float64(len(r.payloads)) / float64(r.maxIndex+1)
+}

@@ -1,0 +1,275 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLRUValidation(t *testing.T) {
+	if _, err := NewLRU(0); err == nil {
+		t.Fatal("expected error for zero capacity")
+	}
+	if _, err := NewLRU(-1); err == nil {
+		t.Fatal("expected error for negative capacity")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, _ := NewLRU(1024)
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get on empty cache returned a value")
+	}
+	if err := c.Put("a", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.Get("a")
+	if !ok || string(v) != "alpha" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if c.Len() != 1 || c.Size() != 5 {
+		t.Fatalf("Len=%d Size=%d", c.Len(), c.Size())
+	}
+	if c.Capacity() != 1024 {
+		t.Fatalf("Capacity = %d", c.Capacity())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	c, _ := NewLRU(64)
+	c.Put("k", []byte{1, 2, 3})
+	v, _ := c.Get("k")
+	v[0] = 99
+	again, _ := c.Get("k")
+	if again[0] == 99 {
+		t.Fatal("cache returned aliased storage")
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	c, _ := NewLRU(64)
+	v := []byte{1, 2, 3}
+	c.Put("k", v)
+	v[0] = 99
+	got, _ := c.Get("k")
+	if got[0] == 99 {
+		t.Fatal("cache stored aliased value")
+	}
+}
+
+func TestPutUpdateExisting(t *testing.T) {
+	c, _ := NewLRU(100)
+	c.Put("k", []byte("short"))
+	c.Put("k", []byte("a much longer replacement value"))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Size() != len("a much longer replacement value") {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	v, _ := c.Get("k")
+	if string(v) != "a much longer replacement value" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestPutTooLarge(t *testing.T) {
+	c, _ := NewLRU(10)
+	if err := c.Put("big", make([]byte, 11)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c, _ := NewLRU(30)
+	c.Put("a", make([]byte, 10))
+	c.Put("b", make([]byte, 10))
+	c.Put("c", make([]byte, 10))
+	// Touch "a" so "b" becomes the least recently used.
+	c.Get("a")
+	c.Put("d", make([]byte, 10))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%q should still be cached", k)
+		}
+	}
+	_, _, evictions := c.Stats()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d", evictions)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c, _ := NewLRU(64)
+	c.Put("k", []byte("v"))
+	if !c.Delete("k") {
+		t.Fatal("Delete returned false for existing key")
+	}
+	if c.Delete("k") {
+		t.Fatal("Delete returned true for missing key")
+	}
+	if c.Len() != 0 || c.Size() != 0 {
+		t.Fatalf("Len=%d Size=%d after delete", c.Len(), c.Size())
+	}
+}
+
+func TestHitRateAndStats(t *testing.T) {
+	c, _ := NewLRU(64)
+	if c.HitRate() != 0 {
+		t.Fatal("HitRate should be 0 before lookups")
+	}
+	c.Put("k", []byte("v"))
+	c.Get("k")
+	c.Get("k")
+	c.Get("missing")
+	hits, misses, _ := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	if c.HitRate() < 0.66 || c.HitRate() > 0.67 {
+		t.Fatalf("HitRate = %v", c.HitRate())
+	}
+}
+
+// TestInvariantsProperty drives random operations and checks the cache's
+// structural invariants: size equals the sum of stored values, size never
+// exceeds capacity, and Len matches the internal list length.
+func TestInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 64 + rng.Intn(512)
+		c, err := NewLRU(capacity)
+		if err != nil {
+			return false
+		}
+		shadow := map[string]int{}
+		for op := 0; op < 300; op++ {
+			key := fmt.Sprintf("k%d", rng.Intn(20))
+			switch rng.Intn(3) {
+			case 0:
+				size := rng.Intn(capacity/2) + 1
+				if err := c.Put(key, make([]byte, size)); err != nil {
+					return false
+				}
+				shadow[key] = size
+			case 1:
+				c.Get(key)
+			case 2:
+				c.Delete(key)
+				delete(shadow, key)
+			}
+			if c.Size() > capacity {
+				return false
+			}
+		}
+		// Every cached value must have the size last written for its key.
+		total := 0
+		count := 0
+		for k, sz := range shadow {
+			if v, ok := c.Get(k); ok {
+				if len(v) != sz {
+					return false
+				}
+				total += len(v)
+				count++
+			}
+		}
+		return c.Size() >= 0 && c.Len() >= count-c.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, _ := NewLRU(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("obj-%d", i%50)
+				if i%3 == 0 {
+					c.Put(key, []byte(key))
+				} else {
+					c.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Size() > c.Capacity() {
+		t.Fatal("size exceeded capacity under concurrency")
+	}
+}
+
+func TestProxyFetchThrough(t *testing.T) {
+	fetches := 0
+	fetcher := func(url string) ([]byte, error) {
+		fetches++
+		if url == "http://bad" {
+			return nil, errors.New("unreachable")
+		}
+		return []byte("content of " + url), nil
+	}
+	p, err := NewProxy(1024, fetcher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First access fetches, second hits the cache.
+	v1, err := p.Get("http://example.com/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := p.Get("http://example.com/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v1) != string(v2) {
+		t.Fatal("cache returned different content")
+	}
+	if fetches != 1 {
+		t.Fatalf("fetches = %d, want 1", fetches)
+	}
+	if p.Cache().HitRate() != 0.5 {
+		t.Fatalf("HitRate = %v", p.Cache().HitRate())
+	}
+	if _, err := p.Get("http://bad"); err == nil {
+		t.Fatal("expected fetch error to propagate")
+	}
+}
+
+func TestProxyOversizedObjectsStillServed(t *testing.T) {
+	p, err := NewProxy(8, func(url string) ([]byte, error) {
+		return []byte("this object is larger than the cache"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Get("http://big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) == 0 {
+		t.Fatal("oversized object not served")
+	}
+	if p.Cache().Len() != 0 {
+		t.Fatal("oversized object should not be cached")
+	}
+}
+
+func TestNewProxyValidation(t *testing.T) {
+	if _, err := NewProxy(10, nil); err == nil {
+		t.Fatal("expected error for nil fetcher")
+	}
+	if _, err := NewProxy(0, func(string) ([]byte, error) { return nil, nil }); err == nil {
+		t.Fatal("expected error for zero capacity")
+	}
+}

@@ -1,0 +1,187 @@
+package control
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rapidware/internal/core"
+	"rapidware/internal/filter"
+)
+
+// Client is the programmatic ControlManager: it connects to a proxy's control
+// server and drives the management operations. A Client is safe for
+// concurrent use; requests are serialized over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a control server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("control: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and decodes its response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("control: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("control: receive: %w", err)
+	}
+	if !resp.OK {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping verifies the server is reachable and returns the managed proxy names.
+func (c *Client) Ping() ([]string, error) {
+	resp, err := c.roundTrip(Request{Op: OpPing})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// Status fetches the status of the named proxy ("" selects the only proxy).
+func (c *Client) Status(proxy string) (*core.Status, error) {
+	resp, err := c.roundTrip(Request{Op: OpStatus, Name: proxy})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Status, nil
+}
+
+// Kinds lists the filter kinds the named proxy can instantiate.
+func (c *Client) Kinds(proxy string) ([]string, error) {
+	resp, err := c.roundTrip(Request{Op: OpKinds, Name: proxy})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Kinds, nil
+}
+
+// Insert builds spec on the proxy and splices it in at position pos.
+func (c *Client) Insert(proxy string, spec filter.Spec, pos int) (*core.Status, error) {
+	resp, err := c.roundTrip(Request{Op: OpInsert, Name: proxy, Spec: spec, Position: pos})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Status, nil
+}
+
+// Upload stores spec in the proxy's filter container without inserting it.
+func (c *Client) Upload(proxy string, spec filter.Spec) ([]string, error) {
+	resp, err := c.roundTrip(Request{Op: OpUpload, Name: proxy, Spec: spec})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// Remove removes the filter at position pos.
+func (c *Client) Remove(proxy string, pos int) (*core.Status, error) {
+	resp, err := c.roundTrip(Request{Op: OpRemove, Name: proxy, Position: pos})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Status, nil
+}
+
+// RemoveByName removes the first filter with the given instance name.
+func (c *Client) RemoveByName(proxy, filterName string) (*core.Status, error) {
+	resp, err := c.roundTrip(Request{Op: OpRemove, Name: proxy, Position: -1, Spec: filter.Spec{Name: filterName}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Status, nil
+}
+
+// Move relocates a filter from one interior position to another.
+func (c *Client) Move(proxy string, from, to int) (*core.Status, error) {
+	resp, err := c.roundTrip(Request{Op: OpMove, Name: proxy, Position: from, Target: to})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Status, nil
+}
+
+// Manager aggregates clients for several proxies, the multi-proxy management
+// view of the paper's ControlManager GUI.
+type Manager struct {
+	mu      sync.Mutex
+	clients map[string]*Client
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{clients: make(map[string]*Client)}
+}
+
+// Connect dials a control server and registers it under the given label.
+func (m *Manager) Connect(label, addr string, timeout time.Duration) error {
+	c, err := Dial(addr, timeout)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if old, ok := m.clients[label]; ok {
+		old.Close()
+	}
+	m.clients[label] = c
+	return nil
+}
+
+// Client returns the client registered under label.
+func (m *Manager) Client(label string) (*Client, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.clients[label]
+	if !ok {
+		return nil, fmt.Errorf("control: no proxy registered as %q", label)
+	}
+	return c, nil
+}
+
+// Labels returns the registered labels.
+func (m *Manager) Labels() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.clients))
+	for l := range m.clients {
+		out = append(out, l)
+	}
+	return out
+}
+
+// Close closes every registered client.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.clients {
+		c.Close()
+	}
+	m.clients = make(map[string]*Client)
+}

@@ -1,0 +1,247 @@
+package control
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rapidware/internal/core"
+	"rapidware/internal/filter"
+)
+
+func newManagedProxy(name string) *core.Proxy {
+	p := core.New(name)
+	// Endpoints that neither produce nor consume keep the chain valid for
+	// management-plane tests without moving data.
+	if err := p.SetEndpoints(filter.NewNull("in"), filter.NewNull("out")); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func startServer(t *testing.T, proxies ...*core.Proxy) (*Server, string) {
+	t.Helper()
+	s := NewServer(nil, proxies...)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr
+}
+
+func dialClient(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestRequestValidate(t *testing.T) {
+	cases := []struct {
+		req Request
+		ok  bool
+	}{
+		{Request{Op: OpStatus}, true},
+		{Request{Op: OpPing}, true},
+		{Request{Op: OpKinds}, true},
+		{Request{Op: OpInsert, Spec: filter.Spec{Kind: "null"}}, true},
+		{Request{Op: OpInsert}, false},
+		{Request{Op: OpUpload}, false},
+		{Request{Op: OpRemove, Position: 1}, true},
+		{Request{Op: OpRemove, Position: -1}, false},
+		{Request{Op: OpRemove, Position: -1, Spec: filter.Spec{Name: "x"}}, true},
+		{Request{Op: OpMove}, true},
+		{Request{Op: Op("bogus")}, false},
+	}
+	for _, c := range cases {
+		err := c.req.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.req, err, c.ok)
+		}
+	}
+}
+
+func TestHandleUnknownOpAndProxy(t *testing.T) {
+	s := NewServer(nil, newManagedProxy("p1"))
+	if resp := s.Handle(Request{Op: Op("bogus")}); resp.OK {
+		t.Fatal("unknown op should fail")
+	}
+	if resp := s.Handle(Request{Op: OpStatus, Name: "missing"}); resp.OK {
+		t.Fatal("unknown proxy should fail")
+	}
+	// Two proxies and no name is ambiguous.
+	s.AddProxy(newManagedProxy("p2"))
+	if resp := s.Handle(Request{Op: OpStatus}); resp.OK {
+		t.Fatal("ambiguous proxy selection should fail")
+	}
+}
+
+func TestClientServerStatusAndKinds(t *testing.T) {
+	p := newManagedProxy("edge-proxy")
+	_, addr := startServer(t, p)
+	c := dialClient(t, addr)
+
+	names, err := c.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "edge-proxy" {
+		t.Fatalf("Ping names = %v", names)
+	}
+	st, err := c.Status("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "edge-proxy" || len(st.Filters) != 2 {
+		t.Fatalf("Status = %+v", st)
+	}
+	kinds, err := c.Kinds("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) == 0 || !contains(kinds, "null") {
+		t.Fatalf("Kinds = %v", kinds)
+	}
+}
+
+func TestClientServerInsertRemoveMove(t *testing.T) {
+	p := newManagedProxy("edge")
+	_, addr := startServer(t, p)
+	c := dialClient(t, addr)
+
+	st, err := c.Insert("", filter.Spec{Kind: "counting", Name: "tap"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Filters) != 3 || st.Filters[1].Name != "tap" {
+		t.Fatalf("after insert: %+v", st.Filters)
+	}
+	st, err = c.Insert("", filter.Spec{Kind: "checksum", Name: "sum"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Filters[2].Name != "sum" {
+		t.Fatalf("after second insert: %+v", st.Filters)
+	}
+	st, err = c.Move("", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Filters[1].Name != "sum" || st.Filters[2].Name != "tap" {
+		t.Fatalf("after move: %+v", st.Filters)
+	}
+	st, err = c.RemoveByName("", "sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Filters) != 3 {
+		t.Fatalf("after remove by name: %+v", st.Filters)
+	}
+	st, err = c.Remove("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Filters) != 2 {
+		t.Fatalf("after remove: %+v", st.Filters)
+	}
+	// Errors propagate as errors with the server's message.
+	if _, err := c.Insert("", filter.Spec{Kind: "no-such-kind"}, 1); err == nil {
+		t.Fatal("expected error for unknown kind")
+	} else if !strings.Contains(err.Error(), "unknown filter kind") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Remove("", 99); err == nil {
+		t.Fatal("expected error for bad position")
+	}
+}
+
+func TestClientServerUpload(t *testing.T) {
+	p := newManagedProxy("up")
+	_, addr := startServer(t, p)
+	c := dialClient(t, addr)
+	names, err := c.Upload("", filter.Spec{Kind: "delay", Name: "later", Params: map[string]string{"ms": "1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "later" {
+		t.Fatalf("Upload names = %v", names)
+	}
+	if p.Container().Count() != 1 {
+		t.Fatal("uploaded filter not in container")
+	}
+}
+
+func TestManagerMultipleProxies(t *testing.T) {
+	pa, pb := newManagedProxy("proxy-a"), newManagedProxy("proxy-b")
+	_, addrA := startServer(t, pa)
+	_, addrB := startServer(t, pb)
+
+	m := NewManager()
+	defer m.Close()
+	if err := m.Connect("a", addrA, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Connect("b", addrB, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Labels()) != 2 {
+		t.Fatalf("Labels = %v", m.Labels())
+	}
+	ca, err := m.Client("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ca.Status("")
+	if err != nil || st.Name != "proxy-a" {
+		t.Fatalf("Status via manager = %+v, %v", st, err)
+	}
+	if _, err := m.Client("missing"); err == nil {
+		t.Fatal("expected error for unknown label")
+	}
+	// Reconnecting under the same label replaces the old client.
+	if err := m.Connect("a", addrB, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ca, _ = m.Client("a")
+	st, _ = ca.Status("")
+	if st.Name != "proxy-b" {
+		t.Fatalf("relabelled client status = %+v", st)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 50*time.Millisecond); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestManagerConnectFailure(t *testing.T) {
+	m := NewManager()
+	defer m.Close()
+	if err := m.Connect("x", "127.0.0.1:1", 50*time.Millisecond); err == nil {
+		t.Fatal("expected connect error")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s, _ := startServer(t, newManagedProxy("p"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func contains(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

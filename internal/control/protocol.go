@@ -1,0 +1,80 @@
+// Package control implements the RAPIDware management plane: a JSON-over-TCP
+// control protocol through which an administrator (the paper's Swing-based
+// ControlManager GUI, here a programmatic client and the rapidctl CLI) or an
+// application can query a proxy's state and insert, remove and reorder
+// filters on its running streams.
+//
+// The paper delivered new filters by Java object serialization; Go cannot
+// load code at run time, so the protocol transports filter *specs* (a
+// registered kind plus parameters) that the proxy instantiates locally. See
+// DESIGN.md for the substitution note.
+package control
+
+import (
+	"fmt"
+
+	"rapidware/internal/core"
+	"rapidware/internal/filter"
+)
+
+// Op enumerates the control operations.
+type Op string
+
+// Control operations.
+const (
+	// OpStatus returns the proxy's Status.
+	OpStatus Op = "status"
+	// OpKinds lists the filter kinds the proxy can instantiate.
+	OpKinds Op = "kinds"
+	// OpInsert builds a filter from Spec and inserts it at Position.
+	OpInsert Op = "insert"
+	// OpRemove removes the filter at Position (or by Name when Position < 0).
+	OpRemove Op = "remove"
+	// OpMove relocates a filter from Position to Target.
+	OpMove Op = "move"
+	// OpUpload stores a filter spec in the proxy's container without
+	// inserting it, mirroring the paper's upload-then-insert workflow.
+	OpUpload Op = "upload"
+	// OpPing verifies liveness.
+	OpPing Op = "ping"
+)
+
+// Request is one control-plane command.
+type Request struct {
+	Op       Op          `json:"op"`
+	Spec     filter.Spec `json:"spec,omitempty"`
+	Position int         `json:"position,omitempty"`
+	Target   int         `json:"target,omitempty"`
+	Name     string      `json:"name,omitempty"`
+}
+
+// Response is the reply to a Request.
+type Response struct {
+	OK     bool         `json:"ok"`
+	Error  string       `json:"error,omitempty"`
+	Status *core.Status `json:"status,omitempty"`
+	Kinds  []string     `json:"kinds,omitempty"`
+	Names  []string     `json:"names,omitempty"`
+}
+
+// Validate checks a request for obvious problems before dispatch.
+func (r Request) Validate() error {
+	switch r.Op {
+	case OpStatus, OpKinds, OpPing:
+		return nil
+	case OpInsert, OpUpload:
+		if r.Spec.Kind == "" {
+			return fmt.Errorf("control: %s requires a filter spec", r.Op)
+		}
+		return nil
+	case OpRemove:
+		if r.Position < 0 && r.Spec.Name == "" {
+			return fmt.Errorf("control: remove requires a position or a filter name")
+		}
+		return nil
+	case OpMove:
+		return nil
+	default:
+		return fmt.Errorf("control: unknown op %q", r.Op)
+	}
+}

@@ -1,0 +1,192 @@
+package control
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"rapidware/internal/core"
+)
+
+// Server exposes one or more proxies over the control protocol. Each accepted
+// connection carries a sequence of newline-delimited JSON requests and
+// responses.
+type Server struct {
+	mu      sync.Mutex
+	proxies map[string]*core.Proxy
+	ln      net.Listener
+	wg      sync.WaitGroup
+	closed  bool
+	logger  *log.Logger
+}
+
+// NewServer returns a server managing the given proxies, keyed by name.
+func NewServer(logger *log.Logger, proxies ...*core.Proxy) *Server {
+	s := &Server{proxies: make(map[string]*core.Proxy), logger: logger}
+	for _, p := range proxies {
+		s.proxies[p.Name()] = p
+	}
+	return s
+}
+
+// AddProxy registers an additional proxy.
+func (s *Server) AddProxy(p *core.Proxy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.proxies[p.Name()] = p
+}
+
+// proxyNames returns the registered proxy names.
+func (s *Server) proxyNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.proxies))
+	for n := range s.proxies {
+		names = append(names, n)
+	}
+	return names
+}
+
+// lookup returns the proxy for the request's Name field; when only one proxy
+// is registered an empty name selects it.
+func (s *Server) lookup(name string) (*core.Proxy, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name == "" && len(s.proxies) == 1 {
+		for _, p := range s.proxies {
+			return p, nil
+		}
+	}
+	if p, ok := s.proxies[name]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("control: unknown proxy %q", name)
+}
+
+// Listen starts accepting control connections on addr ("host:port"; use
+// ":0" to pick a free port). It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("control: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one control connection.
+func (s *Server) serveConn(conn io.ReadWriter) {
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && s.logger != nil {
+				s.logger.Printf("control: decode: %v", err)
+			}
+			return
+		}
+		resp := s.Handle(req)
+		if err := enc.Encode(resp); err != nil {
+			if s.logger != nil {
+				s.logger.Printf("control: encode: %v", err)
+			}
+			return
+		}
+	}
+}
+
+// Handle executes one request against the managed proxies. It is exported so
+// in-process callers (tests, raplets) can use the same dispatch logic as the
+// network path.
+func (s *Server) Handle(req Request) Response {
+	if err := req.Validate(); err != nil {
+		return Response{Error: err.Error()}
+	}
+	if req.Op == OpPing {
+		return Response{OK: true, Names: s.proxyNames()}
+	}
+	p, err := s.lookup(req.Name)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	switch req.Op {
+	case OpStatus:
+		st := p.Status()
+		return Response{OK: true, Status: &st}
+	case OpKinds:
+		return Response{OK: true, Kinds: p.Registry().Kinds()}
+	case OpInsert:
+		if _, err := p.InsertSpec(req.Spec, req.Position); err != nil {
+			return Response{Error: err.Error()}
+		}
+		st := p.Status()
+		return Response{OK: true, Status: &st}
+	case OpUpload:
+		f, err := p.Registry().Build(req.Spec)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		p.Container().Add(f)
+		return Response{OK: true, Names: p.Container().Names()}
+	case OpRemove:
+		if req.Spec.Name != "" {
+			if _, err := p.RemoveFilterByName(req.Spec.Name); err != nil {
+				return Response{Error: err.Error()}
+			}
+		} else if _, err := p.RemoveFilter(req.Position); err != nil {
+			return Response{Error: err.Error()}
+		}
+		st := p.Status()
+		return Response{OK: true, Status: &st}
+	case OpMove:
+		if err := p.MoveFilter(req.Position, req.Target); err != nil {
+			return Response{Error: err.Error()}
+		}
+		st := p.Status()
+		return Response{OK: true, Status: &st}
+	default:
+		return Response{Error: fmt.Sprintf("control: unknown op %q", req.Op)}
+	}
+}
+
+// Close stops accepting connections and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,254 @@
+// Package core provides the RAPIDware proxy: the top-level object that ties
+// together endpoints, a filter chain (the ControlThread), a filter registry
+// and a filter container, and exposes the management operations that the
+// control protocol and the adaptive raplets drive.
+//
+// A proxy with just two endpoints and an empty interior is the paper's "null
+// proxy"; inserting filters at run time specializes it into a transcoding,
+// caching or FEC proxy without touching the stream's endpoints.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rapidware/internal/filter"
+)
+
+// Errors returned by the proxy.
+var (
+	// ErrNoEndpoints is returned by Start when the proxy has no stages.
+	ErrNoEndpoints = errors.New("core: proxy has no endpoints")
+	// ErrAlreadyStarted is returned when starting a started proxy.
+	ErrAlreadyStarted = errors.New("core: proxy already started")
+	// ErrNotStarted is returned when stopping a proxy that is not running.
+	ErrNotStarted = errors.New("core: proxy not started")
+)
+
+// Proxy is a single-stream RAPIDware proxy.
+type Proxy struct {
+	name      string
+	chain     *filter.Chain
+	registry  *filter.Registry
+	container *filter.Container
+
+	mu        sync.Mutex
+	started   bool
+	startedAt time.Time
+	inserts   uint64
+	removes   uint64
+}
+
+// Option configures a Proxy.
+type Option func(*Proxy)
+
+// WithRegistry supplies a custom filter registry (for example, one extended
+// with third-party filter kinds such as the FEC encoder).
+func WithRegistry(r *filter.Registry) Option {
+	return func(p *Proxy) {
+		if r != nil {
+			p.registry = r
+		}
+	}
+}
+
+// New returns a proxy with the given name. Endpoints and filters are added
+// with SetEndpoints / InsertSpec / InsertFilter.
+func New(name string, opts ...Option) *Proxy {
+	if name == "" {
+		name = "proxy"
+	}
+	p := &Proxy{
+		name:      name,
+		chain:     filter.NewChain(name),
+		registry:  filter.NewRegistry(),
+		container: filter.NewContainer(),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Name returns the proxy's name.
+func (p *Proxy) Name() string { return p.name }
+
+// Chain exposes the underlying filter chain for advanced callers (raplets,
+// experiments). Most callers should use the Proxy methods instead.
+func (p *Proxy) Chain() *filter.Chain { return p.chain }
+
+// Registry returns the proxy's filter registry.
+func (p *Proxy) Registry() *filter.Registry { return p.registry }
+
+// Container returns the holding area for uploaded-but-not-yet-inserted
+// filters, mirroring the paper's FilterContainer.
+func (p *Proxy) Container() *filter.Container { return p.container }
+
+// SetEndpoints installs the input and output endpoints as the first and last
+// chain stages. It must be called before Start and before any insertions.
+func (p *Proxy) SetEndpoints(in, out filter.Filter) error {
+	if in == nil || out == nil {
+		return fmt.Errorf("core: both endpoints are required")
+	}
+	if p.chain.Len() != 0 {
+		return fmt.Errorf("core: endpoints already configured")
+	}
+	if err := p.chain.Append(in); err != nil {
+		return err
+	}
+	return p.chain.Append(out)
+}
+
+// Start launches the proxy's chain.
+func (p *Proxy) Start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return ErrAlreadyStarted
+	}
+	if p.chain.Len() < 2 {
+		return ErrNoEndpoints
+	}
+	if err := p.chain.Start(); err != nil {
+		return err
+	}
+	p.started = true
+	p.startedAt = time.Now()
+	return nil
+}
+
+// Stop stops every stage of the proxy.
+func (p *Proxy) Stop() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started {
+		return ErrNotStarted
+	}
+	p.started = false
+	return p.chain.Stop()
+}
+
+// Running reports whether the proxy has been started and not stopped.
+func (p *Proxy) Running() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.started
+}
+
+// InsertFilter splices an already-constructed filter into the chain at pos
+// (1..Len-1). The insertion follows the live pause/reconnect protocol, so it
+// is safe while data is flowing.
+func (p *Proxy) InsertFilter(f filter.Filter, pos int) error {
+	if err := p.chain.Insert(f, pos); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.inserts++
+	p.mu.Unlock()
+	return nil
+}
+
+// InsertSpec builds a filter from a registry spec and inserts it at pos. This
+// is the path the control protocol uses for filters "uploaded" at run time.
+func (p *Proxy) InsertSpec(spec filter.Spec, pos int) (filter.Filter, error) {
+	f, err := p.registry.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.InsertFilter(f, pos); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// AppendSpec builds a filter from a spec and appends it to the end of the
+// chain; used during initial assembly before endpoints are finalized.
+func (p *Proxy) AppendSpec(spec filter.Spec) (filter.Filter, error) {
+	f, err := p.registry.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.chain.Append(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// RemoveFilter removes the filter at position pos and returns it.
+func (p *Proxy) RemoveFilter(pos int) (filter.Filter, error) {
+	f, err := p.chain.Remove(pos)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.removes++
+	p.mu.Unlock()
+	return f, nil
+}
+
+// RemoveFilterByName removes the first filter with the given name.
+func (p *Proxy) RemoveFilterByName(name string) (filter.Filter, error) {
+	f, err := p.chain.RemoveByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.removes++
+	p.mu.Unlock()
+	return f, nil
+}
+
+// MoveFilter relocates a filter between interior positions.
+func (p *Proxy) MoveFilter(from, to int) error {
+	return p.chain.Move(from, to)
+}
+
+// FilterStatus describes one chain stage in a Status report.
+type FilterStatus struct {
+	Position int    `json:"position"`
+	Name     string `json:"name"`
+	Running  bool   `json:"running"`
+}
+
+// Status is the management view of a proxy, the information the paper's
+// ControlManager renders graphically.
+type Status struct {
+	Name        string         `json:"name"`
+	Running     bool           `json:"running"`
+	UptimeMs    int64          `json:"uptime_ms"`
+	Filters     []FilterStatus `json:"filters"`
+	Kinds       []string       `json:"kinds"`
+	Insertions  uint64         `json:"insertions"`
+	Removals    uint64         `json:"removals"`
+	ChainIntact bool           `json:"chain_intact"`
+}
+
+// Status reports the proxy's current configuration.
+func (p *Proxy) Status() Status {
+	p.mu.Lock()
+	started := p.started
+	startedAt := p.startedAt
+	inserts := p.inserts
+	removes := p.removes
+	p.mu.Unlock()
+
+	var uptime int64
+	if started {
+		uptime = time.Since(startedAt).Milliseconds()
+	}
+	st := Status{
+		Name:        p.name,
+		Running:     started,
+		UptimeMs:    uptime,
+		Kinds:       p.registry.Kinds(),
+		Insertions:  inserts,
+		Removals:    removes,
+		ChainIntact: p.chain.Validate() == nil,
+	}
+	for i, f := range p.chain.Filters() {
+		st.Filters = append(st.Filters, FilterStatus{Position: i, Name: f.Name(), Running: f.Running()})
+	}
+	return st
+}

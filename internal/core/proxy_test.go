@@ -1,0 +1,282 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"rapidware/internal/endpoint"
+	"rapidware/internal/filter"
+)
+
+// collectingSink is a writer that accumulates whatever the proxy forwards.
+type collectingSink struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (c *collectingSink) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.Write(p)
+}
+
+func (c *collectingSink) snapshot() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.buf.Bytes()...)
+}
+
+func (c *collectingSink) waitFor(t *testing.T, n int) []byte {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if b := c.snapshot(); len(b) >= n {
+			return b
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("sink received %d bytes, want %d", len(c.snapshot()), n)
+	return nil
+}
+
+// pacedReader emits the payload in small paced chunks so the stream stays
+// live while tests reconfigure the proxy.
+type pacedReader struct {
+	payload []byte
+	off     int
+}
+
+func (p *pacedReader) Read(buf []byte) (int, error) {
+	if p.off >= len(p.payload) {
+		return 0, io.EOF
+	}
+	n := 200
+	if n > len(buf) {
+		n = len(buf)
+	}
+	if p.off+n > len(p.payload) {
+		n = len(p.payload) - p.off
+	}
+	copy(buf, p.payload[p.off:p.off+n])
+	p.off += n
+	time.Sleep(100 * time.Microsecond)
+	return n, nil
+}
+
+func newTestProxy(t *testing.T, payload []byte) (*Proxy, *collectingSink) {
+	t.Helper()
+	p := New("test-proxy")
+	sink := &collectingSink{}
+	in := endpoint.NewReader("in", &pacedReader{payload: payload})
+	out := endpoint.NewWriter("out", sink)
+	if err := p.SetEndpoints(in, out); err != nil {
+		t.Fatal(err)
+	}
+	return p, sink
+}
+
+func TestNewDefaults(t *testing.T) {
+	p := New("")
+	if p.Name() != "proxy" {
+		t.Fatalf("default name = %q", p.Name())
+	}
+	if p.Chain() == nil || p.Registry() == nil || p.Container() == nil {
+		t.Fatal("accessors returned nil")
+	}
+}
+
+func TestWithRegistryOption(t *testing.T) {
+	r := filter.NewRegistry()
+	p := New("custom", WithRegistry(r))
+	if p.Registry() != r {
+		t.Fatal("WithRegistry not applied")
+	}
+	New("nilreg", WithRegistry(nil)) // must not panic or unset default
+}
+
+func TestSetEndpointsValidation(t *testing.T) {
+	p := New("x")
+	if err := p.SetEndpoints(nil, nil); err == nil {
+		t.Fatal("expected error for nil endpoints")
+	}
+	in := filter.NewNull("in")
+	out := filter.NewNull("out")
+	if err := p.SetEndpoints(in, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetEndpoints(in, out); err == nil {
+		t.Fatal("expected error for double endpoint configuration")
+	}
+}
+
+func TestStartStopLifecycle(t *testing.T) {
+	p := New("lifecycle")
+	if err := p.Start(); !errors.Is(err, ErrNoEndpoints) {
+		t.Fatalf("Start without endpoints err = %v", err)
+	}
+	if err := p.Stop(); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("Stop before start err = %v", err)
+	}
+	p.SetEndpoints(filter.NewNull("in"), filter.NewNull("out"))
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Running() {
+		t.Fatal("Running = false after Start")
+	}
+	if err := p.Start(); !errors.Is(err, ErrAlreadyStarted) {
+		t.Fatalf("double Start err = %v", err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Running() {
+		t.Fatal("Running = true after Stop")
+	}
+}
+
+func TestNullProxyForwardsUnchanged(t *testing.T) {
+	payload := bytes.Repeat([]byte("null proxy forwards "), 2000)
+	p, sink := newTestProxy(t, payload)
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.waitFor(t, len(payload))
+	if !bytes.Equal(got, payload) {
+		t.Fatal("null proxy corrupted data")
+	}
+	p.Stop()
+}
+
+func TestLiveInsertSpecAndRemove(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 20_000)
+	p, sink := newTestProxy(t, payload)
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.InsertSpec(filter.Spec{Kind: "counting", Name: "tap"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Status()
+	if len(st.Filters) != 3 || st.Filters[1].Name != "tap" {
+		t.Fatalf("Status filters = %+v", st.Filters)
+	}
+	if st.Insertions != 1 {
+		t.Fatalf("Insertions = %d", st.Insertions)
+	}
+	// Let some data pass through the tap, then remove it live.
+	time.Sleep(5 * time.Millisecond)
+	if _, err := p.RemoveFilterByName("tap"); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.waitFor(t, len(payload))
+	if !bytes.Equal(got, payload) {
+		t.Fatal("live insert+remove corrupted the stream")
+	}
+	cf, ok := f.(*filter.CountingFilter)
+	if !ok {
+		t.Fatalf("unexpected filter type %T", f)
+	}
+	if cf.Bytes() == 0 {
+		t.Fatal("inserted filter saw no data")
+	}
+	st = p.Status()
+	if st.Removals != 1 {
+		t.Fatalf("Removals = %d", st.Removals)
+	}
+	p.Stop()
+}
+
+func TestInsertSpecUnknownKind(t *testing.T) {
+	p := New("bad")
+	p.SetEndpoints(filter.NewNull("in"), filter.NewNull("out"))
+	if _, err := p.InsertSpec(filter.Spec{Kind: "not-real"}, 1); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestInsertFilterBadPosition(t *testing.T) {
+	p := New("bad-pos")
+	p.SetEndpoints(filter.NewNull("in"), filter.NewNull("out"))
+	if err := p.InsertFilter(filter.NewNull("f"), 0); err == nil {
+		t.Fatal("expected position error")
+	}
+	st := p.Status()
+	if st.Insertions != 0 {
+		t.Fatal("failed insert must not count")
+	}
+}
+
+func TestAppendSpec(t *testing.T) {
+	p := New("append")
+	if _, err := p.AppendSpec(filter.Spec{Kind: "null", Name: "in"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AppendSpec(filter.Spec{Kind: "null", Name: "out"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AppendSpec(filter.Spec{Kind: "bogus"}); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+	if p.Chain().Len() != 2 {
+		t.Fatalf("Len = %d", p.Chain().Len())
+	}
+}
+
+func TestMoveFilter(t *testing.T) {
+	p := New("mover")
+	p.SetEndpoints(filter.NewNull("in"), filter.NewNull("out"))
+	p.InsertFilter(filter.NewNull("f1"), 1)
+	p.InsertFilter(filter.NewNull("f2"), 2)
+	if err := p.MoveFilter(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	names := p.Chain().Names()
+	if names[1] != "f2" || names[2] != "f1" {
+		t.Fatalf("names after move = %v", names)
+	}
+}
+
+func TestStatusFields(t *testing.T) {
+	p := New("status")
+	p.SetEndpoints(filter.NewNull("in"), filter.NewNull("out"))
+	st := p.Status()
+	if st.Name != "status" || st.Running {
+		t.Fatalf("Status = %+v", st)
+	}
+	if !st.ChainIntact {
+		t.Fatal("chain should be intact")
+	}
+	if len(st.Kinds) == 0 {
+		t.Fatal("Kinds empty")
+	}
+	if st.UptimeMs != 0 {
+		t.Fatal("uptime should be zero before start")
+	}
+	p.Start()
+	time.Sleep(2 * time.Millisecond)
+	st = p.Status()
+	if !st.Running || st.UptimeMs <= 0 {
+		t.Fatalf("running status = %+v", st)
+	}
+	if len(st.Filters) != 2 || !st.Filters[0].Running {
+		t.Fatalf("filter status = %+v", st.Filters)
+	}
+	p.Stop()
+}
+
+func TestRemoveFilterInvalid(t *testing.T) {
+	p := New("rm")
+	p.SetEndpoints(filter.NewNull("in"), filter.NewNull("out"))
+	if _, err := p.RemoveFilter(1); err == nil {
+		t.Fatal("expected error removing from chain with no interior filters")
+	}
+	if _, err := p.RemoveFilterByName("ghost"); err == nil {
+		t.Fatal("expected error removing unknown filter")
+	}
+}

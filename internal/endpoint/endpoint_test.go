@@ -1,0 +1,277 @@
+package endpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rapidware/internal/filter"
+	"rapidware/internal/packet"
+	"rapidware/internal/stream"
+)
+
+// closeRecorder wraps a buffer and records whether Close was called.
+type closeRecorder struct {
+	bytes.Buffer
+	mu     sync.Mutex
+	closed bool
+}
+
+func (c *closeRecorder) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+func (c *closeRecorder) wasClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+func TestReaderPumpsSourceIntoChain(t *testing.T) {
+	payload := bytes.Repeat([]byte("wired data "), 500)
+	in := NewReader("", bytes.NewReader(payload))
+	dst := stream.NewDetachableReader()
+	if err := stream.Connect(in.Out(), dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Start(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("reader endpoint corrupted data")
+	}
+	if err := in.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterPumpsChainToDestination(t *testing.T) {
+	dst := &closeRecorder{}
+	out := NewWriter("", dst)
+	src := stream.NewDetachableWriter()
+	if err := stream.Connect(src, out.In()); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Start(); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("to the wireless side")
+	src.Write(payload)
+	src.Close()
+	out.Wait()
+	if got := dst.String(); got != string(payload) {
+		t.Fatalf("destination got %q, want %q", got, payload)
+	}
+	if !dst.wasClosed() {
+		t.Fatal("closable destination was not closed at EOF")
+	}
+	if err := out.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultNames(t *testing.T) {
+	if NewReader("", bytes.NewReader(nil)).Name() != "endpoint-reader" {
+		t.Fatal("default reader name wrong")
+	}
+	if NewWriter("", io.Discard).Name() != "endpoint-writer" {
+		t.Fatal("default writer name wrong")
+	}
+	if NewPacketSource("", nil).Name() != "packet-source" {
+		t.Fatal("default packet source name wrong")
+	}
+	if NewPacketSink("", nil).Name() != "packet-sink" {
+		t.Fatal("default packet sink name wrong")
+	}
+}
+
+func TestNullProxyOverTCP(t *testing.T) {
+	// The paper's "null proxy": data entering on one socket leaves unchanged
+	// on another. Build it from two endpoints and an empty chain over real
+	// loopback TCP connections.
+	upstreamLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer upstreamLn.Close()
+	downstreamLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer downstreamLn.Close()
+
+	// Downstream consumer.
+	type result struct {
+		data []byte
+		err  error
+	}
+	consumed := make(chan result, 1)
+	go func() {
+		conn, err := downstreamLn.Accept()
+		if err != nil {
+			consumed <- result{nil, err}
+			return
+		}
+		defer conn.Close()
+		data, err := io.ReadAll(conn)
+		consumed <- result{data, err}
+	}()
+
+	// The proxy: accept from upstream listener, dial the downstream address.
+	proxyReady := make(chan *filter.Chain, 1)
+	go func() {
+		conn, err := upstreamLn.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		inEP := NewReader("in", conn)
+		outConn, err := net.Dial("tcp", downstreamLn.Addr().String())
+		if err != nil {
+			t.Errorf("dial downstream: %v", err)
+			return
+		}
+		outEP := NewWriter("out", outConn)
+		chain := filter.NewChain("null-proxy")
+		chain.Append(inEP)
+		chain.Append(outEP)
+		if err := chain.Start(); err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		proxyReady <- chain
+	}()
+
+	// Upstream producer.
+	payload := bytes.Repeat([]byte{0x5a, 0xa5, 0x00, 0xff}, 8192)
+	upConn, err := net.Dial("tcp", upstreamLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := upConn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	upConn.Close()
+
+	select {
+	case res := <-consumed:
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if !bytes.Equal(res.data, payload) {
+			t.Fatalf("null proxy corrupted data: got %d bytes, want %d", len(res.data), len(payload))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("downstream never received the payload")
+	}
+	chain := <-proxyReady
+	chain.Stop()
+}
+
+func TestDialTCPFailure(t *testing.T) {
+	if _, _, err := DialTCP("127.0.0.1:1", 50*time.Millisecond); err == nil {
+		t.Fatal("expected dial error for closed port")
+	}
+}
+
+func TestPairSharesConnection(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	in, out := Pair("pipe", client)
+	if in.Name() != "pipe:in" || out.Name() != "pipe:out" {
+		t.Fatalf("names = %q, %q", in.Name(), out.Name())
+	}
+}
+
+func TestPacketSourceAndSink(t *testing.T) {
+	const total = 50
+	i := 0
+	src := NewPacketSource("gen", func() (*packet.Packet, error) {
+		if i >= total {
+			return nil, io.EOF
+		}
+		p := &packet.Packet{Seq: uint64(i), Kind: packet.KindData, Payload: []byte{byte(i)}}
+		i++
+		return p, nil
+	})
+	var mu sync.Mutex
+	var seqs []uint64
+	sink := NewPacketSink("collect", func(p *packet.Packet) error {
+		mu.Lock()
+		defer mu.Unlock()
+		seqs = append(seqs, p.Seq)
+		return nil
+	})
+	chain := filter.NewChain("pkt")
+	chain.Append(src)
+	chain.Append(sink)
+	if err := chain.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sink.Wait()
+	chain.Stop()
+	if sink.Received() != total {
+		t.Fatalf("Received = %d, want %d", sink.Received(), total)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("packet %d has seq %d (reordered)", i, s)
+		}
+	}
+}
+
+func TestPacketSourcePropagatesGeneratorError(t *testing.T) {
+	boom := errors.New("generator failed")
+	src := NewPacketSource("gen", func() (*packet.Packet, error) { return nil, boom })
+	dst := stream.NewDetachableReader()
+	stream.Connect(src.Out(), dst)
+	src.Start()
+	src.Wait()
+	if !errors.Is(src.Err(), boom) {
+		t.Fatalf("Err = %v, want boom", src.Err())
+	}
+}
+
+func TestPacketSinkHandlerErrorStopsPump(t *testing.T) {
+	boom := errors.New("handler failed")
+	sink := NewPacketSink("s", func(*packet.Packet) error { return boom })
+	src := stream.NewDetachableWriter()
+	stream.Connect(src, sink.In())
+	sink.Start()
+	pw := packet.NewWriter(src)
+	pw.WritePacket(&packet.Packet{Seq: 1, Kind: packet.KindData, Payload: []byte("x")})
+	sink.Wait()
+	if !errors.Is(sink.Err(), boom) {
+		t.Fatalf("Err = %v, want boom", sink.Err())
+	}
+	src.Close()
+}
+
+func TestPacketSinkNilHandlerCounts(t *testing.T) {
+	sink := NewPacketSink("count-only", nil)
+	src := stream.NewDetachableWriter()
+	stream.Connect(src, sink.In())
+	sink.Start()
+	pw := packet.NewWriter(src)
+	for i := 0; i < 7; i++ {
+		pw.WritePacket(&packet.Packet{Seq: uint64(i), Kind: packet.KindData, Payload: []byte("x")})
+	}
+	src.Close()
+	sink.Wait()
+	if sink.Received() != 7 {
+		t.Fatalf("Received = %d, want 7", sink.Received())
+	}
+}

@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"rapidware/internal/fec"
+)
+
+func TestRunFigure7MatchesPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 7 reproduction is long")
+	}
+	cfg := DefaultFigure7Config()
+	cfg.AudioSeconds = 30 // shorter than the paper's trace but same behaviour
+	res, err := RunFigure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataSent != 1500 { // 30 s / 20 ms
+		t.Fatalf("DataSent = %d, want 1500", res.DataSent)
+	}
+	// The paper's qualitative result: raw receipt already high (≈98.5%), FEC
+	// brings it to ≈100%. Require the same shape within generous tolerance.
+	if res.ReceivedRate < 0.95 || res.ReceivedRate > 0.999 {
+		t.Fatalf("ReceivedRate = %v, want high-but-lossy (~0.985)", res.ReceivedRate)
+	}
+	if res.ReconstructedRate < res.ReceivedRate {
+		t.Fatal("FEC made delivery worse")
+	}
+	if res.ReconstructedRate < 0.995 {
+		t.Fatalf("ReconstructedRate = %v, want ~1.0", res.ReconstructedRate)
+	}
+	if res.Overhead < 1.4 || res.Overhead > 1.6 {
+		t.Fatalf("Overhead = %v, want ~1.5", res.Overhead)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("empty series")
+	}
+	out := res.Format()
+	for _, want := range []string{"Figure 7", "%received", "paper:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFigure7DefaultsApplied(t *testing.T) {
+	res, err := RunFigure7(Figure7Config{Seed: 3, FEC: fec.Params{K: 2, N: 3}, DistanceMetres: 25, MeanBurst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataSent != 500 { // default 10 s at 20 ms
+		t.Fatalf("DataSent = %d, want 500", res.DataSent)
+	}
+}
+
+func TestRunDistanceSweepMonotonicLoss(t *testing.T) {
+	cfg := DefaultDistanceSweepConfig()
+	cfg.AudioSeconds = 8
+	points, err := RunDistanceSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(cfg.Distances) {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Model loss must increase with distance, and the far points must show
+	// "dramatic" degradation relative to the near ones.
+	for i := 1; i < len(points); i++ {
+		if points[i].ModelLossRate < points[i-1].ModelLossRate {
+			t.Fatalf("model loss not monotonic at %v m", points[i].DistanceMetres)
+		}
+	}
+	near := points[0]
+	far := points[len(points)-1]
+	if far.RawReceivedRate >= near.RawReceivedRate {
+		t.Fatal("far receiver should see more raw loss than near receiver")
+	}
+	if far.RawReceivedRate > 0.8 {
+		t.Fatalf("far raw rate = %v, want dramatic loss", far.RawReceivedRate)
+	}
+	// FEC helps at every distance.
+	for _, p := range points {
+		if p.FECDeliveredRate < p.RawReceivedRate {
+			t.Fatalf("FEC hurt delivery at %v m", p.DistanceMetres)
+		}
+	}
+	table := FormatDistanceSweep(points)
+	if !strings.Contains(table, "metres") {
+		t.Fatalf("table malformed:\n%s", table)
+	}
+}
+
+func TestRunGroupSizeSweep(t *testing.T) {
+	cfg := DefaultGroupSizeSweepConfig()
+	cfg.AudioSeconds = 8
+	cfg.Receivers = 2
+	points, err := RunGroupSizeSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(cfg.Codes) {
+		t.Fatalf("points = %d", len(points))
+	}
+	byCode := map[string]GroupSizePoint{}
+	for _, p := range points {
+		byCode[p.Params.String()] = p
+	}
+	baseline := byCode["(1,1)"]
+	paper := byCode["(6,4)"]
+	if baseline.Overhead != 1 {
+		t.Fatalf("baseline overhead = %v", baseline.Overhead)
+	}
+	if paper.DeliveredRate <= baseline.DeliveredRate {
+		t.Fatal("(6,4) should beat the no-FEC baseline")
+	}
+	if paper.Overhead < 1.4 || paper.Overhead > 1.6 {
+		t.Fatalf("(6,4) overhead = %v", paper.Overhead)
+	}
+	// Larger k means a longer group span (the latency/jitter cost the paper
+	// cites for keeping groups small).
+	if byCode["(12,8)"].GroupLatency <= byCode["(6,4)"].GroupLatency {
+		t.Fatal("larger groups must span more time")
+	}
+	table := FormatGroupSizeSweep(points)
+	if !strings.Contains(table, "(6,4)") {
+		t.Fatalf("table missing paper code:\n%s", table)
+	}
+}
+
+func TestRunLiveInsertion(t *testing.T) {
+	cfg := LiveInsertionConfig{StreamBytes: 256 * 1024, Splices: 5, ChunkSize: 512}
+	res, err := RunLiveInsertion(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Intact {
+		t.Fatal("stream corrupted by live insertions")
+	}
+	if res.BytesDelivered != cfg.StreamBytes {
+		t.Fatalf("delivered %d bytes, want %d", res.BytesDelivered, cfg.StreamBytes)
+	}
+	if res.Insertions != 5 || res.Removals != 5 {
+		t.Fatalf("splices = %d/%d", res.Insertions, res.Removals)
+	}
+	if res.InsertLatency.Count() != 5 || res.RemoveLatency.Count() != 5 {
+		t.Fatal("latency histograms incomplete")
+	}
+	report := res.Format()
+	if !strings.Contains(report, "stream intact         true") {
+		t.Fatalf("report:\n%s", report)
+	}
+}
+
+func TestRunLiveInsertionDefaults(t *testing.T) {
+	res, err := RunLiveInsertion(LiveInsertionConfig{StreamBytes: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insertions == 0 {
+		t.Fatal("defaults did not apply")
+	}
+}
+
+func TestRunAdaptiveWalk(t *testing.T) {
+	res, err := RunAdaptiveWalk(DefaultAdaptiveWalkConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(res.Config.Path) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// FEC must be off near the access point at the start, on during the far
+	// legs, and off again by the end of the walk back.
+	if res.Points[0].FECActive {
+		t.Fatal("FEC active at the start of the walk")
+	}
+	farActive := false
+	for _, p := range res.Points {
+		if p.Leg.DistanceMetres >= 38 && p.FECActive {
+			farActive = true
+		}
+	}
+	if !farActive {
+		t.Fatal("FEC never activated on the far legs")
+	}
+	if last := res.Points[len(res.Points)-1]; last.FECActive {
+		t.Fatal("FEC still active after walking back to the access point")
+	}
+	if res.Insertions == 0 || res.Removals == 0 {
+		t.Fatalf("insertions/removals = %d/%d", res.Insertions, res.Removals)
+	}
+	report := res.Format()
+	if !strings.Contains(report, "FEC filter insertions") {
+		t.Fatalf("report:\n%s", report)
+	}
+}
+
+func TestRunAdaptiveWalkEmptyConfigUsesDefaults(t *testing.T) {
+	res, err := RunAdaptiveWalk(AdaptiveWalkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points with default config")
+	}
+}

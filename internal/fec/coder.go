@@ -1,0 +1,201 @@
+// Package fec implements (n,k) block erasure codes in the style of Rizzo's
+// library cited by the paper, plus the block encoder/decoder used by the FEC
+// proxy filters. A block of k equally sized source shares is expanded into n
+// encoded shares such that ANY k of the n shares reconstruct the k sources.
+//
+// The code is systematic: the first k encoded shares are the source shares
+// themselves, so receivers that lose nothing never pay decoding cost, and a
+// single parity share can repair independent single losses at different
+// receivers — the property that makes the scheme attractive for wireless
+// multicast in the paper.
+package fec
+
+import (
+	"errors"
+	"fmt"
+
+	"rapidware/internal/gf256"
+)
+
+// Limits on code parameters. GF(2^8) admits at most 256 total shares; the
+// paper uses small groups such as (6,4) to bound latency and jitter.
+const (
+	MaxShares = 255
+)
+
+// Errors returned by the coder.
+var (
+	ErrBadParams       = errors.New("fec: invalid (n,k) parameters")
+	ErrShareSize       = errors.New("fec: shares must be non-empty and equally sized")
+	ErrNotEnoughShares = errors.New("fec: not enough shares to reconstruct")
+	ErrShareIndex      = errors.New("fec: share index out of range")
+)
+
+// Params describes an (n,k) erasure code: k source shares expanded to n total
+// shares (k data + n-k parity).
+type Params struct {
+	K int // number of source shares
+	N int // total number of encoded shares
+}
+
+// Validate reports whether the parameters describe a usable code.
+func (p Params) Validate() error {
+	if p.K <= 0 || p.N <= 0 || p.K > p.N || p.N > MaxShares {
+		return fmt.Errorf("%w: k=%d n=%d", ErrBadParams, p.K, p.N)
+	}
+	return nil
+}
+
+// Parity returns the number of parity shares (n-k).
+func (p Params) Parity() int { return p.N - p.K }
+
+// Overhead returns the bandwidth expansion factor n/k.
+func (p Params) Overhead() float64 { return float64(p.N) / float64(p.K) }
+
+// String renders the parameters in the paper's "(n,k)" notation.
+func (p Params) String() string { return fmt.Sprintf("(%d,%d)", p.N, p.K) }
+
+// Coder is a reusable systematic (n,k) erasure coder. It is safe for
+// concurrent use: all state is immutable after construction.
+type Coder struct {
+	params Params
+	// enc is the n×k generator matrix whose top k×k block is the identity.
+	enc *gf256.Matrix
+}
+
+// NewCoder builds a coder for the given parameters.
+func NewCoder(params Params) (*Coder, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	k, n := params.K, params.N
+	// Start from an n×k Vandermonde matrix: any k rows are independent.
+	vand := gf256.Vandermonde(n, k)
+	// Make the code systematic by multiplying on the right with the inverse
+	// of the top k×k block, turning that block into the identity while
+	// preserving the any-k-rows-invertible property.
+	top := vand.SubMatrix(0, k, 0, k)
+	topInv, err := top.Invert()
+	if err != nil {
+		// Cannot happen for a Vandermonde matrix, but do not panic on a
+		// library boundary.
+		return nil, fmt.Errorf("fec: generator construction failed: %w", err)
+	}
+	enc, err := vand.Mul(topInv)
+	if err != nil {
+		return nil, fmt.Errorf("fec: generator construction failed: %w", err)
+	}
+	return &Coder{params: params, enc: enc}, nil
+}
+
+// Params returns the coder's parameters.
+func (c *Coder) Params() Params { return c.params }
+
+// Encode expands k source shares into n encoded shares. The first k returned
+// shares are the sources themselves (copied), the remaining n-k are parity.
+// All sources must be non-empty and of identical length.
+func (c *Coder) Encode(sources [][]byte) ([][]byte, error) {
+	k, n := c.params.K, c.params.N
+	if len(sources) != k {
+		return nil, fmt.Errorf("%w: got %d sources, want %d", ErrShareSize, len(sources), k)
+	}
+	size := 0
+	for i, s := range sources {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("%w: source %d is empty", ErrShareSize, i)
+		}
+		if i == 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return nil, fmt.Errorf("%w: source %d has %d bytes, want %d", ErrShareSize, i, len(s), size)
+		}
+	}
+	shares := make([][]byte, n)
+	for i := 0; i < k; i++ {
+		shares[i] = append([]byte(nil), sources[i]...)
+	}
+	for r := k; r < n; r++ {
+		out := make([]byte, size)
+		row := c.enc.Row(r)
+		for col := 0; col < k; col++ {
+			gf256.MulAddSlice(row[col], sources[col], out)
+		}
+		shares[r] = out
+	}
+	return shares, nil
+}
+
+// EncodeParity computes only the n-k parity shares for the given sources,
+// avoiding the copy of the data shares when the caller already owns them.
+func (c *Coder) EncodeParity(sources [][]byte) ([][]byte, error) {
+	shares, err := c.Encode(sources)
+	if err != nil {
+		return nil, err
+	}
+	return shares[c.params.K:], nil
+}
+
+// Decode reconstructs the k source shares from any k (or more) of the n
+// encoded shares. The have map is keyed by share index (0..n-1). Extra shares
+// beyond k are ignored. The returned slice has exactly k entries in source
+// order.
+func (c *Coder) Decode(have map[int][]byte) ([][]byte, error) {
+	k, n := c.params.K, c.params.N
+	if len(have) < k {
+		return nil, fmt.Errorf("%w: have %d of %d required", ErrNotEnoughShares, len(have), k)
+	}
+	// Validate indices and sizes; collect available indices in ascending
+	// order, preferring data shares so that the decode matrix is as close to
+	// the identity as possible (cheapest inversion).
+	size := -1
+	for idx, s := range have {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrShareIndex, idx, n)
+		}
+		if len(s) == 0 {
+			return nil, fmt.Errorf("%w: share %d is empty", ErrShareSize, idx)
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return nil, fmt.Errorf("%w: share %d has %d bytes, want %d", ErrShareSize, idx, len(s), size)
+		}
+	}
+	chosen := make([]int, 0, k)
+	for idx := 0; idx < n && len(chosen) < k; idx++ {
+		if _, ok := have[idx]; ok {
+			chosen = append(chosen, idx)
+		}
+	}
+	// Fast path: all k data shares survive.
+	allData := true
+	for i, idx := range chosen {
+		if idx != i {
+			allData = false
+			break
+		}
+	}
+	out := make([][]byte, k)
+	if allData {
+		for i := 0; i < k; i++ {
+			out[i] = append([]byte(nil), have[i]...)
+		}
+		return out, nil
+	}
+	// General path: invert the k×k submatrix of the generator corresponding
+	// to the chosen shares, then multiply it into the received shares.
+	sub := c.enc.SelectRows(chosen)
+	inv, err := sub.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("fec: decode matrix singular: %w", err)
+	}
+	for i := 0; i < k; i++ {
+		recovered := make([]byte, size)
+		row := inv.Row(i)
+		for j, idx := range chosen {
+			gf256.MulAddSlice(row[j], have[idx], recovered)
+		}
+		out[i] = recovered
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package fecproxy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rapidware/internal/fec"
+	"rapidware/internal/filter"
+	"rapidware/internal/packet"
+)
+
+// AdaptivePolicy maps an observed loss rate to the (n,k) code that should
+// protect the stream, the mechanism behind the adaptive FEC the paper's
+// companion work ([16], "adaptive forward error correction") explores and
+// that RAPIDware responders drive at run time.
+type AdaptivePolicy struct {
+	// Levels are (threshold, params) pairs: the strongest level whose
+	// threshold is at or below the observed loss rate is selected. A level
+	// with K == N disables FEC.
+	Levels []AdaptiveLevel
+}
+
+// AdaptiveLevel is one rung of an adaptive policy.
+type AdaptiveLevel struct {
+	// LossAtLeast is the minimum observed loss rate for this level to apply.
+	LossAtLeast float64
+	// Params is the code used at this level.
+	Params fec.Params
+}
+
+// DefaultAdaptivePolicy returns a ladder modelled on the paper's environment:
+// no FEC on a clean link, the paper's (6,4) at a few percent loss, and
+// progressively stronger codes as the link degrades.
+func DefaultAdaptivePolicy() AdaptivePolicy {
+	return AdaptivePolicy{Levels: []AdaptiveLevel{
+		{LossAtLeast: 0, Params: fec.Params{K: 1, N: 1}},
+		{LossAtLeast: 0.01, Params: fec.Params{K: 4, N: 5}},
+		{LossAtLeast: 0.03, Params: fec.Params{K: 4, N: 6}},
+		{LossAtLeast: 0.10, Params: fec.Params{K: 4, N: 8}},
+		{LossAtLeast: 0.25, Params: fec.Params{K: 4, N: 12}},
+	}}
+}
+
+// Validate checks every level's parameters.
+func (p AdaptivePolicy) Validate() error {
+	if len(p.Levels) == 0 {
+		return fmt.Errorf("fecproxy: adaptive policy needs at least one level")
+	}
+	for i, l := range p.Levels {
+		if err := l.Params.Validate(); err != nil {
+			return fmt.Errorf("fecproxy: level %d: %w", i, err)
+		}
+		if l.LossAtLeast < 0 || l.LossAtLeast > 1 {
+			return fmt.Errorf("fecproxy: level %d threshold %v out of range", i, l.LossAtLeast)
+		}
+	}
+	return nil
+}
+
+// Select returns the code for the observed loss rate.
+func (p AdaptivePolicy) Select(lossRate float64) fec.Params {
+	// Levels are evaluated in ascending threshold order.
+	levels := append([]AdaptiveLevel(nil), p.Levels...)
+	sort.Slice(levels, func(i, j int) bool { return levels[i].LossAtLeast < levels[j].LossAtLeast })
+	chosen := levels[0].Params
+	for _, l := range levels {
+		if lossRate >= l.LossAtLeast {
+			chosen = l.Params
+		}
+	}
+	return chosen
+}
+
+// AdaptiveEncoderFilter is an FEC encoder whose (n,k) parameters follow an
+// AdaptivePolicy as the observed loss rate (reported by a receiver, an
+// observer raplet, or the experiment harness) changes. Parameter switches
+// take effect on group boundaries so every emitted group is self-consistent;
+// receivers need no coordination because each packet carries its group's
+// (k,n) in its header.
+type AdaptiveEncoderFilter struct {
+	*filter.Base
+
+	policy   AdaptivePolicy
+	streamID uint32
+
+	mu       sync.Mutex
+	loss     float64
+	current  fec.Params
+	pending  fec.Params
+	enc      *fec.BlockEncoder
+	switches uint64
+}
+
+// NewAdaptiveEncoderFilter returns an adaptive encoder starting at the
+// policy's cleanest level.
+func NewAdaptiveEncoderFilter(name string, policy AdaptivePolicy, streamID uint32) (*AdaptiveEncoderFilter, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = "adaptive-fec-encoder"
+	}
+	start := policy.Select(0)
+	coder, err := fec.NewCoder(start)
+	if err != nil {
+		return nil, err
+	}
+	af := &AdaptiveEncoderFilter{
+		policy:   policy,
+		streamID: streamID,
+		current:  start,
+		pending:  start,
+		enc:      fec.NewBlockEncoder(coder, streamID),
+	}
+	af.Base = filter.NewPacketFunc(name,
+		func(p *packet.Packet) ([]*packet.Packet, error) {
+			if p.Kind != packet.KindData {
+				return []*packet.Packet{p}, nil
+			}
+			af.mu.Lock()
+			defer af.mu.Unlock()
+			if err := af.maybeSwitchLocked(); err != nil {
+				return nil, err
+			}
+			if af.current.N == af.current.K {
+				// FEC disabled: forward the packet untouched.
+				return []*packet.Packet{p}, nil
+			}
+			out, err := af.enc.Add(p.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("fecproxy: adaptive encode: %w", err)
+			}
+			return out, nil
+		},
+		func() []*packet.Packet {
+			af.mu.Lock()
+			defer af.mu.Unlock()
+			return af.enc.Flush()
+		})
+	return af, nil
+}
+
+// SetLossRate reports the link's observed loss rate; the code switches at the
+// next group boundary.
+func (af *AdaptiveEncoderFilter) SetLossRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	af.mu.Lock()
+	defer af.mu.Unlock()
+	af.loss = rate
+	af.pending = af.policy.Select(rate)
+}
+
+// Current returns the code currently protecting the stream.
+func (af *AdaptiveEncoderFilter) Current() fec.Params {
+	af.mu.Lock()
+	defer af.mu.Unlock()
+	return af.current
+}
+
+// Switches returns how many times the code has changed.
+func (af *AdaptiveEncoderFilter) Switches() uint64 {
+	af.mu.Lock()
+	defer af.mu.Unlock()
+	return af.switches
+}
+
+// maybeSwitchLocked applies a pending parameter change at a group boundary.
+// Caller holds af.mu.
+func (af *AdaptiveEncoderFilter) maybeSwitchLocked() error {
+	if af.pending == af.current {
+		return nil
+	}
+	if af.enc.Pending() != 0 {
+		return nil // mid-group: wait for the boundary
+	}
+	coder, err := fec.NewCoder(af.pending)
+	if err != nil {
+		return err
+	}
+	af.enc = fec.NewBlockEncoder(coder, af.streamID)
+	af.current = af.pending
+	af.switches++
+	return nil
+}
+
+var _ filter.Filter = (*AdaptiveEncoderFilter)(nil)

@@ -1,0 +1,205 @@
+package fecproxy
+
+import (
+	"testing"
+	"time"
+
+	"rapidware/internal/fec"
+	"rapidware/internal/filter"
+	"rapidware/internal/packet"
+)
+
+func TestAdaptivePolicyValidate(t *testing.T) {
+	if err := DefaultAdaptivePolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (AdaptivePolicy{}).Validate(); err == nil {
+		t.Fatal("empty policy must be invalid")
+	}
+	bad := AdaptivePolicy{Levels: []AdaptiveLevel{{LossAtLeast: 0, Params: fec.Params{K: 5, N: 2}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid params must be rejected")
+	}
+	badThreshold := AdaptivePolicy{Levels: []AdaptiveLevel{{LossAtLeast: 2, Params: fec.Params{K: 1, N: 1}}}}
+	if err := badThreshold.Validate(); err == nil {
+		t.Fatal("out-of-range threshold must be rejected")
+	}
+}
+
+func TestAdaptivePolicySelect(t *testing.T) {
+	p := DefaultAdaptivePolicy()
+	cases := []struct {
+		loss float64
+		want fec.Params
+	}{
+		{0, fec.Params{K: 1, N: 1}},
+		{0.005, fec.Params{K: 1, N: 1}},
+		{0.02, fec.Params{K: 4, N: 5}},
+		{0.05, fec.Params{K: 4, N: 6}},
+		{0.15, fec.Params{K: 4, N: 8}},
+		{0.50, fec.Params{K: 4, N: 12}},
+	}
+	for _, c := range cases {
+		if got := p.Select(c.loss); got != c.want {
+			t.Errorf("Select(%v) = %v, want %v", c.loss, got, c.want)
+		}
+	}
+}
+
+func TestNewAdaptiveEncoderFilterValidation(t *testing.T) {
+	if _, err := NewAdaptiveEncoderFilter("", AdaptivePolicy{}, 1); err == nil {
+		t.Fatal("expected error for empty policy")
+	}
+	af, err := NewAdaptiveEncoderFilter("", DefaultAdaptivePolicy(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if af.Name() == "" {
+		t.Fatal("default name empty")
+	}
+	if af.Current() != (fec.Params{K: 1, N: 1}) {
+		t.Fatalf("initial code = %v, want no FEC", af.Current())
+	}
+}
+
+func TestAdaptiveEncoderSwitchesOnGroupBoundary(t *testing.T) {
+	af, err := NewAdaptiveEncoderFilter("", DefaultAdaptivePolicy(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := makePayloads(24, 16)
+
+	// Clean link for the first 8 packets, then the observer reports 5% loss;
+	// the switch to (6,4) must happen and subsequent packets gain parity.
+	var delivered []*packet.Packet
+	i := 0
+	feed := func(n int) {
+		out := pumpPackets(t, []filter.Filter{af}, payloads[i:i+n])
+		delivered = append(delivered, out...)
+		i += n
+		// pumpPackets builds a fresh chain per call; respawn the filter's
+		// streams by rebuilding is unnecessary because each call uses the
+		// same filter instance only once.
+	}
+	_ = feed
+	// Feed everything through a single chain but change the loss rate part
+	// way: use a dedicated source that calls SetLossRate after packet 8.
+	af2, err := NewAdaptiveEncoderFilter("", DefaultAdaptivePolicy(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	tap := filter.NewPacketFunc("loss-report", func(p *packet.Packet) ([]*packet.Packet, error) {
+		seen++
+		if seen == 8 {
+			af2.SetLossRate(0.05)
+		}
+		return []*packet.Packet{p}, nil
+	}, nil)
+	out := pumpPackets(t, []filter.Filter{tap, af2}, payloads)
+
+	var data, parity int
+	for _, p := range out {
+		switch p.Kind {
+		case packet.KindData:
+			data++
+		case packet.KindParity:
+			parity++
+		}
+	}
+	if data != len(payloads) {
+		t.Fatalf("data packets = %d, want %d", data, len(payloads))
+	}
+	if parity == 0 {
+		t.Fatal("no parity emitted after the loss report")
+	}
+	if af2.Current() != (fec.Params{K: 4, N: 6}) {
+		t.Fatalf("current code = %v, want (6,4)", af2.Current())
+	}
+	if af2.Switches() != 1 {
+		t.Fatalf("switches = %d, want 1", af2.Switches())
+	}
+}
+
+func TestAdaptiveEncoderDowngradesWhenLinkRecovers(t *testing.T) {
+	af, err := NewAdaptiveEncoderFilter("", DefaultAdaptivePolicy(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af.SetLossRate(0.3)
+	payloads := makePayloads(8, 8)
+	seen := 0
+	// The tap sits upstream of the adaptive encoder. Before reporting the
+	// recovery it waits until the encoder has actually switched up (the
+	// chain stages run concurrently, so without the wait the downgrade could
+	// overwrite the upgrade before the encoder saw any traffic).
+	tap := filter.NewPacketFunc("recover", func(p *packet.Packet) ([]*packet.Packet, error) {
+		seen++
+		if seen == 5 {
+			deadline := time.Now().Add(2 * time.Second)
+			for af.Switches() == 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			af.SetLossRate(0)
+		}
+		return []*packet.Packet{p}, nil
+	}, nil)
+	out := pumpPackets(t, []filter.Filter{tap, af}, payloads)
+	if af.Current() != (fec.Params{K: 1, N: 1}) {
+		t.Fatalf("current code = %v, want FEC disabled after recovery", af.Current())
+	}
+	if af.Switches() < 2 {
+		t.Fatalf("switches = %d, want >= 2 (up then down)", af.Switches())
+	}
+	var data int
+	for _, p := range out {
+		if p.Kind == packet.KindData {
+			data++
+		}
+	}
+	if data != len(payloads) {
+		t.Fatalf("data packets = %d, want %d (nothing lost across switches)", data, len(payloads))
+	}
+}
+
+func TestAdaptiveEncoderClampsLossRate(t *testing.T) {
+	af, _ := NewAdaptiveEncoderFilter("", DefaultAdaptivePolicy(), 1)
+	af.SetLossRate(-1)
+	if af.Current() != (fec.Params{K: 1, N: 1}) {
+		t.Fatal("negative loss should clamp to 0")
+	}
+	af.SetLossRate(99)
+	// Pending switch applies on the next packet; Current() is still the old
+	// code here, but the pending selection must be the strongest level.
+	if got := DefaultAdaptivePolicy().Select(1); got != (fec.Params{K: 4, N: 12}) {
+		t.Fatalf("Select(1) = %v", got)
+	}
+}
+
+func TestAdaptiveStreamDecodableByStandardDecoder(t *testing.T) {
+	// End to end: adaptive encoder output (with a mid-stream code switch)
+	// must be decodable by the ordinary DecoderFilter even with losses.
+	af, err := NewAdaptiveEncoderFilter("", DefaultAdaptivePolicy(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af.SetLossRate(0.05) // (6,4) from the start
+	dec := NewDecoderFilter("", nil)
+	drop := filter.NewPacketFunc("drop-idx0", func(p *packet.Packet) ([]*packet.Packet, error) {
+		if p.IsFEC() && p.Index == 0 && p.Kind == packet.KindData {
+			return nil, nil
+		}
+		return []*packet.Packet{p}, nil
+	}, nil)
+	payloads := makePayloads(40, 12)
+	out := pumpPackets(t, []filter.Filter{af, drop, dec}, payloads)
+	seen := map[string]int{}
+	for _, p := range out {
+		seen[string(p.Payload)]++
+	}
+	for _, pl := range payloads {
+		if seen[string(pl)] != 1 {
+			t.Fatalf("payload %q delivered %d times", pl, seen[string(pl)])
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package fecproxy assembles the paper's FEC audio proxy (Figure 6) from the
+// generic building blocks: packet-level filters that add forward error
+// correction to an outgoing stream and reconstruct lost packets on the
+// receiving side. Both are ordinary chain filters, so they can be inserted
+// into and removed from a live proxy by the ControlThread or by responder
+// raplets exactly as the paper describes.
+package fecproxy
+
+import (
+	"fmt"
+	"sync"
+
+	"rapidware/internal/fec"
+	"rapidware/internal/filter"
+	"rapidware/internal/metrics"
+	"rapidware/internal/packet"
+)
+
+// EncoderFilter groups incoming data packets into FEC blocks and emits the
+// data plus parity packets, the "FEC Encoder" stage of Figure 6.
+type EncoderFilter struct {
+	*filter.Base
+
+	mu      sync.Mutex
+	enc     *fec.BlockEncoder
+	dataIn  uint64
+	dataOut uint64
+	parity  uint64
+}
+
+// NewEncoderFilter returns an encoder filter using the given (n,k) code.
+// streamID is stamped on emitted packets.
+func NewEncoderFilter(name string, params fec.Params, streamID uint32) (*EncoderFilter, error) {
+	coder, err := fec.NewCoder(params)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = "fec-encoder" + params.String()
+	}
+	ef := &EncoderFilter{enc: fec.NewBlockEncoder(coder, streamID)}
+	ef.Base = filter.NewPacketFunc(name,
+		func(p *packet.Packet) ([]*packet.Packet, error) {
+			// Parity and control packets pass through untouched; only data
+			// packets are (re)grouped into FEC blocks.
+			if p.Kind != packet.KindData {
+				return []*packet.Packet{p}, nil
+			}
+			ef.mu.Lock()
+			defer ef.mu.Unlock()
+			ef.dataIn++
+			out, err := ef.enc.Add(p.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("fecproxy: encode: %w", err)
+			}
+			for _, op := range out {
+				if op.Kind == packet.KindParity {
+					ef.parity++
+				} else {
+					ef.dataOut++
+				}
+			}
+			return out, nil
+		},
+		func() []*packet.Packet {
+			ef.mu.Lock()
+			defer ef.mu.Unlock()
+			out := ef.enc.Flush()
+			ef.dataOut += uint64(len(out))
+			return out
+		})
+	return ef, nil
+}
+
+// Params returns the encoder's code parameters.
+func (ef *EncoderFilter) Params() fec.Params {
+	ef.mu.Lock()
+	defer ef.mu.Unlock()
+	return ef.enc.Params()
+}
+
+// Stats returns the number of data packets consumed, data packets emitted and
+// parity packets emitted.
+func (ef *EncoderFilter) Stats() (dataIn, dataOut, parity uint64) {
+	ef.mu.Lock()
+	defer ef.mu.Unlock()
+	return ef.dataIn, ef.dataOut, ef.parity
+}
+
+// Overhead returns the observed bandwidth expansion (emitted / consumed).
+func (ef *EncoderFilter) Overhead() float64 {
+	dataIn, dataOut, parity := ef.Stats()
+	if dataIn == 0 {
+		return 1
+	}
+	return float64(dataOut+parity) / float64(dataIn)
+}
+
+// DecoderFilter reassembles FEC blocks and reconstructs missing data packets,
+// the "FEC Decoder" stage of Figure 6. Parity packets are consumed; only data
+// packets (original or reconstructed) are forwarded downstream.
+type DecoderFilter struct {
+	*filter.Base
+
+	mu    sync.Mutex
+	dec   *fec.BlockDecoder
+	trace *metrics.TraceRecorder
+
+	received      uint64
+	reconstructed uint64
+	forwarded     uint64
+}
+
+// NewDecoderFilter returns a decoder filter. trace may be nil; when provided,
+// every forwarded packet's outcome is recorded for Figure 7-style series.
+func NewDecoderFilter(name string, trace *metrics.TraceRecorder) *DecoderFilter {
+	if name == "" {
+		name = "fec-decoder"
+	}
+	df := &DecoderFilter{dec: fec.NewBlockDecoder(0), trace: trace}
+	df.Base = filter.NewPacketFunc(name, func(p *packet.Packet) ([]*packet.Packet, error) {
+		df.mu.Lock()
+		defer df.mu.Unlock()
+		if p.Kind == packet.KindData {
+			df.received++
+		}
+		before := df.dec.Recovered()
+		outs, err := df.dec.Add(p)
+		if err != nil {
+			return nil, fmt.Errorf("fecproxy: decode: %w", err)
+		}
+		newlyRecovered := df.dec.Recovered() - before
+		df.reconstructed += newlyRecovered
+		// Forward only data packets; parity has served its purpose.
+		forward := outs[:0]
+		for _, op := range outs {
+			if op.Kind == packet.KindData {
+				forward = append(forward, op)
+			}
+		}
+		df.forwarded += uint64(len(forward))
+		if df.trace != nil {
+			for _, op := range forward {
+				// The only packets in the output that are not the input packet
+				// itself are the ones the decoder reconstructed from parity.
+				outcome := metrics.OutcomeReceived
+				if op != p {
+					outcome = metrics.OutcomeReconstructed
+				}
+				df.trace.Record(traceKey(op), outcome)
+			}
+		}
+		return forward, nil
+	}, nil)
+	return df
+}
+
+// traceKey derives a stable per-packet key from block coordinates when
+// available, falling back to the sequence number for non-FEC packets.
+func traceKey(p *packet.Packet) uint64 {
+	if p.IsFEC() {
+		return uint64(p.Group)*uint64(p.K) + uint64(p.Index)
+	}
+	return p.Seq
+}
+
+// Stats returns the decoder's packet accounting: data packets received off
+// the network, packets reconstructed from parity, and packets forwarded.
+func (df *DecoderFilter) Stats() (received, reconstructed, forwarded uint64) {
+	df.mu.Lock()
+	defer df.mu.Unlock()
+	return df.received, df.reconstructed, df.forwarded
+}
+
+var (
+	_ filter.Filter = (*EncoderFilter)(nil)
+	_ filter.Filter = (*DecoderFilter)(nil)
+)

@@ -1,0 +1,246 @@
+package filter
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rapidware/internal/packet"
+)
+
+// copyBufferSize is the chunk size used by the streaming built-in filters.
+const copyBufferSize = 32 * 1024
+
+// NewNull returns the identity filter: bytes pass through unmodified. Two
+// endpoints plus a null filter form the paper's "null proxy".
+func NewNull(name string) *Base {
+	if name == "" {
+		name = "null"
+	}
+	return New(name, func(r io.Reader, w io.Writer) error {
+		_, err := io.Copy(w, r)
+		return err
+	})
+}
+
+// CountingFilter passes data through unchanged while counting bytes and
+// chunks, for monitoring and for the raplet observers.
+type CountingFilter struct {
+	*Base
+	bytes  atomic.Uint64
+	chunks atomic.Uint64
+}
+
+// NewCounting returns a pass-through filter that counts traffic.
+func NewCounting(name string) *CountingFilter {
+	if name == "" {
+		name = "counting"
+	}
+	cf := &CountingFilter{}
+	cf.Base = New(name, func(r io.Reader, w io.Writer) error {
+		buf := make([]byte, copyBufferSize)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				cf.bytes.Add(uint64(n))
+				cf.chunks.Add(1)
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return werr
+				}
+			}
+			if err != nil {
+				return err
+			}
+		}
+	})
+	return cf
+}
+
+// Bytes returns the total number of bytes forwarded.
+func (cf *CountingFilter) Bytes() uint64 { return cf.bytes.Load() }
+
+// Chunks returns the number of read chunks forwarded.
+func (cf *CountingFilter) Chunks() uint64 { return cf.chunks.Load() }
+
+// ChecksumFilter passes data through while maintaining a CRC-32 of everything
+// forwarded, used by integrity tests and the live-insertion experiment.
+type ChecksumFilter struct {
+	*Base
+	mu  sync.Mutex
+	crc uint32
+	n   uint64
+}
+
+// NewChecksum returns a pass-through filter that checksums forwarded bytes.
+func NewChecksum(name string) *ChecksumFilter {
+	if name == "" {
+		name = "checksum"
+	}
+	cf := &ChecksumFilter{}
+	cf.Base = New(name, func(r io.Reader, w io.Writer) error {
+		buf := make([]byte, copyBufferSize)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				cf.mu.Lock()
+				cf.crc = crc32.Update(cf.crc, crc32.IEEETable, buf[:n])
+				cf.n += uint64(n)
+				cf.mu.Unlock()
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return werr
+				}
+			}
+			if err != nil {
+				return err
+			}
+		}
+	})
+	return cf
+}
+
+// Sum returns the CRC-32 and byte count of all data forwarded so far.
+func (cf *ChecksumFilter) Sum() (crc uint32, n uint64) {
+	cf.mu.Lock()
+	defer cf.mu.Unlock()
+	return cf.crc, cf.n
+}
+
+// NewRateLimit returns a pass-through filter that shapes throughput to at
+// most bytesPerSecond using a simple token bucket. It models transcoder-style
+// bandwidth reduction for slow wireless links when an actual content
+// transcoder is not needed.
+func NewRateLimit(name string, bytesPerSecond int) *Base {
+	if name == "" {
+		name = fmt.Sprintf("ratelimit-%dBps", bytesPerSecond)
+	}
+	if bytesPerSecond <= 0 {
+		bytesPerSecond = 1
+	}
+	return New(name, func(r io.Reader, w io.Writer) error {
+		// Refill granularity of 10 ms keeps shaping smooth for audio-sized
+		// packets without busy waiting.
+		const tick = 10 * time.Millisecond
+		budget := 0
+		perTick := bytesPerSecond / int(time.Second/tick)
+		if perTick < 1 {
+			perTick = 1
+		}
+		buf := make([]byte, 4096)
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		for {
+			if budget <= 0 {
+				<-ticker.C
+				budget += perTick
+			}
+			limit := len(buf)
+			if budget < limit {
+				limit = budget
+			}
+			n, err := r.Read(buf[:limit])
+			if n > 0 {
+				budget -= n
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return werr
+				}
+			}
+			if err != nil {
+				return err
+			}
+		}
+	})
+}
+
+// NewDelay returns a pass-through filter that adds a fixed latency to every
+// chunk, used in experiments to model processing or propagation delay.
+func NewDelay(name string, d time.Duration) *Base {
+	if name == "" {
+		name = fmt.Sprintf("delay-%s", d)
+	}
+	return New(name, func(r io.Reader, w io.Writer) error {
+		buf := make([]byte, copyBufferSize)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				time.Sleep(d)
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return werr
+				}
+			}
+			if err != nil {
+				return err
+			}
+		}
+	})
+}
+
+// NewTransform returns a filter applying fn to every chunk read. fn must be
+// a pure byte transformation that does not depend on chunk boundaries (e.g.
+// byte-wise mapping); for frame-aware transformations use NewPacketFunc.
+func NewTransform(name string, fn func([]byte) []byte) *Base {
+	if name == "" {
+		name = "transform"
+	}
+	return New(name, func(r io.Reader, w io.Writer) error {
+		buf := make([]byte, copyBufferSize)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				out := fn(buf[:n])
+				if _, werr := w.Write(out); werr != nil {
+					return werr
+				}
+			}
+			if err != nil {
+				return err
+			}
+		}
+	})
+}
+
+// PacketFunc transforms one decoded packet into zero or more packets to
+// forward. Returning an empty slice drops the packet.
+type PacketFunc func(*packet.Packet) ([]*packet.Packet, error)
+
+// NewPacketFunc returns a filter that parses the framed packet stream,
+// applies fn to each packet, and re-frames the results. Each output frame is
+// written with a single Write call, so downstream pause/reconnect operations
+// always happen on frame boundaries. flush, if non-nil, is invoked at EOF and
+// may emit trailing packets (e.g. a partially filled FEC group).
+func NewPacketFunc(name string, fn PacketFunc, flush func() []*packet.Packet) *Base {
+	if name == "" {
+		name = "packetfunc"
+	}
+	return New(name, func(r io.Reader, w io.Writer) error {
+		pr := packet.NewReader(r)
+		pw := packet.NewWriter(w)
+		for {
+			p, err := pr.ReadPacket()
+			if err != nil {
+				if err == io.EOF {
+					if flush != nil {
+						for _, fp := range flush() {
+							if werr := pw.WritePacket(fp); werr != nil {
+								return werr
+							}
+						}
+					}
+					return nil
+				}
+				return err
+			}
+			outs, err := fn(p)
+			if err != nil {
+				return err
+			}
+			for _, op := range outs {
+				if werr := pw.WritePacket(op); werr != nil {
+					return werr
+				}
+			}
+		}
+	})
+}

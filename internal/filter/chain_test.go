@@ -1,0 +1,378 @@
+package filter
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"rapidware/internal/stream"
+)
+
+// sourceFilter produces data into the chain: it ignores its input and writes
+// the configured payload to its output in chunks, pacing itself with a short
+// delay between chunks so that the stream is still live while tests splice
+// filters in and out, then closes it.
+func sourceFilter(name string, payload []byte, chunk int) *Base {
+	return New(name, func(_ io.Reader, w io.Writer) error {
+		for off := 0; off < len(payload); off += chunk {
+			end := off + chunk
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := w.Write(payload[off:end]); err != nil {
+				return err
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		return nil
+	})
+}
+
+// sinkFilter consumes the chain's output into an internal buffer.
+type sinkFilter struct {
+	*Base
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func newSink(name string) *sinkFilter {
+	s := &sinkFilter{}
+	s.Base = New(name, func(r io.Reader, _ io.Writer) error {
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			if n > 0 {
+				s.mu.Lock()
+				s.buf.Write(tmp[:n])
+				s.mu.Unlock()
+			}
+			if err != nil {
+				return err
+			}
+		}
+	})
+	return s
+}
+
+func (s *sinkFilter) bytesCopy() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.buf.Bytes()...)
+}
+
+func (s *sinkFilter) waitFor(t *testing.T, want int) []byte {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		b := s.bytesCopy()
+		if len(b) >= want {
+			return b
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("sink received %d bytes, want %d", len(s.bytesCopy()), want)
+	return nil
+}
+
+func TestChainAppendStartStop(t *testing.T) {
+	payload := bytes.Repeat([]byte("0123456789"), 500)
+	c := NewChain("test")
+	src := sourceFilter("src", payload, 128)
+	mid := NewNull("mid")
+	sink := newSink("sink")
+	for _, f := range []Filter{src, mid, sink} {
+		if err := c.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Names(); len(got) != 3 || got[0] != "src" || got[2] != "sink" {
+		t.Fatalf("Names = %v", got)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); !errors.Is(err, ErrAlreadyStarted) {
+		t.Fatalf("second Start err = %v", err)
+	}
+	got := sink.waitFor(t, len(payload))
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted through chain")
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stop(); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("second Stop err = %v", err)
+	}
+}
+
+func TestChainAccessors(t *testing.T) {
+	c := NewChain("accessors")
+	if c.Name() != "accessors" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	a, b := NewNull("a"), NewNull("b")
+	c.Append(a)
+	c.Append(b)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	got, err := c.At(1)
+	if err != nil || got != b {
+		t.Fatalf("At(1) = %v, %v", got, err)
+	}
+	if _, err := c.At(5); !errors.Is(err, ErrPosition) {
+		t.Fatalf("At(5) err = %v", err)
+	}
+	pos, err := c.Find("b")
+	if err != nil || pos != 1 {
+		t.Fatalf("Find(b) = %d, %v", pos, err)
+	}
+	if _, err := c.Find("zzz"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Find missing err = %v", err)
+	}
+	fs := c.Filters()
+	if len(fs) != 2 || fs[0] != a {
+		t.Fatalf("Filters() = %v", fs)
+	}
+}
+
+func TestChainInsertPositionValidation(t *testing.T) {
+	c := NewChain("bounds")
+	if err := c.Insert(NewNull("x"), 1); !errors.Is(err, ErrChainTooShort) {
+		t.Fatalf("err = %v, want ErrChainTooShort", err)
+	}
+	c.Append(NewNull("a"))
+	c.Append(NewNull("b"))
+	if err := c.Insert(NewNull("x"), 0); !errors.Is(err, ErrPosition) {
+		t.Fatalf("insert at 0 err = %v, want ErrPosition", err)
+	}
+	if err := c.Insert(NewNull("x"), 2); !errors.Is(err, ErrPosition) {
+		t.Fatalf("insert past end err = %v, want ErrPosition", err)
+	}
+}
+
+func TestChainRemoveValidation(t *testing.T) {
+	c := NewChain("bounds")
+	c.Append(NewNull("a"))
+	c.Append(NewNull("b"))
+	if _, err := c.Remove(1); !errors.Is(err, ErrChainTooShort) {
+		t.Fatalf("err = %v, want ErrChainTooShort", err)
+	}
+	c.Append(NewNull("c"))
+	if _, err := c.Remove(0); !errors.Is(err, ErrEndpointPosition) {
+		t.Fatalf("remove endpoint err = %v, want ErrEndpointPosition", err)
+	}
+	if _, err := c.Remove(2); !errors.Is(err, ErrEndpointPosition) {
+		t.Fatalf("remove endpoint err = %v, want ErrEndpointPosition", err)
+	}
+}
+
+func TestChainLiveInsertPreservesData(t *testing.T) {
+	// Build src -> sink, start the flow, then splice a transform filter in
+	// the middle while data is streaming. All bytes must arrive, in order,
+	// and the tail of the stream must show the transform's effect.
+	var payload bytes.Buffer
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&payload, "line-%06d\n", i)
+	}
+	c := NewChain("live")
+	src := sourceFilter("src", payload.Bytes(), 256)
+	sink := newSink("sink")
+	c.Append(src)
+	c.Append(sink)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Let some data through, then insert a counting filter at position 1.
+	time.Sleep(2 * time.Millisecond)
+	counter := NewCounting("counter")
+	if err := c.Insert(counter, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.waitFor(t, payload.Len())
+	if !bytes.Equal(got, payload.Bytes()) {
+		t.Fatal("live insertion corrupted or reordered the stream")
+	}
+	if counter.Bytes() == 0 {
+		t.Fatal("inserted filter never saw data")
+	}
+	if got := c.Names(); len(got) != 3 || got[1] != "counter" {
+		t.Fatalf("Names = %v", got)
+	}
+	c.Stop()
+}
+
+func TestChainLiveRemovePreservesData(t *testing.T) {
+	var payload bytes.Buffer
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&payload, "record-%06d\n", i)
+	}
+	c := NewChain("live-remove")
+	src := sourceFilter("src", payload.Bytes(), 512)
+	mid := NewNull("mid")
+	sink := newSink("sink")
+	c.Append(src)
+	c.Append(mid)
+	c.Append(sink)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	removed, err := c.Remove(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed.Name() != "mid" {
+		t.Fatalf("removed %q, want mid", removed.Name())
+	}
+	if removed.Running() {
+		t.Fatal("removed filter still running")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.waitFor(t, payload.Len())
+	if !bytes.Equal(got, payload.Bytes()) {
+		t.Fatal("live removal corrupted or reordered the stream")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after removal, want 2", c.Len())
+	}
+	c.Stop()
+}
+
+func TestChainRemoveByName(t *testing.T) {
+	c := NewChain("byname")
+	c.Append(NewNull("in"))
+	c.Append(NewNull("victim"))
+	c.Append(NewNull("out"))
+	f, err := c.RemoveByName("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "victim" {
+		t.Fatalf("removed %q", f.Name())
+	}
+	if _, err := c.RemoveByName("victim"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second removal err = %v", err)
+	}
+}
+
+func TestChainRepeatedInsertRemoveUnderLoad(t *testing.T) {
+	// Stress the splice protocol: while a long stream flows, repeatedly
+	// insert and remove filters. The sink must receive the payload intact.
+	payload := make([]byte, 512*1024)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	c := NewChain("stress")
+	src := sourceFilter("src", payload, 1024)
+	sink := newSink("sink")
+	c.Append(src)
+	c.Append(sink)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		f := NewNull(fmt.Sprintf("nf-%d", i))
+		if err := c.Insert(f, 1); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if i%2 == 0 {
+			if _, err := c.Remove(1); err != nil {
+				t.Fatalf("remove %d: %v", i, err)
+			}
+		}
+	}
+	got := sink.waitFor(t, len(payload))
+	if !bytes.Equal(got, payload) {
+		t.Fatal("stream corrupted by repeated splices")
+	}
+	c.Stop()
+}
+
+func TestChainMove(t *testing.T) {
+	c := NewChain("move")
+	c.Append(NewNull("in"))
+	c.Append(NewNull("f1"))
+	c.Append(NewNull("f2"))
+	c.Append(NewNull("out"))
+	if err := c.Move(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	names := c.Names()
+	want := []string{"in", "f2", "f1", "out"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+	if err := c.Move(1, 1); err != nil {
+		t.Fatalf("no-op move err = %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainAppendAfterStartStartsFilter(t *testing.T) {
+	c := NewChain("late")
+	c.Append(NewNull("a"))
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	late := NewNull("late-filter")
+	if err := c.Append(late); err != nil {
+		t.Fatal(err)
+	}
+	if !late.Running() {
+		t.Fatal("filter appended to a started chain was not started")
+	}
+	c.Stop()
+}
+
+func TestChainValidateDetectsBrokenWiring(t *testing.T) {
+	c := NewChain("broken")
+	a, b := NewNull("a"), NewNull("b")
+	c.Append(a)
+	c.Append(b)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the connection behind the chain's back.
+	go io.Copy(io.Discard, b.In())
+	a.Out().Pause()
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate did not detect a severed connection")
+	}
+}
+
+// Interface compliance for test helpers.
+var _ Filter = (*sinkFilter)(nil)
+
+func TestChainAppendConnectFailure(t *testing.T) {
+	c := NewChain("connect-fail")
+	a := NewNull("a")
+	b := NewNull("b")
+	// Pre-connect b's input so Append's Connect fails.
+	if err := stream.Connect(stream.NewDetachableWriter(), b.In()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(b); err == nil {
+		t.Fatal("expected Append to fail when the filter is already wired")
+	}
+}

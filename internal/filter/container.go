@@ -1,0 +1,189 @@
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Container errors.
+var (
+	// ErrUnknownKind is returned when a filter spec names a kind that has not
+	// been registered.
+	ErrUnknownKind = errors.New("filter: unknown filter kind")
+	// ErrDuplicateKind is returned when registering a kind twice.
+	ErrDuplicateKind = errors.New("filter: kind already registered")
+)
+
+// Container holds a collection of instantiated filters, mirroring the
+// paper's FilterContainer class used when new filter objects are uploaded
+// into the framework. It is safe for concurrent use.
+type Container struct {
+	mu      sync.Mutex
+	filters []Filter
+}
+
+// NewContainer returns an empty container.
+func NewContainer() *Container {
+	return &Container{}
+}
+
+// Add appends a filter to the container.
+func (c *Container) Add(f Filter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.filters = append(c.filters, f)
+}
+
+// Count returns the number of filters held.
+func (c *Container) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.filters)
+}
+
+// Names returns the names of the held filters, the String enumeration of the
+// paper's FilterContainer.
+func (c *Container) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, len(c.filters))
+	for i, f := range c.filters {
+		names[i] = f.Name()
+	}
+	return names
+}
+
+// Get returns the filter at index i.
+func (c *Container) Get(i int) (Filter, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.filters) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrPosition, i, len(c.filters))
+	}
+	return c.filters[i], nil
+}
+
+// Take removes and returns the first filter with the given name.
+func (c *Container) Take(name string) (Filter, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, f := range c.filters {
+		if f.Name() == name {
+			c.filters = append(c.filters[:i], c.filters[i+1:]...)
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+}
+
+// Spec describes a filter to be instantiated by a Registry: a registered kind
+// plus free-form string parameters. Specs are what the control protocol
+// transports in place of Java's serialized filter objects: the receiving
+// proxy constructs the filter locally from the spec.
+type Spec struct {
+	// Kind selects the registered constructor.
+	Kind string `json:"kind"`
+	// Name is the instance name; defaults to Kind when empty.
+	Name string `json:"name,omitempty"`
+	// Params carries constructor-specific settings (e.g. "k", "n" for FEC,
+	// "bps" for rate limiting).
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// Constructor builds a filter from a spec.
+type Constructor func(Spec) (Filter, error)
+
+// Registry maps filter kinds to constructors, enabling filters that were not
+// compiled into the proxy's wiring to be instantiated on request at run time
+// (the paper's third-party, dynamically uploaded filters). It is safe for
+// concurrent use.
+type Registry struct {
+	mu           sync.Mutex
+	constructors map[string]Constructor
+}
+
+// NewRegistry returns a registry pre-populated with the built-in filter
+// kinds: "null", "counting", "checksum", "ratelimit", "delay".
+func NewRegistry() *Registry {
+	r := &Registry{constructors: make(map[string]Constructor)}
+	// Built-ins are registered through the same public path as third-party
+	// filters; errors are impossible here because the map is empty.
+	_ = r.Register("null", func(s Spec) (Filter, error) { return NewNull(s.Name), nil })
+	_ = r.Register("counting", func(s Spec) (Filter, error) { return NewCounting(s.Name), nil })
+	_ = r.Register("checksum", func(s Spec) (Filter, error) { return NewChecksum(s.Name), nil })
+	_ = r.Register("ratelimit", func(s Spec) (Filter, error) {
+		bps, err := intParam(s, "bps", 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		return NewRateLimit(s.Name, bps), nil
+	})
+	_ = r.Register("delay", func(s Spec) (Filter, error) {
+		ms, err := intParam(s, "ms", 0)
+		if err != nil {
+			return nil, err
+		}
+		return NewDelay(s.Name, time.Duration(ms)*time.Millisecond), nil
+	})
+	return r
+}
+
+// Register adds a constructor for the given kind.
+func (r *Registry) Register(kind string, ctor Constructor) error {
+	if kind == "" || ctor == nil {
+		return fmt.Errorf("filter: invalid registration for kind %q", kind)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.constructors[kind]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateKind, kind)
+	}
+	r.constructors[kind] = ctor
+	return nil
+}
+
+// Kinds returns the sorted list of registered kinds.
+func (r *Registry) Kinds() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kinds := make([]string, 0, len(r.constructors))
+	for k := range r.constructors {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// Build instantiates a filter from the spec.
+func (r *Registry) Build(spec Spec) (Filter, error) {
+	r.mu.Lock()
+	ctor, ok := r.constructors[spec.Kind]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, spec.Kind)
+	}
+	if spec.Name == "" {
+		spec.Name = spec.Kind
+	}
+	f, err := ctor(spec)
+	if err != nil {
+		return nil, fmt.Errorf("filter: build %q: %w", spec.Kind, err)
+	}
+	return f, nil
+}
+
+// intParam extracts an integer parameter from a spec with a default.
+func intParam(s Spec, key string, def int) (int, error) {
+	v, ok := s.Params[key]
+	if !ok {
+		return def, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+		return 0, fmt.Errorf("filter: parameter %q=%q is not an integer: %w", key, v, err)
+	}
+	return n, nil
+}

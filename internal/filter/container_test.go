@@ -1,0 +1,114 @@
+package filter
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestContainerBasics(t *testing.T) {
+	c := NewContainer()
+	if c.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", c.Count())
+	}
+	c.Add(NewNull("one"))
+	c.Add(NewNull("two"))
+	if c.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", c.Count())
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "one" || names[1] != "two" {
+		t.Fatalf("Names = %v", names)
+	}
+	f, err := c.Get(1)
+	if err != nil || f.Name() != "two" {
+		t.Fatalf("Get(1) = %v, %v", f, err)
+	}
+	if _, err := c.Get(9); !errors.Is(err, ErrPosition) {
+		t.Fatalf("Get(9) err = %v", err)
+	}
+}
+
+func TestContainerTake(t *testing.T) {
+	c := NewContainer()
+	c.Add(NewNull("keep"))
+	c.Add(NewNull("grab"))
+	f, err := c.Take("grab")
+	if err != nil || f.Name() != "grab" {
+		t.Fatalf("Take = %v, %v", f, err)
+	}
+	if c.Count() != 1 {
+		t.Fatalf("Count = %d after Take, want 1", c.Count())
+	}
+	if _, err := c.Take("grab"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second Take err = %v", err)
+	}
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	r := NewRegistry()
+	kinds := r.Kinds()
+	want := map[string]bool{"null": true, "counting": true, "checksum": true, "ratelimit": true, "delay": true}
+	for _, k := range kinds {
+		delete(want, k)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing built-in kinds: %v", want)
+	}
+	for _, k := range []string{"null", "counting", "checksum"} {
+		f, err := r.Build(Spec{Kind: k})
+		if err != nil {
+			t.Fatalf("Build(%q): %v", k, err)
+		}
+		if f.Name() != k {
+			t.Fatalf("default name = %q, want %q", f.Name(), k)
+		}
+	}
+}
+
+func TestRegistryBuildWithParams(t *testing.T) {
+	r := NewRegistry()
+	f, err := r.Build(Spec{Kind: "ratelimit", Name: "shape", Params: map[string]string{"bps": "2048"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "shape" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	if _, err := r.Build(Spec{Kind: "ratelimit", Params: map[string]string{"bps": "not-a-number"}}); err == nil {
+		t.Fatal("expected error for bad integer parameter")
+	}
+	if _, err := r.Build(Spec{Kind: "delay", Params: map[string]string{"ms": "5"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryUnknownKind(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Build(Spec{Kind: "does-not-exist"}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("err = %v, want ErrUnknownKind", err)
+	}
+}
+
+func TestRegistryRegister(t *testing.T) {
+	r := NewRegistry()
+	err := r.Register("custom", func(s Spec) (Filter, error) { return NewNull(s.Name), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Build(Spec{Kind: "custom", Name: "mine"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("custom", func(s Spec) (Filter, error) { return nil, nil }); !errors.Is(err, ErrDuplicateKind) {
+		t.Fatalf("duplicate registration err = %v", err)
+	}
+	if err := r.Register("", nil); err == nil {
+		t.Fatal("expected error for empty registration")
+	}
+}
+
+func TestIntParamDefault(t *testing.T) {
+	n, err := intParam(Spec{}, "missing", 42)
+	if err != nil || n != 42 {
+		t.Fatalf("intParam default = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,189 @@
+package filter
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"rapidware/internal/stream"
+)
+
+// runThrough pushes input through a single started filter and returns what
+// comes out of its output stream.
+func runThrough(t *testing.T, f Filter, input []byte) []byte {
+	t.Helper()
+	src := stream.NewDetachableWriter()
+	dst := stream.NewDetachableReader()
+	if err := stream.Connect(src, f.In()); err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Connect(f.Out(), dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		src.Write(input)
+		src.Close()
+	}()
+	out, err := io.ReadAll(dst)
+	if err != nil && !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestBaseLifecycle(t *testing.T) {
+	f := NewNull("ident")
+	if f.Name() != "ident" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	if f.Running() {
+		t.Fatal("filter running before Start")
+	}
+	if err := f.Stop(); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("Stop before Start err = %v, want ErrNotStarted", err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Running() {
+		t.Fatal("filter not running after Start")
+	}
+	if err := f.Start(); !errors.Is(err, ErrAlreadyStarted) {
+		t.Fatalf("second Start err = %v, want ErrAlreadyStarted", err)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Running() {
+		t.Fatal("filter still running after Stop")
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatalf("Stop should be idempotent, got %v", err)
+	}
+}
+
+func TestBasePropagatesProcessError(t *testing.T) {
+	boom := errors.New("boom")
+	f := New("failing", func(r io.Reader, w io.Writer) error {
+		return boom
+	})
+	dst := stream.NewDetachableReader()
+	if err := stream.Connect(f.Out(), dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	f.Wait()
+	if _, err := dst.Read(make([]byte, 1)); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("downstream err = %v, want wrapped process error", err)
+	}
+	if !errors.Is(f.Err(), boom) {
+		t.Fatalf("Err() = %v, want boom", f.Err())
+	}
+}
+
+func TestNullFilterPassesDataUnchanged(t *testing.T) {
+	payload := bytes.Repeat([]byte("rapidware "), 1000)
+	got := runThrough(t, NewNull(""), payload)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("null filter modified data: got %d bytes want %d", len(got), len(payload))
+	}
+}
+
+func TestCountingFilter(t *testing.T) {
+	cf := NewCounting("")
+	payload := make([]byte, 10_000)
+	got := runThrough(t, cf, payload)
+	if len(got) != len(payload) {
+		t.Fatalf("forwarded %d bytes, want %d", len(got), len(payload))
+	}
+	if cf.Bytes() != uint64(len(payload)) {
+		t.Fatalf("Bytes() = %d, want %d", cf.Bytes(), len(payload))
+	}
+	if cf.Chunks() == 0 {
+		t.Fatal("Chunks() = 0, want > 0")
+	}
+}
+
+func TestChecksumFilter(t *testing.T) {
+	cf := NewChecksum("")
+	payload := []byte("integrity is preserved end to end")
+	got := runThrough(t, cf, payload)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("checksum filter modified data")
+	}
+	crc, n := cf.Sum()
+	if n != uint64(len(payload)) {
+		t.Fatalf("byte count = %d, want %d", n, len(payload))
+	}
+	if crc == 0 {
+		t.Fatal("crc = 0, want non-zero")
+	}
+}
+
+func TestTransformFilter(t *testing.T) {
+	upper := NewTransform("upper", bytes.ToUpper)
+	got := runThrough(t, upper, []byte("make me loud"))
+	if string(got) != "MAKE ME LOUD" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDelayFilterAddsLatency(t *testing.T) {
+	f := NewDelay("", 30*time.Millisecond)
+	start := time.Now()
+	got := runThrough(t, f, []byte("x"))
+	if len(got) != 1 {
+		t.Fatalf("got %d bytes, want 1", len(got))
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("elapsed %v, want at least ~30ms", elapsed)
+	}
+}
+
+func TestRateLimitShapesThroughput(t *testing.T) {
+	// 20 KiB at 100 KiB/s should take roughly 200 ms; allow generous slack
+	// but reject an unshaped instant transfer.
+	f := NewRateLimit("", 100*1024)
+	payload := make([]byte, 20*1024)
+	start := time.Now()
+	got := runThrough(t, f, payload)
+	elapsed := time.Since(start)
+	if len(got) != len(payload) {
+		t.Fatalf("forwarded %d bytes, want %d", len(got), len(payload))
+	}
+	if elapsed < 100*time.Millisecond {
+		t.Fatalf("transfer took %v, want >= 100ms of shaping", elapsed)
+	}
+}
+
+func TestRateLimitDefaultsForInvalidRate(t *testing.T) {
+	f := NewRateLimit("slow", -5)
+	if f.Name() != "slow" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+}
+
+func TestStopUnblocksFilterBlockedOnRead(t *testing.T) {
+	f := NewNull("blocked")
+	// No upstream connection: the filter's read blocks until connected.
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.Stop() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not unblock a filter waiting for input")
+	}
+}

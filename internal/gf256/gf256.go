@@ -1,0 +1,169 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8) and the
+// dense matrix operations needed by Vandermonde-based erasure codes.
+//
+// The field is constructed with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the same generator used by Rizzo's
+// erasure-code library that the paper's FEC filter is based on. Multiplication
+// and division are table driven (log/exp tables built at package
+// initialization from constant data, not from mutable global state observable
+// by callers).
+package gf256
+
+import "fmt"
+
+// Order is the number of elements in GF(2^8).
+const Order = 256
+
+// primitivePoly is the reduction polynomial, expressed with the x^8 term
+// stripped (the classic 0x1d representation of 0x11d).
+const primitivePoly = 0x1d
+
+// tables bundles the log/exp lookup tables so that they can be computed once
+// and treated as immutable after construction.
+type tables struct {
+	exp [2 * Order]byte // exp[i] = g^i, doubled to avoid a mod in Mul
+	log [Order]byte     // log[exp[i]] = i, log[0] undefined (0)
+}
+
+var ft = buildTables()
+
+func buildTables() *tables {
+	t := &tables{}
+	x := byte(1)
+	for i := 0; i < Order-1; i++ {
+		t.exp[i] = x
+		t.log[x] = byte(i)
+		// multiply x by the generator (2) with reduction.
+		carry := x&0x80 != 0
+		x <<= 1
+		if carry {
+			x ^= primitivePoly
+		}
+	}
+	// Extend the exp table so Mul can index exp[logA+logB] without a modulo.
+	for i := Order - 1; i < 2*Order; i++ {
+		t.exp[i] = t.exp[i-(Order-1)]
+	}
+	return t
+}
+
+// Add returns a+b in GF(2^8) (bitwise XOR).
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a-b in GF(2^8); subtraction and addition coincide.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return ft.exp[int(ft.log[a])+int(ft.log[b])]
+}
+
+// Div returns a/b in GF(2^8). Division by zero panics, mirroring integer
+// division semantics.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	diff := int(ft.log[a]) - int(ft.log[b])
+	if diff < 0 {
+		diff += Order - 1
+	}
+	return ft.exp[diff]
+}
+
+// Inv returns the multiplicative inverse of a. Inv(0) panics.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return ft.exp[(Order-1)-int(ft.log[a])]
+}
+
+// Exp returns the generator raised to the power e (e may be any non-negative
+// integer; it is reduced modulo 255).
+func Exp(e int) byte {
+	if e < 0 {
+		panic(fmt.Sprintf("gf256: negative exponent %d", e))
+	}
+	return ft.exp[e%(Order-1)]
+}
+
+// Pow returns a^e in GF(2^8) for e >= 0.
+func Pow(a byte, e int) byte {
+	if e < 0 {
+		panic(fmt.Sprintf("gf256: negative exponent %d", e))
+	}
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	le := (int(ft.log[a]) * e) % (Order - 1)
+	return ft.exp[le]
+}
+
+// MulSlice multiplies every byte of src by c and stores the result in dst.
+// dst and src must have the same length; dst may alias src.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	logC := int(ft.log[c])
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = ft.exp[logC+int(ft.log[s])]
+		}
+	}
+}
+
+// MulAddSlice computes dst[i] ^= c*src[i] for every index. It is the inner
+// loop of the erasure encoder and decoder.
+func MulAddSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	logC := int(ft.log[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= ft.exp[logC+int(ft.log[s])]
+		}
+	}
+}
+
+// AddSlice computes dst[i] ^= src[i] for every index.
+func AddSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: AddSlice length mismatch")
+	}
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}

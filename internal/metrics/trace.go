@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// PacketOutcome records what happened to one sequence number at a receiver.
+type PacketOutcome int
+
+// Outcomes, from worst to best.
+const (
+	// OutcomeLost means the packet never arrived and was not reconstructed.
+	OutcomeLost PacketOutcome = iota
+	// OutcomeReconstructed means the packet was repaired by the FEC decoder.
+	OutcomeReconstructed
+	// OutcomeReceived means the packet arrived directly off the network.
+	OutcomeReceived
+)
+
+// String returns the outcome name.
+func (o PacketOutcome) String() string {
+	switch o {
+	case OutcomeLost:
+		return "lost"
+	case OutcomeReconstructed:
+		return "reconstructed"
+	case OutcomeReceived:
+		return "received"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// TracePoint is one bucket of the Figure 7 series: for the window of packets
+// ending at Seq, the fraction received raw and the fraction usable after
+// reconstruction.
+type TracePoint struct {
+	Seq               uint64  // last sequence number in the window
+	ReceivedRate      float64 // fraction received directly
+	ReconstructedRate float64 // fraction received or reconstructed
+}
+
+// TraceRecorder records per-sequence outcomes at a receiver and produces the
+// windowed series plotted in the paper's Figure 7. It is safe for concurrent
+// use.
+type TraceRecorder struct {
+	mu       sync.Mutex
+	outcomes map[uint64]PacketOutcome
+	maxSeq   uint64
+	haveMax  bool
+}
+
+// NewTraceRecorder returns an empty recorder.
+func NewTraceRecorder() *TraceRecorder {
+	return &TraceRecorder{outcomes: make(map[uint64]PacketOutcome)}
+}
+
+// Record notes the outcome for a sequence number. Better outcomes override
+// worse ones (a packet first reconstructed and later received directly stays
+// "received"), and outcomes never downgrade.
+func (t *TraceRecorder) Record(seq uint64, outcome PacketOutcome) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.outcomes[seq]; !ok || outcome > cur {
+		t.outcomes[seq] = outcome
+	}
+	if !t.haveMax || seq > t.maxSeq {
+		t.maxSeq = seq
+		t.haveMax = true
+	}
+}
+
+// MarkSent records that a sequence number was transmitted, so that packets
+// which never arrive still count against the rates. It never overrides a
+// better outcome.
+func (t *TraceRecorder) MarkSent(seq uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.outcomes[seq]; !ok {
+		t.outcomes[seq] = OutcomeLost
+	}
+	if !t.haveMax || seq > t.maxSeq {
+		t.maxSeq = seq
+		t.haveMax = true
+	}
+}
+
+// Total returns the number of distinct sequence numbers tracked.
+func (t *TraceRecorder) Total() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.outcomes)
+}
+
+// Rates returns the overall received and reconstructed fractions, the two
+// headline numbers of Figure 7 (the paper reports 98.54% and 99.98%).
+func (t *TraceRecorder) Rates() (received, reconstructed float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.outcomes) == 0 {
+		return 1, 1
+	}
+	var rx, usable int
+	for _, o := range t.outcomes {
+		if o == OutcomeReceived {
+			rx++
+		}
+		if o >= OutcomeReconstructed {
+			usable++
+		}
+	}
+	n := float64(len(t.outcomes))
+	return float64(rx) / n, float64(usable) / n
+}
+
+// Series produces the windowed trace: one TracePoint per window of windowSize
+// consecutive sequence numbers, covering every sequence number seen.
+func (t *TraceRecorder) Series(windowSize int) []TracePoint {
+	if windowSize <= 0 {
+		windowSize = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.outcomes) == 0 {
+		return nil
+	}
+	seqs := make([]uint64, 0, len(t.outcomes))
+	for s := range t.outcomes {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	var points []TracePoint
+	for start := 0; start < len(seqs); start += windowSize {
+		end := start + windowSize
+		if end > len(seqs) {
+			end = len(seqs)
+		}
+		var rx, usable int
+		for _, s := range seqs[start:end] {
+			o := t.outcomes[s]
+			if o == OutcomeReceived {
+				rx++
+			}
+			if o >= OutcomeReconstructed {
+				usable++
+			}
+		}
+		n := float64(end - start)
+		points = append(points, TracePoint{
+			Seq:               seqs[end-1],
+			ReceivedRate:      float64(rx) / n,
+			ReconstructedRate: float64(usable) / n,
+		})
+	}
+	return points
+}
+
+// FormatSeries renders the series as the two-column table the paper plots:
+// sequence number, % received, % reconstructed.
+func (t *TraceRecorder) FormatSeries(windowSize int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-12s %-15s\n", "seq", "%received", "%reconstructed")
+	for _, p := range t.Series(windowSize) {
+		fmt.Fprintf(&b, "%-10d %-12.2f %-15.2f\n", p.Seq, p.ReceivedRate*100, p.ReconstructedRate*100)
+	}
+	rx, rc := t.Rates()
+	fmt.Fprintf(&b, "overall    %-12.2f %-15.2f\n", rx*100, rc*100)
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package packet
+
+import (
+	"errors"
+	"sync"
+)
+
+// Buffer errors.
+var (
+	// ErrClosed is returned by Put/Get once the buffer has been closed and,
+	// for Get, fully drained.
+	ErrClosed = errors.New("packet: buffer closed")
+	// ErrFull is returned by TryPut when the buffer is at capacity.
+	ErrFull = errors.New("packet: buffer full")
+)
+
+// Buffer is a bounded FIFO of packets connecting pipeline stages, matching
+// the PacketBuffer components in the paper's FEC proxy (Figure 6). Put blocks
+// while the buffer is full; Get blocks while it is empty. Close unblocks all
+// waiters. The zero value is not usable; construct with NewBuffer.
+type Buffer struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	queue    []*Packet
+	capacity int
+	closed   bool
+
+	// drops counts packets rejected by TryPut because the buffer was full.
+	drops uint64
+}
+
+// NewBuffer returns a buffer holding at most capacity packets. capacity must
+// be positive.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic("packet: buffer capacity must be positive")
+	}
+	b := &Buffer{capacity: capacity}
+	b.notEmpty = sync.NewCond(&b.mu)
+	b.notFull = sync.NewCond(&b.mu)
+	return b
+}
+
+// Put appends p, blocking while the buffer is full. It returns ErrClosed if
+// the buffer is closed before space becomes available.
+func (b *Buffer) Put(p *Packet) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.queue) >= b.capacity && !b.closed {
+		b.notFull.Wait()
+	}
+	if b.closed {
+		return ErrClosed
+	}
+	b.queue = append(b.queue, p)
+	b.notEmpty.Signal()
+	return nil
+}
+
+// TryPut appends p without blocking. It returns ErrFull when at capacity and
+// ErrClosed when the buffer is closed.
+func (b *Buffer) TryPut(p *Packet) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if len(b.queue) >= b.capacity {
+		b.drops++
+		return ErrFull
+	}
+	b.queue = append(b.queue, p)
+	b.notEmpty.Signal()
+	return nil
+}
+
+// Get removes and returns the oldest packet, blocking while the buffer is
+// empty. Once the buffer is closed and drained it returns ErrClosed.
+func (b *Buffer) Get() (*Packet, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.queue) == 0 && !b.closed {
+		b.notEmpty.Wait()
+	}
+	if len(b.queue) == 0 {
+		return nil, ErrClosed
+	}
+	p := b.queue[0]
+	b.queue = b.queue[1:]
+	b.notFull.Signal()
+	return p, nil
+}
+
+// TryGet removes and returns the oldest packet without blocking. ok is false
+// when the buffer is currently empty.
+func (b *Buffer) TryGet() (p *Packet, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.queue) == 0 {
+		return nil, false
+	}
+	p = b.queue[0]
+	b.queue = b.queue[1:]
+	b.notFull.Signal()
+	return p, true
+}
+
+// Len returns the number of buffered packets.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}
+
+// Drops returns the number of packets rejected by TryPut.
+func (b *Buffer) Drops() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.drops
+}
+
+// Close marks the buffer closed and wakes all blocked producers and
+// consumers. Packets already buffered remain retrievable via Get/TryGet.
+// Close is idempotent.
+func (b *Buffer) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.notEmpty.Broadcast()
+	b.notFull.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (b *Buffer) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}

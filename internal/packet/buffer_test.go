@@ -1,0 +1,206 @@
+package packet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBufferFIFO(t *testing.T) {
+	b := NewBuffer(10)
+	for i := 0; i < 5; i++ {
+		if err := b.Put(&Packet{Seq: uint64(i), Kind: KindData}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", b.Len())
+	}
+	for i := 0; i < 5; i++ {
+		p, err := b.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Seq != uint64(i) {
+			t.Fatalf("got seq %d, want %d", p.Seq, i)
+		}
+	}
+}
+
+func TestBufferInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero capacity")
+		}
+	}()
+	NewBuffer(0)
+}
+
+func TestBufferTryPutFull(t *testing.T) {
+	b := NewBuffer(2)
+	if err := b.TryPut(&Packet{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.TryPut(&Packet{Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.TryPut(&Packet{Seq: 3}); !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	if b.Drops() != 1 {
+		t.Fatalf("Drops = %d, want 1", b.Drops())
+	}
+}
+
+func TestBufferTryGetEmpty(t *testing.T) {
+	b := NewBuffer(1)
+	if _, ok := b.TryGet(); ok {
+		t.Fatal("TryGet on empty buffer returned ok")
+	}
+	b.Put(&Packet{Seq: 9})
+	p, ok := b.TryGet()
+	if !ok || p.Seq != 9 {
+		t.Fatalf("TryGet = (%v,%v), want packet 9", p, ok)
+	}
+}
+
+func TestBufferBlockingPutUnblockedByGet(t *testing.T) {
+	b := NewBuffer(1)
+	b.Put(&Packet{Seq: 1})
+	done := make(chan error, 1)
+	go func() { done <- b.Put(&Packet{Seq: 2}) }()
+	select {
+	case <-done:
+		t.Fatal("Put returned while buffer was full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := b.Get(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Put did not unblock after Get")
+	}
+}
+
+func TestBufferBlockingGetUnblockedByPut(t *testing.T) {
+	b := NewBuffer(1)
+	got := make(chan *Packet, 1)
+	go func() {
+		p, err := b.Get()
+		if err != nil {
+			t.Errorf("Get: %v", err)
+			return
+		}
+		got <- p
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Put(&Packet{Seq: 77})
+	select {
+	case p := <-got:
+		if p.Seq != 77 {
+			t.Fatalf("seq = %d, want 77", p.Seq)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Get did not unblock after Put")
+	}
+}
+
+func TestBufferCloseUnblocksWaiters(t *testing.T) {
+	b := NewBuffer(1)
+	b.Put(&Packet{Seq: 1})
+	putErr := make(chan error, 1)
+	getErr := make(chan error, 1)
+	go func() { putErr <- b.Put(&Packet{Seq: 2}) }()
+	empty := NewBuffer(1)
+	go func() {
+		_, err := empty.Get()
+		getErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	empty.Close()
+	if err := <-putErr; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put err = %v, want ErrClosed", err)
+	}
+	if err := <-getErr; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get err = %v, want ErrClosed", err)
+	}
+}
+
+func TestBufferDrainAfterClose(t *testing.T) {
+	b := NewBuffer(4)
+	b.Put(&Packet{Seq: 1})
+	b.Put(&Packet{Seq: 2})
+	b.Close()
+	if !b.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if p, err := b.Get(); err != nil || p.Seq != 1 {
+		t.Fatalf("first drain: %v %v", p, err)
+	}
+	if p, err := b.Get(); err != nil || p.Seq != 2 {
+		t.Fatalf("second drain: %v %v", p, err)
+	}
+	if _, err := b.Get(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed after drain", err)
+	}
+	if err := b.Put(&Packet{Seq: 3}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after close err = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestBufferConcurrentProducersConsumers(t *testing.T) {
+	b := NewBuffer(8)
+	const producers, perProducer = 4, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := b.Put(&Packet{Seq: uint64(p*perProducer + i), Kind: KindData}); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	var consumed sync.WaitGroup
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	for c := 0; c < 3; c++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			for {
+				p, err := b.Get()
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				if seen[p.Seq] {
+					t.Errorf("duplicate packet %d", p.Seq)
+				}
+				seen[p.Seq] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// Wait for the consumers to drain everything, then close.
+	for b.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	consumed.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("consumed %d packets, want %d", len(seen), producers*perProducer)
+	}
+}

@@ -1,0 +1,86 @@
+package packet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Writer frames packets onto an underlying byte stream. It is safe for
+// concurrent use by multiple goroutines.
+type Writer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriter returns a Writer that frames packets onto w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// WritePacket marshals p and writes the full frame to the underlying stream.
+func (pw *Writer) WritePacket(p *Packet) error {
+	buf, err := Marshal(p)
+	if err != nil {
+		return fmt.Errorf("packet: marshal: %w", err)
+	}
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	if _, err := pw.w.Write(buf); err != nil {
+		return fmt.Errorf("packet: write frame: %w", err)
+	}
+	return nil
+}
+
+// Reader decodes framed packets from an underlying byte stream.
+type Reader struct {
+	r   *bufio.Reader
+	hdr [HeaderSize]byte
+}
+
+// NewReader returns a Reader that decodes packets from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64*1024)}
+}
+
+// ReadPacket reads the next framed packet. It returns io.EOF when the stream
+// ends cleanly on a frame boundary and io.ErrUnexpectedEOF when it ends
+// mid-frame.
+func (pr *Reader) ReadPacket() (*Packet, error) {
+	if _, err := io.ReadFull(pr.r, pr.hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("packet: read header: %w", err)
+	}
+	// Validate header fields before reading the payload so a corrupted
+	// length cannot make us allocate or block on garbage.
+	if pr.hdr[0] != magic0 || pr.hdr[1] != magic1 {
+		return nil, ErrBadMagic
+	}
+	if pr.hdr[2] != Version {
+		return nil, ErrBadVersion
+	}
+	if !Kind(pr.hdr[3]).Valid() {
+		return nil, ErrBadKind
+	}
+	plen := int(uint32(pr.hdr[24])<<24 | uint32(pr.hdr[25])<<16 | uint32(pr.hdr[26])<<8 | uint32(pr.hdr[27]))
+	if plen > MaxPayload {
+		return nil, ErrPayloadRange
+	}
+	full := make([]byte, HeaderSize+plen)
+	copy(full, pr.hdr[:])
+	if _, err := io.ReadFull(pr.r, full[HeaderSize:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("packet: read payload: %w", err)
+	}
+	p, _, err := Unmarshal(full)
+	if err != nil {
+		return nil, fmt.Errorf("packet: decode frame: %w", err)
+	}
+	return p, nil
+}

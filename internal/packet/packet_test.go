@@ -1,0 +1,213 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func samplePacket() *Packet {
+	return &Packet{
+		Seq:      42,
+		StreamID: 7,
+		Kind:     KindData,
+		Group:    3,
+		Index:    2,
+		K:        4,
+		N:        6,
+		Payload:  []byte("hello, wireless world"),
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindData:    "data",
+		KindParity:  "parity",
+		KindControl: "control",
+		Kind(99):    "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	if !KindData.Valid() || !KindParity.Valid() || !KindControl.Valid() {
+		t.Fatal("defined kinds must be valid")
+	}
+	if Kind(0).Valid() || Kind(200).Valid() {
+		t.Fatal("undefined kinds must be invalid")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	p := samplePacket()
+	buf, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(buf))
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestMarshalEmptyPayload(t *testing.T) {
+	p := &Packet{Seq: 1, Kind: KindControl}
+	buf, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != HeaderSize {
+		t.Fatalf("len = %d, want %d", len(buf), HeaderSize)
+	}
+	got, _, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != 0 {
+		t.Fatalf("payload = %v, want empty", got.Payload)
+	}
+}
+
+func TestMarshalInvalidKind(t *testing.T) {
+	if _, err := Marshal(&Packet{Kind: Kind(0)}); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("err = %v, want ErrBadKind", err)
+	}
+}
+
+func TestMarshalOversizedPayload(t *testing.T) {
+	p := &Packet{Kind: KindData, Payload: make([]byte, MaxPayload+1)}
+	if _, err := Marshal(p); !errors.Is(err, ErrPayloadRange) {
+		t.Fatalf("err = %v, want ErrPayloadRange", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good, _ := Marshal(samplePacket())
+
+	t.Run("short buffer", func(t *testing.T) {
+		if _, _, err := Unmarshal(good[:5]); !errors.Is(err, ErrShortBuffer) {
+			t.Fatalf("err = %v, want ErrShortBuffer", err)
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		if _, _, err := Unmarshal(good[:len(good)-1]); !errors.Is(err, ErrShortBuffer) {
+			t.Fatalf("err = %v, want ErrShortBuffer", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] = 0
+		if _, _, err := Unmarshal(bad); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[2] = 99
+		if _, _, err := Unmarshal(bad); !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("err = %v, want ErrBadVersion", err)
+		}
+	})
+	t.Run("bad kind", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[3] = 0
+		if _, _, err := Unmarshal(bad); !errors.Is(err, ErrBadKind) {
+			t.Fatalf("err = %v, want ErrBadKind", err)
+		}
+	})
+	t.Run("payload length out of range", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[24], bad[25], bad[26], bad[27] = 0xff, 0xff, 0xff, 0xff
+		if _, _, err := Unmarshal(bad); !errors.Is(err, ErrPayloadRange) {
+			t.Fatalf("err = %v, want ErrPayloadRange", err)
+		}
+	})
+}
+
+func TestUnmarshalDoesNotAliasInput(t *testing.T) {
+	p := samplePacket()
+	buf, _ := Marshal(p)
+	got, _, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[HeaderSize] ^= 0xff
+	if got.Payload[0] == buf[HeaderSize] {
+		t.Fatal("decoded payload aliases the input buffer")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seq uint64, stream, group uint32, index, k, n uint8, kindSel uint8, payload []byte) bool {
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		p := &Packet{
+			Seq:      seq,
+			StreamID: stream,
+			Kind:     Kind(kindSel%3) + KindData,
+			Group:    group,
+			Index:    index,
+			K:        k,
+			N:        n,
+			Payload:  payload,
+		}
+		buf, err := Marshal(p)
+		if err != nil {
+			return false
+		}
+		got, consumed, err := Unmarshal(buf)
+		if err != nil || consumed != len(buf) {
+			return false
+		}
+		if got.Seq != p.Seq || got.StreamID != p.StreamID || got.Kind != p.Kind ||
+			got.Group != p.Group || got.Index != p.Index || got.K != p.K || got.N != p.N {
+			return false
+		}
+		return bytes.Equal(got.Payload, p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := samplePacket()
+	c := p.Clone()
+	c.Payload[0] = 'X'
+	c.Seq = 1000
+	if p.Payload[0] == 'X' || p.Seq == 1000 {
+		t.Fatal("Clone shares state with the original")
+	}
+}
+
+func TestIsFEC(t *testing.T) {
+	if !samplePacket().IsFEC() {
+		t.Fatal("packet with N>0 should be FEC")
+	}
+	if (&Packet{Kind: KindData}).IsFEC() {
+		t.Fatal("packet with N=0 should not be FEC")
+	}
+}
+
+func TestStringContainsFields(t *testing.T) {
+	s := samplePacket().String()
+	for _, want := range []string{"seq=42", "stream=7", "data", "grp=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,662 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPipeBasicWriteRead(t *testing.T) {
+	r, w := Pipe()
+	msg := []byte("hello detachable streams")
+	go func() {
+		if _, err := w.Write(msg); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		w.Close()
+	}()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q, want %q", got, msg)
+	}
+}
+
+func TestPipeSizeSmallBufferBackpressure(t *testing.T) {
+	r, w := PipeSize(4)
+	payload := bytes.Repeat([]byte{0xAA}, 1024)
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Write(payload)
+		w.Close()
+		done <- err
+	}()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted through small buffer: got %d bytes", len(got))
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	r, w := Pipe()
+	r2 := NewDetachableReader()
+	w2 := NewDetachableWriter()
+	if err := Connect(w, r2); !errors.Is(err, ErrAlreadyConnected) {
+		t.Fatalf("connect busy writer: err = %v, want ErrAlreadyConnected", err)
+	}
+	if err := Connect(w2, r); !errors.Is(err, ErrAlreadyConnected) {
+		t.Fatalf("connect busy reader: err = %v, want ErrAlreadyConnected", err)
+	}
+	if err := Connect(nil, r2); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("connect nil: err = %v, want ErrNotConnected", err)
+	}
+	w3 := NewDetachableWriter()
+	w3.Close()
+	if err := Connect(w3, r2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("connect closed writer: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestWriterCloseDeliversEOFAfterDrain(t *testing.T) {
+	r, w := Pipe()
+	if _, err := w.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "tail" {
+		t.Fatalf("got %q, want %q", got, "tail")
+	}
+	if n, err := r.Read(make([]byte, 1)); n != 0 || err != io.EOF {
+		t.Fatalf("after EOF: n=%d err=%v", n, err)
+	}
+}
+
+func TestWriterCloseWithError(t *testing.T) {
+	r, w := Pipe()
+	sentinel := errors.New("upstream failed")
+	w.CloseWithError(sentinel)
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestReaderCloseFailsWrites(t *testing.T) {
+	r, w := Pipe()
+	r.Close()
+	if _, err := w.Write([]byte("x")); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("err = %v, want io.ErrClosedPipe", err)
+	}
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	r, w := Pipe()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteAfterWriterClose(t *testing.T) {
+	_, w := Pipe()
+	w.Close()
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestAvailable(t *testing.T) {
+	r, w := Pipe()
+	if r.Available() != 0 {
+		t.Fatalf("Available = %d, want 0", r.Available())
+	}
+	w.Write([]byte("12345"))
+	if r.Available() != 5 {
+		t.Fatalf("Available = %d, want 5", r.Available())
+	}
+	buf := make([]byte, 2)
+	r.Read(buf)
+	if r.Available() != 3 {
+		t.Fatalf("Available = %d, want 3", r.Available())
+	}
+	unattached := NewDetachableReader()
+	if unattached.Available() != 0 {
+		t.Fatal("unattached reader should report 0 available")
+	}
+}
+
+func TestFlushWaitsForDrain(t *testing.T) {
+	r, w := Pipe()
+	w.Write([]byte("data to drain"))
+	flushed := make(chan struct{})
+	go func() {
+		if err := w.Flush(); err != nil {
+			t.Errorf("flush: %v", err)
+		}
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+		t.Fatal("Flush returned before the reader drained the buffer")
+	case <-time.After(20 * time.Millisecond):
+	}
+	io.CopyN(io.Discard, r, int64(len("data to drain")))
+	select {
+	case <-flushed:
+	case <-time.After(time.Second):
+		t.Fatal("Flush did not return after drain")
+	}
+}
+
+func TestFlushErrors(t *testing.T) {
+	w := NewDetachableWriter()
+	if err := w.Flush(); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("err = %v, want ErrNotConnected", err)
+	}
+	w.Close()
+	if err := w.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestPauseErrors(t *testing.T) {
+	w := NewDetachableWriter()
+	if err := w.Pause(); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("unconnected writer Pause err = %v, want ErrNotConnected", err)
+	}
+	r := NewDetachableReader()
+	if err := r.Pause(); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("unconnected reader Pause err = %v, want ErrNotConnected", err)
+	}
+	r2, w2 := Pipe()
+	w2.Close()
+	if err := w2.Pause(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed writer Pause err = %v, want ErrClosed", err)
+	}
+	_ = r2
+	r3, _ := Pipe()
+	r3.Close()
+	if err := r3.Pause(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed reader Pause err = %v, want ErrClosed", err)
+	}
+}
+
+func TestPauseDrainsBufferBeforeDetaching(t *testing.T) {
+	r, w := Pipe()
+	w.Write([]byte("buffered"))
+	paused := make(chan struct{})
+	go func() {
+		if err := w.Pause(); err != nil {
+			t.Errorf("pause: %v", err)
+		}
+		close(paused)
+	}()
+	select {
+	case <-paused:
+		t.Fatal("Pause returned while data was still buffered")
+	case <-time.After(20 * time.Millisecond):
+	}
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-paused:
+	case <-time.After(time.Second):
+		t.Fatal("Pause did not return after buffer drained")
+	}
+	if string(buf) != "buffered" {
+		t.Fatalf("drained %q, want %q", buf, "buffered")
+	}
+	if w.Connected() || r.Connected() {
+		t.Fatal("endpoints still connected after Pause")
+	}
+	if !w.Paused() || !r.Paused() {
+		t.Fatal("endpoints not marked paused after Pause")
+	}
+}
+
+func TestPauseFromReaderSide(t *testing.T) {
+	r, w := Pipe()
+	go io.Copy(io.Discard, r) // keep draining so pause can complete
+	w.Write([]byte("some data"))
+	if err := r.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Connected() || w.Connected() {
+		t.Fatal("still connected after reader-side Pause")
+	}
+}
+
+func TestReconnectAfterPauseResumesWrites(t *testing.T) {
+	r1, w := Pipe()
+	// Reader goroutine keeps consuming r1 until it is detached.
+	go io.Copy(io.Discard, r1)
+
+	if _, err := w.Write([]byte("first segment")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Pause(); err != nil {
+		t.Fatal(err)
+	}
+
+	// While paused, writes block.
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := w.Write([]byte("second segment"))
+		wrote <- err
+	}()
+	select {
+	case <-wrote:
+		t.Fatal("Write completed while the writer was paused")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Reconnect to a brand-new reader; the blocked write must complete there.
+	r2 := NewDetachableReader()
+	if err := Reconnect(w, r2); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len("second segment"))
+	if _, err := io.ReadFull(r2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "second segment" {
+		t.Fatalf("redirected data = %q, want %q", buf, "second segment")
+	}
+	if err := <-wrote; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderSurvivesSourceSwitch(t *testing.T) {
+	// A single reader is moved from one writer to another; it must observe
+	// the concatenation of both byte sequences with nothing lost.
+	r, w1 := Pipe()
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, len("from writer one")+len("from writer two"))
+		if _, err := io.ReadFull(r, buf); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		got <- buf
+	}()
+	if _, err := w1.Write([]byte("from writer one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewDetachableWriter()
+	if err := Reconnect(w2, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Write([]byte("from writer two")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case buf := <-got:
+		if string(buf) != "from writer onefrom writer two" {
+			t.Fatalf("got %q", buf)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader did not receive data from the new writer")
+	}
+}
+
+func TestMidWritePauseLosesNothing(t *testing.T) {
+	// Pause while a large write is in flight on a tiny buffer: the bytes
+	// written before the switch arrive at the old reader, the rest at the
+	// new one, in order, with nothing lost or duplicated.
+	r1, w := PipeSize(8)
+	payload := make([]byte, 64*1024)
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	writeDone := make(chan error, 1)
+	go func() {
+		_, err := w.Write(payload)
+		writeDone <- err
+	}()
+
+	// Consume a little from r1, then pause from the reader side.
+	first := make([]byte, 1000)
+	if _, err := io.ReadFull(r1, first); err != nil {
+		t.Fatal(err)
+	}
+	pauseDone := make(chan error, 1)
+	go func() { pauseDone <- r1.Pause() }()
+	// Keep draining r1 until it detaches so the pause can complete.
+	var middle []byte
+	drain := make(chan struct{})
+	go func() {
+		defer close(drain)
+		buf := make([]byte, 256)
+		for {
+			n, err := r1.Read(buf)
+			middle = append(middle, buf[:n]...)
+			if err != nil {
+				return
+			}
+			if r1.Paused() && r1.Available() == 0 && !r1.Connected() {
+				return
+			}
+		}
+	}()
+	if err := <-pauseDone; err != nil {
+		t.Fatal(err)
+	}
+	r1.Close() // unblock the drain goroutine if it is waiting
+	<-drain
+
+	// Rewire to a fresh reader and collect the remainder.
+	r2 := NewDetachableReader()
+	if err := Reconnect(w, r2); err != nil {
+		t.Fatal(err)
+	}
+	var rest []byte
+	restDone := make(chan struct{})
+	go func() {
+		defer close(restDone)
+		buf := make([]byte, 4096)
+		for {
+			n, err := r2.Read(buf)
+			rest = append(rest, buf[:n]...)
+			if err != nil {
+				return
+			}
+		}
+	}()
+	if err := <-writeDone; err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	<-restDone
+
+	reassembled := append(append(append([]byte(nil), first...), middle...), rest...)
+	if !bytes.Equal(reassembled, payload) {
+		t.Fatalf("data corrupted across pause: got %d bytes, want %d", len(reassembled), len(payload))
+	}
+}
+
+func TestAccessorsReflectWiring(t *testing.T) {
+	r, w := Pipe()
+	if w.Sink() != r || r.Source() != w {
+		t.Fatal("Sink/Source do not reflect the connected pair")
+	}
+	go io.Copy(io.Discard, r)
+	w.Pause()
+	if w.Sink() != nil || r.Source() != nil {
+		t.Fatal("Sink/Source not cleared after Pause")
+	}
+}
+
+func TestFilterInsertionSequenceFromPaper(t *testing.T) {
+	// Reproduces the ControlThread.add() sequence of §4: a producer writes an
+	// unbroken sequence of numbered lines while a "filter" is spliced into
+	// the middle of the stream; the consumer must observe every line exactly
+	// once, in order.
+	const totalLines = 2000
+
+	producerW := NewDetachableWriter() // producer's DOS
+	consumerR := NewDetachableReader() // consumer's DIS
+	if err := Connect(producerW, consumerR); err != nil {
+		t.Fatal(err)
+	}
+
+	var consumed bytes.Buffer
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		buf := make([]byte, 512)
+		for {
+			n, err := consumerR.Read(buf)
+			consumed.Write(buf[:n])
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	producerDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < totalLines; i++ {
+			if _, err := fmt.Fprintf(producerW, "line-%06d\n", i); err != nil {
+				producerDone <- err
+				return
+			}
+		}
+		producerDone <- nil
+	}()
+
+	// Let some traffic flow, then splice in a pass-through filter:
+	// pause producer's DOS, reconnect producer→filterIn, filterOut→consumer.
+	time.Sleep(5 * time.Millisecond)
+	if err := producerW.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	filterR := NewDetachableReader()
+	filterW := NewDetachableWriter()
+	if err := Reconnect(producerW, filterR); err != nil {
+		t.Fatal(err)
+	}
+	if err := Reconnect(filterW, consumerR); err != nil {
+		t.Fatal(err)
+	}
+	filterDone := make(chan struct{})
+	go func() {
+		defer close(filterDone)
+		io.Copy(filterW, filterR)
+		filterW.Close()
+	}()
+
+	if err := <-producerDone; err != nil {
+		t.Fatal(err)
+	}
+	producerW.Close()
+	<-filterDone
+	<-consumerDone
+
+	lines := bytes.Split(bytes.TrimSuffix(consumed.Bytes(), []byte("\n")), []byte("\n"))
+	if len(lines) != totalLines {
+		t.Fatalf("consumer saw %d lines, want %d", len(lines), totalLines)
+	}
+	for i, line := range lines {
+		want := fmt.Sprintf("line-%06d", i)
+		if string(line) != want {
+			t.Fatalf("line %d = %q, want %q (stream reordered or corrupted)", i, line, want)
+		}
+	}
+}
+
+func TestSingleWriteNeverSplitAcrossPause(t *testing.T) {
+	// A Write call that is in flight when a Pause begins must land entirely
+	// at the old reader: this is the frame-boundary guarantee that lets
+	// packet-oriented filters be inserted on a live stream.
+	for trial := 0; trial < 20; trial++ {
+		r1, w := PipeSize(16)
+		frame := bytes.Repeat([]byte{0x7e}, 300) // much larger than the buffer
+
+		writeDone := make(chan error, 1)
+		go func() {
+			_, err := w.Write(frame)
+			writeDone <- err
+		}()
+
+		// Collect everything r1 sees until it is detached and drained.
+		var first []byte
+		firstDone := make(chan struct{})
+		go func() {
+			defer close(firstDone)
+			buf := make([]byte, 64)
+			for {
+				n, err := r1.Read(buf)
+				first = append(first, buf[:n]...)
+				if err != nil {
+					return
+				}
+			}
+		}()
+
+		time.Sleep(time.Millisecond) // let the write get in flight
+		if err := w.Pause(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-writeDone; err != nil {
+			t.Fatal(err)
+		}
+		r1.Close()
+		<-firstDone
+
+		if len(first) != len(frame) {
+			t.Fatalf("trial %d: old reader saw %d of %d bytes; write was split by Pause",
+				trial, len(first), len(frame))
+		}
+	}
+}
+
+func TestConcurrentWritersSafe(t *testing.T) {
+	// Concurrent writers are allowed (interleaving unspecified); total byte
+	// count must still be exact.
+	r, w := PipeSize(128)
+	const writers, per = 4, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if _, err := w.Write([]byte{1}); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan int, 1)
+	go func() {
+		n, _ := io.Copy(io.Discard, r)
+		done <- int(n)
+	}()
+	wg.Wait()
+	w.Close()
+	if got := <-done; got != writers*per {
+		t.Fatalf("reader got %d bytes, want %d", got, writers*per)
+	}
+}
+
+func TestReadBlocksUntilConnected(t *testing.T) {
+	r := NewDetachableReader()
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		got <- buf
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w := NewDetachableWriter()
+	if err := Connect(w, r); err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("later"))
+	select {
+	case buf := <-got:
+		if string(buf) != "later" {
+			t.Fatalf("got %q", buf)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("reader never observed the late connection")
+	}
+}
+
+func TestWriteBlocksUntilConnected(t *testing.T) {
+	w := NewDetachableWriter()
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Write([]byte("queued"))
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("write completed on an unconnected writer")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r := NewDetachableReader()
+	if err := Connect(w, r); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "queued" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestCloseUnblocksPendingIO(t *testing.T) {
+	r := NewDetachableReader()
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := r.Read(make([]byte, 1))
+		readErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	select {
+	case err := <-readErr:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock Read")
+	}
+
+	w := NewDetachableWriter()
+	writeErr := make(chan error, 1)
+	go func() {
+		_, err := w.Write([]byte("x"))
+		writeErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Close()
+	select {
+	case err := <-writeErr:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock Write")
+	}
+}

@@ -1,0 +1,255 @@
+package transcode
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"rapidware/internal/audio"
+	"rapidware/internal/endpoint"
+	"rapidware/internal/filter"
+	"rapidware/internal/packet"
+)
+
+func TestDownsamplePCM(t *testing.T) {
+	f := audio.PaperFormat()
+	pcm, _ := audio.GenerateTone(f, 440, 100*time.Millisecond)
+	down, nf, err := DownsamplePCM(f, pcm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf.SampleRate != 4000 {
+		t.Fatalf("new rate = %d", nf.SampleRate)
+	}
+	if len(down) != len(pcm)/2 {
+		t.Fatalf("len = %d, want %d", len(down), len(pcm)/2)
+	}
+	// Factor 1 copies.
+	same, _, err := DownsamplePCM(f, pcm, 1)
+	if err != nil || !bytes.Equal(same, pcm) {
+		t.Fatal("factor 1 should copy unchanged")
+	}
+	if _, _, err := DownsamplePCM(f, pcm, 0); err == nil {
+		t.Fatal("expected error for factor 0")
+	}
+	if _, _, err := DownsamplePCM(audio.Format{}, pcm, 2); err == nil {
+		t.Fatal("expected error for bad format")
+	}
+}
+
+func TestStereoToMono(t *testing.T) {
+	f := audio.PaperFormat()
+	// Left channel 100, right channel 200 -> mono 150.
+	pcm := []byte{100, 200, 100, 200, 100, 200}
+	mono, nf, err := StereoToMono(f, pcm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf.Channels != 1 {
+		t.Fatalf("channels = %d", nf.Channels)
+	}
+	want := []byte{150, 150, 150}
+	if !bytes.Equal(mono, want) {
+		t.Fatalf("mono = %v, want %v", mono, want)
+	}
+	// Already mono copies.
+	monoFmt := audio.Format{SampleRate: 8000, Channels: 1, BitsPerSample: 8}
+	same, _, err := StereoToMono(monoFmt, []byte{1, 2, 3})
+	if err != nil || !bytes.Equal(same, []byte{1, 2, 3}) {
+		t.Fatal("mono input should copy unchanged")
+	}
+	// 16-bit unsupported.
+	if _, _, err := StereoToMono(audio.Format{SampleRate: 8000, Channels: 2, BitsPerSample: 16}, pcm); err == nil {
+		t.Fatal("expected error for 16-bit input")
+	}
+}
+
+func TestReduceBitDepth(t *testing.T) {
+	f16 := audio.Format{SampleRate: 8000, Channels: 1, BitsPerSample: 16}
+	pcm16, _ := audio.GenerateTone(f16, 440, 50*time.Millisecond)
+	out, nf, err := ReduceBitDepth(f16, pcm16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf.BitsPerSample != 8 || len(out) != len(pcm16)/2 {
+		t.Fatalf("reduced = %d bytes %d-bit", len(out), nf.BitsPerSample)
+	}
+	f8 := audio.PaperFormat()
+	same, _, err := ReduceBitDepth(f8, []byte{1, 2})
+	if err != nil || !bytes.Equal(same, []byte{1, 2}) {
+		t.Fatal("8-bit input should copy unchanged")
+	}
+	if _, _, err := ReduceBitDepth(audio.Format{}, nil); err == nil {
+		t.Fatal("expected error for bad format")
+	}
+}
+
+// runPacketFilter pushes packets through a single filter and collects output.
+func runPacketFilter(t *testing.T, f filter.Filter, in []*packet.Packet) []*packet.Packet {
+	t.Helper()
+	i := 0
+	src := endpoint.NewPacketSource("src", func() (*packet.Packet, error) {
+		if i >= len(in) {
+			return nil, io.EOF
+		}
+		p := in[i]
+		i++
+		return p, nil
+	})
+	var mu sync.Mutex
+	var out []*packet.Packet
+	sink := endpoint.NewPacketSink("sink", func(p *packet.Packet) error {
+		mu.Lock()
+		out = append(out, p)
+		mu.Unlock()
+		return nil
+	})
+	c := filter.NewChain("t")
+	c.Append(src)
+	c.Append(f)
+	c.Append(sink)
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sink.Wait()
+	c.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	return out
+}
+
+func TestDownsampleFilter(t *testing.T) {
+	f := audio.PaperFormat()
+	df, err := NewDownsampleFilter("", f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcm, _ := audio.GenerateTone(f, 440, 20*time.Millisecond)
+	in := []*packet.Packet{
+		{Seq: 0, Kind: packet.KindData, Payload: pcm},
+		{Seq: 1, Kind: packet.KindControl, Payload: []byte("marker")},
+	}
+	out := runPacketFilter(t, df, in)
+	if len(out) != 2 {
+		t.Fatalf("out = %d packets", len(out))
+	}
+	if len(out[0].Payload) != len(pcm)/2 {
+		t.Fatalf("downsampled payload = %d bytes, want %d", len(out[0].Payload), len(pcm)/2)
+	}
+	if string(out[1].Payload) != "marker" {
+		t.Fatal("control packet modified")
+	}
+	if _, err := NewDownsampleFilter("", f, 0); err == nil {
+		t.Fatal("expected error for bad factor")
+	}
+	if _, err := NewDownsampleFilter("", audio.Format{}, 2); err == nil {
+		t.Fatal("expected error for bad format")
+	}
+}
+
+func TestMonoFilter(t *testing.T) {
+	f := audio.PaperFormat()
+	mf, err := NewMonoFilter("", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []*packet.Packet{{Seq: 0, Kind: packet.KindData, Payload: []byte{10, 20, 30, 40}}}
+	out := runPacketFilter(t, mf, in)
+	if len(out) != 1 || !bytes.Equal(out[0].Payload, []byte{15, 35}) {
+		t.Fatalf("mono filter output = %v", out)
+	}
+	if _, err := NewMonoFilter("", audio.Format{}); err == nil {
+		t.Fatal("expected error for bad format")
+	}
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	cf, err := NewCompressFilter("", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := NewDecompressFilter("")
+	payload := bytes.Repeat([]byte("compressible content "), 200)
+	in := []*packet.Packet{
+		{Seq: 0, Kind: packet.KindData, Payload: payload},
+		{Seq: 1, Kind: packet.KindData, Payload: nil},
+	}
+	compressed := runPacketFilter(t, cf, in)
+	if len(compressed) != 2 {
+		t.Fatalf("compressed = %d packets", len(compressed))
+	}
+	if len(compressed[0].Payload) >= len(payload) {
+		t.Fatalf("compression did not shrink payload: %d >= %d", len(compressed[0].Payload), len(payload))
+	}
+	restored := runPacketFilter(t, df, compressed)
+	if !bytes.Equal(restored[0].Payload, payload) {
+		t.Fatal("round trip corrupted payload")
+	}
+	if _, err := NewCompressFilter("", 99); err == nil {
+		t.Fatal("expected error for invalid compression level")
+	}
+}
+
+func TestCompressionPipelineEndToEnd(t *testing.T) {
+	// compress -> decompress chained in one pipeline.
+	cf, _ := NewCompressFilter("c", 1)
+	df := NewDecompressFilter("d")
+	payload := bytes.Repeat([]byte("pavilion web object "), 500)
+	in := []*packet.Packet{{Seq: 0, Kind: packet.KindData, Payload: payload}}
+	i := 0
+	src := endpoint.NewPacketSource("src", func() (*packet.Packet, error) {
+		if i >= len(in) {
+			return nil, io.EOF
+		}
+		p := in[i]
+		i++
+		return p, nil
+	})
+	var mu sync.Mutex
+	var out []*packet.Packet
+	sink := endpoint.NewPacketSink("sink", func(p *packet.Packet) error {
+		mu.Lock()
+		out = append(out, p)
+		mu.Unlock()
+		return nil
+	})
+	c := filter.NewChain("zip")
+	for _, f := range []filter.Filter{src, cf, df, sink} {
+		c.Append(f)
+	}
+	c.Start()
+	sink.Wait()
+	c.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(out) != 1 || !bytes.Equal(out[0].Payload, payload) {
+		t.Fatal("compress/decompress pipeline corrupted data")
+	}
+}
+
+func TestRegisterKinds(t *testing.T) {
+	r := filter.NewRegistry()
+	if err := RegisterKinds(r, audio.PaperFormat()); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"downsample", "mono", "compress", "decompress"} {
+		if _, err := r.Build(filter.Spec{Kind: k}); err != nil {
+			t.Fatalf("Build(%q): %v", k, err)
+		}
+	}
+	if _, err := r.Build(filter.Spec{Kind: "downsample", Params: map[string]string{"factor": "4"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Build(filter.Spec{Kind: "downsample", Params: map[string]string{"factor": "x"}}); err == nil {
+		t.Fatal("expected error for bad factor param")
+	}
+	if _, err := r.Build(filter.Spec{Kind: "compress", Params: map[string]string{"level": "x"}}); err == nil {
+		t.Fatal("expected error for bad level param")
+	}
+	// Registering twice fails cleanly.
+	if err := RegisterKinds(r, audio.PaperFormat()); err == nil {
+		t.Fatal("expected duplicate registration error")
+	}
+}
