@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"testing"
 	"time"
 
 	"rapidware/internal/audio"
 	"rapidware/internal/endpoint"
+	"rapidware/internal/engine"
 	"rapidware/internal/experiment"
 	"rapidware/internal/fec"
 	"rapidware/internal/filter"
@@ -41,6 +43,80 @@ func BenchmarkFigure7FECAudioTrace(b *testing.B) {
 	}
 	b.ReportMetric(lastReceived*100, "%received")
 	b.ReportMetric(lastReconstructed*100, "%reconstructed")
+}
+
+// ---------------------------------------------------------------------------
+// Engine — multi-session UDP relay: the steady-state per-packet path.
+// ---------------------------------------------------------------------------
+
+// BenchmarkEngineMultiSession measures the engine's steady-state relay path
+// with 256 concurrent UDP sessions on one socket. Each op is one full round
+// trip: client datagram -> engine demux -> session chain -> echoed datagram.
+// The path is pooled end to end, so allocs/op must stay at (near) zero; the
+// acceptance bound for this benchmark is <= 2 allocs/op.
+func BenchmarkEngineMultiSession(b *testing.B) {
+	const sessions = 256
+	eng, err := engine.New(engine.Config{ListenAddr: "127.0.0.1:0", MaxSessions: sessions})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	addr := eng.LocalAddr().(*net.UDPAddr)
+
+	payload := make([]byte, 320) // one paper-sized audio packet
+	rand.New(rand.NewSource(42)).Read(payload)
+
+	conns := make([]*net.UDPConn, sessions)
+	dgrams := make([][]byte, sessions)
+	recv := make([]byte, packet.MaxDatagram)
+	for i := range conns {
+		c, err := net.DialUDP("udp", nil, addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+		id := uint32(i + 1)
+		dgram, err := packet.AppendDatagram(nil, id, &packet.Packet{
+			Seq: uint64(i), StreamID: id, Kind: packet.KindData, Payload: payload,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dgrams[i] = dgram
+		// Prime the session (and warm the pools) with one round trip.
+		if _, err := c.Write(dgram); err != nil {
+			b.Fatal(err)
+		}
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := c.Read(recv); err != nil {
+			b.Fatalf("session %d never echoed: %v", id, err)
+		}
+	}
+	if n := eng.SessionCount(); n != sessions {
+		b.Fatalf("primed %d sessions, want %d", n, sessions)
+	}
+	// One generous absolute deadline per socket instead of a per-op
+	// SetReadDeadline keeps deadline bookkeeping out of the measured path.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now().Add(10 * time.Minute))
+	}
+
+	b.SetBytes(int64(len(dgrams[0])))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := conns[i%sessions]
+		if _, err := c.Write(dgrams[i%sessions]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Read(recv); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------

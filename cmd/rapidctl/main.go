@@ -4,6 +4,7 @@
 // Usage:
 //
 //	rapidctl -addr host:7100 status
+//	rapidctl -addr host:7100 sessions
 //	rapidctl -addr host:7100 kinds
 //	rapidctl -addr host:7100 insert <kind> <position> [key=value ...]
 //	rapidctl -addr host:7100 remove <position|filter-name>
@@ -24,6 +25,7 @@ import (
 	"rapidware/internal/control"
 	"rapidware/internal/core"
 	"rapidware/internal/filter"
+	"rapidware/internal/metrics"
 )
 
 func main() {
@@ -44,7 +46,7 @@ func run(args []string, out *os.File) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (status|kinds|insert|remove|move|upload|ping)")
+		return fmt.Errorf("missing command (status|sessions|kinds|insert|remove|move|upload|ping)")
 	}
 
 	client, err := control.Dial(*addr, *timeout)
@@ -66,6 +68,12 @@ func run(args []string, out *os.File) error {
 			return err
 		}
 		printStatus(out, st)
+	case "sessions":
+		stats, err := client.Sessions()
+		if err != nil {
+			return err
+		}
+		printSessions(out, stats)
 	case "kinds":
 		kinds, err := client.Kinds(*proxy)
 		if err != nil {
@@ -147,9 +155,26 @@ func specFromArgs(kind string, params []string) filter.Spec {
 }
 
 func printStatus(out *os.File, st *core.Status) {
+	if st == nil {
+		fmt.Fprintln(out, "no proxy status (engine-only server; try the sessions command)")
+		return
+	}
 	fmt.Fprintf(out, "proxy %s  running=%v  uptime=%dms  inserts=%d removes=%d  intact=%v\n",
 		st.Name, st.Running, st.UptimeMs, st.Insertions, st.Removals, st.ChainIntact)
 	for _, f := range st.Filters {
 		fmt.Fprintf(out, "  [%d] %-30s running=%v\n", f.Position, f.Name, f.Running)
+	}
+}
+
+func printSessions(out *os.File, stats []metrics.SessionStats) {
+	if len(stats) == 0 {
+		fmt.Fprintln(out, "no live sessions")
+		return
+	}
+	fmt.Fprintf(out, "%-10s %10s %12s %10s %12s %8s %8s\n",
+		"session", "pkts", "bytes", "out-pkts", "out-bytes", "repairs", "drops")
+	for _, s := range stats {
+		fmt.Fprintf(out, "%-10d %10d %12d %10d %12d %8d %8d\n",
+			s.ID, s.Packets, s.Bytes, s.OutPackets, s.OutBytes, s.Repairs, s.Drops)
 	}
 }

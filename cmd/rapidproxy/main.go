@@ -1,13 +1,19 @@
-// Command rapidproxy runs a RAPIDware proxy node: it accepts a data stream on
-// one TCP port, forwards it to a downstream address through a dynamically
-// reconfigurable filter chain, and exposes the control protocol on a second
-// port so rapidctl (or any ControlManager) can insert, remove and reorder
-// filters on the live stream.
+// Command rapidproxy runs a RAPIDware proxy node.
 //
-// Usage:
+// In the default engine mode it serves many concurrent UDP proxy sessions on
+// one socket: every datagram carries a 4-byte session ID followed by a packet
+// frame, each session runs its own dynamically reconfigurable filter chain,
+// and output is echoed to the session's sender or forwarded downstream. The
+// control protocol reports per-session packet/byte/repair/drop counters.
 //
-//	rapidproxy -name edge -listen :7000 -forward host:8000 -control :7100 \
-//	    [-filters counting,checksum] [-fec 6,4]
+//	rapidproxy -listen :7400 -max-sessions 256 -chain counting,fec-encode=6/4 \
+//	    [-forward host:7500] [-control :7100]
+//
+// The legacy stream mode (-mode stream) bridges a single TCP stream through
+// one filter chain, as in earlier revisions:
+//
+//	rapidproxy -mode stream -name edge -listen :7000 -forward host:8000 \
+//	    -control :7100 [-filters counting,checksum] [-fec 6,4]
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"rapidware/internal/control"
 	"rapidware/internal/core"
 	"rapidware/internal/endpoint"
+	"rapidware/internal/engine"
 	"rapidware/internal/fec"
 	"rapidware/internal/fecproxy"
 	"rapidware/internal/filter"
@@ -40,20 +47,79 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("rapidproxy", flag.ContinueOnError)
 	var (
 		name        = fs.String("name", "rapidproxy", "proxy name reported over the control protocol")
-		listenAddr  = fs.String("listen", ":7000", "address to accept the incoming data stream on")
-		forwardAddr = fs.String("forward", "", "downstream address to forward the stream to (required)")
+		mode        = fs.String("mode", "engine", "serving mode: engine (multi-session UDP) or stream (single TCP stream)")
+		listenAddr  = fs.String("listen", ":7400", "address to serve on (UDP in engine mode, TCP in stream mode)")
+		forwardAddr = fs.String("forward", "", "downstream address (optional in engine mode: empty echoes to senders; required in stream mode)")
 		controlAddr = fs.String("control", ":7100", "address for the management (control) protocol")
-		filters     = fs.String("filters", "", "comma-separated filter kinds to install at startup")
-		fecSpec     = fs.String("fec", "", "install an FEC encoder with parameters n,k (e.g. 6,4)")
+		maxSessions = fs.Int("max-sessions", engine.DefaultMaxSessions, "engine mode: maximum concurrent sessions")
+		chainSpec   = fs.String("chain", "", "engine mode: default chain spec for new sessions (e.g. counting,fec-encode=6/4)")
+		roaming     = fs.Bool("allow-roaming", false, "engine mode: let a session's echo destination follow its most recent sender")
+		filters     = fs.String("filters", "", "stream mode: comma-separated filter kinds to install at startup")
+		fecSpec     = fs.String("fec", "", "stream mode: install an FEC encoder with parameters n,k (e.g. 6,4)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *forwardAddr == "" {
-		return fmt.Errorf("-forward is required")
-	}
 
 	logger := log.New(os.Stderr, "rapidproxy ", log.LstdFlags)
+
+	// Reject flags that belong to the other mode instead of silently
+	// ignoring them: a stream-mode invocation from an older deployment must
+	// fail loudly, not start a UDP engine that drops its -filters/-fec.
+	switch *mode {
+	case "engine":
+		if *filters != "" || *fecSpec != "" {
+			return fmt.Errorf("-filters/-fec are stream-mode flags; use -chain in engine mode (or pass -mode stream)")
+		}
+		return runEngine(logger, *name, *listenAddr, *forwardAddr, *controlAddr, *maxSessions, *chainSpec, *roaming)
+	case "stream":
+		if *chainSpec != "" || *roaming || *maxSessions != engine.DefaultMaxSessions {
+			return fmt.Errorf("-chain/-max-sessions/-allow-roaming are engine-mode flags; use -filters/-fec in stream mode")
+		}
+		return runStream(logger, *name, *listenAddr, *forwardAddr, *controlAddr, *filters, *fecSpec)
+	default:
+		return fmt.Errorf("unknown -mode %q (want engine or stream)", *mode)
+	}
+}
+
+// runEngine serves the multi-session UDP engine.
+func runEngine(logger *log.Logger, name, listen, forward, controlAddr string, maxSessions int, chain string, roaming bool) error {
+	eng, err := engine.New(engine.Config{
+		Name:         name,
+		ListenAddr:   listen,
+		MaxSessions:  maxSessions,
+		Chain:        chain,
+		Forward:      forward,
+		AllowRoaming: roaming,
+		Logger:       logger,
+	})
+	if err != nil {
+		return err
+	}
+	if err := eng.Start(); err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	server := control.NewServer(logger)
+	server.SetSessionSource(eng)
+	boundControl, err := server.Listen(controlAddr)
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	logger.Printf("control protocol on %s", boundControl)
+
+	waitForSignal(logger)
+	return nil
+}
+
+// runStream bridges one TCP stream through a single filter chain (the
+// original single-session proxy).
+func runStream(logger *log.Logger, name, listen, forward, controlAddr, filters, fecSpec string) error {
+	if forward == "" {
+		return fmt.Errorf("-forward is required in stream mode")
+	}
 
 	// Registry with every filter kind this build knows about.
 	registry := filter.NewRegistry()
@@ -75,10 +141,10 @@ func run(args []string) error {
 		return err
 	}
 
-	proxy := core.New(*name, core.WithRegistry(registry))
+	proxy := core.New(name, core.WithRegistry(registry))
 
 	// Wait for the upstream connection, then dial downstream.
-	ln, err := net.Listen("tcp", *listenAddr)
+	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
@@ -88,30 +154,30 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	downstream, err := net.Dial("tcp", *forwardAddr)
+	downstream, err := net.Dial("tcp", forward)
 	if err != nil {
 		return err
 	}
 	if err := proxy.SetEndpoints(
 		endpoint.NewReader("upstream:"+upstream.RemoteAddr().String(), upstream),
-		endpoint.NewWriter("downstream:"+*forwardAddr, downstream),
+		endpoint.NewWriter("downstream:"+forward, downstream),
 	); err != nil {
 		return err
 	}
 
 	// Pre-install requested filters.
 	pos := 1
-	for _, kind := range splitList(*filters) {
+	for _, kind := range splitList(filters) {
 		if _, err := proxy.InsertSpec(filter.Spec{Kind: kind}, pos); err != nil {
 			return fmt.Errorf("install filter %q: %w", kind, err)
 		}
 		pos++
 	}
-	if *fecSpec != "" {
+	if fecSpec != "" {
 		if _, err := proxy.InsertSpec(filter.Spec{
 			Kind:   "fec-encoder",
-			Name:   "fec-encoder(" + *fecSpec + ")",
-			Params: map[string]string{"nk": *fecSpec},
+			Name:   "fec-encoder(" + fecSpec + ")",
+			Params: map[string]string{"nk": fecSpec},
 		}, pos); err != nil {
 			return fmt.Errorf("install FEC encoder: %w", err)
 		}
@@ -120,21 +186,25 @@ func run(args []string) error {
 	if err := proxy.Start(); err != nil {
 		return err
 	}
-	logger.Printf("forwarding %s -> %s with chain %v", *listenAddr, *forwardAddr, proxy.Chain().Names())
+	logger.Printf("forwarding %s -> %s with chain %v", listen, forward, proxy.Chain().Names())
 
 	server := control.NewServer(logger, proxy)
-	boundControl, err := server.Listen(*controlAddr)
+	boundControl, err := server.Listen(controlAddr)
 	if err != nil {
 		return err
 	}
 	defer server.Close()
 	logger.Printf("control protocol on %s", boundControl)
 
+	waitForSignal(logger)
+	return proxy.Stop()
+}
+
+func waitForSignal(logger *log.Logger) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	logger.Printf("shutting down")
-	return proxy.Stop()
 }
 
 // parseFECParams parses "n,k" into fec.Params.

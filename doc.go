@@ -9,8 +9,17 @@
 // adaptation components, the Pavilion collaborative-session substrate, and a
 // wireless channel simulator that stands in for the paper's WaveLAN testbed.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
-// benchmarks in bench_test.go regenerate every figure of the paper's
-// evaluation; cmd/fecbench prints the same tables from the command line.
+// Beyond the reproduction, internal/engine scales the proxy to many
+// concurrent sessions over real UDP datagrams: one socket, per-session
+// filter chains demultiplexed by a 4-byte session ID prefix, pooled buffers
+// end to end so the steady-state relay path does not allocate, and
+// per-session packet/byte/repair/drop counters exposed through the control
+// protocol. cmd/rapidproxy serves the engine; cmd/rapidctl inspects it.
+//
+// See README.md for a tour (including the engine architecture and UDP wire
+// format), DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every figure of the paper's evaluation plus the
+// engine's multi-session relay benchmark; cmd/fecbench prints the paper
+// tables from the command line.
 package rapidware

@@ -1,0 +1,3 @@
+module rapidware
+
+go 1.24

@@ -80,19 +80,48 @@ func TestEndToEndProxyOverTCPWithControlPlane(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	// The lossy hop drops one data packet out of most FEC groups — a loss
-	// pattern the (6,4) code always repairs, so the end-to-end check stays
-	// deterministic while still forcing the decoder to do real work. Groups
-	// near the end of the stream are spared so the final, partial group
-	// (which is flushed without parity when the stream ends) is never
-	// exposed to unrepairable loss.
+	// The lossy hop drops one data packet out of every FEC group that carries
+	// parity — a loss pattern the (6,4) code always repairs, so the
+	// end-to-end check stays deterministic while forcing the decoder to do
+	// real work on every group. It buffers one group at a time and only
+	// applies the drop once it has seen the group's parity, so the final,
+	// partial group (which is flushed without parity when the stream ends) is
+	// never exposed to unrepairable loss, no matter when the splice happened.
 	if err := registry.Register("wireless-hop", func(s filter.Spec) (filter.Filter, error) {
-		return filter.NewPacketFunc(s.Name, func(p *packet.Packet) ([]*packet.Packet, error) {
-			if p.IsFEC() && p.Kind == packet.KindData && p.Index == 1 && p.Group < totalPackets/4-50 {
-				return nil, nil
+		var pend []*packet.Packet
+		flushGroup := func() []*packet.Packet {
+			if len(pend) == 0 {
+				return nil
 			}
-			return []*packet.Packet{p}, nil
-		}, nil), nil
+			hasParity := false
+			for _, q := range pend {
+				if q.Kind == packet.KindParity {
+					hasParity = true
+					break
+				}
+			}
+			out := make([]*packet.Packet, 0, len(pend))
+			for _, q := range pend {
+				if hasParity && q.Kind == packet.KindData && q.Index == 1 {
+					continue // the injected loss
+				}
+				out = append(out, q)
+			}
+			pend = nil
+			return out
+		}
+		return filter.NewPacketFunc(s.Name, func(p *packet.Packet) ([]*packet.Packet, error) {
+			if !p.IsFEC() {
+				return append(flushGroup(), p), nil
+			}
+			if len(pend) > 0 && pend[0].Group != p.Group {
+				out := flushGroup()
+				pend = append(pend, p)
+				return out, nil
+			}
+			pend = append(pend, p)
+			return nil, nil
+		}, flushGroup), nil
 	}); err != nil {
 		t.Fatal(err)
 	}

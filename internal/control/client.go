@@ -10,6 +10,7 @@ import (
 
 	"rapidware/internal/core"
 	"rapidware/internal/filter"
+	"rapidware/internal/metrics"
 )
 
 // Client is the programmatic ControlManager: it connects to a proxy's control
@@ -71,6 +72,16 @@ func (c *Client) Status(proxy string) (*core.Status, error) {
 		return nil, err
 	}
 	return resp.Status, nil
+}
+
+// Sessions fetches the per-session relay counters of the engine attached to
+// the server (empty when the server has no engine or no live sessions).
+func (c *Client) Sessions() ([]metrics.SessionStats, error) {
+	resp, err := c.roundTrip(Request{Op: OpSessions})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Sessions, nil
 }
 
 // Kinds lists the filter kinds the named proxy can instantiate.

@@ -7,6 +7,7 @@ import (
 
 	"rapidware/internal/core"
 	"rapidware/internal/filter"
+	"rapidware/internal/metrics"
 )
 
 func newManagedProxy(name string) *core.Proxy {
@@ -244,4 +245,54 @@ func contains(list []string, want string) bool {
 		}
 	}
 	return false
+}
+
+// stubSessions is a fixed SessionSource for testing the engine plumbing.
+type stubSessions []metrics.SessionStats
+
+func (s stubSessions) SessionStats() []metrics.SessionStats { return s }
+
+func TestSessionsOverTheWire(t *testing.T) {
+	stats := stubSessions{
+		{ID: 1, Packets: 10, Bytes: 1000, OutPackets: 9, OutBytes: 900, Repairs: 2, Drops: 1},
+		{ID: 7, Packets: 3, Bytes: 300},
+	}
+	s, addr := startServer(t, newManagedProxy("p1"))
+	s.SetSessionSource(stats)
+	c := dialClient(t, addr)
+
+	got, err := c.Sessions()
+	if err != nil {
+		t.Fatalf("Sessions: %v", err)
+	}
+	if len(got) != 2 || got[0].ID != 1 || got[0].Repairs != 2 || got[1].ID != 7 {
+		t.Fatalf("Sessions = %+v", got)
+	}
+	// Status replies fold the session stats in alongside the proxy status.
+	resp := s.Handle(Request{Op: OpStatus, Name: "p1"})
+	if !resp.OK || resp.Status == nil || len(resp.Sessions) != 2 {
+		t.Fatalf("status reply missing sessions: %+v", resp)
+	}
+}
+
+func TestSessionsWithoutSource(t *testing.T) {
+	_, addr := startServer(t, newManagedProxy("p1"))
+	c := dialClient(t, addr)
+	got, err := c.Sessions()
+	if err != nil {
+		t.Fatalf("Sessions: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("Sessions = %+v, want empty", got)
+	}
+}
+
+func TestEngineOnlyStatus(t *testing.T) {
+	// A server with no proxies but a session source still answers status.
+	s := NewServer(nil)
+	s.SetSessionSource(stubSessions{{ID: 3, Packets: 1}})
+	resp := s.Handle(Request{Op: OpStatus})
+	if !resp.OK || len(resp.Sessions) != 1 || resp.Sessions[0].ID != 3 {
+		t.Fatalf("engine-only status = %+v", resp)
+	}
 }

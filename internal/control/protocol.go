@@ -15,6 +15,7 @@ import (
 
 	"rapidware/internal/core"
 	"rapidware/internal/filter"
+	"rapidware/internal/metrics"
 )
 
 // Op enumerates the control operations.
@@ -37,6 +38,9 @@ const (
 	OpUpload Op = "upload"
 	// OpPing verifies liveness.
 	OpPing Op = "ping"
+	// OpSessions returns the per-session relay counters of the attached
+	// multi-session engine.
+	OpSessions Op = "sessions"
 )
 
 // Request is one control-plane command.
@@ -50,17 +54,18 @@ type Request struct {
 
 // Response is the reply to a Request.
 type Response struct {
-	OK     bool         `json:"ok"`
-	Error  string       `json:"error,omitempty"`
-	Status *core.Status `json:"status,omitempty"`
-	Kinds  []string     `json:"kinds,omitempty"`
-	Names  []string     `json:"names,omitempty"`
+	OK       bool                   `json:"ok"`
+	Error    string                 `json:"error,omitempty"`
+	Status   *core.Status           `json:"status,omitempty"`
+	Kinds    []string               `json:"kinds,omitempty"`
+	Names    []string               `json:"names,omitempty"`
+	Sessions []metrics.SessionStats `json:"sessions,omitempty"`
 }
 
 // Validate checks a request for obvious problems before dispatch.
 func (r Request) Validate() error {
 	switch r.Op {
-	case OpStatus, OpKinds, OpPing:
+	case OpStatus, OpKinds, OpPing, OpSessions:
 		return nil
 	case OpInsert, OpUpload:
 		if r.Spec.Kind == "" {

@@ -10,18 +10,26 @@ import (
 	"sync"
 
 	"rapidware/internal/core"
+	"rapidware/internal/metrics"
 )
+
+// SessionSource provides per-session relay statistics for status replies; it
+// is implemented by the multi-session proxy engine.
+type SessionSource interface {
+	SessionStats() []metrics.SessionStats
+}
 
 // Server exposes one or more proxies over the control protocol. Each accepted
 // connection carries a sequence of newline-delimited JSON requests and
 // responses.
 type Server struct {
-	mu      sync.Mutex
-	proxies map[string]*core.Proxy
-	ln      net.Listener
-	wg      sync.WaitGroup
-	closed  bool
-	logger  *log.Logger
+	mu       sync.Mutex
+	proxies  map[string]*core.Proxy
+	sessions SessionSource
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+	logger   *log.Logger
 }
 
 // NewServer returns a server managing the given proxies, keyed by name.
@@ -38,6 +46,25 @@ func (s *Server) AddProxy(p *core.Proxy) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.proxies[p.Name()] = p
+}
+
+// SetSessionSource attaches a multi-session engine whose per-session counters
+// are served by OpSessions and folded into status replies.
+func (s *Server) SetSessionSource(src SessionSource) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions = src
+}
+
+// sessionStats snapshots the attached session source, or nil when absent.
+func (s *Server) sessionStats() []metrics.SessionStats {
+	s.mu.Lock()
+	src := s.sessions
+	s.mu.Unlock()
+	if src == nil {
+		return nil
+	}
+	return src.SessionStats()
 }
 
 // proxyNames returns the registered proxy names.
@@ -130,14 +157,24 @@ func (s *Server) Handle(req Request) Response {
 	if req.Op == OpPing {
 		return Response{OK: true, Names: s.proxyNames()}
 	}
+	if req.Op == OpSessions {
+		return Response{OK: true, Sessions: s.sessionStats()}
+	}
 	p, err := s.lookup(req.Name)
 	if err != nil {
+		// An engine-only server has no proxies, but status is still
+		// meaningful: reply with the per-session counters.
+		if req.Op == OpStatus && req.Name == "" {
+			if stats := s.sessionStats(); stats != nil {
+				return Response{OK: true, Sessions: stats}
+			}
+		}
 		return Response{Error: err.Error()}
 	}
 	switch req.Op {
 	case OpStatus:
 		st := p.Status()
-		return Response{OK: true, Status: &st}
+		return Response{OK: true, Status: &st, Sessions: s.sessionStats()}
 	case OpKinds:
 		return Response{OK: true, Kinds: p.Registry().Kinds()}
 	case OpInsert:

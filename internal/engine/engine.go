@@ -1,0 +1,365 @@
+// Package engine lifts the single-stream RAPIDware proxy into a concurrent
+// multi-session relay over real UDP datagrams. One Engine owns one UDP
+// socket; every datagram carries a 4-byte session ID followed by an ordinary
+// packet frame (see internal/packet). The engine demultiplexes datagrams by
+// session ID into per-session filter chains — each an independent instance of
+// the paper's ControlThread, so filters can still be inserted, removed and
+// reordered on any live session — and relays each chain's output either back
+// to the session's sender (echo mode) or to a fixed downstream address.
+//
+// The steady-state relay path is allocation-free: datagrams travel in pooled
+// buffers (packet.GetBuf) from the socket read, through the chain's
+// detachable streams, to the socket write, and session lookup, peer tracking
+// and counters all avoid per-packet allocation.
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rapidware/internal/metrics"
+	"rapidware/internal/packet"
+)
+
+// Defaults applied by New.
+const (
+	DefaultMaxSessions = 256
+	DefaultQueueDepth  = 256
+)
+
+// Errors returned by the engine.
+var (
+	// ErrEngineClosed is returned by operations on a closed engine.
+	ErrEngineClosed = errors.New("engine: closed")
+	// ErrSessionLimit is returned when a new session would exceed MaxSessions.
+	ErrSessionLimit = errors.New("engine: session limit reached")
+	// ErrUnknownSession is returned by CloseSession for an unknown ID.
+	ErrUnknownSession = errors.New("engine: unknown session")
+)
+
+// Config describes an Engine.
+type Config struct {
+	// Name identifies the engine in logs and control replies.
+	Name string
+	// ListenAddr is the UDP address to serve on (e.g. ":7400", "127.0.0.1:0").
+	ListenAddr string
+	// MaxSessions caps concurrent sessions; 0 selects DefaultMaxSessions.
+	MaxSessions int
+	// Chain is the default chain spec instantiated for every new session; see
+	// ParseChain for the syntax. Empty means a pure relay (no interior
+	// filters).
+	Chain string
+	// Forward, when non-empty, is the downstream UDP address all relayed
+	// datagrams are sent to. When empty the engine echoes each session's
+	// output back to that session's most recent sender.
+	Forward string
+	// QueueDepth bounds each session's inbound datagram queue; 0 selects
+	// DefaultQueueDepth. When the queue is full new datagrams are dropped and
+	// counted, UDP-style, rather than blocking the shared read loop.
+	QueueDepth int
+	// AllowRoaming lets a session's echo destination follow its most recent
+	// sender (for mobile clients whose address changes mid-session). Off by
+	// default: the peer is pinned to the session's first sender so a datagram
+	// that merely guesses a session ID cannot redirect the stream.
+	AllowRoaming bool
+	// Logger receives engine lifecycle messages; nil disables logging.
+	Logger *log.Logger
+}
+
+// Stats is an engine-level counter snapshot.
+type Stats struct {
+	ActiveSessions int    `json:"active_sessions"`
+	TotalSessions  uint64 `json:"total_sessions"`
+	Datagrams      uint64 `json:"datagrams"`
+	Malformed      uint64 `json:"malformed"`
+	Rejected       uint64 `json:"rejected"`
+	ChainErrors    uint64 `json:"chain_errors"`
+}
+
+// Engine is a multi-session UDP proxy.
+type Engine struct {
+	cfg      Config
+	builders []StageBuilder
+
+	conn    *net.UDPConn
+	forward netip.AddrPort // zero value when echoing to senders
+
+	mu       sync.RWMutex
+	sessions map[uint32]*Session
+	closed   bool
+
+	wg sync.WaitGroup
+
+	opened      atomic.Uint64
+	datagrams   atomic.Uint64
+	malformed   atomic.Uint64
+	rejected    atomic.Uint64
+	chainErrors atomic.Uint64
+}
+
+// New validates cfg (including the chain spec) and returns an engine ready to
+// Start.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Name == "" {
+		cfg.Name = "engine"
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	builders, err := ParseChain(cfg.Chain)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:      cfg,
+		builders: builders,
+		sessions: make(map[uint32]*Session),
+	}, nil
+}
+
+// Start binds the UDP socket and launches the shared read loop.
+func (e *Engine) Start() error {
+	addr, err := net.ResolveUDPAddr("udp", e.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("engine: resolve %q: %w", e.cfg.ListenAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return fmt.Errorf("engine: listen %q: %w", e.cfg.ListenAddr, err)
+	}
+	// Large socket buffers absorb the bursts produced by hundreds of
+	// concurrent sessions sharing one socket. Failures are advisory (the OS
+	// may clamp the value), so errors are ignored.
+	_ = conn.SetReadBuffer(4 << 20)
+	_ = conn.SetWriteBuffer(4 << 20)
+	if e.cfg.Forward != "" {
+		fwd, err := net.ResolveUDPAddr("udp", e.cfg.Forward)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("engine: resolve forward %q: %w", e.cfg.Forward, err)
+		}
+		// Unmap 4-in-6 addresses so writes work regardless of the socket's
+		// address family.
+		ap := fwd.AddrPort()
+		e.forward = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	}
+	e.conn = conn
+	e.wg.Add(1)
+	go e.readLoop()
+	e.logf("serving UDP on %s (max %d sessions, chain %q)", conn.LocalAddr(), e.cfg.MaxSessions, e.cfg.Chain)
+	return nil
+}
+
+// LocalAddr returns the bound UDP address (nil before Start).
+func (e *Engine) LocalAddr() net.Addr {
+	if e.conn == nil {
+		return nil
+	}
+	return e.conn.LocalAddr()
+}
+
+// readLoop is the shared demultiplexer: one goroutine reads every datagram
+// from the socket and routes it to its session's queue. Nothing on this path
+// allocates in steady state.
+func (e *Engine) readLoop() {
+	defer e.wg.Done()
+	for {
+		b := packet.GetBuf(packet.MaxDatagram)
+		n, from, err := e.conn.ReadFromUDPAddrPort(b.B)
+		if err != nil {
+			b.Release()
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			e.mu.RLock()
+			closed := e.closed
+			e.mu.RUnlock()
+			if closed {
+				return
+			}
+			e.logf("read: %v", err)
+			continue
+		}
+		e.datagrams.Add(1)
+		if n < packet.SessionIDSize {
+			e.malformed.Add(1)
+			b.Release()
+			continue
+		}
+		b.B = b.B[:n]
+		// Reject garbage before it can reach (or create) a session: a frame
+		// that fails validation would otherwise kill the session's chain.
+		if packet.ValidateFrame(b.B[packet.SessionIDSize:]) != nil {
+			e.malformed.Add(1)
+			b.Release()
+			continue
+		}
+		id := binary.BigEndian.Uint32(b.B)
+		s := e.lookup(id)
+		if s == nil {
+			var err error
+			s, err = e.openSession(id, from)
+			if err != nil {
+				e.rejected.Add(1)
+				b.Release()
+				if !errors.Is(err, ErrSessionLimit) && !errors.Is(err, ErrEngineClosed) {
+					e.logf("session %d: %v", id, err)
+				}
+				continue
+			}
+		}
+		s.deliver(b, from)
+	}
+}
+
+// lookup returns the session with the given ID, or nil.
+func (e *Engine) lookup(id uint32) *Session {
+	e.mu.RLock()
+	s := e.sessions[id]
+	e.mu.RUnlock()
+	return s
+}
+
+// openSession creates, registers and starts a session for id. The first
+// datagram's source becomes the session's initial peer.
+func (e *Engine) openSession(id uint32, peer netip.AddrPort) (*Session, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
+	if s, ok := e.sessions[id]; ok {
+		return s, nil
+	}
+	if len(e.sessions) >= e.cfg.MaxSessions {
+		return nil, ErrSessionLimit
+	}
+	s, err := newSession(e, id, peer)
+	if err != nil {
+		return nil, err
+	}
+	e.sessions[id] = s
+	e.opened.Add(1)
+	e.wg.Add(1)
+	go e.watchSession(s)
+	return s, nil
+}
+
+// watchSession evicts a session whose chain terminates on its own — for
+// example because a filter stage failed — so a dead session cannot occupy a
+// slot and blackhole its ID forever. Deliberate closes are ignored.
+func (e *Engine) watchSession(s *Session) {
+	defer e.wg.Done()
+	s.sink.Wait()
+	select {
+	case <-s.done:
+		return // CloseSession / Close is tearing the session down
+	default:
+	}
+	if err := s.sink.Err(); err != nil {
+		e.chainErrors.Add(1)
+		e.logf("session %d: chain failed, evicting: %v", s.id, err)
+	} else {
+		e.logf("session %d: chain ended, evicting", s.id)
+	}
+	e.mu.Lock()
+	if e.sessions[s.id] == s {
+		delete(e.sessions, s.id)
+	}
+	e.mu.Unlock()
+	s.close()
+}
+
+// Session returns the live session with the given ID, or nil.
+func (e *Engine) Session(id uint32) *Session { return e.lookup(id) }
+
+// SessionCount returns the number of live sessions.
+func (e *Engine) SessionCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.sessions)
+}
+
+// CloseSession terminates one session and releases its resources.
+func (e *Engine) CloseSession(id uint32) error {
+	e.mu.Lock()
+	s, ok := e.sessions[id]
+	delete(e.sessions, id)
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	return s.close()
+}
+
+// SessionStats snapshots every live session's counters, ordered by session
+// ID.
+func (e *Engine) SessionStats() []metrics.SessionStats {
+	e.mu.RLock()
+	out := make([]metrics.SessionStats, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		out = append(out, s.Stats())
+	}
+	e.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats snapshots the engine-level counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		ActiveSessions: e.SessionCount(),
+		TotalSessions:  e.opened.Load(),
+		Datagrams:      e.datagrams.Load(),
+		Malformed:      e.malformed.Load(),
+		Rejected:       e.rejected.Load(),
+		ChainErrors:    e.chainErrors.Load(),
+	}
+}
+
+// Close shuts down the read loop and every session. It is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	sessions := make([]*Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	e.sessions = make(map[uint32]*Session)
+	e.mu.Unlock()
+
+	var firstErr error
+	if e.conn != nil {
+		if err := e.conn.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	for _, s := range sessions {
+		if err := s.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	e.wg.Wait()
+	e.logf("closed (%d sessions served)", e.opened.Load())
+	return firstErr
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Logger != nil {
+		e.cfg.Logger.Printf("engine %s: "+format, append([]any{e.cfg.Name}, args...)...)
+	}
+}

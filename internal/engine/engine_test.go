@@ -1,0 +1,392 @@
+package engine
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"rapidware/internal/packet"
+)
+
+// newTestEngine starts an engine on a loopback port and tears it down with
+// the test.
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// dialEngine returns a connected client socket for the engine.
+func dialEngine(t *testing.T, e *Engine) *net.UDPConn {
+	t.Helper()
+	c, err := net.DialUDP("udp", nil, e.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatalf("DialUDP: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// sendPacket writes one engine datagram for session id carrying p.
+func sendPacket(t *testing.T, c *net.UDPConn, id uint32, p *packet.Packet) {
+	t.Helper()
+	dgram, err := packet.AppendDatagram(nil, id, p)
+	if err != nil {
+		t.Fatalf("AppendDatagram: %v", err)
+	}
+	if _, err := c.Write(dgram); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+}
+
+// readPacket reads one engine datagram and decodes it.
+func readPacket(t *testing.T, c *net.UDPConn, timeout time.Duration) (uint32, *packet.Packet) {
+	t.Helper()
+	buf := make([]byte, packet.MaxDatagram)
+	c.SetReadDeadline(time.Now().Add(timeout))
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	id, frame, err := packet.SplitSessionID(buf[:n])
+	if err != nil {
+		t.Fatalf("SplitSessionID: %v", err)
+	}
+	p, _, err := packet.Unmarshal(frame)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	return id, p
+}
+
+func TestEngineEchoRelay(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	c := dialEngine(t, e)
+
+	want := &packet.Packet{Seq: 7, StreamID: 9, Kind: packet.KindData, Payload: []byte("hello engine")}
+	sendPacket(t, c, 42, want)
+	id, got := readPacket(t, c, 2*time.Second)
+	if id != 42 {
+		t.Fatalf("echoed session id = %d, want 42", id)
+	}
+	if got.Seq != want.Seq || got.StreamID != want.StreamID || string(got.Payload) != string(want.Payload) {
+		t.Fatalf("echoed packet %v, want %v", got, want)
+	}
+	if n := e.SessionCount(); n != 1 {
+		t.Fatalf("SessionCount = %d, want 1", n)
+	}
+	stats := e.SessionStats()
+	if len(stats) != 1 || stats[0].ID != 42 {
+		t.Fatalf("SessionStats = %+v, want one entry for session 42", stats)
+	}
+	if stats[0].Packets != 1 || stats[0].OutPackets != 1 {
+		t.Fatalf("session counters = %+v, want 1 in / 1 out", stats[0])
+	}
+}
+
+func TestEngineMultipleSessionsAreIndependent(t *testing.T) {
+	e := newTestEngine(t, Config{Chain: "counting"})
+	c := dialEngine(t, e)
+
+	const sessions = 8
+	for id := uint32(1); id <= sessions; id++ {
+		sendPacket(t, c, id, &packet.Packet{Seq: uint64(id), Kind: packet.KindData, Payload: []byte{byte(id)}})
+	}
+	seen := make(map[uint32]bool)
+	for i := 0; i < sessions; i++ {
+		id, p := readPacket(t, c, 2*time.Second)
+		if len(p.Payload) != 1 || p.Payload[0] != byte(id) {
+			t.Fatalf("session %d echoed payload %v", id, p.Payload)
+		}
+		seen[id] = true
+	}
+	if len(seen) != sessions {
+		t.Fatalf("saw %d distinct sessions, want %d", len(seen), sessions)
+	}
+	if n := e.SessionCount(); n != sessions {
+		t.Fatalf("SessionCount = %d, want %d", n, sessions)
+	}
+	// Each session's chain has source + counting + sink.
+	s := e.Session(3)
+	if s == nil {
+		t.Fatal("session 3 missing")
+	}
+	if got := s.Chain().Len(); got != 3 {
+		t.Fatalf("chain length = %d, want 3", got)
+	}
+}
+
+func TestEngineSessionLimit(t *testing.T) {
+	e := newTestEngine(t, Config{MaxSessions: 2})
+	c := dialEngine(t, e)
+
+	for id := uint32(1); id <= 3; id++ {
+		sendPacket(t, c, id, &packet.Packet{Kind: packet.KindData, Payload: []byte("x")})
+	}
+	// Sessions 1 and 2 echo; session 3 is refused.
+	for i := 0; i < 2; i++ {
+		id, _ := readPacket(t, c, 2*time.Second)
+		if id != 1 && id != 2 {
+			t.Fatalf("unexpected echo from session %d", id)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Stats().Rejected == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("rejected counter never incremented")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := e.SessionCount(); n != 2 {
+		t.Fatalf("SessionCount = %d, want 2", n)
+	}
+}
+
+func TestEngineForwardMode(t *testing.T) {
+	// Downstream receiver.
+	down, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("downstream listen: %v", err)
+	}
+	defer down.Close()
+
+	e := newTestEngine(t, Config{Forward: down.LocalAddr().String()})
+	c := dialEngine(t, e)
+
+	sendPacket(t, c, 5, &packet.Packet{Seq: 1, Kind: packet.KindData, Payload: []byte("downstream")})
+	buf := make([]byte, packet.MaxDatagram)
+	down.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := down.Read(buf)
+	if err != nil {
+		t.Fatalf("downstream read: %v", err)
+	}
+	id, frame, err := packet.SplitSessionID(buf[:n])
+	if err != nil {
+		t.Fatalf("SplitSessionID: %v", err)
+	}
+	if id != 5 {
+		t.Fatalf("forwarded session id = %d, want 5", id)
+	}
+	p, _, err := packet.Unmarshal(frame)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if string(p.Payload) != "downstream" {
+		t.Fatalf("forwarded payload %q", p.Payload)
+	}
+}
+
+func TestEngineFECChainEmitsParity(t *testing.T) {
+	e := newTestEngine(t, Config{Chain: "fec-encode=6/4"})
+	c := dialEngine(t, e)
+
+	for i := 0; i < 4; i++ {
+		sendPacket(t, c, 9, &packet.Packet{Seq: uint64(i), Kind: packet.KindData, Payload: []byte{byte(i), 0xAA}})
+	}
+	var data, parity int
+	for i := 0; i < 6; i++ {
+		_, p := readPacket(t, c, 2*time.Second)
+		switch p.Kind {
+		case packet.KindData:
+			data++
+		case packet.KindParity:
+			parity++
+		}
+	}
+	if data != 4 || parity != 2 {
+		t.Fatalf("got %d data / %d parity packets, want 4/2", data, parity)
+	}
+}
+
+func TestEngineFECEncodeDecodeRoundTrip(t *testing.T) {
+	// Encoder and decoder back to back in one chain: data packets should come
+	// out exactly once each, parity should be absorbed.
+	e := newTestEngine(t, Config{Chain: "fec-encode=6/4,fec-decode"})
+	c := dialEngine(t, e)
+
+	for i := 0; i < 4; i++ {
+		sendPacket(t, c, 11, &packet.Packet{Seq: uint64(i), Kind: packet.KindData, Payload: []byte{byte(i)}})
+	}
+	for i := 0; i < 4; i++ {
+		_, p := readPacket(t, c, 2*time.Second)
+		if p.Kind != packet.KindData {
+			t.Fatalf("packet %d: kind %v, want data", i, p.Kind)
+		}
+	}
+	// No parity should remain queued for the client.
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := c.Read(make([]byte, packet.MaxDatagram)); err == nil {
+		t.Fatal("unexpected extra datagram after decoded stream")
+	}
+}
+
+func TestEngineCloseSession(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	c := dialEngine(t, e)
+
+	sendPacket(t, c, 1, &packet.Packet{Kind: packet.KindData, Payload: []byte("x")})
+	readPacket(t, c, 2*time.Second)
+	if err := e.CloseSession(1); err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	if n := e.SessionCount(); n != 0 {
+		t.Fatalf("SessionCount = %d after close, want 0", n)
+	}
+	if err := e.CloseSession(1); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("CloseSession again = %v, want ErrUnknownSession", err)
+	}
+	// A new datagram on the same ID opens a fresh session.
+	sendPacket(t, c, 1, &packet.Packet{Kind: packet.KindData, Payload: []byte("y")})
+	_, p := readPacket(t, c, 2*time.Second)
+	if string(p.Payload) != "y" {
+		t.Fatalf("payload after session reopen = %q", p.Payload)
+	}
+}
+
+func TestEngineMalformedDatagramsCounted(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	c := dialEngine(t, e)
+
+	if _, err := c.Write([]byte{0x01}); err != nil { // shorter than a session ID
+		t.Fatalf("Write: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Stats().Malformed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("malformed counter never incremented")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := e.SessionCount(); n != 0 {
+		t.Fatalf("SessionCount = %d, want 0", n)
+	}
+}
+
+func TestParseChain(t *testing.T) {
+	good := []string{"", "null", "counting,checksum", "delay=5ms", "ratelimit=1024", "fec-encode=6/4", "fec-encode=6/4,fec-decode", " null , counting "}
+	for _, spec := range good {
+		if _, err := ParseChain(spec); err != nil {
+			t.Errorf("ParseChain(%q) = %v, want nil", spec, err)
+		}
+	}
+	bad := []string{"bogus", "delay=xyz", "ratelimit=-1", "fec-encode=4", "fec-encode=4/6", "fec-encode=a/b"}
+	for _, spec := range bad {
+		if _, err := ParseChain(spec); err == nil {
+			t.Errorf("ParseChain(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestEngineGarbageFrameDoesNotBrickSession(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	c := dialEngine(t, e)
+
+	// Establish the session, then hit it with garbage frames: a bad magic, a
+	// truncated header, and a frame whose length field lies.
+	sendPacket(t, c, 21, &packet.Packet{Kind: packet.KindData, Payload: []byte("pre")})
+	readPacket(t, c, 2*time.Second)
+	garbage := [][]byte{
+		append(packet.AppendSessionID(nil, 21), []byte("XX-not-a-frame")...),
+		packet.AppendSessionID(nil, 21),
+		func() []byte {
+			dgram, _ := packet.AppendDatagram(nil, 21, &packet.Packet{Kind: packet.KindData, Payload: []byte("abcd")})
+			return dgram[:len(dgram)-2] // truncate the payload
+		}(),
+	}
+	for _, g := range garbage {
+		if _, err := c.Write(g); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Stats().Malformed < uint64(len(garbage)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("malformed = %d, want %d", e.Stats().Malformed, len(garbage))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The session must still relay.
+	sendPacket(t, c, 21, &packet.Packet{Kind: packet.KindData, Payload: []byte("post")})
+	_, p := readPacket(t, c, 2*time.Second)
+	if string(p.Payload) != "post" {
+		t.Fatalf("payload after garbage = %q", p.Payload)
+	}
+	if n := e.SessionCount(); n != 1 {
+		t.Fatalf("SessionCount = %d, want 1", n)
+	}
+}
+
+func TestEngineEvictsSessionWhoseChainFails(t *testing.T) {
+	// A duplicate FEC share is a protocol-valid frame that makes the decoder
+	// filter fail, killing the session's chain. The watchdog must evict the
+	// dead session so the ID is not blackholed, and a later datagram must get
+	// a fresh session.
+	e := newTestEngine(t, Config{Chain: "fec-decode"})
+	c := dialEngine(t, e)
+
+	dup := &packet.Packet{Seq: 1, Kind: packet.KindData, Group: 0, Index: 0, K: 4, N: 6, Payload: []byte("share")}
+	sendPacket(t, c, 33, dup)
+	readPacket(t, c, 2*time.Second) // data share passes through the decoder
+	sendPacket(t, c, 33, dup)       // duplicate: decoder errors, chain dies
+
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Stats().ChainErrors == 0 || e.SessionCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dead session never evicted: %+v count=%d", e.Stats(), e.SessionCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Same ID works again on a fresh session.
+	sendPacket(t, c, 33, &packet.Packet{Seq: 2, Kind: packet.KindData, Payload: []byte("reborn")})
+	_, p := readPacket(t, c, 2*time.Second)
+	if string(p.Payload) != "reborn" {
+		t.Fatalf("payload after eviction = %q", p.Payload)
+	}
+}
+
+func TestEngineEchoPeerIsPinnedToFirstSender(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	owner := dialEngine(t, e)
+	intruder := dialEngine(t, e)
+
+	sendPacket(t, owner, 55, &packet.Packet{Seq: 1, Kind: packet.KindData, Payload: []byte("mine")})
+	readPacket(t, owner, 2*time.Second)
+
+	// A second socket sends on the same session ID: its datagram is relayed,
+	// but the echo must still go to the original sender, not the intruder.
+	sendPacket(t, intruder, 55, &packet.Packet{Seq: 2, Kind: packet.KindData, Payload: []byte("stolen?")})
+	_, p := readPacket(t, owner, 2*time.Second)
+	if string(p.Payload) != "stolen?" {
+		t.Fatalf("owner received %q, want the relayed packet", p.Payload)
+	}
+	intruder.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if _, err := intruder.Read(make([]byte, packet.MaxDatagram)); err == nil {
+		t.Fatal("intruder received the session's output")
+	}
+}
+
+func TestEngineAllowRoamingFollowsSender(t *testing.T) {
+	e := newTestEngine(t, Config{AllowRoaming: true})
+	first := dialEngine(t, e)
+	second := dialEngine(t, e)
+
+	sendPacket(t, first, 56, &packet.Packet{Seq: 1, Kind: packet.KindData, Payload: []byte("a")})
+	readPacket(t, first, 2*time.Second)
+
+	sendPacket(t, second, 56, &packet.Packet{Seq: 2, Kind: packet.KindData, Payload: []byte("b")})
+	_, p := readPacket(t, second, 2*time.Second)
+	if string(p.Payload) != "b" {
+		t.Fatalf("roamed client received %q", p.Payload)
+	}
+}

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+
+	"rapidware/internal/endpoint"
+	"rapidware/internal/filter"
+	"rapidware/internal/metrics"
+	"rapidware/internal/packet"
+)
+
+// Session is one proxied stream inside an Engine: an inbound datagram queue,
+// a filter chain bracketed by UDP endpoints, and the counters the control
+// protocol reports. Sessions are created on demand by the engine's read loop
+// when a datagram with an unknown session ID arrives.
+type Session struct {
+	id  uint32
+	eng *Engine
+
+	chain    *filter.Chain
+	source   *endpoint.UDPSource
+	sink     *endpoint.UDPSink
+	counters metrics.SessionCounters
+
+	// repairs reports FEC reconstruction counts from any decoder stages in
+	// the chain; read at snapshot time, never on the data path.
+	repairs []func() uint64
+
+	in   chan *packet.Buf
+	done chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+
+	peerMu sync.RWMutex
+	peer   netip.AddrPort
+}
+
+// newSession builds and starts the chain for one session. Caller holds the
+// engine lock.
+func newSession(e *Engine, id uint32, peer netip.AddrPort) (*Session, error) {
+	s := &Session{
+		id:   id,
+		eng:  e,
+		in:   make(chan *packet.Buf, e.cfg.QueueDepth),
+		done: make(chan struct{}),
+		peer: peer,
+	}
+	s.chain = filter.NewChain(fmt.Sprintf("session-%d", id))
+	s.source = endpoint.NewUDPSource(fmt.Sprintf("udp-in:%d", id), s.recv)
+	s.sink = endpoint.NewUDPSink(fmt.Sprintf("udp-out:%d", id), packet.SessionIDSize, s.send)
+	if err := s.chain.Append(s.source); err != nil {
+		return nil, err
+	}
+	for _, build := range e.builders {
+		f, err := build(s)
+		if err != nil {
+			return nil, fmt.Errorf("engine: session %d chain: %w", id, err)
+		}
+		if err := s.chain.Append(f); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.chain.Append(s.sink); err != nil {
+		return nil, err
+	}
+	if err := s.chain.Start(); err != nil {
+		return nil, fmt.Errorf("engine: session %d start: %w", id, err)
+	}
+	return s, nil
+}
+
+// ID returns the session's wire identifier.
+func (s *Session) ID() uint32 { return s.id }
+
+// Chain exposes the session's filter chain so callers (control plane, tests,
+// raplets) can insert, remove and reorder filters on the live stream.
+func (s *Session) Chain() *filter.Chain { return s.chain }
+
+// Counters returns the session's counter block.
+func (s *Session) Counters() *metrics.SessionCounters { return &s.counters }
+
+// Stats snapshots the session's counters, folding in FEC repair counts from
+// any decoder stages.
+func (s *Session) Stats() metrics.SessionStats {
+	st := s.counters.Snapshot(s.id)
+	for _, fn := range s.repairs {
+		st.Repairs += fn()
+	}
+	return st
+}
+
+// Peer returns the address the session currently relays to in echo mode: the
+// source of the most recent inbound datagram.
+func (s *Session) Peer() netip.AddrPort {
+	s.peerMu.RLock()
+	defer s.peerMu.RUnlock()
+	return s.peer
+}
+
+// setPeer records the sender a session echoes to. By default the peer is
+// pinned to the session's first sender: letting any datagram that guesses a
+// live session ID retarget the output would hand the stream to an off-path
+// attacker (or reflect it at a spoofed victim). Deployments with genuinely
+// mobile clients opt in with Config.AllowRoaming. The common case (unchanged
+// peer) stays on the read lock.
+func (s *Session) setPeer(from netip.AddrPort) {
+	s.peerMu.RLock()
+	same := s.peer == from
+	pinned := !s.eng.cfg.AllowRoaming && s.peer.IsValid()
+	s.peerMu.RUnlock()
+	if same || pinned {
+		return
+	}
+	s.peerMu.Lock()
+	if s.eng.cfg.AllowRoaming || !s.peer.IsValid() {
+		s.peer = from
+	}
+	s.peerMu.Unlock()
+}
+
+// deliver hands one inbound datagram (session ID still prefixed) to the
+// session, dropping rather than blocking when the queue is full so one slow
+// session cannot stall the engine's shared read loop. deliver takes ownership
+// of b.
+func (s *Session) deliver(b *packet.Buf, from netip.AddrPort) {
+	s.setPeer(from)
+	n := uint64(len(b.B)) // read before the send: the chain owns b afterwards
+	select {
+	case s.in <- b:
+		s.counters.Packets.Add(1)
+		s.counters.Bytes.Add(n)
+	default:
+		s.counters.Drops.Add(1)
+		b.Release()
+	}
+}
+
+// recv feeds the UDPSource: it blocks for the next queued datagram, strips
+// the session-ID prefix, and returns io.EOF once the session is closed.
+func (s *Session) recv() (*packet.Buf, error) {
+	select {
+	case b := <-s.in:
+		b.B = b.B[packet.SessionIDSize:]
+		return b, nil
+	case <-s.done:
+		return nil, io.EOF
+	}
+}
+
+// send relays one chain-output frame. The sink reserved SessionIDSize bytes
+// of headroom, so the session ID is stamped in place and the whole buffer is
+// one datagram. send owns b.
+func (s *Session) send(b *packet.Buf) error {
+	packet.PutSessionID(b.B, s.id)
+	dst := s.eng.forward
+	if !dst.IsValid() {
+		dst = s.Peer()
+	}
+	if !dst.IsValid() {
+		s.counters.Drops.Add(1)
+		b.Release()
+		return nil
+	}
+	n, err := s.eng.conn.WriteToUDPAddrPort(b.B, dst)
+	b.Release()
+	if err != nil {
+		select {
+		case <-s.done:
+			// Shutting down: let the pump exit.
+			return err
+		default:
+		}
+		// Transient send failure: account for it and keep the session alive,
+		// matching UDP's fire-and-forget semantics.
+		s.counters.Drops.Add(1)
+		return nil
+	}
+	s.counters.OutPackets.Add(1)
+	s.counters.OutBytes.Add(uint64(n))
+	return nil
+}
+
+// close terminates the session: the source observes EOF, the chain drains
+// and stops, and queued buffers are returned to the pool.
+func (s *Session) close() error {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.closeErr = s.chain.Stop()
+		for {
+			select {
+			case b := <-s.in:
+				b.Release()
+			default:
+				return
+			}
+		}
+	})
+	return s.closeErr
+}

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rapidware/internal/filter"
+	"rapidware/internal/packet"
+)
+
+// TestEngineSoak256Sessions drives 256 concurrent sessions through one
+// engine socket, each from its own client socket, and requires (almost) every
+// packet to come back. Each client runs a ping-pong with bounded retries so
+// the occasional UDP drop on a loaded host cannot wedge the test.
+func TestEngineSoak256Sessions(t *testing.T) {
+	const (
+		sessions     = 256
+		perSession   = 20
+		retries      = 5
+		replyTimeout = 500 * time.Millisecond
+	)
+	e := newTestEngine(t, Config{MaxSessions: sessions})
+	addr := e.LocalAddr().(*net.UDPAddr)
+
+	var wg sync.WaitGroup
+	var delivered, failed atomic.Uint64
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(id uint32) {
+			defer wg.Done()
+			c, err := net.DialUDP("udp", nil, addr)
+			if err != nil {
+				t.Errorf("session %d: dial: %v", id, err)
+				return
+			}
+			defer c.Close()
+			buf := make([]byte, packet.MaxDatagram)
+			for seq := 0; seq < perSession; seq++ {
+				p := &packet.Packet{Seq: uint64(seq), StreamID: id, Kind: packet.KindData, Payload: []byte{byte(id), byte(seq)}}
+				dgram, err := packet.AppendDatagram(nil, id, p)
+				if err != nil {
+					t.Errorf("session %d: marshal: %v", id, err)
+					return
+				}
+				ok := false
+				for attempt := 0; attempt < retries && !ok; attempt++ {
+					if _, err := c.Write(dgram); err != nil {
+						t.Errorf("session %d: write: %v", id, err)
+						return
+					}
+					c.SetReadDeadline(time.Now().Add(replyTimeout))
+					n, err := c.Read(buf)
+					if err != nil {
+						continue // timeout: retry
+					}
+					gotID, frame, err := packet.SplitSessionID(buf[:n])
+					if err != nil || gotID != id {
+						continue
+					}
+					got, _, err := packet.Unmarshal(frame)
+					if err != nil {
+						continue
+					}
+					// A retry can surface the previous attempt's duplicate
+					// echo; any structurally valid echo for this session
+					// counts, but the payload must be intact.
+					if len(got.Payload) != 2 || got.Payload[0] != byte(id) {
+						t.Errorf("session %d: corrupted payload %v", id, got.Payload)
+						return
+					}
+					ok = true
+				}
+				if ok {
+					delivered.Add(1)
+				} else {
+					failed.Add(1)
+				}
+			}
+		}(uint32(i + 1))
+	}
+	wg.Wait()
+
+	total := uint64(sessions * perSession)
+	if got := delivered.Load(); got < total*95/100 {
+		t.Fatalf("delivered %d of %d packets (%d failed)", got, total, failed.Load())
+	}
+	if n := e.SessionCount(); n != sessions {
+		t.Fatalf("SessionCount = %d, want %d", n, sessions)
+	}
+	stats := e.SessionStats()
+	if len(stats) != sessions {
+		t.Fatalf("SessionStats has %d entries, want %d", len(stats), sessions)
+	}
+	var inPkts uint64
+	for _, st := range stats {
+		inPkts += st.Packets
+	}
+	if inPkts < total {
+		t.Fatalf("sessions accepted %d packets, want >= %d", inPkts, total)
+	}
+}
+
+// TestEngineLiveFilterSpliceUnderTraffic repeatedly inserts and removes a
+// filter on a session's chain while datagrams are flowing through it — the
+// paper's live reconfiguration, now per engine session. Run under -race this
+// doubles as the engine's concurrency regression test.
+func TestEngineLiveFilterSpliceUnderTraffic(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	c := dialEngine(t, e)
+
+	const id = 77
+	stop := make(chan struct{})
+	var sent, received atomic.Uint64
+
+	// Traffic generator: fire-and-forget datagrams at a steady trickle.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		seq := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := &packet.Packet{Seq: seq, Kind: packet.KindData, Payload: []byte("splice-traffic")}
+			dgram, err := packet.AppendDatagram(nil, id, p)
+			if err != nil {
+				t.Errorf("marshal: %v", err)
+				return
+			}
+			if _, err := c.Write(dgram); err != nil {
+				return
+			}
+			sent.Add(1)
+			seq++
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	// Echo drain.
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, packet.MaxDatagram)
+		for {
+			c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+			n, err := c.Read(buf)
+			if err != nil {
+				select {
+				case <-stop:
+					return
+				default:
+					continue
+				}
+			}
+			if _, _, err := packet.SplitSessionID(buf[:n]); err == nil {
+				received.Add(1)
+			}
+		}
+	}()
+
+	// Wait for the session to exist.
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Session(id) == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("session never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s := e.Session(id)
+
+	// Live splices while traffic flows.
+	const splices = 50
+	for i := 0; i < splices; i++ {
+		f := filter.NewCounting(fmt.Sprintf("splice-%d", i))
+		if err := s.Chain().Insert(f, 1); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if _, err := s.Chain().Remove(1); err != nil {
+			t.Fatalf("remove %d: %v", i, err)
+		}
+		if err := s.Chain().Validate(); err != nil {
+			t.Fatalf("chain wiring broken after splice %d: %v", i, err)
+		}
+	}
+
+	// Give in-flight packets a moment, then stop traffic.
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if sent.Load() == 0 || received.Load() == 0 {
+		t.Fatalf("no traffic flowed during splices: sent=%d received=%d", sent.Load(), received.Load())
+	}
+	// The stream must still be functional after all splices: verified
+	// round trip with retries.
+	buf := make([]byte, packet.MaxDatagram)
+	for attempt := 0; ; attempt++ {
+		if attempt >= 10 {
+			t.Fatal("stream dead after live splices")
+		}
+		p := &packet.Packet{Seq: 999999, Kind: packet.KindData, Payload: []byte("post-splice")}
+		dgram, _ := packet.AppendDatagram(nil, id, p)
+		if _, err := c.Write(dgram); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		c.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+		n, err := c.Read(buf)
+		if err != nil {
+			continue
+		}
+		_, frame, err := packet.SplitSessionID(buf[:n])
+		if err != nil {
+			continue
+		}
+		if got, _, err := packet.Unmarshal(frame); err == nil && string(got.Payload) == "post-splice" {
+			break
+		}
+	}
+}

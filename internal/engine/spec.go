@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"rapidware/internal/fec"
+	"rapidware/internal/fecproxy"
+	"rapidware/internal/filter"
+)
+
+// A chain spec is a comma-separated list of interior stages instantiated for
+// every new session, in order, between the session's UDP endpoints:
+//
+//	null                  identity filter
+//	counting              pass-through byte/chunk counter
+//	checksum              pass-through CRC-32
+//	delay=<duration>      fixed per-chunk delay (e.g. delay=5ms)
+//	ratelimit=<Bps>       token-bucket shaping to Bps bytes/second
+//	fec-encode=<n>/<k>    (n,k) FEC block encoder (e.g. fec-encode=6/4)
+//	fec-decode            FEC block decoder; feeds the session's repair count
+//
+// Example: "counting,fec-encode=6/4".
+
+// StageBuilder constructs one interior filter for a new session. Builders may
+// register per-session hooks (e.g. the FEC decoder's repair counter) on s.
+type StageBuilder func(s *Session) (filter.Filter, error)
+
+// ParseChain validates a chain spec and returns one builder per stage. An
+// empty spec yields no builders (a pure relay).
+func ParseChain(spec string) ([]StageBuilder, error) {
+	var builders []StageBuilder
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, arg, _ := strings.Cut(part, "=")
+		b, err := buildStage(kind, arg)
+		if err != nil {
+			return nil, err
+		}
+		builders = append(builders, b)
+	}
+	return builders, nil
+}
+
+func buildStage(kind, arg string) (StageBuilder, error) {
+	switch kind {
+	case "null":
+		return func(s *Session) (filter.Filter, error) {
+			return filter.NewNull(stageName(s, "null")), nil
+		}, nil
+	case "counting":
+		return func(s *Session) (filter.Filter, error) {
+			return filter.NewCounting(stageName(s, "counting")), nil
+		}, nil
+	case "checksum":
+		return func(s *Session) (filter.Filter, error) {
+			return filter.NewChecksum(stageName(s, "checksum")), nil
+		}, nil
+	case "delay":
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return nil, fmt.Errorf("engine: delay spec %q: %w", arg, err)
+		}
+		return func(s *Session) (filter.Filter, error) {
+			return filter.NewDelay(stageName(s, "delay"), d), nil
+		}, nil
+	case "ratelimit":
+		bps, err := strconv.Atoi(arg)
+		if err != nil || bps <= 0 {
+			return nil, fmt.Errorf("engine: ratelimit spec %q: want a positive bytes/second", arg)
+		}
+		return func(s *Session) (filter.Filter, error) {
+			return filter.NewRateLimit(stageName(s, "ratelimit"), bps), nil
+		}, nil
+	case "fec-encode":
+		params, err := parseFECParams(arg)
+		if err != nil {
+			return nil, err
+		}
+		return func(s *Session) (filter.Filter, error) {
+			return fecproxy.NewEncoderFilter(stageName(s, "fec-encoder"), params, s.ID())
+		}, nil
+	case "fec-decode":
+		return func(s *Session) (filter.Filter, error) {
+			df := fecproxy.NewDecoderFilter(stageName(s, "fec-decoder"), nil)
+			s.repairs = append(s.repairs, func() uint64 {
+				_, reconstructed, _ := df.Stats()
+				return reconstructed
+			})
+			return df, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown chain stage %q", kind)
+	}
+}
+
+// parseFECParams parses "n/k" into code parameters.
+func parseFECParams(arg string) (fec.Params, error) {
+	ns, ks, ok := strings.Cut(arg, "/")
+	if !ok {
+		return fec.Params{}, fmt.Errorf("engine: FEC spec %q: want n/k (e.g. 6/4)", arg)
+	}
+	n, err1 := strconv.Atoi(strings.TrimSpace(ns))
+	k, err2 := strconv.Atoi(strings.TrimSpace(ks))
+	if err1 != nil || err2 != nil {
+		return fec.Params{}, fmt.Errorf("engine: FEC spec %q: want integers n/k", arg)
+	}
+	p := fec.Params{K: k, N: n}
+	if err := p.Validate(); err != nil {
+		return fec.Params{}, err
+	}
+	return p, nil
+}
+
+func stageName(s *Session, kind string) string {
+	return fmt.Sprintf("%s:%d", kind, s.ID())
+}

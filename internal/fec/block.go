@@ -31,6 +31,12 @@ type BlockEncoder struct {
 	group    uint32
 	seq      uint64
 	pending  []*packet.Packet
+
+	// sources/staging are reused scratch for flushGroup: sources holds the
+	// share views handed to the coder, staging the pooled buffers backing
+	// them.
+	sources [][]byte
+	staging []*packet.Buf
 }
 
 // NewBlockEncoder returns a block encoder using the given coder. streamID is
@@ -100,14 +106,30 @@ func (e *BlockEncoder) flushGroup() ([]*packet.Packet, error) {
 		}
 	}
 	shareSize := maxLen + shareHeaderSize
-	sources := make([][]byte, k)
-	for i, p := range e.pending {
-		s := make([]byte, shareSize)
-		binary.BigEndian.PutUint16(s, uint16(len(p.Payload)))
-		copy(s[shareHeaderSize:], p.Payload)
-		sources[i] = s
+	// The source shares are scratch space that dies with this call, so stage
+	// them in pooled buffers. Parity shares are retained by the emitted
+	// packets and must be allocated.
+	if e.sources == nil {
+		e.sources = make([][]byte, k)
+		e.staging = make([]*packet.Buf, k)
 	}
-	parity, err := e.coder.EncodeParity(sources)
+	for i, p := range e.pending {
+		b := packet.GetBuf(shareSize)
+		clear(b.B)
+		binary.BigEndian.PutUint16(b.B, uint16(len(p.Payload)))
+		copy(b.B[shareHeaderSize:], p.Payload)
+		e.staging[i] = b
+		e.sources[i] = b.B
+	}
+	parity := make([][]byte, n-k)
+	for i := range parity {
+		parity[i] = make([]byte, shareSize)
+	}
+	err := e.coder.EncodeParityInto(e.sources, parity)
+	for i, b := range e.staging {
+		b.Release()
+		e.staging[i], e.sources[i] = nil, nil
+	}
 	if err != nil {
 		return nil, fmt.Errorf("fec: encode group %d: %w", e.group, err)
 	}

@@ -91,36 +91,45 @@ func NewCoder(params Params) (*Coder, error) {
 // Params returns the coder's parameters.
 func (c *Coder) Params() Params { return c.params }
 
+// validateSources checks that sources has exactly k non-empty, equally sized
+// shares and returns the common share size.
+func (c *Coder) validateSources(sources [][]byte) (int, error) {
+	k := c.params.K
+	if len(sources) != k {
+		return 0, fmt.Errorf("%w: got %d sources, want %d", ErrShareSize, len(sources), k)
+	}
+	size := 0
+	for i, s := range sources {
+		if len(s) == 0 {
+			return 0, fmt.Errorf("%w: source %d is empty", ErrShareSize, i)
+		}
+		if i == 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("%w: source %d has %d bytes, want %d", ErrShareSize, i, len(s), size)
+		}
+	}
+	return size, nil
+}
+
 // Encode expands k source shares into n encoded shares. The first k returned
 // shares are the sources themselves (copied), the remaining n-k are parity.
 // All sources must be non-empty and of identical length.
 func (c *Coder) Encode(sources [][]byte) ([][]byte, error) {
 	k, n := c.params.K, c.params.N
-	if len(sources) != k {
-		return nil, fmt.Errorf("%w: got %d sources, want %d", ErrShareSize, len(sources), k)
-	}
-	size := 0
-	for i, s := range sources {
-		if len(s) == 0 {
-			return nil, fmt.Errorf("%w: source %d is empty", ErrShareSize, i)
-		}
-		if i == 0 {
-			size = len(s)
-		} else if len(s) != size {
-			return nil, fmt.Errorf("%w: source %d has %d bytes, want %d", ErrShareSize, i, len(s), size)
-		}
+	size, err := c.validateSources(sources)
+	if err != nil {
+		return nil, err
 	}
 	shares := make([][]byte, n)
 	for i := 0; i < k; i++ {
 		shares[i] = append([]byte(nil), sources[i]...)
 	}
 	for r := k; r < n; r++ {
-		out := make([]byte, size)
-		row := c.enc.Row(r)
-		for col := 0; col < k; col++ {
-			gf256.MulAddSlice(row[col], sources[col], out)
-		}
-		shares[r] = out
+		shares[r] = make([]byte, size)
+	}
+	if err := c.EncodeParityInto(sources, shares[k:]); err != nil {
+		return nil, err
 	}
 	return shares, nil
 }
@@ -128,11 +137,44 @@ func (c *Coder) Encode(sources [][]byte) ([][]byte, error) {
 // EncodeParity computes only the n-k parity shares for the given sources,
 // avoiding the copy of the data shares when the caller already owns them.
 func (c *Coder) EncodeParity(sources [][]byte) ([][]byte, error) {
-	shares, err := c.Encode(sources)
+	size, err := c.validateSources(sources)
 	if err != nil {
 		return nil, err
 	}
-	return shares[c.params.K:], nil
+	parity := make([][]byte, c.params.Parity())
+	for i := range parity {
+		parity[i] = make([]byte, size)
+	}
+	if err := c.EncodeParityInto(sources, parity); err != nil {
+		return nil, err
+	}
+	return parity, nil
+}
+
+// EncodeParityInto computes the n-k parity shares into the caller-provided
+// slices, the allocation-free encode path: parity must hold exactly
+// Params().Parity() slices, each the same length as the sources. Existing
+// parity contents are overwritten.
+func (c *Coder) EncodeParityInto(sources, parity [][]byte) error {
+	k := c.params.K
+	size, err := c.validateSources(sources)
+	if err != nil {
+		return err
+	}
+	if len(parity) != c.params.Parity() {
+		return fmt.Errorf("%w: got %d parity shares, want %d", ErrShareSize, len(parity), c.params.Parity())
+	}
+	for i, out := range parity {
+		if len(out) != size {
+			return fmt.Errorf("%w: parity %d has %d bytes, want %d", ErrShareSize, i, len(out), size)
+		}
+		clear(out)
+		row := c.enc.Row(k + i)
+		for col := 0; col < k; col++ {
+			gf256.AddMulSlice(row[col], sources[col], out)
+		}
+	}
+	return nil
 }
 
 // Decode reconstructs the k source shares from any k (or more) of the n

@@ -109,61 +109,5 @@ func Pow(a byte, e int) byte {
 	return ft.exp[le]
 }
 
-// MulSlice multiplies every byte of src by c and stores the result in dst.
-// dst and src must have the same length; dst may alias src.
-func MulSlice(c byte, src, dst []byte) {
-	if len(src) != len(dst) {
-		panic("gf256: MulSlice length mismatch")
-	}
-	if c == 0 {
-		for i := range dst {
-			dst[i] = 0
-		}
-		return
-	}
-	if c == 1 {
-		copy(dst, src)
-		return
-	}
-	logC := int(ft.log[c])
-	for i, s := range src {
-		if s == 0 {
-			dst[i] = 0
-		} else {
-			dst[i] = ft.exp[logC+int(ft.log[s])]
-		}
-	}
-}
-
-// MulAddSlice computes dst[i] ^= c*src[i] for every index. It is the inner
-// loop of the erasure encoder and decoder.
-func MulAddSlice(c byte, src, dst []byte) {
-	if len(src) != len(dst) {
-		panic("gf256: MulAddSlice length mismatch")
-	}
-	if c == 0 {
-		return
-	}
-	if c == 1 {
-		for i, s := range src {
-			dst[i] ^= s
-		}
-		return
-	}
-	logC := int(ft.log[c])
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= ft.exp[logC+int(ft.log[s])]
-		}
-	}
-}
-
-// AddSlice computes dst[i] ^= src[i] for every index.
-func AddSlice(src, dst []byte) {
-	if len(src) != len(dst) {
-		panic("gf256: AddSlice length mismatch")
-	}
-	for i, s := range src {
-		dst[i] ^= s
-	}
-}
+// The batched slice kernels (MulSlice, AddMulSlice/MulAddSlice, AddSlice)
+// live in kernels.go.

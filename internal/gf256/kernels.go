@@ -1,0 +1,93 @@
+package gf256
+
+import "encoding/binary"
+
+// This file holds the batched kernels behind the FEC encode/decode inner
+// loops. Two ideas, both from Rizzo's fec library: a full 64 KiB product
+// table (mulTable[c][x] = c*x) replaces the two log lookups per byte of the
+// scalar path, and the c==1 case degenerates to a pure XOR that runs one
+// machine word at a time.
+
+// mulTable[c][x] is the GF(2^8) product c*x.
+var mulTable = buildMulTable()
+
+func buildMulTable() *[Order][Order]byte {
+	t := &[Order][Order]byte{}
+	for c := 1; c < Order; c++ {
+		logC := int(ft.log[c])
+		for x := 1; x < Order; x++ {
+			t[c][x] = ft.exp[logC+int(ft.log[x])]
+		}
+	}
+	return t
+}
+
+const wordSize = 8
+
+// xorWords computes dst[i] ^= src[i] one 64-bit word at a time with a scalar
+// tail. len(src) must not exceed len(dst).
+func xorWords(dst, src []byte) {
+	n := len(src)
+	for n >= wordSize {
+		d := binary.LittleEndian.Uint64(dst)
+		s := binary.LittleEndian.Uint64(src)
+		binary.LittleEndian.PutUint64(dst, d^s)
+		dst = dst[wordSize:]
+		src = src[wordSize:]
+		n -= wordSize
+	}
+	for i := 0; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// MulSlice multiplies every byte of src by c and stores the result in dst.
+// dst and src must have the same length; dst may alias src.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		clear(dst)
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// AddMulSlice computes dst[i] ^= c*src[i] for every index: the inner loop of
+// the erasure encoder and decoder. dst and src must have the same length.
+func AddMulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: AddMulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorWords(dst, src)
+		return
+	}
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// MulAddSlice is the historical name for AddMulSlice, kept for existing
+// callers.
+func MulAddSlice(c byte, src, dst []byte) { AddMulSlice(c, src, dst) }
+
+// AddSlice computes dst[i] ^= src[i] for every index, batched word at a time.
+func AddSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: AddSlice length mismatch")
+	}
+	xorWords(dst, src)
+}

@@ -1,0 +1,110 @@
+package gf256
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// The batched kernels must agree byte-for-byte with the scalar field
+// operations they replace, for every coefficient and any slice length or
+// alignment (the word-at-a-time XOR has scalar head/tail handling to get
+// wrong).
+
+func TestAddMulSliceMatchesScalar(t *testing.T) {
+	prop := func(c byte, src []byte, seed []byte) bool {
+		dst := make([]byte, len(src))
+		copy(dst, seed)
+		want := make([]byte, len(src))
+		copy(want, dst)
+		for i := range src {
+			want[i] ^= Mul(c, src[i])
+		}
+		AddMulSlice(c, src, dst)
+		return bytes.Equal(dst, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	prop := func(c byte, src []byte) bool {
+		dst := make([]byte, len(src))
+		MulSlice(c, src, dst)
+		for i := range src {
+			if dst[i] != Mul(c, src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSliceMatchesScalarXOR(t *testing.T) {
+	prop := func(src []byte, seed []byte) bool {
+		dst := make([]byte, len(src))
+		copy(dst, seed)
+		want := make([]byte, len(src))
+		for i := range src {
+			want[i] = dst[i] ^ src[i]
+		}
+		AddSlice(src, dst)
+		return bytes.Equal(dst, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestXORWordsOffsets nails the word/tail boundary cases deterministically:
+// every length 0..40 and every starting offset within a word.
+func TestXORWordsOffsets(t *testing.T) {
+	base := make([]byte, 64)
+	for i := range base {
+		base[i] = byte(i*7 + 3)
+	}
+	for off := 0; off < wordSize; off++ {
+		for n := 0; n <= 40; n++ {
+			src := base[off : off+n]
+			dst := make([]byte, n)
+			for i := range dst {
+				dst[i] = byte(i * 13)
+			}
+			want := make([]byte, n)
+			for i := range want {
+				want[i] = dst[i] ^ src[i]
+			}
+			xorWords(dst, src)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("xorWords off=%d n=%d mismatch", off, n)
+			}
+		}
+	}
+}
+
+// TestMulTableAgreesWithLogExp cross-checks the 64 KiB product table against
+// the log/exp construction over the full field.
+func TestMulTableAgreesWithLogExp(t *testing.T) {
+	for a := 0; a < Order; a++ {
+		for b := 0; b < Order; b++ {
+			if got, want := mulTable[a][b], Mul(byte(a), byte(b)); got != want {
+				t.Fatalf("mulTable[%d][%d] = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMulAddSliceAliasName(t *testing.T) {
+	src := []byte{1, 2, 3, 255}
+	a := make([]byte, len(src))
+	b := make([]byte, len(src))
+	MulAddSlice(0x53, src, a)
+	AddMulSlice(0x53, src, b)
+	if !bytes.Equal(a, b) {
+		t.Fatal("MulAddSlice and AddMulSlice disagree")
+	}
+}

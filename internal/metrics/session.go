@@ -1,0 +1,46 @@
+package metrics
+
+import "sync/atomic"
+
+// SessionCounters is the per-session counter block maintained by the proxy
+// engine's relay hot path. All fields are atomics so the data path never
+// takes a lock to account for a packet.
+type SessionCounters struct {
+	// Packets and Bytes count inbound datagrams accepted onto the session's
+	// chain.
+	Packets atomic.Uint64
+	Bytes   atomic.Uint64
+	// OutPackets and OutBytes count datagrams relayed out of the session.
+	OutPackets atomic.Uint64
+	OutBytes   atomic.Uint64
+	// Repairs counts data packets reconstructed from FEC parity.
+	Repairs atomic.Uint64
+	// Drops counts datagrams discarded: inbound queue overflow, sends with no
+	// known peer, and send errors.
+	Drops atomic.Uint64
+}
+
+// SessionStats is a point-in-time snapshot of one session's counters, as
+// carried in control-protocol status replies.
+type SessionStats struct {
+	ID         uint32 `json:"id"`
+	Packets    uint64 `json:"packets"`
+	Bytes      uint64 `json:"bytes"`
+	OutPackets uint64 `json:"out_packets"`
+	OutBytes   uint64 `json:"out_bytes"`
+	Repairs    uint64 `json:"repairs"`
+	Drops      uint64 `json:"drops"`
+}
+
+// Snapshot captures the counters for the session with the given ID.
+func (c *SessionCounters) Snapshot(id uint32) SessionStats {
+	return SessionStats{
+		ID:         id,
+		Packets:    c.Packets.Load(),
+		Bytes:      c.Bytes.Load(),
+		OutPackets: c.OutPackets.Load(),
+		OutBytes:   c.OutBytes.Load(),
+		Repairs:    c.Repairs.Load(),
+		Drops:      c.Drops.Load(),
+	}
+}

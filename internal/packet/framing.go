@@ -45,30 +45,28 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 64*1024)}
 }
 
+// readHeader fills pr.hdr with the next frame header and validates it,
+// returning the payload length. It returns io.EOF when the stream ends
+// cleanly on a frame boundary.
+func (pr *Reader) readHeader() (plen int, err error) {
+	if _, err := io.ReadFull(pr.r, pr.hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("packet: read header: %w", err)
+	}
+	// Validate header fields before reading the payload so a corrupted
+	// length cannot make us allocate or block on garbage.
+	return validateHeader(pr.hdr[:])
+}
+
 // ReadPacket reads the next framed packet. It returns io.EOF when the stream
 // ends cleanly on a frame boundary and io.ErrUnexpectedEOF when it ends
 // mid-frame.
 func (pr *Reader) ReadPacket() (*Packet, error) {
-	if _, err := io.ReadFull(pr.r, pr.hdr[:]); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, io.EOF
-		}
-		return nil, fmt.Errorf("packet: read header: %w", err)
-	}
-	// Validate header fields before reading the payload so a corrupted
-	// length cannot make us allocate or block on garbage.
-	if pr.hdr[0] != magic0 || pr.hdr[1] != magic1 {
-		return nil, ErrBadMagic
-	}
-	if pr.hdr[2] != Version {
-		return nil, ErrBadVersion
-	}
-	if !Kind(pr.hdr[3]).Valid() {
-		return nil, ErrBadKind
-	}
-	plen := int(uint32(pr.hdr[24])<<24 | uint32(pr.hdr[25])<<16 | uint32(pr.hdr[26])<<8 | uint32(pr.hdr[27]))
-	if plen > MaxPayload {
-		return nil, ErrPayloadRange
+	plen, err := pr.readHeader()
+	if err != nil {
+		return nil, err
 	}
 	full := make([]byte, HeaderSize+plen)
 	copy(full, pr.hdr[:])
@@ -83,4 +81,26 @@ func (pr *Reader) ReadPacket() (*Packet, error) {
 		return nil, fmt.Errorf("packet: decode frame: %w", err)
 	}
 	return p, nil
+}
+
+// ReadFrameBuf reads the next frame into a pooled buffer without decoding it,
+// the allocation-free read path of the relay engine. The returned Buf holds
+// headroom unused bytes (for a caller-prepended session ID) followed by the
+// complete frame; the caller owns the Buf and must Release it. EOF semantics
+// match ReadPacket.
+func (pr *Reader) ReadFrameBuf(headroom int) (*Buf, error) {
+	plen, err := pr.readHeader()
+	if err != nil {
+		return nil, err
+	}
+	b := GetBuf(headroom + HeaderSize + plen)
+	copy(b.B[headroom:], pr.hdr[:])
+	if _, err := io.ReadFull(pr.r, b.B[headroom+HeaderSize:]); err != nil {
+		b.Release()
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("packet: read payload: %w", err)
+	}
+	return b, nil
 }

@@ -1,0 +1,126 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameRoundTrip checks that any packet the codec accepts survives a
+// marshal → unmarshal round trip bit-exactly, both as a bare frame and as an
+// engine datagram with the 4-byte session-ID header.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint32(2), byte(KindData), uint32(3), byte(0), byte(4), byte(6), []byte("payload"), uint32(42))
+	f.Add(uint64(0), uint32(0), byte(KindParity), uint32(9), byte(5), byte(4), byte(6), []byte{}, uint32(0))
+	f.Add(uint64(1<<63), uint32(1<<31), byte(KindControl), uint32(0), byte(255), byte(255), byte(255), bytes.Repeat([]byte{0xAB}, 1000), uint32(1<<31))
+	f.Fuzz(func(t *testing.T, seq uint64, stream uint32, kind byte, group uint32, index, k, n byte, payload []byte, session uint32) {
+		p := &Packet{
+			Seq:      seq,
+			StreamID: stream,
+			Kind:     Kind(kind),
+			Group:    group,
+			Index:    index,
+			K:        k,
+			N:        n,
+			Payload:  payload,
+		}
+		frame, err := Marshal(p)
+		if err != nil {
+			// Marshal only rejects invalid kinds and oversized payloads.
+			if p.Kind.Valid() && len(payload) <= MaxPayload {
+				t.Fatalf("Marshal rejected a valid packet: %v", err)
+			}
+			return
+		}
+		// AppendFrame must agree with Marshal.
+		appended, err := AppendFrame(nil, p)
+		if err != nil {
+			t.Fatalf("AppendFrame failed after Marshal succeeded: %v", err)
+		}
+		if !bytes.Equal(frame, appended) {
+			t.Fatal("AppendFrame and Marshal disagree")
+		}
+
+		got, consumed, err := Unmarshal(frame)
+		if err != nil {
+			t.Fatalf("Unmarshal(Marshal(p)) failed: %v", err)
+		}
+		if consumed != len(frame) {
+			t.Fatalf("Unmarshal consumed %d of %d bytes", consumed, len(frame))
+		}
+		if got.Seq != p.Seq || got.StreamID != p.StreamID || got.Kind != p.Kind ||
+			got.Group != p.Group || got.Index != p.Index || got.K != p.K || got.N != p.N ||
+			!bytes.Equal(got.Payload, p.Payload) {
+			t.Fatalf("round trip mismatch: sent %v, got %v", p, got)
+		}
+
+		// Datagram round trip: session ID header + frame.
+		dgram, err := AppendDatagram(nil, session, p)
+		if err != nil {
+			t.Fatalf("AppendDatagram: %v", err)
+		}
+		id, rest, err := SplitSessionID(dgram)
+		if err != nil {
+			t.Fatalf("SplitSessionID: %v", err)
+		}
+		if id != session {
+			t.Fatalf("session id round trip: sent %d, got %d", session, id)
+		}
+		if !bytes.Equal(rest, frame) {
+			t.Fatal("datagram frame bytes corrupted")
+		}
+	})
+}
+
+// FuzzDecodeNoPanic throws arbitrary bytes at every decode surface: Unmarshal,
+// SplitSessionID, and the streaming Reader (both the decoding and the pooled
+// raw-frame paths). Nothing may panic, and accepted input must re-encode.
+func FuzzDecodeNoPanic(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{magic0, magic1, Version, byte(KindData)})
+	if frame, err := Marshal(&Packet{Kind: KindData, Payload: []byte("seed")}); err == nil {
+		f.Add(frame)
+		f.Add(AppendSessionID(nil, 7))
+		if dgram, err := AppendDatagram(nil, 7, &Packet{Kind: KindParity, K: 4, N: 6, Payload: []byte("x")}); err == nil {
+			f.Add(dgram)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, consumed, err := Unmarshal(data); err == nil {
+			if consumed < HeaderSize || consumed > len(data) {
+				t.Fatalf("Unmarshal consumed %d of %d bytes", consumed, len(data))
+			}
+			if _, err := Marshal(p); err != nil {
+				t.Fatalf("re-marshal of accepted packet failed: %v", err)
+			}
+		}
+		if id, frame, err := SplitSessionID(data); err == nil {
+			if len(frame) != len(data)-SessionIDSize {
+				t.Fatalf("SplitSessionID returned %d frame bytes from %d", len(frame), len(data))
+			}
+			_ = id
+		} else if len(data) >= SessionIDSize {
+			t.Fatalf("SplitSessionID rejected %d bytes: %v", len(data), err)
+		}
+
+		// Streaming reader: decode as many frames as the bytes contain.
+		pr := NewReader(bytes.NewReader(data))
+		for {
+			if _, err := pr.ReadPacket(); err != nil {
+				break
+			}
+		}
+		// Pooled raw-frame path over the same bytes.
+		pr = NewReader(bytes.NewReader(data))
+		for {
+			b, err := pr.ReadFrameBuf(SessionIDSize)
+			if err != nil {
+				break
+			}
+			// The frame after the headroom must itself decode.
+			if _, _, err := Unmarshal(b.B[SessionIDSize:]); err != nil {
+				t.Fatalf("ReadFrameBuf produced an undecodable frame: %v", err)
+			}
+			b.Release()
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package packet
+
+import "sync"
+
+// The engine's steady-state relay path must not allocate per packet, so every
+// datagram and frame travels in a pooled Buf. Buffers are drawn from a small
+// set of size classes; a request larger than the biggest class falls back to
+// a plain allocation that is simply dropped on Release.
+var bufClasses = [...]int{512, 2048, 16 * 1024, MaxDatagram}
+
+// MaxDatagram is the largest UDP datagram the proxy engine accepts: a session
+// ID, a frame header and a payload of up to 64 KiB. It is also the capacity of
+// the largest pooled buffer class.
+const MaxDatagram = SessionIDSize + HeaderSize + 64*1024
+
+// Buf is a pooled byte buffer. B is the active region and may be re-sliced
+// freely (including advancing its start, e.g. to strip a datagram prefix);
+// the full backing storage is retained separately so Release restores it.
+// A Buf must not be used after Release, and Release must be called at most
+// once per Get.
+type Buf struct {
+	B     []byte
+	full  []byte
+	class int8 // index into bufClasses, -1 when unpooled
+}
+
+var bufPools [len(bufClasses)]sync.Pool
+
+func init() {
+	for i := range bufPools {
+		size := bufClasses[i]
+		class := int8(i)
+		bufPools[i].New = func() any {
+			s := make([]byte, size)
+			return &Buf{B: s, full: s, class: class}
+		}
+	}
+}
+
+// GetBuf returns a pooled buffer whose B has length exactly n. Requests
+// beyond the largest size class are served by a one-off allocation.
+func GetBuf(n int) *Buf {
+	for i, size := range bufClasses {
+		if n <= size {
+			b := bufPools[i].Get().(*Buf)
+			b.B = b.full[:n]
+			return b
+		}
+	}
+	s := make([]byte, n)
+	return &Buf{B: s, full: s, class: -1}
+}
+
+// Release returns the buffer to its pool. Unpooled (oversize) buffers are
+// left for the garbage collector.
+func (b *Buf) Release() {
+	if b == nil || b.class < 0 {
+		return
+	}
+	b.B = b.full
+	bufPools[b.class].Put(b)
+}
+
+// Cap returns the full capacity of the underlying storage, independent of how
+// B is currently sliced.
+func (b *Buf) Cap() int { return len(b.full) }

@@ -1,0 +1,60 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGetBufSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 512, 513, 2048, 4096, MaxDatagram, MaxDatagram + 1} {
+		b := GetBuf(n)
+		if len(b.B) != n {
+			t.Fatalf("GetBuf(%d): len = %d", n, len(b.B))
+		}
+		if b.Cap() < n {
+			t.Fatalf("GetBuf(%d): cap = %d", n, b.Cap())
+		}
+		b.Release()
+	}
+}
+
+// TestBufSurvivesReslicing covers the relay engine's usage pattern: the
+// session strips the datagram prefix by advancing B, then releases; the
+// buffer must come back at full size.
+func TestBufSurvivesReslicing(t *testing.T) {
+	b := GetBuf(100)
+	b.B = b.B[SessionIDSize:]
+	b.B = b.B[:10]
+	b.Release()
+	for i := 0; i < 10; i++ {
+		nb := GetBuf(512)
+		if len(nb.B) != 512 {
+			t.Fatalf("after reslice+release: GetBuf(512) len = %d", len(nb.B))
+		}
+		nb.Release()
+	}
+}
+
+func TestReadFrameBufHeadroom(t *testing.T) {
+	p := &Packet{Seq: 3, Kind: KindData, Payload: []byte("abc")}
+	frame, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := NewReader(bytes.NewReader(frame))
+	b, err := pr.ReadFrameBuf(SessionIDSize)
+	if err != nil {
+		t.Fatalf("ReadFrameBuf: %v", err)
+	}
+	defer b.Release()
+	if len(b.B) != SessionIDSize+len(frame) {
+		t.Fatalf("frame buf length %d, want %d", len(b.B), SessionIDSize+len(frame))
+	}
+	got, _, err := Unmarshal(b.B[SessionIDSize:])
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if string(got.Payload) != "abc" || got.Seq != 3 {
+		t.Fatalf("decoded %v", got)
+	}
+}

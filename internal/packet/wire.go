@@ -1,0 +1,115 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// The multi-session UDP wire format prepends a 4-byte big-endian session ID
+// to the existing packet framing, so one datagram is:
+//
+//	session uint32
+//	frame   []byte  (header + payload, exactly as produced by Marshal)
+//
+// The engine demultiplexes on the session ID without touching the frame.
+const SessionIDSize = 4
+
+// ErrShortDatagram is returned by SplitSessionID for datagrams shorter than a
+// session ID.
+var ErrShortDatagram = errors.New("packet: datagram shorter than session id")
+
+// PutSessionID writes the session ID into the first SessionIDSize bytes of b.
+func PutSessionID(b []byte, id uint32) {
+	binary.BigEndian.PutUint32(b, id)
+}
+
+// AppendSessionID appends the session ID to dst and returns the extended
+// slice.
+func AppendSessionID(dst []byte, id uint32) []byte {
+	return binary.BigEndian.AppendUint32(dst, id)
+}
+
+// SplitSessionID splits a datagram into its session ID and the frame bytes
+// that follow it.
+func SplitSessionID(dgram []byte) (id uint32, frame []byte, err error) {
+	if len(dgram) < SessionIDSize {
+		return 0, nil, ErrShortDatagram
+	}
+	return binary.BigEndian.Uint32(dgram), dgram[SessionIDSize:], nil
+}
+
+// ErrFrameLength is returned by ValidateFrame when the buffer does not hold
+// exactly one complete frame.
+var ErrFrameLength = errors.New("packet: frame length mismatch")
+
+// validateHeader checks a frame header's fixed fields and returns the
+// payload length it declares. It is shared by every decode surface (the
+// streaming Reader, Unmarshal and the engine's datagram gate) so the checks
+// cannot drift apart.
+func validateHeader(hdr []byte) (plen int, err error) {
+	if len(hdr) < HeaderSize {
+		return 0, ErrShortBuffer
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return 0, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return 0, ErrBadVersion
+	}
+	if !Kind(hdr[3]).Valid() {
+		return 0, ErrBadKind
+	}
+	plen = int(binary.BigEndian.Uint32(hdr[24:]))
+	if plen > MaxPayload {
+		return 0, ErrPayloadRange
+	}
+	return plen, nil
+}
+
+// ValidateFrame cheaply checks that frame holds exactly one well-formed
+// packet frame (header plus full payload) without decoding or allocating.
+// The relay engine runs this on every inbound datagram so garbage can be
+// dropped before it reaches a session's chain.
+func ValidateFrame(frame []byte) error {
+	plen, err := validateHeader(frame)
+	if err != nil {
+		return err
+	}
+	if len(frame) != HeaderSize+plen {
+		return ErrFrameLength
+	}
+	return nil
+}
+
+// AppendFrame appends the wire encoding of p to dst and returns the extended
+// slice, allowing callers to marshal into pooled or stack buffers without the
+// allocation made by Marshal.
+func AppendFrame(dst []byte, p *Packet) ([]byte, error) {
+	if !p.Kind.Valid() {
+		return dst, ErrBadKind
+	}
+	if len(p.Payload) > MaxPayload {
+		return dst, ErrPayloadRange
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, headerSize)...)
+	hdr := dst[off:]
+	hdr[0], hdr[1] = magic0, magic1
+	hdr[2] = Version
+	hdr[3] = byte(p.Kind)
+	binary.BigEndian.PutUint64(hdr[4:], p.Seq)
+	binary.BigEndian.PutUint32(hdr[12:], p.StreamID)
+	binary.BigEndian.PutUint32(hdr[16:], p.Group)
+	hdr[20] = p.Index
+	hdr[21] = p.K
+	hdr[22] = p.N
+	hdr[23] = 0
+	binary.BigEndian.PutUint32(hdr[24:], uint32(len(p.Payload)))
+	return append(dst, p.Payload...), nil
+}
+
+// AppendDatagram appends a complete engine datagram (session ID + frame) for
+// p to dst.
+func AppendDatagram(dst []byte, session uint32, p *Packet) ([]byte, error) {
+	return AppendFrame(AppendSessionID(dst, session), p)
+}
