@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"runtime"
 	"testing"
 	"time"
 
@@ -115,6 +116,74 @@ func BenchmarkEngineMultiSession(b *testing.B) {
 		}
 		if _, err := c.Read(recv); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveRetune measures the engine's control-path retune: one
+// receiver report crossing a policy threshold, dispatched over the session's
+// raplet bus to the FEC responder, which splices the adaptive encoder into or
+// out of the live chain. Each op is one full report -> splice round trip
+// (reports alternate 10% loss and clean, so every op changes the protection
+// level). This is the control path; its cost bounds how fast the closed loop
+// can react, not how fast packets relay.
+func BenchmarkAdaptiveRetune(b *testing.B) {
+	eng, err := engine.New(engine.Config{ListenAddr: "127.0.0.1:0", Adapt: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	c, err := net.DialUDP("udp", nil, eng.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	// Prime the session with one echoed packet.
+	dgram, err := packet.AppendDatagram(nil, 1, &packet.Packet{Kind: packet.KindData, Payload: []byte("prime")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Write(dgram); err != nil {
+		b.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, packet.MaxDatagram)); err != nil {
+		b.Fatalf("session never echoed: %v", err)
+	}
+	s := eng.Session(1)
+	if s == nil {
+		b.Fatal("session missing after prime")
+	}
+
+	lossy, err := packet.AppendReportDatagram(nil, 1, 0, 0, packet.Report{Received: 90, Lost: 10, Window: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clean, err := packet.AppendReportDatagram(nil, 1, 0, 0, packet.Report{Received: 100, Lost: 0, Window: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := lossy
+		if i%2 == 1 {
+			d = clean
+		}
+		if _, err := c.Write(d); err != nil {
+			b.Fatal(err)
+		}
+		want := uint64(i + 1)
+		deadline := time.Now().Add(5 * time.Second)
+		for s.Stats().Adapt.Retunes < want {
+			if time.Now().After(deadline) {
+				b.Fatalf("retune %d never landed", want)
+			}
+			runtime.Gosched()
 		}
 	}
 }
@@ -408,7 +477,7 @@ func BenchmarkWirelessChannelBroadcast(b *testing.B) {
 	ch := wireless.NewChannel(wireless.WaveLAN2Mbps())
 	defer ch.Close()
 	for i := 0; i < 3; i++ {
-		if _, err := ch.Attach(fmt.Sprintf("rx-%d", i), wireless.NewDistanceLoss(25, 1.2), int64(i), 64); err != nil {
+		if _, err := ch.Attach(fmt.Sprintf("rx-%d", i), wireless.NewDistanceLoss(25, 1.2), rand.New(rand.NewSource(int64(i))), 64); err != nil {
 			b.Fatal(err)
 		}
 	}

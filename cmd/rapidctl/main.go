@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -171,10 +172,38 @@ func printSessions(out *os.File, stats []metrics.SessionStats) {
 		fmt.Fprintln(out, "no live sessions")
 		return
 	}
-	fmt.Fprintf(out, "%-10s %10s %12s %10s %12s %8s %8s\n",
-		"session", "pkts", "bytes", "out-pkts", "out-bytes", "repairs", "drops")
+	// Sort by session ID locally rather than trusting server order, so the
+	// output is deterministic and scripts can diff it.
+	stats = append([]metrics.SessionStats(nil), stats...)
+	sort.Slice(stats, func(i, j int) bool { return stats[i].ID < stats[j].ID })
+	adaptive := false
 	for _, s := range stats {
-		fmt.Fprintf(out, "%-10d %10d %12d %10d %12d %8d %8d\n",
+		if s.Adapt != nil {
+			adaptive = true
+			break
+		}
+	}
+	fmt.Fprintf(out, "%-10s %10s %12s %10s %12s %8s %8s",
+		"session", "pkts", "bytes", "out-pkts", "out-bytes", "repairs", "drops")
+	if adaptive {
+		fmt.Fprintf(out, " %6s %7s %8s %8s", "fec", "loss", "reports", "retunes")
+	}
+	fmt.Fprintln(out)
+	for _, s := range stats {
+		fmt.Fprintf(out, "%-10d %10d %12d %10d %12d %8d %8d",
 			s.ID, s.Packets, s.Bytes, s.OutPackets, s.OutBytes, s.Repairs, s.Drops)
+		if adaptive {
+			fec, loss := "-", "-"
+			var reports, retunes uint64
+			if a := s.Adapt; a != nil {
+				if a.N > a.K {
+					fec = fmt.Sprintf("%d/%d", a.N, a.K)
+				}
+				loss = fmt.Sprintf("%.4f", a.LossRate)
+				reports, retunes = a.Reports, a.Retunes
+			}
+			fmt.Fprintf(out, " %6s %7s %8d %8d", fec, loss, reports, retunes)
+		}
+		fmt.Fprintln(out)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"rapidware/internal/control"
 	"rapidware/internal/core"
 	"rapidware/internal/filter"
+	"rapidware/internal/metrics"
 )
 
 // startTestServer brings up a control server managing one proxy and returns
@@ -100,6 +101,52 @@ func TestInsertMoveRemoveFlow(t *testing.T) {
 	})
 	if strings.Count(out, "[") != 2 {
 		t.Fatalf("remove-by-position output:\n%s", out)
+	}
+}
+
+func TestPrintSessionsSortsByID(t *testing.T) {
+	// Session order from the server is not guaranteed; the printout must be
+	// deterministic so scripts can diff it.
+	out := captureOutput(t, func(f *os.File) error {
+		printSessions(f, []metrics.SessionStats{
+			{ID: 30, Packets: 3},
+			{ID: 10, Packets: 1},
+			{ID: 20, Packets: 2},
+		})
+		return nil
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("output:\n%s", out)
+	}
+	for i, want := range []string{"10", "20", "30"} {
+		if !strings.HasPrefix(lines[i+1], want) {
+			t.Fatalf("line %d = %q, want session %s first", i+1, lines[i+1], want)
+		}
+	}
+	if strings.Contains(lines[0], "fec") {
+		t.Fatal("adaptation columns printed for non-adaptive sessions")
+	}
+}
+
+func TestPrintSessionsAdaptColumns(t *testing.T) {
+	out := captureOutput(t, func(f *os.File) error {
+		printSessions(f, []metrics.SessionStats{
+			{ID: 2, Adapt: &metrics.AdaptStats{K: 1, N: 1, Reports: 1}},
+			{ID: 1, Adapt: &metrics.AdaptStats{K: 4, N: 8, Active: true, LossRate: 0.1, Reports: 5, Retunes: 2}},
+		})
+		return nil
+	})
+	if !strings.Contains(out, "fec") || !strings.Contains(out, "retunes") {
+		t.Fatalf("missing adaptation header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[1], "8/4") || !strings.Contains(lines[1], "0.1000") {
+		t.Fatalf("session 1 row %q missing 8/4 / 0.1000", lines[1])
+	}
+	// The no-FEC session renders a dash, not 1/1.
+	if !strings.Contains(lines[2], " - ") {
+		t.Fatalf("session 2 row %q should render fec as -", lines[2])
 	}
 }
 

@@ -9,6 +9,14 @@
 //	rapidproxy -listen :7400 -max-sessions 256 -chain counting,fec-encode=6/4 \
 //	    [-forward host:7500] [-control :7100]
 //
+// The closed-loop adaptation plane (-adapt) gives every session a raplet bus,
+// a worst-loss observer fed by receiver feedback reports, and an FEC
+// responder that splices an adaptive encoder into the live chain as reported
+// loss crosses the policy ladder's thresholds:
+//
+//	rapidproxy -listen :7400 -adapt [-adapt-policy ladder.txt] \
+//	    [-fanout rx1:9000,rx2:9000]
+//
 // The legacy stream mode (-mode stream) bridges a single TCP stream through
 // one filter chain, as in earlier revisions:
 //
@@ -26,6 +34,7 @@ import (
 	"strings"
 	"syscall"
 
+	"rapidware/internal/adapt"
 	"rapidware/internal/audio"
 	"rapidware/internal/control"
 	"rapidware/internal/core"
@@ -54,6 +63,9 @@ func run(args []string) error {
 		maxSessions = fs.Int("max-sessions", engine.DefaultMaxSessions, "engine mode: maximum concurrent sessions")
 		chainSpec   = fs.String("chain", "", "engine mode: default chain spec for new sessions (e.g. counting,fec-encode=6/4)")
 		roaming     = fs.Bool("allow-roaming", false, "engine mode: let a session's echo destination follow its most recent sender")
+		adaptOn     = fs.Bool("adapt", false, "engine mode: enable the closed-loop adaptation plane (receiver feedback drives per-session FEC)")
+		adaptPolicy = fs.String("adapt-policy", "", "engine mode: load the loss->(n,k) policy ladder from this file (implies -adapt)")
+		fanout      = fs.String("fanout", "", "engine mode: comma-separated downstream receiver addresses to multicast session output to")
 		filters     = fs.String("filters", "", "stream mode: comma-separated filter kinds to install at startup")
 		fecSpec     = fs.String("fec", "", "stream mode: install an FEC encoder with parameters n,k (e.g. 6,4)")
 	)
@@ -71,10 +83,24 @@ func run(args []string) error {
 		if *filters != "" || *fecSpec != "" {
 			return fmt.Errorf("-filters/-fec are stream-mode flags; use -chain in engine mode (or pass -mode stream)")
 		}
-		return runEngine(logger, *name, *listenAddr, *forwardAddr, *controlAddr, *maxSessions, *chainSpec, *roaming)
+		return runEngine(logger, engineOptions{
+			name:        *name,
+			listen:      *listenAddr,
+			forward:     *forwardAddr,
+			control:     *controlAddr,
+			maxSessions: *maxSessions,
+			chain:       *chainSpec,
+			roaming:     *roaming,
+			adapt:       *adaptOn,
+			adaptPolicy: *adaptPolicy,
+			fanout:      *fanout,
+		})
 	case "stream":
 		if *chainSpec != "" || *roaming || *maxSessions != engine.DefaultMaxSessions {
 			return fmt.Errorf("-chain/-max-sessions/-allow-roaming are engine-mode flags; use -filters/-fec in stream mode")
+		}
+		if *adaptOn || *adaptPolicy != "" || *fanout != "" {
+			return fmt.Errorf("-adapt/-adapt-policy/-fanout are engine-mode flags")
 		}
 		return runStream(logger, *name, *listenAddr, *forwardAddr, *controlAddr, *filters, *fecSpec)
 	default:
@@ -82,15 +108,38 @@ func run(args []string) error {
 	}
 }
 
+// engineOptions carries the engine-mode flag values.
+type engineOptions struct {
+	name, listen, forward, control string
+	maxSessions                    int
+	chain                          string
+	roaming                        bool
+	adapt                          bool
+	adaptPolicy                    string
+	fanout                         string
+}
+
 // runEngine serves the multi-session UDP engine.
-func runEngine(logger *log.Logger, name, listen, forward, controlAddr string, maxSessions int, chain string, roaming bool) error {
+func runEngine(logger *log.Logger, opts engineOptions) error {
+	var policy adapt.Policy
+	if opts.adaptPolicy != "" {
+		p, err := adapt.LoadPolicyFile(opts.adaptPolicy)
+		if err != nil {
+			return err
+		}
+		policy = p
+		opts.adapt = true
+	}
 	eng, err := engine.New(engine.Config{
-		Name:         name,
-		ListenAddr:   listen,
-		MaxSessions:  maxSessions,
-		Chain:        chain,
-		Forward:      forward,
-		AllowRoaming: roaming,
+		Name:         opts.name,
+		ListenAddr:   opts.listen,
+		MaxSessions:  opts.maxSessions,
+		Chain:        opts.chain,
+		Forward:      opts.forward,
+		AllowRoaming: opts.roaming,
+		Fanout:       splitList(opts.fanout),
+		Adapt:        opts.adapt,
+		AdaptPolicy:  policy,
 		Logger:       logger,
 	})
 	if err != nil {
@@ -103,7 +152,7 @@ func runEngine(logger *log.Logger, name, listen, forward, controlAddr string, ma
 
 	server := control.NewServer(logger)
 	server.SetSessionSource(eng)
-	boundControl, err := server.Listen(controlAddr)
+	boundControl, err := server.Listen(opts.control)
 	if err != nil {
 		return err
 	}

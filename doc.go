@@ -16,6 +16,17 @@
 // per-session packet/byte/repair/drop counters exposed through the control
 // protocol. cmd/rapidproxy serves the engine; cmd/rapidctl inspects it.
 //
+// The engine also hosts a closed-loop adaptation plane: downstream receivers
+// report observed loss upstream as feedback datagrams (packet.Report), each
+// session's raplet bus routes the worst receiver's loss to an FEC responder,
+// and the responder splices an adaptive encoder into the live chain, retunes
+// its (n,k), or removes it, following the loss→code policy ladder in the
+// transport-agnostic internal/adapt package — the same policy engine that
+// drives the legacy single-stream adaptive proxy in internal/fecproxy.
+// Sessions can fan their output out to a multicast group of receivers
+// (multicast.AddrGroup), reproducing the paper's multicast argument at
+// engine scale.
+//
 // See README.md for a tour (including the engine architecture and UDP wire
 // format), DESIGN.md for the system inventory and experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in

@@ -1,0 +1,123 @@
+package adapt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rapidware/internal/fec"
+)
+
+func TestDefaultPolicyLadder(t *testing.T) {
+	p := DefaultPolicy()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	cases := []struct {
+		loss float64
+		want fec.Params
+	}{
+		{0, fec.Params{K: 1, N: 1}},
+		{0.005, fec.Params{K: 1, N: 1}},
+		{0.01, fec.Params{K: 4, N: 5}},
+		{0.05, fec.Params{K: 4, N: 6}},
+		{0.10, fec.Params{K: 4, N: 8}},
+		{0.5, fec.Params{K: 4, N: 12}},
+		{1, fec.Params{K: 4, N: 12}},
+	}
+	for _, c := range cases {
+		if got := p.Select(c.loss); got != c.want {
+			t.Errorf("Select(%v) = %v, want %v", c.loss, got, c.want)
+		}
+	}
+}
+
+func TestPolicyValidateRejectsBadLevels(t *testing.T) {
+	if err := (Policy{}).Validate(); err == nil {
+		t.Error("empty policy validated")
+	}
+	bad := Policy{Levels: []Level{{LossAtLeast: 0, Params: fec.Params{K: 5, N: 2}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("k>n level validated")
+	}
+	badThreshold := Policy{Levels: []Level{{LossAtLeast: 2, Params: fec.Params{K: 1, N: 1}}}}
+	if err := badThreshold.Validate(); err == nil {
+		t.Error("threshold > 1 validated")
+	}
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	p, err := ParsePolicy("0:1/1, 0.01:5/4, 0.03:6/4, 0.10:8/4, 0.25:12/4")
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	def := DefaultPolicy()
+	if len(p.Levels) != len(def.Levels) {
+		t.Fatalf("parsed %d levels, want %d", len(p.Levels), len(def.Levels))
+	}
+	for i := range p.Levels {
+		if p.Levels[i] != def.Levels[i] {
+			t.Errorf("level %d = %+v, want %+v", i, p.Levels[i], def.Levels[i])
+		}
+	}
+	// String renders back into parseable form.
+	again, err := ParsePolicy(p.String())
+	if err != nil {
+		t.Fatalf("ParsePolicy(String): %v", err)
+	}
+	if again.String() != p.String() {
+		t.Fatalf("round trip %q != %q", again.String(), p.String())
+	}
+}
+
+func TestParsePolicyLinesAndComments(t *testing.T) {
+	text := `
+# clean link: no FEC
+0: 1/1
+0.02: 6/4   # the paper's code
+`
+	p, err := ParsePolicy(text)
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	if len(p.Levels) != 2 {
+		t.Fatalf("parsed %d levels, want 2", len(p.Levels))
+	}
+	if got := p.Select(0.05); got != (fec.Params{K: 4, N: 6}) {
+		t.Fatalf("Select(0.05) = %v", got)
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	for _, text := range []string{
+		"nonsense",
+		"0.01",        // no code
+		"0.01:6",      // no k
+		"0.01:a/b",    // non-numeric
+		"x:6/4",       // bad threshold
+		"0.01:4/6",    // k > n
+		"",            // no levels
+		"# only this", // comments only
+	} {
+		if _, err := ParsePolicy(text); err == nil {
+			t.Errorf("ParsePolicy(%q) succeeded", text)
+		}
+	}
+}
+
+func TestLoadPolicyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "policy.txt")
+	if err := os.WriteFile(path, []byte("0:1/1\n0.10:8/4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPolicyFile(path)
+	if err != nil {
+		t.Fatalf("LoadPolicyFile: %v", err)
+	}
+	if got := p.Select(0.2); got != (fec.Params{K: 4, N: 8}) {
+		t.Fatalf("Select(0.2) = %v", got)
+	}
+	if _, err := LoadPolicyFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

@@ -39,7 +39,9 @@ const (
 	// OpPing verifies liveness.
 	OpPing Op = "ping"
 	// OpSessions returns the per-session relay counters of the attached
-	// multi-session engine.
+	// multi-session engine, including each session's adaptation-plane state
+	// (current (n,k), last loss report, retune count) when the engine runs
+	// with the closed loop enabled.
 	OpSessions Op = "sessions"
 )
 

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"rapidware/internal/adapt"
+	"rapidware/internal/metrics"
+	"rapidware/internal/multicast"
+	"rapidware/internal/packet"
+	"rapidware/internal/raplet"
+)
+
+// sessionAdaptor is one session's closed adaptation loop: receiver reports
+// arriving on the engine socket feed a worst-loss observer raplet, the
+// observer publishes loss-rate events on the session's bus, and a chain FEC
+// responder reconciles the session's live chain with the policy ladder —
+// splicing an adaptive encoder in when loss appears, retuning its (n,k) as
+// loss moves between levels, and splicing it out again on a clean link. All
+// of it runs on the bus's dispatch goroutine; the relay hot path never sees
+// the adaptor.
+type sessionAdaptor struct {
+	bus  *raplet.Bus
+	obs  *raplet.WorstLossObserver
+	resp *raplet.ChainFECResponder
+
+	mu         sync.Mutex
+	reports    uint64
+	lastReport packet.Report
+}
+
+// newSessionAdaptor assembles and starts the loop for s. The chain may
+// already be live; the responder only touches it when events arrive.
+func newSessionAdaptor(s *Session, policy adapt.Policy) (*sessionAdaptor, error) {
+	bus := raplet.NewBus(64)
+	obs := raplet.NewWorstLossObserver(fmt.Sprintf("loss-observer:%d", s.id), bus)
+	resp, err := raplet.NewChainFECResponder(fmt.Sprintf("adapt:%d", s.id), s.chain, policy, s.id, 1)
+	if err != nil {
+		return nil, err
+	}
+	bus.Subscribe(raplet.EventLossRate, resp)
+	if err := bus.Start(); err != nil {
+		return nil, err
+	}
+	// Prime the loop with a synchronous clean-link event so a policy whose
+	// cleanest rung already demands FEC (always-on protection) has its
+	// encoder spliced in before the session's first packet can enter the
+	// chain; for ordinary ladders this is a no-op. Synchronous is safe here:
+	// the session is not yet registered, so no packets or reports flow.
+	if err := resp.Handle(raplet.Event{Type: raplet.EventLossRate, Source: obs.Name(), Value: 0}); err != nil {
+		bus.Stop()
+		return nil, err
+	}
+	return &sessionAdaptor{bus: bus, obs: obs, resp: resp}, nil
+}
+
+// pruneReceivers drops tracked receivers that are no longer members of the
+// session's fan-out group, so a departed station's last report cannot pin
+// the code at a strong level.
+func (a *sessionAdaptor) pruneReceivers(g *multicast.AddrGroup) {
+	a.obs.Prune(func(receiver string) bool {
+		ap, err := netip.ParseAddrPort(receiver)
+		return err == nil && g.Contains(ap)
+	})
+}
+
+// report feeds one receiver report into the loop. receiver identifies the
+// reporting station (the engine uses the datagram's source address), so a
+// fan-out session adapts to the worst of its receivers.
+func (a *sessionAdaptor) report(receiver string, rep packet.Report) {
+	a.mu.Lock()
+	a.reports++
+	if rep.HighestSeq >= a.lastReport.HighestSeq {
+		a.lastReport = rep
+	}
+	a.mu.Unlock()
+	a.obs.Report(receiver, rep.LossFraction())
+}
+
+// stop shuts the loop down, draining queued events first.
+func (a *sessionAdaptor) stop() { a.bus.Stop() }
+
+// stats snapshots the loop for control-protocol replies.
+func (a *sessionAdaptor) stats() *metrics.AdaptStats {
+	a.mu.Lock()
+	reports, last := a.reports, a.lastReport
+	a.mu.Unlock()
+	params := a.resp.Current()
+	return &metrics.AdaptStats{
+		K:          params.K,
+		N:          params.N,
+		Active:     a.resp.Active(),
+		LossRate:   a.resp.LastLoss(),
+		Reports:    reports,
+		Receivers:  a.obs.Receivers(),
+		Retunes:    a.resp.Retunes(),
+		HighestSeq: last.HighestSeq,
+	}
+}

@@ -21,10 +21,13 @@ import (
 	"net"
 	"net/netip"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"rapidware/internal/adapt"
 	"rapidware/internal/metrics"
+	"rapidware/internal/multicast"
 	"rapidware/internal/packet"
 )
 
@@ -69,6 +72,21 @@ type Config struct {
 	// default: the peer is pinned to the session's first sender so a datagram
 	// that merely guesses a session ID cannot redirect the stream.
 	AllowRoaming bool
+	// Fanout lists downstream UDP receiver addresses every session's output
+	// is multicast to (application-level fan-out). Mutually exclusive with
+	// Forward. Receivers can also be added and removed at run time through
+	// FanoutGroup.
+	Fanout []string
+	// Adapt enables the closed-loop adaptation plane: each session gets a
+	// raplet bus, a worst-loss observer fed by receiver reports (KindFeedback
+	// datagrams sent upstream on the engine socket), and an FEC responder
+	// that splices an adaptive encoder into the session's live chain as loss
+	// appears, retunes its (n,k) as loss moves between policy levels, and
+	// removes it again on a clean link.
+	Adapt bool
+	// AdaptPolicy is the loss → (n,k) ladder used when Adapt is set; the
+	// zero value selects adapt.DefaultPolicy.
+	AdaptPolicy adapt.Policy
 	// Logger receives engine lifecycle messages; nil disables logging.
 	Logger *log.Logger
 }
@@ -81,15 +99,18 @@ type Stats struct {
 	Malformed      uint64 `json:"malformed"`
 	Rejected       uint64 `json:"rejected"`
 	ChainErrors    uint64 `json:"chain_errors"`
+	Feedback       uint64 `json:"feedback"`
 }
 
 // Engine is a multi-session UDP proxy.
 type Engine struct {
 	cfg      Config
+	policy   adapt.Policy // resolved adaptation policy (valid iff cfg.Adapt)
 	builders []StageBuilder
 
 	conn    *net.UDPConn
-	forward netip.AddrPort // zero value when echoing to senders
+	forward netip.AddrPort       // zero value when echoing to senders
+	group   *multicast.AddrGroup // non-nil when fanning out to receivers
 
 	mu       sync.RWMutex
 	sessions map[uint32]*Session
@@ -102,6 +123,7 @@ type Engine struct {
 	malformed   atomic.Uint64
 	rejected    atomic.Uint64
 	chainErrors atomic.Uint64
+	feedback    atomic.Uint64
 }
 
 // New validates cfg (including the chain spec) and returns an engine ready to
@@ -120,11 +142,77 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
+	if cfg.Forward != "" && len(cfg.Fanout) > 0 {
+		return nil, errors.New("engine: Forward and Fanout are mutually exclusive")
+	}
+	if cfg.Adapt && chainSpecHasFECEncode(cfg.Chain) {
+		// A static encoder under the adaptation plane would re-encode the
+		// adaptive encoder's output (parity-of-parity) the moment loss
+		// appears. The plane owns FEC encoding; fail fast instead.
+		return nil, errors.New("engine: Adapt manages the FEC encoder itself; remove fec-encode from Chain")
+	}
+	e := &Engine{
 		cfg:      cfg,
 		builders: builders,
 		sessions: make(map[uint32]*Session),
-	}, nil
+	}
+	if cfg.Adapt {
+		e.policy = cfg.AdaptPolicy
+		if len(e.policy.Levels) == 0 {
+			e.policy = adapt.DefaultPolicy()
+		}
+		if err := e.policy.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if len(cfg.Fanout) > 0 {
+		e.group = multicast.NewAddrGroup(cfg.Name + "-fanout")
+		for _, addr := range cfg.Fanout {
+			udp, err := net.ResolveUDPAddr("udp", addr)
+			if err != nil {
+				return nil, fmt.Errorf("engine: resolve fanout %q: %w", addr, err)
+			}
+			e.group.Add(udp.AddrPort())
+		}
+	}
+	return e, nil
+}
+
+// FanoutGroup returns the downstream receiver group sessions multicast to,
+// or nil when the engine echoes or forwards instead. Membership may be
+// changed at run time; sessions pick the new set up on their next packet,
+// and a removed member's loss reports are pruned from each session's
+// adaptation state on the next report.
+func (e *Engine) FanoutGroup() *multicast.AddrGroup { return e.group }
+
+// receiverAuthorized reports whether a feedback datagram's source is one of
+// the session's legitimate downstream receivers: a fan-out group member, the
+// forward destination, or (in echo mode) the session's pinned peer. The gate
+// mirrors the data path's peer pinning — an off-path host that merely
+// guesses a session ID must not be able to steer its FEC level. from must
+// already be in canonical (unmapped) form; e.forward and group members are
+// stored that way, and the peer is canonicalized here.
+func (e *Engine) receiverAuthorized(s *Session, from netip.AddrPort) bool {
+	switch {
+	case e.group != nil:
+		return e.group.Contains(from)
+	case e.forward.IsValid():
+		return from == e.forward
+	default:
+		return from == multicast.UnmapAddrPort(s.Peer())
+	}
+}
+
+// chainSpecHasFECEncode reports whether a chain spec contains a static FEC
+// encoder stage.
+func chainSpecHasFECEncode(spec string) bool {
+	for _, part := range strings.Split(spec, ",") {
+		kind, _, _ := strings.Cut(strings.TrimSpace(part), "=")
+		if kind == "fec-encode" {
+			return true
+		}
+	}
+	return false
 }
 
 // Start binds the UDP socket and launches the shared read loop.
@@ -150,13 +238,18 @@ func (e *Engine) Start() error {
 		}
 		// Unmap 4-in-6 addresses so writes work regardless of the socket's
 		// address family.
-		ap := fwd.AddrPort()
-		e.forward = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+		e.forward = multicast.UnmapAddrPort(fwd.AddrPort())
 	}
 	e.conn = conn
 	e.wg.Add(1)
 	go e.readLoop()
 	e.logf("serving UDP on %s (max %d sessions, chain %q)", conn.LocalAddr(), e.cfg.MaxSessions, e.cfg.Chain)
+	if e.cfg.Adapt {
+		e.logf("adaptation plane on (policy %s)", e.policy)
+	}
+	if e.group != nil {
+		e.logf("fanning out to %d receivers", e.group.Len())
+	}
 	return nil
 }
 
@@ -205,6 +298,17 @@ func (e *Engine) readLoop() {
 			continue
 		}
 		id := binary.BigEndian.Uint32(b.B)
+		// Receiver reports close the adaptation loop on the control path:
+		// they are consumed here, never enter a chain, and never open a
+		// session (a report for an unknown session is simply dropped).
+		if packet.Kind(b.B[packet.SessionIDSize+3]) == packet.KindFeedback {
+			e.feedback.Add(1)
+			if s := e.lookup(id); s != nil {
+				s.handleFeedback(from, b.B[packet.SessionIDSize:])
+			}
+			b.Release()
+			continue
+		}
 		s := e.lookup(id)
 		if s == nil {
 			var err error
@@ -324,6 +428,7 @@ func (e *Engine) Stats() Stats {
 		Malformed:      e.malformed.Load(),
 		Rejected:       e.rejected.Load(),
 		ChainErrors:    e.chainErrors.Load(),
+		Feedback:       e.feedback.Load(),
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"rapidware/internal/endpoint"
 	"rapidware/internal/filter"
 	"rapidware/internal/metrics"
+	"rapidware/internal/multicast"
 	"rapidware/internal/packet"
 )
 
@@ -24,6 +25,10 @@ type Session struct {
 	source   *endpoint.UDPSource
 	sink     *endpoint.UDPSink
 	counters metrics.SessionCounters
+
+	// adaptor is the session's closed adaptation loop; nil when the engine
+	// runs without Config.Adapt.
+	adaptor *sessionAdaptor
 
 	// repairs reports FEC reconstruction counts from any decoder stages in
 	// the chain; read at snapshot time, never on the data path.
@@ -70,6 +75,14 @@ func newSession(e *Engine, id uint32, peer netip.AddrPort) (*Session, error) {
 	if err := s.chain.Start(); err != nil {
 		return nil, fmt.Errorf("engine: session %d start: %w", id, err)
 	}
+	if e.cfg.Adapt {
+		a, err := newSessionAdaptor(s, e.policy)
+		if err != nil {
+			s.chain.Stop()
+			return nil, fmt.Errorf("engine: session %d adaptor: %w", id, err)
+		}
+		s.adaptor = a
+	}
 	return s, nil
 }
 
@@ -84,13 +97,47 @@ func (s *Session) Chain() *filter.Chain { return s.chain }
 func (s *Session) Counters() *metrics.SessionCounters { return &s.counters }
 
 // Stats snapshots the session's counters, folding in FEC repair counts from
-// any decoder stages.
+// any decoder stages and the adaptation loop's state when the plane is on.
 func (s *Session) Stats() metrics.SessionStats {
 	st := s.counters.Snapshot(s.id)
 	for _, fn := range s.repairs {
 		st.Repairs += fn()
 	}
+	if s.adaptor != nil {
+		st.Adapt = s.adaptor.stats()
+	}
 	return st
+}
+
+// handleFeedback consumes one validated receiver-report frame. The report's
+// source address identifies the receiver, so a fan-out session tracks each
+// downstream station separately and adapts to the worst. Reports from
+// addresses that are not legitimate receivers of this session are dropped —
+// the feedback plane honors the same off-path protections as the data path.
+// Called from the engine's read loop; the heavy lifting happens on the bus
+// goroutine.
+func (s *Session) handleFeedback(from netip.AddrPort, frame []byte) {
+	if s.adaptor == nil {
+		return
+	}
+	// Canonicalize once: authorization, pruning and the receiver key all
+	// compare unmapped forms (a dual-stack socket may report the same
+	// station as 1.2.3.4 or ::ffff:1.2.3.4 depending on how it sent).
+	from = multicast.UnmapAddrPort(from)
+	if !s.eng.receiverAuthorized(s, from) {
+		return
+	}
+	rep, err := packet.ParseReport(frame)
+	if err != nil {
+		return
+	}
+	if g := s.eng.group; g != nil {
+		// Membership may have shrunk since the last report: drop departed
+		// receivers first so the worst-loss computation below cannot be
+		// pinned by a stale report.
+		s.adaptor.pruneReceivers(g)
+	}
+	s.adaptor.report(from.String(), rep)
 }
 
 // Peer returns the address the session currently relays to in echo mode: the
@@ -156,6 +203,9 @@ func (s *Session) recv() (*packet.Buf, error) {
 // one datagram. send owns b.
 func (s *Session) send(b *packet.Buf) error {
 	packet.PutSessionID(b.B, s.id)
+	if s.eng.group != nil {
+		return s.sendFanout(b)
+	}
 	dst := s.eng.forward
 	if !dst.IsValid() {
 		dst = s.Peer()
@@ -184,10 +234,45 @@ func (s *Session) send(b *packet.Buf) error {
 	return nil
 }
 
-// close terminates the session: the source observes EOF, the chain drains
-// and stops, and queued buffers are returned to the pool.
+// sendFanout multicasts one output datagram to every receiver in the
+// engine's fan-out group. Membership is read with one atomic snapshot load,
+// so the path stays allocation-free; receivers failing independently match
+// IP multicast semantics (errors are counted, never fatal). sendFanout owns
+// b.
+func (s *Session) sendFanout(b *packet.Buf) error {
+	targets := s.eng.group.Snapshot()
+	if len(targets) == 0 {
+		s.counters.Drops.Add(1)
+		b.Release()
+		return nil
+	}
+	for _, dst := range targets {
+		n, err := s.eng.conn.WriteToUDPAddrPort(b.B, dst)
+		if err != nil {
+			select {
+			case <-s.done:
+				b.Release()
+				return err
+			default:
+			}
+			s.counters.Drops.Add(1)
+			continue
+		}
+		s.counters.OutPackets.Add(1)
+		s.counters.OutBytes.Add(uint64(n))
+	}
+	b.Release()
+	return nil
+}
+
+// close terminates the session: the adaptation loop stops first (so no
+// splice can race the teardown), then the source observes EOF, the chain
+// drains and stops, and queued buffers are returned to the pool.
 func (s *Session) close() error {
 	s.closeOnce.Do(func() {
+		if s.adaptor != nil {
+			s.adaptor.stop()
+		}
 		close(s.done)
 		s.closeErr = s.chain.Stop()
 		for {

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
@@ -162,7 +163,8 @@ func RunRepairComparison(cfg RepairComparisonConfig) (*RepairComparisonResult, e
 	receivers := make([]*arqReceiver, cfg.Receivers)
 	for i := range receivers {
 		wr, err := channel.Attach(fmt.Sprintf("arq-rx-%d", i),
-			wireless.NewDistanceLoss(cfg.DistanceMetres, cfg.MeanBurst), cfg.Seed+int64(i)+1, len(payloads)*4+16)
+			wireless.NewDistanceLoss(cfg.DistanceMetres, cfg.MeanBurst),
+			rand.New(rand.NewSource(cfg.Seed+int64(i)+1)), len(payloads)*4+16)
 		if err != nil {
 			return nil, err
 		}

@@ -2,75 +2,29 @@ package fecproxy
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
+	"rapidware/internal/adapt"
 	"rapidware/internal/fec"
 	"rapidware/internal/filter"
 	"rapidware/internal/packet"
 )
 
-// AdaptivePolicy maps an observed loss rate to the (n,k) code that should
-// protect the stream, the mechanism behind the adaptive FEC the paper's
-// companion work ([16], "adaptive forward error correction") explores and
-// that RAPIDware responders drive at run time.
-type AdaptivePolicy struct {
-	// Levels are (threshold, params) pairs: the strongest level whose
-	// threshold is at or below the observed loss rate is selected. A level
-	// with K == N disables FEC.
-	Levels []AdaptiveLevel
-}
+// The loss-rate → (n,k) policy ladder lives in the transport-agnostic
+// internal/adapt package so a single policy engine drives this legacy
+// single-stream adaptive proxy, the responder raplets and the multi-session
+// engine. The historical fecproxy names are aliases.
+type (
+	// AdaptivePolicy maps an observed loss rate to the (n,k) code that should
+	// protect the stream; see adapt.Policy.
+	AdaptivePolicy = adapt.Policy
+	// AdaptiveLevel is one rung of an adaptive policy; see adapt.Level.
+	AdaptiveLevel = adapt.Level
+)
 
-// AdaptiveLevel is one rung of an adaptive policy.
-type AdaptiveLevel struct {
-	// LossAtLeast is the minimum observed loss rate for this level to apply.
-	LossAtLeast float64
-	// Params is the code used at this level.
-	Params fec.Params
-}
-
-// DefaultAdaptivePolicy returns a ladder modelled on the paper's environment:
-// no FEC on a clean link, the paper's (6,4) at a few percent loss, and
-// progressively stronger codes as the link degrades.
-func DefaultAdaptivePolicy() AdaptivePolicy {
-	return AdaptivePolicy{Levels: []AdaptiveLevel{
-		{LossAtLeast: 0, Params: fec.Params{K: 1, N: 1}},
-		{LossAtLeast: 0.01, Params: fec.Params{K: 4, N: 5}},
-		{LossAtLeast: 0.03, Params: fec.Params{K: 4, N: 6}},
-		{LossAtLeast: 0.10, Params: fec.Params{K: 4, N: 8}},
-		{LossAtLeast: 0.25, Params: fec.Params{K: 4, N: 12}},
-	}}
-}
-
-// Validate checks every level's parameters.
-func (p AdaptivePolicy) Validate() error {
-	if len(p.Levels) == 0 {
-		return fmt.Errorf("fecproxy: adaptive policy needs at least one level")
-	}
-	for i, l := range p.Levels {
-		if err := l.Params.Validate(); err != nil {
-			return fmt.Errorf("fecproxy: level %d: %w", i, err)
-		}
-		if l.LossAtLeast < 0 || l.LossAtLeast > 1 {
-			return fmt.Errorf("fecproxy: level %d threshold %v out of range", i, l.LossAtLeast)
-		}
-	}
-	return nil
-}
-
-// Select returns the code for the observed loss rate.
-func (p AdaptivePolicy) Select(lossRate float64) fec.Params {
-	// Levels are evaluated in ascending threshold order.
-	levels := append([]AdaptiveLevel(nil), p.Levels...)
-	sort.Slice(levels, func(i, j int) bool { return levels[i].LossAtLeast < levels[j].LossAtLeast })
-	chosen := levels[0].Params
-	for _, l := range levels {
-		if lossRate >= l.LossAtLeast {
-			chosen = l.Params
-		}
-	}
-	return chosen
-}
+// DefaultAdaptivePolicy returns adapt.DefaultPolicy: the ladder modelled on
+// the paper's environment.
+func DefaultAdaptivePolicy() AdaptivePolicy { return adapt.DefaultPolicy() }
 
 // AdaptiveEncoderFilter is an FEC encoder whose (n,k) parameters follow an
 // AdaptivePolicy as the observed loss rate (reported by a receiver, an

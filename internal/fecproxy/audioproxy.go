@@ -3,6 +3,7 @@ package fecproxy
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"time"
 
 	"rapidware/internal/audio"
@@ -119,7 +120,7 @@ func RunAudioProxy(cfg AudioProxyConfig, pcm []byte) (*AudioProxyResult, error) 
 		if model == nil {
 			model = wireless.NewDistanceLoss(rc.DistanceMetres, rc.MeanBurst)
 		}
-		r, err := channel.Attach(rc.Name, model, cfg.Seed+int64(i)+1, len(payloads)*2+16)
+		r, err := channel.Attach(rc.Name, model, rand.New(rand.NewSource(cfg.Seed+int64(i)+1)), len(payloads)*2+16)
 		if err != nil {
 			return nil, err
 		}

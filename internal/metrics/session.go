@@ -30,6 +30,32 @@ type SessionStats struct {
 	OutBytes   uint64 `json:"out_bytes"`
 	Repairs    uint64 `json:"repairs"`
 	Drops      uint64 `json:"drops"`
+	// Adapt carries the session's adaptation-plane state; nil when the
+	// engine runs without the closed loop.
+	Adapt *AdaptStats `json:"adapt,omitempty"`
+}
+
+// AdaptStats is the adaptation-plane state of one engine session: the code
+// currently protecting the stream, the loss feedback that selected it, and
+// how often the control loop has rewritten the chain.
+type AdaptStats struct {
+	// K and N are the currently selected erasure code; K == N means the
+	// policy has the session on the pure relay path (no FEC).
+	K int `json:"k"`
+	N int `json:"n"`
+	// Active reports whether an FEC encoder is spliced into the chain.
+	Active bool `json:"active"`
+	// LossRate is the worst receiver-reported loss the loop last acted on.
+	LossRate float64 `json:"loss_rate"`
+	// Reports counts receiver reports consumed; Receivers counts the
+	// distinct receivers that have reported.
+	Reports   uint64 `json:"reports"`
+	Receivers int    `json:"receivers"`
+	// Retunes counts protection-level changes: encoder insertions, removals
+	// and in-place (n,k) switches.
+	Retunes uint64 `json:"retunes"`
+	// HighestSeq is the highest sequence number any receiver acknowledged.
+	HighestSeq uint64 `json:"highest_seq"`
 }
 
 // Snapshot captures the counters for the session with the given ID.

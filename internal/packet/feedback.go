@@ -1,0 +1,100 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// A receiver report is the upstream half of the engine's closed adaptation
+// loop: a downstream receiver periodically summarizes what it saw over its
+// last observation window and sends the summary back to the proxy on the same
+// UDP socket the data arrived on. The report travels as an ordinary engine
+// datagram — session ID prefix plus one frame — whose kind is KindFeedback
+// and whose payload is the fixed-size encoding below, so the engine's
+// datagram gate validates it like any other frame before the adaptation
+// plane decodes it.
+//
+// Report payload layout (big endian):
+//
+//	highest uint64  highest sequence number seen on the session
+//	rcvd    uint32  packets received in the observation window
+//	lost    uint32  packets lost in the observation window
+//	window  uint32  nominal window size in packets
+const ReportPayloadSize = 8 + 4 + 4 + 4
+
+// ErrBadReport is returned by ParseReport for frames that are not well-formed
+// receiver reports.
+var ErrBadReport = errors.New("packet: malformed receiver report")
+
+// Report is one receiver's loss summary for an observation window.
+type Report struct {
+	// HighestSeq is the highest sequence number the receiver has seen.
+	HighestSeq uint64
+	// Received and Lost count the packets that arrived and the packets the
+	// receiver inferred missing during the window.
+	Received uint32
+	Lost     uint32
+	// Window is the nominal observation window size in packets.
+	Window uint32
+}
+
+// LossFraction returns the loss rate the report describes, in [0,1].
+func (r Report) LossFraction() float64 {
+	total := uint64(r.Received) + uint64(r.Lost)
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Lost) / float64(total)
+}
+
+// String summarizes the report for logs.
+func (r Report) String() string {
+	return fmt.Sprintf("report{high=%d rcvd=%d lost=%d win=%d loss=%.4f}",
+		r.HighestSeq, r.Received, r.Lost, r.Window, r.LossFraction())
+}
+
+// appendReportPayload appends the report's wire payload to dst.
+func appendReportPayload(dst []byte, r Report) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, r.HighestSeq)
+	dst = binary.BigEndian.AppendUint32(dst, r.Received)
+	dst = binary.BigEndian.AppendUint32(dst, r.Lost)
+	dst = binary.BigEndian.AppendUint32(dst, r.Window)
+	return dst
+}
+
+// AppendReportFrame appends a KindFeedback frame carrying r to dst. seq is
+// the report's own sequence number (receivers typically count reports).
+func AppendReportFrame(dst []byte, seq uint64, streamID uint32, r Report) ([]byte, error) {
+	return AppendFrame(dst, &Packet{
+		Seq:      seq,
+		StreamID: streamID,
+		Kind:     KindFeedback,
+		Payload:  appendReportPayload(make([]byte, 0, ReportPayloadSize), r),
+	})
+}
+
+// AppendReportDatagram appends a complete engine feedback datagram (session
+// ID + KindFeedback frame) to dst.
+func AppendReportDatagram(dst []byte, session uint32, seq uint64, streamID uint32, r Report) ([]byte, error) {
+	return AppendReportFrame(AppendSessionID(dst, session), seq, streamID, r)
+}
+
+// ParseReport decodes the receiver report carried by a validated frame (as
+// accepted by ValidateFrame). It does not allocate, so the engine can decode
+// feedback on its read loop.
+func ParseReport(frame []byte) (Report, error) {
+	if len(frame) < HeaderSize || Kind(frame[3]) != KindFeedback {
+		return Report{}, ErrBadReport
+	}
+	payload := frame[HeaderSize:]
+	if len(payload) != ReportPayloadSize {
+		return Report{}, fmt.Errorf("%w: payload %d bytes, want %d", ErrBadReport, len(payload), ReportPayloadSize)
+	}
+	return Report{
+		HighestSeq: binary.BigEndian.Uint64(payload),
+		Received:   binary.BigEndian.Uint32(payload[8:]),
+		Lost:       binary.BigEndian.Uint32(payload[12:]),
+		Window:     binary.BigEndian.Uint32(payload[16:]),
+	}, nil
+}

@@ -1,0 +1,98 @@
+package packet
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	r := Report{HighestSeq: 987654, Received: 180, Lost: 20, Window: 200}
+	frame, err := AppendReportFrame(nil, 3, 7, r)
+	if err != nil {
+		t.Fatalf("AppendReportFrame: %v", err)
+	}
+	if err := ValidateFrame(frame); err != nil {
+		t.Fatalf("ValidateFrame: %v", err)
+	}
+	got, err := ParseReport(frame)
+	if err != nil {
+		t.Fatalf("ParseReport: %v", err)
+	}
+	if got != r {
+		t.Fatalf("ParseReport = %+v, want %+v", got, r)
+	}
+	if want := 0.1; math.Abs(got.LossFraction()-want) > 1e-9 {
+		t.Fatalf("LossFraction = %v, want %v", got.LossFraction(), want)
+	}
+
+	// The frame also decodes as an ordinary packet with the feedback kind.
+	p, _, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if p.Kind != KindFeedback || p.Seq != 3 || p.StreamID != 7 {
+		t.Fatalf("decoded packet %v", p)
+	}
+}
+
+func TestReportDatagramCarriesSessionID(t *testing.T) {
+	dgram, err := AppendReportDatagram(nil, 42, 0, 0, Report{Received: 10, Window: 10})
+	if err != nil {
+		t.Fatalf("AppendReportDatagram: %v", err)
+	}
+	id, frame, err := SplitSessionID(dgram)
+	if err != nil {
+		t.Fatalf("SplitSessionID: %v", err)
+	}
+	if id != 42 {
+		t.Fatalf("session id = %d, want 42", id)
+	}
+	if _, err := ParseReport(frame); err != nil {
+		t.Fatalf("ParseReport: %v", err)
+	}
+}
+
+func TestParseReportRejectsGarbage(t *testing.T) {
+	// Wrong kind.
+	frame, err := AppendFrame(nil, &Packet{Kind: KindData, Payload: make([]byte, ReportPayloadSize)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseReport(frame); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("data frame parsed as report: %v", err)
+	}
+	// Wrong payload size.
+	frame, err = AppendFrame(nil, &Packet{Kind: KindFeedback, Payload: make([]byte, ReportPayloadSize-1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseReport(frame); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("short report parsed: %v", err)
+	}
+	// Too short for a header at all.
+	if _, err := ParseReport([]byte{1, 2, 3}); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("tiny frame parsed: %v", err)
+	}
+}
+
+func TestReportLossFractionEmptyWindow(t *testing.T) {
+	if got := (Report{}).LossFraction(); got != 0 {
+		t.Fatalf("empty report loss = %v, want 0", got)
+	}
+	if got := (Report{Lost: 5}).LossFraction(); got != 1 {
+		t.Fatalf("all-lost report loss = %v, want 1", got)
+	}
+}
+
+func TestKindFeedbackIsValid(t *testing.T) {
+	if !KindFeedback.Valid() {
+		t.Fatal("KindFeedback must be a valid kind")
+	}
+	if KindFeedback.String() != "feedback" {
+		t.Fatalf("KindFeedback.String() = %q", KindFeedback.String())
+	}
+	if Kind(uint8(KindFeedback) + 1).Valid() {
+		t.Fatal("kind beyond feedback must be invalid")
+	}
+}

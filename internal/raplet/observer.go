@@ -106,6 +106,127 @@ func (o *LossRateObserver) publish(loss float64) {
 	})
 }
 
+// WorstLossObserver aggregates receiver-reported loss rates across a fan-out
+// group and publishes the *worst* receiver's loss on every report, the
+// multicast argument of the paper: one proxy-side FEC code must cover the
+// most degraded station, because a single parity packet repairs different
+// losses at different receivers. Reports typically originate from
+// packet.Report feedback datagrams arriving at the proxy engine.
+type WorstLossObserver struct {
+	name string
+	bus  *Bus
+
+	mu      sync.Mutex
+	loss    map[string]float64
+	reports uint64
+}
+
+// NewWorstLossObserver returns an observer publishing EventLossRate with the
+// worst per-receiver loss each time any receiver reports.
+func NewWorstLossObserver(name string, bus *Bus) *WorstLossObserver {
+	if name == "" {
+		name = "worst-loss-observer"
+	}
+	return &WorstLossObserver{name: name, bus: bus, loss: make(map[string]float64)}
+}
+
+// Name implements Observer.
+func (o *WorstLossObserver) Name() string { return o.name }
+
+// Start implements Observer; the observer is passive (driven by Report).
+func (o *WorstLossObserver) Start() error { return nil }
+
+// Stop implements Observer.
+func (o *WorstLossObserver) Stop() error { return nil }
+
+// Report records one receiver's observed loss rate (clamped to [0,1]) and
+// publishes the group-wide worst.
+func (o *WorstLossObserver) Report(receiver string, loss float64) {
+	if loss < 0 {
+		loss = 0
+	}
+	if loss > 1 {
+		loss = 1
+	}
+	o.mu.Lock()
+	o.loss[receiver] = loss
+	o.reports++
+	worstRx, worst := o.worstLocked()
+	o.mu.Unlock()
+	if o.bus == nil {
+		return
+	}
+	o.bus.Publish(Event{
+		Type:   EventLossRate,
+		Source: o.name,
+		Value:  worst,
+		Attrs:  map[string]string{"receiver": worstRx},
+	})
+}
+
+// Forget drops a receiver (e.g. after it leaves the multicast group) so a
+// stale report cannot pin the code at a strong level forever.
+func (o *WorstLossObserver) Forget(receiver string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.loss, receiver)
+}
+
+// Prune drops every receiver keep rejects, returning how many were removed.
+// Callers with a dynamic receiver set (the engine's fan-out group) run this
+// as membership changes so a departed station's last report cannot pin the
+// code, and so the tracked set cannot grow beyond the legitimate receivers.
+func (o *WorstLossObserver) Prune(keep func(receiver string) bool) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	removed := 0
+	for rx := range o.loss {
+		if !keep(rx) {
+			delete(o.loss, rx)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Worst returns the worst-reporting receiver and its loss rate (zero values
+// when nothing has reported).
+func (o *WorstLossObserver) Worst() (receiver string, loss float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.worstLocked()
+}
+
+// worstLocked scans for the maximum loss; caller holds o.mu. Ties break to
+// the lexicographically smallest receiver name for determinism.
+func (o *WorstLossObserver) worstLocked() (string, float64) {
+	var worstRx string
+	worst := -1.0
+	for rx, l := range o.loss {
+		if l > worst || (l == worst && rx < worstRx) {
+			worstRx, worst = rx, l
+		}
+	}
+	if worst < 0 {
+		return "", 0
+	}
+	return worstRx, worst
+}
+
+// Receivers returns how many receivers have reported.
+func (o *WorstLossObserver) Receivers() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.loss)
+}
+
+// Reports returns how many reports have been recorded.
+func (o *WorstLossObserver) Reports() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.reports
+}
+
 // PollingObserver periodically samples a measurement function and publishes
 // its value, for conditions that are polled rather than event driven (e.g.
 // bandwidth estimates, battery level, user preference files).
@@ -179,5 +300,6 @@ func (o *PollingObserver) Stop() error {
 
 var (
 	_ Observer = (*LossRateObserver)(nil)
+	_ Observer = (*WorstLossObserver)(nil)
 	_ Observer = (*PollingObserver)(nil)
 )

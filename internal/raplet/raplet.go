@@ -101,24 +101,41 @@ func (b *Bus) Subscribe(t EventType, r Responder) {
 	b.subscribers[t] = append(b.subscribers[t], r)
 }
 
+// Unsubscribe removes the first responder with the given name from an event
+// type's subscription list and reports whether one was found. Matching is by
+// name (not identity) so function-valued responders, which are not
+// comparable, can be unsubscribed too.
+func (b *Bus) Unsubscribe(t EventType, name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	subs := b.subscribers[t]
+	for i, r := range subs {
+		if r.Name() == name {
+			b.subscribers[t] = append(append([]Responder(nil), subs[:i]...), subs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // Publish enqueues an event for dispatch. Events published when the queue is
-// full are counted as dropped rather than blocking the observer.
+// full are counted as dropped rather than blocking the observer. The
+// stopped-check and the (non-blocking) send happen under one critical
+// section, and Stop closes the queue under the same lock, so Publish racing
+// Stop from another goroutine can never send on a closed channel.
 func (b *Bus) Publish(e Event) {
 	if e.Time.IsZero() {
 		e.Time = time.Now()
 	}
 	b.mu.Lock()
-	stopped := b.stopped
-	b.mu.Unlock()
-	if stopped {
+	defer b.mu.Unlock()
+	if b.stopped {
 		return
 	}
 	select {
 	case b.queue <- e:
 	default:
-		b.mu.Lock()
 		b.dropped++
-		b.mu.Unlock()
 	}
 }
 
@@ -150,7 +167,8 @@ func (b *Bus) dispatch() {
 	}
 }
 
-// Stop stops dispatch after draining queued events. It is idempotent.
+// Stop stops dispatch after draining queued events. It is idempotent and
+// safe against concurrent Publish calls (see Publish).
 func (b *Bus) Stop() {
 	b.mu.Lock()
 	if !b.started || b.stopped {
@@ -158,8 +176,8 @@ func (b *Bus) Stop() {
 		return
 	}
 	b.stopped = true
-	b.mu.Unlock()
 	close(b.queue)
+	b.mu.Unlock()
 	<-b.done
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"rapidware/internal/adapt"
 	"rapidware/internal/core"
 	"rapidware/internal/fec"
 	"rapidware/internal/fecproxy"
@@ -172,8 +173,149 @@ func (r *SpecResponder) Handle(e Event) error {
 	return nil
 }
 
+// ChainFECResponder drives demand-driven FEC directly on a *filter.Chain —
+// the form the multi-session engine uses, where every session owns a chain
+// but no core.Proxy. On each loss-rate event it selects the (n,k) code from
+// an adapt.Policy and reconciles the chain with the selection:
+//
+//   - policy says no FEC (K == N) and an encoder is spliced in → remove it,
+//   - policy says FEC and no encoder is present → splice in an adaptive
+//     encoder at the configured position,
+//   - policy says a different code while the encoder runs → retune it in
+//     place (the switch lands on the next group boundary).
+//
+// All of this happens on the bus's dispatch goroutine via the chain's
+// pause/reconnect splice path; the session's relay hot path is untouched.
+type ChainFECResponder struct {
+	name       string
+	chain      *filter.Chain
+	policy     adapt.Policy
+	streamID   uint32
+	position   int
+	filterName string
+
+	mu       sync.Mutex
+	enc      *fecproxy.AdaptiveEncoderFilter
+	current  fec.Params
+	lastLoss float64
+	retunes  uint64
+}
+
+// NewChainFECResponder returns a responder managing an adaptive FEC encoder
+// in chain. position is the splice position (<= 0 selects 1, immediately
+// after the input endpoint); streamID is stamped on emitted packets.
+func NewChainFECResponder(name string, chain *filter.Chain, policy adapt.Policy, streamID uint32, position int) (*ChainFECResponder, error) {
+	if chain == nil {
+		return nil, errors.New("raplet: chain FEC responder requires a chain")
+	}
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = "chain-fec-responder"
+	}
+	if position <= 0 {
+		position = 1
+	}
+	return &ChainFECResponder{
+		name:       name,
+		chain:      chain,
+		policy:     policy,
+		streamID:   streamID,
+		position:   position,
+		filterName: name + "-encoder",
+		current:    policy.Select(0),
+	}, nil
+}
+
+// Name implements Responder.
+func (r *ChainFECResponder) Name() string { return r.name }
+
+// Active reports whether an FEC encoder is currently spliced into the chain.
+func (r *ChainFECResponder) Active() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.enc != nil
+}
+
+// Current returns the code the responder has selected (K == N means no FEC).
+func (r *ChainFECResponder) Current() fec.Params {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.current
+}
+
+// LastLoss returns the most recent loss rate the responder acted on.
+func (r *ChainFECResponder) LastLoss() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastLoss
+}
+
+// Retunes returns how many times the responder changed the chain's
+// protection level (insertions, removals and in-place parameter switches).
+func (r *ChainFECResponder) Retunes() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retunes
+}
+
+// Handle implements Responder: it reconciles the chain with the policy's
+// selection for the reported loss rate. Reconciliation is driven by the
+// chain's *actual* state (encoder spliced in or not), never by comparing
+// selections, so a policy whose cleanest rung is already an FEC level still
+// gets its encoder inserted on the first event.
+func (r *ChainFECResponder) Handle(e Event) error {
+	if e.Type != EventLossRate {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	loss := e.Value
+	r.lastLoss = loss
+	params := r.policy.Select(loss)
+	changed := false
+	switch {
+	case params.N == params.K:
+		// Clean link: splice the encoder out so the session returns to the
+		// pure relay path.
+		if r.enc != nil {
+			if _, err := r.chain.RemoveByName(r.filterName); err != nil {
+				return fmt.Errorf("raplet: remove adaptive encoder: %w", err)
+			}
+			r.enc = nil
+			changed = true
+		}
+	case r.enc == nil:
+		// Loss demands FEC and none is in place: splice a fresh adaptive
+		// encoder in. (A stopped Base cannot be restarted, so each insertion
+		// builds a new filter; this is the control path.)
+		enc, err := fecproxy.NewAdaptiveEncoderFilter(r.filterName, r.policy, r.streamID)
+		if err != nil {
+			return err
+		}
+		enc.SetLossRate(loss)
+		if err := r.chain.Insert(enc, r.position); err != nil {
+			return fmt.Errorf("raplet: insert adaptive encoder: %w", err)
+		}
+		r.enc = enc
+		changed = true
+	default:
+		// Encoder already running: keep its loss view fresh; a level change
+		// retunes in place (the new code lands on the next group boundary).
+		r.enc.SetLossRate(loss)
+		changed = params != r.current
+	}
+	r.current = params
+	if changed {
+		r.retunes++
+	}
+	return nil
+}
+
 var (
 	_ Responder = (*FECResponder)(nil)
 	_ Responder = (*SpecResponder)(nil)
+	_ Responder = (*ChainFECResponder)(nil)
 	_ Responder = ResponderFunc{}
 )

@@ -130,12 +130,19 @@ func NewChannel(cfg LinkConfig, opts ...Option) *Channel {
 	return c
 }
 
-// Attach adds a receiver with its own loss model and deterministic RNG seed.
-// bufferSize bounds the receiver's delivery queue (packets beyond it are
-// dropped as if the station's NIC overflowed).
-func (c *Channel) Attach(name string, model LossModel, seed int64, bufferSize int) (*Receiver, error) {
+// Attach adds a receiver with its own loss model and its own explicit RNG
+// (losses at different receivers are independent, which is the property block
+// erasure codes exploit for multicast). The RNG must be provided by the
+// caller — never drawn from the global math/rand source — so experiments and
+// adaptation tests are reproducible under -race; the receiver takes ownership
+// and serializes access to it. bufferSize bounds the receiver's delivery
+// queue (packets beyond it are dropped as if the station's NIC overflowed).
+func (c *Channel) Attach(name string, model LossModel, rng *rand.Rand, bufferSize int) (*Receiver, error) {
 	if bufferSize <= 0 {
 		bufferSize = 1024
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("wireless: attach %q: an explicit *rand.Rand is required", name)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -145,7 +152,7 @@ func (c *Channel) Attach(name string, model LossModel, seed int64, bufferSize in
 	r := &Receiver{
 		name:   name,
 		model:  model,
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    rng,
 		buffer: packet.NewBuffer(bufferSize),
 	}
 	c.receivers[name] = r

@@ -26,13 +26,18 @@ type LossFilter struct {
 
 // NewLossFilter returns a loss-emulating packet filter. cfg may be the zero
 // value to disable pacing; realTime selects whether serialization delay is
-// actually slept.
-func NewLossFilter(name string, model LossModel, cfg LinkConfig, realTime bool, seed int64) *LossFilter {
+// actually slept. rng drives the loss model and must be provided explicitly
+// (never the global math/rand source) so experiments and race tests are
+// reproducible; the filter takes ownership and serializes access to it.
+func NewLossFilter(name string, model LossModel, cfg LinkConfig, realTime bool, rng *rand.Rand) *LossFilter {
 	if name == "" {
 		name = "wireless:" + model.String()
 	}
+	if rng == nil {
+		panic("wireless: NewLossFilter requires an explicit *rand.Rand")
+	}
 	lf := &LossFilter{
-		rng:   rand.New(rand.NewSource(seed)),
+		rng:   rng,
 		model: model,
 	}
 	lf.Base = filter.NewPacketFunc(name, func(p *packet.Packet) ([]*packet.Packet, error) {

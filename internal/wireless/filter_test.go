@@ -2,6 +2,7 @@ package wireless
 
 import (
 	"io"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestLossFilterDropsAccordingToModel(t *testing.T) {
 		mu.Unlock()
 		return nil
 	})
-	lossy := NewLossFilter("wlan", Bernoulli{P: 0.2}, LinkConfig{}, false, 7)
+	lossy := NewLossFilter("wlan", Bernoulli{P: 0.2}, LinkConfig{}, false, rand.New(rand.NewSource(7)))
 
 	c := filter.NewChain("lossy-path")
 	c.Append(src)
@@ -57,7 +58,7 @@ func TestLossFilterDropsAccordingToModel(t *testing.T) {
 }
 
 func TestLossFilterSetModel(t *testing.T) {
-	lf := NewLossFilter("", Bernoulli{P: 0}, LinkConfig{}, false, 1)
+	lf := NewLossFilter("", Bernoulli{P: 0}, LinkConfig{}, false, rand.New(rand.NewSource(1)))
 	if lf.Name() == "" {
 		t.Fatal("default name empty")
 	}

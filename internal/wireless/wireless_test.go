@@ -177,15 +177,15 @@ func TestSerializationDelay(t *testing.T) {
 func TestChannelBroadcastIndependentLoss(t *testing.T) {
 	ch := NewChannel(WaveLAN2Mbps())
 	defer ch.Close()
-	a, err := ch.Attach("laptop-a", Bernoulli{P: 0.5}, 1, 4096)
+	a, err := ch.Attach("laptop-a", Bernoulli{P: 0.5}, rand.New(rand.NewSource(1)), 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ch.Attach("laptop-b", Bernoulli{P: 0.5}, 2, 4096)
+	b, err := ch.Attach("laptop-b", Bernoulli{P: 0.5}, rand.New(rand.NewSource(2)), 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ch.Attach("laptop-a", Bernoulli{}, 3, 0); !errors.Is(err, ErrReceiverExists) {
+	if _, err := ch.Attach("laptop-a", Bernoulli{}, rand.New(rand.NewSource(3)), 0); !errors.Is(err, ErrReceiverExists) {
 		t.Fatalf("duplicate attach err = %v", err)
 	}
 
@@ -228,7 +228,7 @@ func TestChannelBroadcastIndependentLoss(t *testing.T) {
 func TestChannelDeliveredPacketsAreCopies(t *testing.T) {
 	ch := NewChannel(LinkConfig{})
 	defer ch.Close()
-	r, _ := ch.Attach("rx", Bernoulli{P: 0}, 1, 16)
+	r, _ := ch.Attach("rx", Bernoulli{P: 0}, rand.New(rand.NewSource(1)), 16)
 	orig := &packet.Packet{Seq: 9, Kind: packet.KindData, Payload: []byte{1, 2, 3}}
 	if _, err := ch.Broadcast(orig); err != nil {
 		t.Fatal(err)
@@ -246,7 +246,7 @@ func TestChannelDeliveredPacketsAreCopies(t *testing.T) {
 func TestChannelBufferOverflowCountsAsLoss(t *testing.T) {
 	ch := NewChannel(LinkConfig{})
 	defer ch.Close()
-	r, _ := ch.Attach("tiny", Bernoulli{P: 0}, 1, 2)
+	r, _ := ch.Attach("tiny", Bernoulli{P: 0}, rand.New(rand.NewSource(1)), 2)
 	for i := 0; i < 5; i++ {
 		ch.Broadcast(&packet.Packet{Seq: uint64(i), Kind: packet.KindData, Payload: []byte{1}})
 	}
@@ -258,7 +258,7 @@ func TestChannelBufferOverflowCountsAsLoss(t *testing.T) {
 
 func TestChannelDetachAndClose(t *testing.T) {
 	ch := NewChannel(LinkConfig{})
-	r, _ := ch.Attach("gone", Bernoulli{P: 0}, 1, 4)
+	r, _ := ch.Attach("gone", Bernoulli{P: 0}, rand.New(rand.NewSource(1)), 4)
 	ch.Detach("gone")
 	if len(ch.Receivers()) != 0 {
 		t.Fatal("receiver still attached after Detach")
@@ -278,7 +278,7 @@ func TestChannelRealTimePacing(t *testing.T) {
 	cfg := LinkConfig{BandwidthBps: 1_000_000, PropagationDelay: time.Millisecond}
 	ch := NewChannel(cfg, WithRealTime())
 	defer ch.Close()
-	ch.Attach("rx", Bernoulli{P: 0}, 1, 64)
+	ch.Attach("rx", Bernoulli{P: 0}, rand.New(rand.NewSource(1)), 64)
 	start := time.Now()
 	// 10 packets of 125 bytes = 1ms serialization each + 1ms propagation.
 	for i := 0; i < 10; i++ {
@@ -292,7 +292,7 @@ func TestChannelRealTimePacing(t *testing.T) {
 func TestReceiverNameAndInitialLossRate(t *testing.T) {
 	ch := NewChannel(LinkConfig{})
 	defer ch.Close()
-	r, _ := ch.Attach("palmtop", Bernoulli{P: 0}, 1, 4)
+	r, _ := ch.Attach("palmtop", Bernoulli{P: 0}, rand.New(rand.NewSource(1)), 4)
 	if r.Name() != "palmtop" {
 		t.Fatalf("Name = %q", r.Name())
 	}
