@@ -5,6 +5,7 @@
 //
 //	rapidctl -addr host:7100 status
 //	rapidctl -addr host:7100 sessions
+//	rapidctl -addr host:7100 stats [-json]
 //	rapidctl -addr host:7100 kinds
 //	rapidctl -addr host:7100 insert <kind> <position> [key=value ...]
 //	rapidctl -addr host:7100 remove <position|filter-name>
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -41,13 +43,24 @@ func run(args []string, out *os.File) error {
 		addr    = fs.String("addr", "127.0.0.1:7100", "control address of the proxy")
 		proxy   = fs.String("proxy", "", "proxy name (needed only when a server manages several)")
 		timeout = fs.Duration("timeout", 3*time.Second, "dial timeout")
+		asJSON  = fs.Bool("json", false, "stats: emit machine-readable JSON instead of the table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (status|sessions|kinds|insert|remove|move|upload|ping)")
+		return fmt.Errorf("missing command (status|sessions|stats|kinds|insert|remove|move|upload|ping)")
+	}
+	// Accept the flag after the command too ("rapidctl stats -json"), the
+	// order scripts naturally write. Scoped to stats so other commands'
+	// positional arguments can never be mistaken for it.
+	if rest[0] == "stats" {
+		for _, arg := range rest[1:] {
+			if arg == "-json" || arg == "--json" {
+				*asJSON = true
+			}
+		}
 	}
 
 	client, err := control.Dial(*addr, *timeout)
@@ -75,6 +88,15 @@ func run(args []string, out *os.File) error {
 			return err
 		}
 		printSessions(out, stats)
+	case "stats":
+		eng, shards, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return printStatsJSON(out, eng, shards)
+		}
+		printStats(out, eng, shards)
 	case "kinds":
 		kinds, err := client.Kinds(*proxy)
 		if err != nil {
@@ -155,6 +177,41 @@ func specFromArgs(kind string, params []string) filter.Spec {
 	return spec
 }
 
+// printStats renders the engine-level aggregate and the per-shard breakdown.
+func printStats(out *os.File, eng *metrics.EngineStats, shards []metrics.ShardStats) {
+	if eng == nil {
+		fmt.Fprintln(out, "no engine stats")
+		return
+	}
+	fmt.Fprintf(out, "engine: sessions %d (total %d), shards %d\n",
+		eng.ActiveSessions, eng.TotalSessions, eng.Shards)
+	fmt.Fprintf(out, "datagrams %d  malformed %d  rejected %d  feedback %d  chain-errors %d\n",
+		eng.Datagrams, eng.Malformed, eng.Rejected, eng.Feedback, eng.ChainErrors)
+	perFlush := 0.0
+	if eng.WriteFlushes > 0 {
+		perFlush = float64(eng.BatchedWrites) / float64(eng.WriteFlushes)
+	}
+	fmt.Fprintf(out, "writes %d in %d flushes (%.1f/flush)  write-drops %d\n",
+		eng.BatchedWrites, eng.WriteFlushes, perFlush, eng.WriteDrops)
+	fmt.Fprintf(out, "%-5s %8s %10s %9s %8s %8s %10s %10s %8s %7s\n",
+		"shard", "sessions", "datagrams", "malformed", "rejected", "feedback", "chain-errs", "writes", "flushes", "wdrops")
+	for _, sh := range shards {
+		fmt.Fprintf(out, "%-5d %8d %10d %9d %8d %8d %10d %10d %8d %7d\n",
+			sh.Shard, sh.Sessions, sh.Datagrams, sh.Malformed, sh.Rejected, sh.Feedback,
+			sh.ChainErrors, sh.Writes, sh.Flushes, sh.WriteDrops)
+	}
+}
+
+// printStatsJSON emits the same snapshot as one JSON object, for scripts.
+func printStatsJSON(out *os.File, eng *metrics.EngineStats, shards []metrics.ShardStats) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Engine *metrics.EngineStats `json:"engine"`
+		Shards []metrics.ShardStats `json:"shards"`
+	}{eng, shards})
+}
+
 func printStatus(out *os.File, st *core.Status) {
 	if st == nil {
 		fmt.Fprintln(out, "no proxy status (engine-only server; try the sessions command)")
@@ -183,15 +240,15 @@ func printSessions(out *os.File, stats []metrics.SessionStats) {
 			break
 		}
 	}
-	fmt.Fprintf(out, "%-10s %10s %12s %10s %12s %8s %8s",
-		"session", "pkts", "bytes", "out-pkts", "out-bytes", "repairs", "drops")
+	fmt.Fprintf(out, "%-10s %5s %10s %12s %10s %12s %8s %8s",
+		"session", "shard", "pkts", "bytes", "out-pkts", "out-bytes", "repairs", "drops")
 	if adaptive {
 		fmt.Fprintf(out, " %6s %7s %8s %8s", "fec", "loss", "reports", "retunes")
 	}
 	fmt.Fprintln(out)
 	for _, s := range stats {
-		fmt.Fprintf(out, "%-10d %10d %12d %10d %12d %8d %8d",
-			s.ID, s.Packets, s.Bytes, s.OutPackets, s.OutBytes, s.Repairs, s.Drops)
+		fmt.Fprintf(out, "%-10d %5d %10d %12d %10d %12d %8d %8d",
+			s.ID, s.Shard, s.Packets, s.Bytes, s.OutPackets, s.OutBytes, s.Repairs, s.Drops)
 		if adaptive {
 			fec, loss := "-", "-"
 			var reports, retunes uint64

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"rapidware/internal/control"
 	"rapidware/internal/core"
+	"rapidware/internal/engine"
 	"rapidware/internal/filter"
 	"rapidware/internal/metrics"
 )
@@ -147,6 +149,65 @@ func TestPrintSessionsAdaptColumns(t *testing.T) {
 	// The no-FEC session renders a dash, not 1/1.
 	if !strings.Contains(lines[2], " - ") {
 		t.Fatalf("session 2 row %q should render fec as -", lines[2])
+	}
+}
+
+// startEngineServer brings up a control server fronting a real sharded
+// engine and returns the control address.
+func startEngineServer(t *testing.T) string {
+	t.Helper()
+	eng, err := engine.New(engine.Config{ListenAddr: "127.0.0.1:0", Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	s := control.NewServer(nil)
+	s.SetSessionSource(eng)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return addr
+}
+
+func TestStatsCommand(t *testing.T) {
+	addr := startEngineServer(t)
+	out := captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "stats"}, f)
+	})
+	if !strings.Contains(out, "shards 2") || !strings.Contains(out, "write-drops") {
+		t.Fatalf("stats output:\n%s", out)
+	}
+	// Both rows of the per-shard table must render.
+	if !strings.Contains(out, "\n0 ") || !strings.Contains(out, "\n1 ") {
+		t.Fatalf("stats output missing shard rows:\n%s", out)
+	}
+}
+
+func TestStatsCommandJSON(t *testing.T) {
+	addr := startEngineServer(t)
+	// The flag is accepted both before and after the command.
+	for _, args := range [][]string{
+		{"-addr", addr, "stats", "-json"},
+		{"-addr", addr, "-json", "stats"},
+	} {
+		out := captureOutput(t, func(f *os.File) error {
+			return run(args, f)
+		})
+		var parsed struct {
+			Engine *metrics.EngineStats `json:"engine"`
+			Shards []metrics.ShardStats `json:"shards"`
+		}
+		if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+			t.Fatalf("args %v: not JSON: %v\n%s", args, err, out)
+		}
+		if parsed.Engine == nil || parsed.Engine.Shards != 2 || len(parsed.Shards) != 2 {
+			t.Fatalf("args %v: parsed stats = %+v", args, parsed)
+		}
 	}
 }
 

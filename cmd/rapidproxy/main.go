@@ -1,13 +1,18 @@
 // Command rapidproxy runs a RAPIDware proxy node.
 //
-// In the default engine mode it serves many concurrent UDP proxy sessions on
-// one socket: every datagram carries a 4-byte session ID followed by a packet
-// frame, each session runs its own dynamically reconfigurable filter chain,
-// and output is echoed to the session's sender or forwarded downstream. The
-// control protocol reports per-session packet/byte/repair/drop counters.
+// In the default engine mode it serves many concurrent UDP proxy sessions:
+// every datagram carries a 4-byte session ID followed by a packet frame,
+// each session runs its own dynamically reconfigurable filter chain, and
+// output is echoed to the session's sender or forwarded downstream. The data
+// plane is sharded (-shards, default one shard per CPU; -reuseport on
+// capable builds gives each shard its own SO_REUSEPORT socket), and the
+// control protocol reports engine, per-shard and per-session counters.
 //
-//	rapidproxy -listen :7400 -max-sessions 256 -chain counting,fec-encode=6/4 \
-//	    [-forward host:7500] [-control :7100]
+//	rapidproxy -listen :7400 -shards 8 -chain counting,fec-encode=6/4 \
+//	    [-forward host:7500] [-control :7100] [-pprof localhost:6060]
+//
+// SIGINT/SIGTERM drain the engine gracefully: every live session's chain is
+// stopped and its buffers are returned before the process exits.
 //
 // The closed-loop adaptation plane (-adapt) gives every session a raplet bus,
 // a worst-loss observer fed by receiver feedback reports, and an FEC
@@ -29,6 +34,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"strings"
@@ -61,6 +68,9 @@ func run(args []string) error {
 		forwardAddr = fs.String("forward", "", "downstream address (optional in engine mode: empty echoes to senders; required in stream mode)")
 		controlAddr = fs.String("control", ":7100", "address for the management (control) protocol")
 		maxSessions = fs.Int("max-sessions", engine.DefaultMaxSessions, "engine mode: maximum concurrent sessions")
+		shards      = fs.Int("shards", 0, "engine mode: data-plane shards (readers/table shards/writers); 0 = one per CPU")
+		reusePort   = fs.Bool("reuseport", false, "engine mode: one SO_REUSEPORT socket per shard (linux, 'reuseport' build tag)")
+		pprofAddr   = fs.String("pprof", "", "engine mode: serve net/http/pprof on this address (e.g. localhost:6060)")
 		chainSpec   = fs.String("chain", "", "engine mode: default chain spec for new sessions (e.g. counting,fec-encode=6/4)")
 		roaming     = fs.Bool("allow-roaming", false, "engine mode: let a session's echo destination follow its most recent sender")
 		adaptOn     = fs.Bool("adapt", false, "engine mode: enable the closed-loop adaptation plane (receiver feedback drives per-session FEC)")
@@ -89,6 +99,9 @@ func run(args []string) error {
 			forward:     *forwardAddr,
 			control:     *controlAddr,
 			maxSessions: *maxSessions,
+			shards:      *shards,
+			reusePort:   *reusePort,
+			pprof:       *pprofAddr,
 			chain:       *chainSpec,
 			roaming:     *roaming,
 			adapt:       *adaptOn,
@@ -102,6 +115,9 @@ func run(args []string) error {
 		if *adaptOn || *adaptPolicy != "" || *fanout != "" {
 			return fmt.Errorf("-adapt/-adapt-policy/-fanout are engine-mode flags")
 		}
+		if *shards != 0 || *reusePort || *pprofAddr != "" {
+			return fmt.Errorf("-shards/-reuseport/-pprof are engine-mode flags")
+		}
 		return runStream(logger, *name, *listenAddr, *forwardAddr, *controlAddr, *filters, *fecSpec)
 	default:
 		return fmt.Errorf("unknown -mode %q (want engine or stream)", *mode)
@@ -112,6 +128,9 @@ func run(args []string) error {
 type engineOptions struct {
 	name, listen, forward, control string
 	maxSessions                    int
+	shards                         int
+	reusePort                      bool
+	pprof                          string
 	chain                          string
 	roaming                        bool
 	adapt                          bool
@@ -134,6 +153,8 @@ func runEngine(logger *log.Logger, opts engineOptions) error {
 		Name:         opts.name,
 		ListenAddr:   opts.listen,
 		MaxSessions:  opts.maxSessions,
+		Shards:       opts.shards,
+		ReusePort:    opts.reusePort,
 		Chain:        opts.chain,
 		Forward:      opts.forward,
 		AllowRoaming: opts.roaming,
@@ -150,6 +171,18 @@ func runEngine(logger *log.Logger, opts engineOptions) error {
 	}
 	defer eng.Close()
 
+	if opts.pprof != "" {
+		// Live profiling of the sharded runtime: the default mux already
+		// carries the /debug/pprof handlers via the blank import.
+		ln, err := net.Listen("tcp", opts.pprof)
+		if err != nil {
+			return fmt.Errorf("pprof listen %q: %w", opts.pprof, err)
+		}
+		defer ln.Close()
+		logger.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+
 	server := control.NewServer(logger)
 	server.SetSessionSource(eng)
 	boundControl, err := server.Listen(opts.control)
@@ -160,6 +193,15 @@ func runEngine(logger *log.Logger, opts engineOptions) error {
 	logger.Printf("control protocol on %s", boundControl)
 
 	waitForSignal(logger)
+	// Graceful drain: stop accepting control connections, then close the
+	// engine, which stops every live session's chain and returns its pooled
+	// buffers before the process exits.
+	server.Close()
+	n := eng.SessionCount()
+	if err := eng.Close(); err != nil {
+		return err
+	}
+	logger.Printf("drained %d live sessions", n)
 	return nil
 }
 

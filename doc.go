@@ -9,12 +9,19 @@
 // adaptation components, the Pavilion collaborative-session substrate, and a
 // wireless channel simulator that stands in for the paper's WaveLAN testbed.
 //
-// Beyond the reproduction, internal/engine scales the proxy to many
-// concurrent sessions over real UDP datagrams: one socket, per-session
-// filter chains demultiplexed by a 4-byte session ID prefix, pooled buffers
-// end to end so the steady-state relay path does not allocate, and
-// per-session packet/byte/repair/drop counters exposed through the control
-// protocol. cmd/rapidproxy serves the engine; cmd/rapidctl inspects it.
+// Beyond the reproduction, internal/engine scales the proxy to thousands of
+// concurrent sessions over real UDP datagrams on a sharded data plane:
+// per-CPU reader goroutines demultiplex datagrams by a 4-byte session ID
+// prefix into per-session filter chains, sessions live in a sharded table
+// (ID hashed to shard, per-shard lock — no global lock on the data path),
+// and each shard's writer flushes output in opportunistic batches. Pooled
+// buffers travel end to end so the steady-state relay path does not
+// allocate. Linux builds tagged "reuseport" can bind one SO_REUSEPORT
+// socket per shard so the kernel spreads flows across readers. Engine,
+// per-shard and per-session counters are exposed through the control
+// protocol. cmd/rapidproxy serves the engine (with -pprof for live
+// profiling and graceful signal-driven drain); cmd/rapidctl inspects it
+// (sessions, stats, stats -json).
 //
 // The engine also hosts a closed-loop adaptation plane: downstream receivers
 // report observed loss upstream as feedback datagrams (packet.Report), each

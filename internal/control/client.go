@@ -84,6 +84,16 @@ func (c *Client) Sessions() ([]metrics.SessionStats, error) {
 	return resp.Sessions, nil
 }
 
+// Stats fetches the attached engine's aggregate counters and per-shard
+// breakdown. It fails when the server has no engine attached.
+func (c *Client) Stats() (*metrics.EngineStats, []metrics.ShardStats, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Engine, resp.Shards, nil
+}
+
 // Kinds lists the filter kinds the named proxy can instantiate.
 func (c *Client) Kinds(proxy string) ([]string, error) {
 	resp, err := c.roundTrip(Request{Op: OpKinds, Name: proxy})

@@ -275,6 +275,47 @@ func TestSessionsOverTheWire(t *testing.T) {
 	}
 }
 
+// stubEngine is a fixed EngineSource for testing the stats plumbing.
+type stubEngine struct {
+	stubSessions
+	engine metrics.EngineStats
+	shards []metrics.ShardStats
+}
+
+func (s stubEngine) EngineStats() metrics.EngineStats { return s.engine }
+func (s stubEngine) ShardStats() []metrics.ShardStats { return s.shards }
+
+func TestStatsOverTheWire(t *testing.T) {
+	src := stubEngine{
+		engine: metrics.EngineStats{ActiveSessions: 2, TotalSessions: 5, Datagrams: 100, Shards: 4, BatchedWrites: 90, WriteFlushes: 30},
+		shards: []metrics.ShardStats{{Shard: 0, Sessions: 1, Datagrams: 60}, {Shard: 1, Sessions: 1, Datagrams: 40}},
+	}
+	s, addr := startServer(t, newManagedProxy("p1"))
+	s.SetSessionSource(src)
+	c := dialClient(t, addr)
+
+	eng, shards, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if eng == nil || eng.Shards != 4 || eng.Datagrams != 100 || eng.BatchedWrites != 90 {
+		t.Fatalf("engine stats = %+v", eng)
+	}
+	if len(shards) != 2 || shards[0].Datagrams != 60 || shards[1].Shard != 1 {
+		t.Fatalf("shard stats = %+v", shards)
+	}
+}
+
+func TestStatsWithoutEngine(t *testing.T) {
+	// A plain SessionSource (no shard plane) cannot answer stats.
+	s, addr := startServer(t, newManagedProxy("p1"))
+	s.SetSessionSource(stubSessions{{ID: 1}})
+	c := dialClient(t, addr)
+	if _, _, err := c.Stats(); err == nil {
+		t.Fatal("Stats succeeded without an engine attached")
+	}
+}
+
 func TestSessionsWithoutSource(t *testing.T) {
 	_, addr := startServer(t, newManagedProxy("p1"))
 	c := dialClient(t, addr)

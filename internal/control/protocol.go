@@ -39,10 +39,13 @@ const (
 	// OpPing verifies liveness.
 	OpPing Op = "ping"
 	// OpSessions returns the per-session relay counters of the attached
-	// multi-session engine, including each session's adaptation-plane state
-	// (current (n,k), last loss report, retune count) when the engine runs
-	// with the closed loop enabled.
+	// multi-session engine, including each session's owning data-plane shard
+	// and its adaptation-plane state (current (n,k), last loss report,
+	// retune count) when the engine runs with the closed loop enabled.
 	OpSessions Op = "sessions"
+	// OpStats returns the attached engine's aggregate counters and a
+	// per-shard breakdown of its data plane.
+	OpStats Op = "stats"
 )
 
 // Request is one control-plane command.
@@ -62,12 +65,14 @@ type Response struct {
 	Kinds    []string               `json:"kinds,omitempty"`
 	Names    []string               `json:"names,omitempty"`
 	Sessions []metrics.SessionStats `json:"sessions,omitempty"`
+	Engine   *metrics.EngineStats   `json:"engine,omitempty"`
+	Shards   []metrics.ShardStats   `json:"shards,omitempty"`
 }
 
 // Validate checks a request for obvious problems before dispatch.
 func (r Request) Validate() error {
 	switch r.Op {
-	case OpStatus, OpKinds, OpPing, OpSessions:
+	case OpStatus, OpKinds, OpPing, OpSessions, OpStats:
 		return nil
 	case OpInsert, OpUpload:
 		if r.Spec.Kind == "" {

@@ -19,6 +19,15 @@ type SessionSource interface {
 	SessionStats() []metrics.SessionStats
 }
 
+// EngineSource is implemented by session sources that also expose aggregate
+// engine counters and a per-shard breakdown of the data plane (the sharded
+// proxy engine). OpStats requires it.
+type EngineSource interface {
+	SessionSource
+	EngineStats() metrics.EngineStats
+	ShardStats() []metrics.ShardStats
+}
+
 // Server exposes one or more proxies over the control protocol. Each accepted
 // connection carries a sequence of newline-delimited JSON requests and
 // responses.
@@ -65,6 +74,21 @@ func (s *Server) sessionStats() []metrics.SessionStats {
 		return nil
 	}
 	return src.SessionStats()
+}
+
+// engineStats snapshots the attached engine's aggregate and per-shard
+// counters, or nil when no engine (or a stats-less session source) is
+// attached.
+func (s *Server) engineStats() (*metrics.EngineStats, []metrics.ShardStats) {
+	s.mu.Lock()
+	src := s.sessions
+	s.mu.Unlock()
+	es, ok := src.(EngineSource)
+	if !ok {
+		return nil, nil
+	}
+	stats := es.EngineStats()
+	return &stats, es.ShardStats()
 }
 
 // proxyNames returns the registered proxy names.
@@ -159,6 +183,13 @@ func (s *Server) Handle(req Request) Response {
 	}
 	if req.Op == OpSessions {
 		return Response{OK: true, Sessions: s.sessionStats()}
+	}
+	if req.Op == OpStats {
+		eng, shards := s.engineStats()
+		if eng == nil {
+			return Response{Error: "control: no engine attached"}
+		}
+		return Response{OK: true, Engine: eng, Shards: shards}
 	}
 	p, err := s.lookup(req.Name)
 	if err != nil {

@@ -1,25 +1,33 @@
 // Package engine lifts the single-stream RAPIDware proxy into a concurrent
-// multi-session relay over real UDP datagrams. One Engine owns one UDP
-// socket; every datagram carries a 4-byte session ID followed by an ordinary
-// packet frame (see internal/packet). The engine demultiplexes datagrams by
-// session ID into per-session filter chains — each an independent instance of
-// the paper's ControlThread, so filters can still be inserted, removed and
-// reordered on any live session — and relays each chain's output either back
-// to the session's sender (echo mode) or to a fixed downstream address.
+// multi-session relay over real UDP datagrams. Every datagram carries a
+// 4-byte session ID followed by an ordinary packet frame (see
+// internal/packet). The engine demultiplexes datagrams by session ID into
+// per-session filter chains — each an independent instance of the paper's
+// ControlThread, so filters can still be inserted, removed and reordered on
+// any live session — and relays each chain's output either back to the
+// session's sender (echo mode) or to a fixed downstream address.
+//
+// The data plane is sharded: Config.Shards reader goroutines (default one
+// per CPU) pull datagrams off the socket, sessions live in a sharded table
+// (per-shard lock, session ID hashed to shard) so open/lookup/close never
+// touch a global lock, and each shard runs a writer goroutine that flushes
+// output in opportunistic batches. The portable path runs every reader over
+// one net.UDPConn; on Linux, builds tagged "reuseport" can give each shard
+// its own SO_REUSEPORT socket instead (Config.ReusePort).
 //
 // The steady-state relay path is allocation-free: datagrams travel in pooled
 // buffers (packet.GetBuf) from the socket read, through the chain's
-// detachable streams, to the socket write, and session lookup, peer tracking
-// and counters all avoid per-packet allocation.
+// detachable streams, to the shard writer's socket write, and session
+// lookup, peer tracking and counters all avoid per-packet allocation.
 package engine
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"log"
 	"net"
 	"net/netip"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -28,13 +36,15 @@ import (
 	"rapidware/internal/adapt"
 	"rapidware/internal/metrics"
 	"rapidware/internal/multicast"
-	"rapidware/internal/packet"
 )
 
 // Defaults applied by New.
 const (
-	DefaultMaxSessions = 256
+	DefaultMaxSessions = 4096
 	DefaultQueueDepth  = 256
+	// maxShards caps Config.Shards; beyond this the readers only contend on
+	// the kernel's socket lock.
+	maxShards = 64
 )
 
 // Errors returned by the engine.
@@ -55,6 +65,25 @@ type Config struct {
 	ListenAddr string
 	// MaxSessions caps concurrent sessions; 0 selects DefaultMaxSessions.
 	MaxSessions int
+	// Shards sets the width of the data plane: the number of reader
+	// goroutines, session-table shards and batched writers. 0 selects
+	// runtime.NumCPU(); values are rounded up to a power of two and capped
+	// at 64.
+	//
+	// With several readers on one shared socket, two datagrams of the same
+	// session can be delivered out of arrival order (reader A reads the
+	// first, is descheduled, reader B delivers the second) — indistinguish-
+	// able from ordinary UDP reordering, which every consumer of this
+	// engine must already tolerate (FEC decoding is group-keyed, feedback
+	// is highest-seq-wins). Deployments that want arrival order preserved
+	// per flow should use ReusePort (the kernel pins each flow to one
+	// socket, hence one reader) or Shards=1.
+	Shards int
+	// ReusePort gives each shard its own socket bound with SO_REUSEPORT so
+	// the kernel spreads flows across shards instead of serializing receives
+	// on one socket lock. Requires Linux and the "reuseport" build tag; New
+	// fails otherwise.
+	ReusePort bool
 	// Chain is the default chain spec instantiated for every new session; see
 	// ParseChain for the syntax. Empty means a pure relay (no interior
 	// filters).
@@ -91,39 +120,35 @@ type Config struct {
 	Logger *log.Logger
 }
 
-// Stats is an engine-level counter snapshot.
-type Stats struct {
-	ActiveSessions int    `json:"active_sessions"`
-	TotalSessions  uint64 `json:"total_sessions"`
-	Datagrams      uint64 `json:"datagrams"`
-	Malformed      uint64 `json:"malformed"`
-	Rejected       uint64 `json:"rejected"`
-	ChainErrors    uint64 `json:"chain_errors"`
-	Feedback       uint64 `json:"feedback"`
-}
+// Stats is an engine-level counter snapshot, aggregated across shards on
+// demand.
+type Stats = metrics.EngineStats
 
-// Engine is a multi-session UDP proxy.
+// Engine is a multi-session UDP proxy with a sharded data plane.
 type Engine struct {
 	cfg      Config
 	policy   adapt.Policy // resolved adaptation policy (valid iff cfg.Adapt)
 	builders []StageBuilder
 
-	conn    *net.UDPConn
+	conns   []*net.UDPConn       // one per shard in ReusePort mode, else one shared
 	forward netip.AddrPort       // zero value when echoing to senders
 	group   *multicast.AddrGroup // non-nil when fanning out to receivers
 
-	mu       sync.RWMutex
-	sessions map[uint32]*Session
-	closed   bool
+	table  *table
+	shards []shard
 
-	wg sync.WaitGroup
+	closed      atomic.Bool
+	active      atomic.Int64 // live sessions, admission-checked against MaxSessions
+	stopWriters chan struct{}
+	wg          sync.WaitGroup // shard readers and writers
 
-	opened      atomic.Uint64
-	datagrams   atomic.Uint64
-	malformed   atomic.Uint64
-	rejected    atomic.Uint64
-	chainErrors atomic.Uint64
-	feedback    atomic.Uint64
+	// exitWg tracks in-flight session exit hooks. A plain WaitGroup would
+	// race: openSession may run on any goroutine (readers, tests), so an
+	// Add could otherwise land while Close is already in Wait with the
+	// counter at zero. exitMu + exitWaiting close that window.
+	exitMu      sync.Mutex
+	exitWaiting bool
+	exitWg      sync.WaitGroup
 }
 
 // New validates cfg (including the chain spec) and returns an engine ready to
@@ -137,6 +162,10 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
+	}
+	cfg.Shards = resolveShards(cfg.Shards)
+	if cfg.ReusePort && !reusePortAvailable {
+		return nil, errors.New("engine: ReusePort requires linux and the 'reuseport' build tag")
 	}
 	builders, err := ParseChain(cfg.Chain)
 	if err != nil {
@@ -152,9 +181,14 @@ func New(cfg Config) (*Engine, error) {
 		return nil, errors.New("engine: Adapt manages the FEC encoder itself; remove fec-encode from Chain")
 	}
 	e := &Engine{
-		cfg:      cfg,
-		builders: builders,
-		sessions: make(map[uint32]*Session),
+		cfg:         cfg,
+		builders:    builders,
+		table:       newTable(cfg.Shards),
+		shards:      make([]shard, cfg.Shards),
+		stopWriters: make(chan struct{}),
+	}
+	for i := range e.shards {
+		e.shards[i] = shard{idx: i, eng: e, writeq: make(chan outbound, writeQueueDepth)}
 	}
 	if cfg.Adapt {
 		e.policy = cfg.AdaptPolicy
@@ -177,6 +211,29 @@ func New(cfg Config) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// resolveShards normalizes a Shards setting: 0 means one shard per CPU, and
+// the result is clamped to [1, maxShards] and rounded up to a power of two so
+// the table mask stays a single AND.
+func resolveShards(n int) int {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Shards returns the width of the engine's data plane.
+func (e *Engine) Shards() int { return len(e.shards) }
 
 // FanoutGroup returns the downstream receiver group sessions multicast to,
 // or nil when the engine echoes or forwards instead. Membership may be
@@ -215,35 +272,40 @@ func chainSpecHasFECEncode(spec string) bool {
 	return false
 }
 
-// Start binds the UDP socket and launches the shared read loop.
+// Start binds the UDP socket(s) and launches the shard runtime: one reader
+// and one batched writer per shard.
 func (e *Engine) Start() error {
-	addr, err := net.ResolveUDPAddr("udp", e.cfg.ListenAddr)
-	if err != nil {
-		return fmt.Errorf("engine: resolve %q: %w", e.cfg.ListenAddr, err)
+	if err := e.listen(); err != nil {
+		return err
 	}
-	conn, err := net.ListenUDP("udp", addr)
-	if err != nil {
-		return fmt.Errorf("engine: listen %q: %w", e.cfg.ListenAddr, err)
-	}
-	// Large socket buffers absorb the bursts produced by hundreds of
-	// concurrent sessions sharing one socket. Failures are advisory (the OS
-	// may clamp the value), so errors are ignored.
-	_ = conn.SetReadBuffer(4 << 20)
-	_ = conn.SetWriteBuffer(4 << 20)
 	if e.cfg.Forward != "" {
 		fwd, err := net.ResolveUDPAddr("udp", e.cfg.Forward)
 		if err != nil {
-			conn.Close()
+			e.closeConns()
+			e.conns = nil // a later Close must not re-close these sockets
 			return fmt.Errorf("engine: resolve forward %q: %w", e.cfg.Forward, err)
 		}
 		// Unmap 4-in-6 addresses so writes work regardless of the socket's
 		// address family.
 		e.forward = multicast.UnmapAddrPort(fwd.AddrPort())
 	}
-	e.conn = conn
-	e.wg.Add(1)
-	go e.readLoop()
-	e.logf("serving UDP on %s (max %d sessions, chain %q)", conn.LocalAddr(), e.cfg.MaxSessions, e.cfg.Chain)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		if e.cfg.ReusePort {
+			sh.conn = e.conns[i]
+		} else {
+			sh.conn = e.conns[0]
+		}
+		e.wg.Add(2)
+		go sh.readLoop()
+		go sh.writeLoop()
+	}
+	mode := "shared socket"
+	if e.cfg.ReusePort {
+		mode = "SO_REUSEPORT sockets"
+	}
+	e.logf("serving UDP on %s (%d shards over %s, max %d sessions, chain %q)",
+		e.conns[0].LocalAddr(), len(e.shards), mode, e.cfg.MaxSessions, e.cfg.Chain)
 	if e.cfg.Adapt {
 		e.logf("adaptation plane on (policy %s)", e.policy)
 	}
@@ -253,213 +315,258 @@ func (e *Engine) Start() error {
 	return nil
 }
 
-// LocalAddr returns the bound UDP address (nil before Start).
-func (e *Engine) LocalAddr() net.Addr {
-	if e.conn == nil {
+// listen binds the engine's socket(s): one shared net.UDPConn on the
+// portable path, or one SO_REUSEPORT socket per shard when Config.ReusePort
+// is set.
+func (e *Engine) listen() error {
+	addr, err := net.ResolveUDPAddr("udp", e.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("engine: resolve %q: %w", e.cfg.ListenAddr, err)
+	}
+	if !e.cfg.ReusePort {
+		conn, err := net.ListenUDP("udp", addr)
+		if err != nil {
+			return fmt.Errorf("engine: listen %q: %w", e.cfg.ListenAddr, err)
+		}
+		tuneConn(conn)
+		e.conns = []*net.UDPConn{conn}
 		return nil
 	}
-	return e.conn.LocalAddr()
-}
-
-// readLoop is the shared demultiplexer: one goroutine reads every datagram
-// from the socket and routes it to its session's queue. Nothing on this path
-// allocates in steady state.
-func (e *Engine) readLoop() {
-	defer e.wg.Done()
-	for {
-		b := packet.GetBuf(packet.MaxDatagram)
-		n, from, err := e.conn.ReadFromUDPAddrPort(b.B)
-		if err != nil {
-			b.Release()
-			if errors.Is(err, net.ErrClosed) {
-				return
-			}
-			e.mu.RLock()
-			closed := e.closed
-			e.mu.RUnlock()
-			if closed {
-				return
-			}
-			e.logf("read: %v", err)
-			continue
-		}
-		e.datagrams.Add(1)
-		if n < packet.SessionIDSize {
-			e.malformed.Add(1)
-			b.Release()
-			continue
-		}
-		b.B = b.B[:n]
-		// Reject garbage before it can reach (or create) a session: a frame
-		// that fails validation would otherwise kill the session's chain.
-		if packet.ValidateFrame(b.B[packet.SessionIDSize:]) != nil {
-			e.malformed.Add(1)
-			b.Release()
-			continue
-		}
-		id := binary.BigEndian.Uint32(b.B)
-		// Receiver reports close the adaptation loop on the control path:
-		// they are consumed here, never enter a chain, and never open a
-		// session (a report for an unknown session is simply dropped).
-		if packet.Kind(b.B[packet.SessionIDSize+3]) == packet.KindFeedback {
-			e.feedback.Add(1)
-			if s := e.lookup(id); s != nil {
-				s.handleFeedback(from, b.B[packet.SessionIDSize:])
-			}
-			b.Release()
-			continue
-		}
-		s := e.lookup(id)
-		if s == nil {
-			var err error
-			s, err = e.openSession(id, from)
-			if err != nil {
-				e.rejected.Add(1)
-				b.Release()
-				if !errors.Is(err, ErrSessionLimit) && !errors.Is(err, ErrEngineClosed) {
-					e.logf("session %d: %v", id, err)
-				}
-				continue
-			}
-		}
-		s.deliver(b, from)
+	first, err := listenReusePort(e.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("engine: listen %q: %w", e.cfg.ListenAddr, err)
 	}
+	tuneConn(first)
+	e.conns = []*net.UDPConn{first}
+	// Later sockets must bind the concrete address the first one resolved
+	// (":0" picks a port only once).
+	bound := first.LocalAddr().String()
+	for i := 1; i < len(e.shards); i++ {
+		conn, err := listenReusePort(bound)
+		if err != nil {
+			e.closeConns()
+			e.conns = nil
+			return fmt.Errorf("engine: listen %q (shard %d): %w", bound, i, err)
+		}
+		tuneConn(conn)
+		e.conns = append(e.conns, conn)
+	}
+	return nil
 }
 
-// lookup returns the session with the given ID, or nil.
-func (e *Engine) lookup(id uint32) *Session {
-	e.mu.RLock()
-	s := e.sessions[id]
-	e.mu.RUnlock()
-	return s
+// tuneConn sizes a socket's kernel buffers for the bursts produced by
+// thousands of concurrent sessions. Failures are advisory (the OS may clamp
+// the value), so errors are ignored.
+func tuneConn(conn *net.UDPConn) {
+	_ = conn.SetReadBuffer(4 << 20)
+	_ = conn.SetWriteBuffer(4 << 20)
+}
+
+// closeConns closes every bound socket (partial-startup cleanup and Close).
+func (e *Engine) closeConns() error {
+	var firstErr error
+	for _, c := range e.conns {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// LocalAddr returns the bound UDP address (nil before Start). In ReusePort
+// mode every shard's socket shares this address.
+func (e *Engine) LocalAddr() net.Addr {
+	if len(e.conns) == 0 {
+		return nil
+	}
+	return e.conns[0].LocalAddr()
+}
+
+// shardFor returns the shard owning session id.
+func (e *Engine) shardFor(id uint32) *shard {
+	return &e.shards[e.table.shardIndex(id)]
 }
 
 // openSession creates, registers and starts a session for id. The first
-// datagram's source becomes the session's initial peer.
+// datagram's source becomes the session's initial peer. The slow path runs
+// lock-free: admission is one atomic against the global cap, the session —
+// chain build, raplet bus and all — is constructed with no lock held, and
+// only the final registration takes the owning table shard's lock. When two
+// readers race to open the same ID, the loser tears its construction down
+// and adopts the winner.
 func (e *Engine) openSession(id uint32, peer netip.AddrPort) (*Session, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		return nil, ErrEngineClosed
 	}
-	if s, ok := e.sessions[id]; ok {
-		return s, nil
-	}
-	if len(e.sessions) >= e.cfg.MaxSessions {
+	if n := e.active.Add(1); n > int64(e.cfg.MaxSessions) {
+		e.active.Add(-1)
 		return nil, ErrSessionLimit
 	}
 	s, err := newSession(e, id, peer)
 	if err != nil {
+		e.active.Add(-1)
 		return nil, err
 	}
-	e.sessions[id] = s
-	e.opened.Add(1)
-	e.wg.Add(1)
-	go e.watchSession(s)
+	winner, inserted := e.table.insert(id, s, e.closed.Load)
+	if !inserted {
+		// Lost the construction race to another reader, or the engine closed
+		// underneath us: release the slot and discard the unused session.
+		e.active.Add(-1)
+		s.close()
+		if winner == nil {
+			return nil, ErrEngineClosed
+		}
+		return winner, nil
+	}
+	if s.exited.Load() {
+		// The chain died inside the construct→register window, so the exit
+		// hook's eviction found nothing to remove. Evict here instead of
+		// leaving a dead session blackholing the ID; the next datagram opens
+		// a fresh one.
+		if e.table.remove(id, s) {
+			e.active.Add(-1)
+		}
+		s.close()
+		if err := s.sink.Err(); err != nil {
+			return nil, fmt.Errorf("engine: session %d: chain died during open: %w", id, err)
+		}
+		return nil, fmt.Errorf("engine: session %d: chain ended during open", id)
+	}
+	e.shardFor(id).counters.opened.Add(1)
 	return s, nil
 }
 
-// watchSession evicts a session whose chain terminates on its own — for
-// example because a filter stage failed — so a dead session cannot occupy a
-// slot and blackhole its ID forever. Deliberate closes are ignored.
-func (e *Engine) watchSession(s *Session) {
-	defer e.wg.Done()
-	s.sink.Wait()
+// trackSessionExit reserves a slot in the exit-hook WaitGroup, unless Close
+// has already begun waiting on it (the hook then runs untracked — its
+// session was never registered, so it early-returns after Close anyway).
+// The returned flag tells the hook whether it owns a slot to release.
+func (e *Engine) trackSessionExit() bool {
+	e.exitMu.Lock()
+	defer e.exitMu.Unlock()
+	if e.exitWaiting {
+		return false
+	}
+	e.exitWg.Add(1)
+	return true
+}
+
+// sessionExited runs on a session's sink goroutine after its chain
+// terminates. A chain that dies on its own — for example because a filter
+// stage failed — is evicted so a dead session cannot occupy a slot and
+// blackhole its ID forever; deliberate closes are ignored. Replacing the old
+// one-watchdog-goroutine-per-session design with this exit hook removes a
+// third of the engine's per-session goroutines.
+func (e *Engine) sessionExited(s *Session, tracked bool) {
+	if tracked {
+		defer e.exitWg.Done()
+	}
 	select {
 	case <-s.done:
 		return // CloseSession / Close is tearing the session down
 	default:
 	}
+	// Flag the death before touching the table: if the session is still in
+	// its construct→register window, this remove finds nothing, and it is
+	// openSession's post-insert check of this flag that evicts instead (the
+	// shard lock orders that check after this store).
+	s.exited.Store(true)
 	if err := s.sink.Err(); err != nil {
-		e.chainErrors.Add(1)
+		s.shard.counters.chainErrors.Add(1)
 		e.logf("session %d: chain failed, evicting: %v", s.id, err)
 	} else {
 		e.logf("session %d: chain ended, evicting", s.id)
 	}
-	e.mu.Lock()
-	if e.sessions[s.id] == s {
-		delete(e.sessions, s.id)
+	if e.table.remove(s.id, s) {
+		e.active.Add(-1)
 	}
-	e.mu.Unlock()
 	s.close()
 }
 
 // Session returns the live session with the given ID, or nil.
-func (e *Engine) Session(id uint32) *Session { return e.lookup(id) }
+func (e *Engine) Session(id uint32) *Session { return e.table.lookup(id) }
 
 // SessionCount returns the number of live sessions.
-func (e *Engine) SessionCount() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.sessions)
-}
+func (e *Engine) SessionCount() int { return e.table.count() }
 
 // CloseSession terminates one session and releases its resources.
 func (e *Engine) CloseSession(id uint32) error {
-	e.mu.Lock()
-	s, ok := e.sessions[id]
-	delete(e.sessions, id)
-	e.mu.Unlock()
+	s, ok := e.table.delete(id)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
 	}
+	e.active.Add(-1)
 	return s.close()
 }
 
 // SessionStats snapshots every live session's counters, ordered by session
 // ID.
 func (e *Engine) SessionStats() []metrics.SessionStats {
-	e.mu.RLock()
-	out := make([]metrics.SessionStats, 0, len(e.sessions))
-	for _, s := range e.sessions {
+	sessions := e.table.snapshot()
+	out := make([]metrics.SessionStats, 0, len(sessions))
+	for _, s := range sessions {
 		out = append(out, s.Stats())
 	}
-	e.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// Stats snapshots the engine-level counters.
+// Stats aggregates the per-shard counters into an engine-level snapshot.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		ActiveSessions: e.SessionCount(),
-		TotalSessions:  e.opened.Load(),
-		Datagrams:      e.datagrams.Load(),
-		Malformed:      e.malformed.Load(),
-		Rejected:       e.rejected.Load(),
-		ChainErrors:    e.chainErrors.Load(),
-		Feedback:       e.feedback.Load(),
+	st := Stats{
+		ActiveSessions: e.table.count(),
+		Shards:         len(e.shards),
 	}
+	for i := range e.shards {
+		c := &e.shards[i].counters
+		st.TotalSessions += c.opened.Load()
+		st.Datagrams += c.datagrams.Load()
+		st.Malformed += c.malformed.Load()
+		st.Rejected += c.rejected.Load()
+		st.ChainErrors += c.chainErrors.Load()
+		st.Feedback += c.feedback.Load()
+		st.BatchedWrites += c.writes.Load()
+		st.WriteFlushes += c.flushes.Load()
+		st.WriteDrops += c.writeDrops.Load()
+	}
+	return st
 }
 
-// Close shuts down the read loop and every session. It is idempotent.
+// EngineStats implements the control plane's EngineSource; it is Stats under
+// the name the interface wants.
+func (e *Engine) EngineStats() metrics.EngineStats { return e.Stats() }
+
+// ShardStats snapshots every shard's counters, ordered by shard index.
+func (e *Engine) ShardStats() []metrics.ShardStats {
+	out := make([]metrics.ShardStats, len(e.shards))
+	for i := range e.shards {
+		out[i] = e.shards[i].stats()
+	}
+	return out
+}
+
+// Close shuts down the shard runtime and every session. It is idempotent.
 func (e *Engine) Close() error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	e.closed = true
-	sessions := make([]*Session, 0, len(e.sessions))
-	for _, s := range e.sessions {
-		sessions = append(sessions, s)
-	}
-	e.sessions = make(map[uint32]*Session)
-	e.mu.Unlock()
-
-	var firstErr error
-	if e.conn != nil {
-		if err := e.conn.Close(); err != nil {
-			firstErr = err
-		}
-	}
+	sessions := e.table.sweep()
+	e.active.Add(-int64(len(sessions)))
+	firstErr := e.closeConns() // unblocks every reader
 	for _, s := range sessions {
 		if err := s.close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	// Every registered session's chain has now been stopped, so every
+	// tracked exit hook has fired or is firing; wait them out, then stop
+	// the writers (they drain and release whatever is still queued).
+	e.exitMu.Lock()
+	e.exitWaiting = true
+	e.exitMu.Unlock()
+	e.exitWg.Wait()
+	close(e.stopWriters)
 	e.wg.Wait()
-	e.logf("closed (%d sessions served)", e.opened.Load())
+	e.logf("closed (%d sessions served)", e.Stats().TotalSessions)
 	return firstErr
 }
 

@@ -2,10 +2,13 @@ package engine
 
 import (
 	"errors"
+	"io"
 	"net"
+	"net/netip"
 	"testing"
 	"time"
 
+	"rapidware/internal/filter"
 	"rapidware/internal/packet"
 )
 
@@ -270,6 +273,103 @@ func TestEngineMalformedDatagramsCounted(t *testing.T) {
 	}
 	if n := e.SessionCount(); n != 0 {
 		t.Fatalf("SessionCount = %d, want 0", n)
+	}
+}
+
+func TestEngineChainDyingDuringOpenDoesNotBlackholeID(t *testing.T) {
+	// A stage that fails the instant it starts kills the chain inside
+	// openSession's construct→register window: the exit hook's eviction can
+	// run before the session is in the table. The post-insert exited check
+	// must evict it anyway — the ID must never be blackholed by a dead
+	// session, and the admission slot must be released.
+	e := newTestEngine(t, Config{MaxSessions: 2})
+	e.builders = []StageBuilder{func(s *Session) (filter.Filter, error) {
+		return filter.New("insta-fail", func(io.Reader, io.Writer) error {
+			return errors.New("boom")
+		}), nil
+	}}
+	peer := netip.MustParseAddrPort("127.0.0.1:9")
+	for i := 0; i < 30; i++ {
+		if _, err := e.openSession(77, peer); errors.Is(err, ErrEngineClosed) {
+			t.Fatalf("iteration %d: openSession: %v", i, err)
+		}
+		// Whether eviction ran via the hook or the post-insert check, the
+		// dead session must vanish (and free its admission slot) promptly.
+		deadline := time.Now().Add(2 * time.Second)
+		for e.SessionCount() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("iteration %d: dead session still registered", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// With the failing stage gone, the same engine must still open healthy
+	// sessions: the loop above may not leak admission slots (MaxSessions is
+	// only 2). A just-finished eviction may still be releasing its slot, so
+	// tolerate a brief ErrSessionLimit window.
+	e.builders = nil
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s, err := e.openSession(500, peer)
+		if err == nil && s != nil {
+			break
+		}
+		if !errors.Is(err, ErrSessionLimit) || time.Now().After(deadline) {
+			t.Fatalf("healthy openSession after dead-chain churn: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestEngineReusePortRejectedWithoutSupport(t *testing.T) {
+	if reusePortAvailable {
+		t.Skip("built with reuseport support")
+	}
+	if _, err := New(Config{ListenAddr: "127.0.0.1:0", ReusePort: true}); err == nil {
+		t.Fatal("New accepted ReusePort on a build without SO_REUSEPORT support")
+	}
+}
+
+func TestEngineShardedStatsAggregate(t *testing.T) {
+	e := newTestEngine(t, Config{Shards: 4})
+	c := dialEngine(t, e)
+
+	const sessions = 16
+	for id := uint32(1); id <= sessions; id++ {
+		sendPacket(t, c, id, &packet.Packet{Seq: uint64(id), Kind: packet.KindData, Payload: []byte{byte(id)}})
+	}
+	for i := 0; i < sessions; i++ {
+		readPacket(t, c, 2*time.Second)
+	}
+	st := e.Stats()
+	if st.Shards != 4 {
+		t.Fatalf("Stats.Shards = %d, want 4", st.Shards)
+	}
+	if st.ActiveSessions != sessions || st.TotalSessions != sessions {
+		t.Fatalf("sessions = %d active / %d total, want %d/%d", st.ActiveSessions, st.TotalSessions, sessions, sessions)
+	}
+	if st.Datagrams < sessions {
+		t.Fatalf("Datagrams = %d, want >= %d", st.Datagrams, sessions)
+	}
+	if st.BatchedWrites < sessions || st.WriteFlushes == 0 {
+		t.Fatalf("writer counters = %d writes / %d flushes, want >= %d / > 0", st.BatchedWrites, st.WriteFlushes, sessions)
+	}
+	// The per-shard breakdown must sum to the aggregate and agree with each
+	// session's reported placement.
+	shardSessions := make(map[int]int)
+	for _, ss := range e.SessionStats() {
+		shardSessions[ss.Shard]++
+	}
+	var total int
+	for _, sh := range e.ShardStats() {
+		total += sh.Sessions
+		if sh.Sessions != shardSessions[sh.Shard] {
+			t.Fatalf("shard %d owns %d sessions but session stats place %d there",
+				sh.Shard, sh.Sessions, shardSessions[sh.Shard])
+		}
+	}
+	if total != sessions {
+		t.Fatalf("shard sessions sum to %d, want %d", total, sessions)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 
 	"rapidware/internal/endpoint"
 	"rapidware/internal/filter"
@@ -20,6 +21,10 @@ import (
 type Session struct {
 	id  uint32
 	eng *Engine
+	// shard is the slice of the engine's data plane that owns this session:
+	// its table shard holds the registration and its writer carries all of
+	// the session's output.
+	shard *shard
 
 	chain    *filter.Chain
 	source   *endpoint.UDPSource
@@ -37,6 +42,13 @@ type Session struct {
 	in   chan *packet.Buf
 	done chan struct{}
 
+	// exited is set by the engine's exit hook when the chain terminates on
+	// its own. openSession checks it after registering the session: a chain
+	// that died inside the construct→register window would otherwise leave a
+	// dead session in the table (the hook's eviction ran before there was
+	// anything to evict) and blackhole the ID.
+	exited atomic.Bool
+
 	closeOnce sync.Once
 	closeErr  error
 
@@ -44,15 +56,17 @@ type Session struct {
 	peer   netip.AddrPort
 }
 
-// newSession builds and starts the chain for one session. Caller holds the
-// engine lock.
+// newSession builds and starts the chain for one session. It runs with no
+// lock held — the caller registers the finished session in the sharded table
+// afterwards and resolves any construction race there.
 func newSession(e *Engine, id uint32, peer netip.AddrPort) (*Session, error) {
 	s := &Session{
-		id:   id,
-		eng:  e,
-		in:   make(chan *packet.Buf, e.cfg.QueueDepth),
-		done: make(chan struct{}),
-		peer: peer,
+		id:    id,
+		eng:   e,
+		shard: e.shardFor(id),
+		in:    make(chan *packet.Buf, e.cfg.QueueDepth),
+		done:  make(chan struct{}),
+		peer:  peer,
 	}
 	s.chain = filter.NewChain(fmt.Sprintf("session-%d", id))
 	s.source = endpoint.NewUDPSource(fmt.Sprintf("udp-in:%d", id), s.recv)
@@ -72,13 +86,24 @@ func newSession(e *Engine, id uint32, peer netip.AddrPort) (*Session, error) {
 	if err := s.chain.Append(s.sink); err != nil {
 		return nil, err
 	}
+	// The sink's exit hook is the session's watchdog: when the chain
+	// terminates on its own the hook evicts the session, without spending a
+	// goroutine per session on a blocking Wait. Registered (and accounted in
+	// the engine's exit WaitGroup) before Start so the hook cannot be missed.
+	tracked := e.trackSessionExit()
+	s.sink.OnExit(func() { e.sessionExited(s, tracked) })
 	if err := s.chain.Start(); err != nil {
+		if tracked && !s.sink.Running() {
+			// The sink goroutine never launched, so the exit hook will never
+			// fire; balance the accounting here.
+			e.exitWg.Done()
+		}
 		return nil, fmt.Errorf("engine: session %d start: %w", id, err)
 	}
 	if e.cfg.Adapt {
 		a, err := newSessionAdaptor(s, e.policy)
 		if err != nil {
-			s.chain.Stop()
+			s.close()
 			return nil, fmt.Errorf("engine: session %d adaptor: %w", id, err)
 		}
 		s.adaptor = a
@@ -100,6 +125,7 @@ func (s *Session) Counters() *metrics.SessionCounters { return &s.counters }
 // any decoder stages and the adaptation loop's state when the plane is on.
 func (s *Session) Stats() metrics.SessionStats {
 	st := s.counters.Snapshot(s.id)
+	st.Shard = s.shard.idx
 	for _, fn := range s.repairs {
 		st.Repairs += fn()
 	}
@@ -198,13 +224,19 @@ func (s *Session) recv() (*packet.Buf, error) {
 	}
 }
 
-// send relays one chain-output frame. The sink reserved SessionIDSize bytes
-// of headroom, so the session ID is stamped in place and the whole buffer is
-// one datagram. send owns b.
+// send relays one chain-output frame by handing it to the owning shard's
+// batched writer. The sink reserved SessionIDSize bytes of headroom, so the
+// session ID is stamped in place and the whole buffer is one datagram.
+// Routing every datagram of a session through one shard writer preserves
+// per-session output order; a full writer queue drops (UDP-style, counted)
+// rather than blocking the chain. send owns b until the enqueue.
 func (s *Session) send(b *packet.Buf) error {
 	packet.PutSessionID(b.B, s.id)
 	if s.eng.group != nil {
-		return s.sendFanout(b)
+		// Fan-out: the writer snapshots the receiver group at flush time so
+		// membership changes apply to queued datagrams too.
+		s.shard.enqueue(outbound{s: s, b: b, fan: true})
+		return nil
 	}
 	dst := s.eng.forward
 	if !dst.IsValid() {
@@ -215,53 +247,7 @@ func (s *Session) send(b *packet.Buf) error {
 		b.Release()
 		return nil
 	}
-	n, err := s.eng.conn.WriteToUDPAddrPort(b.B, dst)
-	b.Release()
-	if err != nil {
-		select {
-		case <-s.done:
-			// Shutting down: let the pump exit.
-			return err
-		default:
-		}
-		// Transient send failure: account for it and keep the session alive,
-		// matching UDP's fire-and-forget semantics.
-		s.counters.Drops.Add(1)
-		return nil
-	}
-	s.counters.OutPackets.Add(1)
-	s.counters.OutBytes.Add(uint64(n))
-	return nil
-}
-
-// sendFanout multicasts one output datagram to every receiver in the
-// engine's fan-out group. Membership is read with one atomic snapshot load,
-// so the path stays allocation-free; receivers failing independently match
-// IP multicast semantics (errors are counted, never fatal). sendFanout owns
-// b.
-func (s *Session) sendFanout(b *packet.Buf) error {
-	targets := s.eng.group.Snapshot()
-	if len(targets) == 0 {
-		s.counters.Drops.Add(1)
-		b.Release()
-		return nil
-	}
-	for _, dst := range targets {
-		n, err := s.eng.conn.WriteToUDPAddrPort(b.B, dst)
-		if err != nil {
-			select {
-			case <-s.done:
-				b.Release()
-				return err
-			default:
-			}
-			s.counters.Drops.Add(1)
-			continue
-		}
-		s.counters.OutPackets.Add(1)
-		s.counters.OutBytes.Add(uint64(n))
-	}
-	b.Release()
+	s.shard.enqueue(outbound{s: s, b: b, dst: dst})
 	return nil
 }
 

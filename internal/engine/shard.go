@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"rapidware/internal/metrics"
+	"rapidware/internal/packet"
+)
+
+// Shard-runtime tuning constants.
+const (
+	// writeBatch is the maximum number of pending datagrams one shard writer
+	// drains per flush. Collecting a batch before touching the socket
+	// amortizes the writer's wakeups under load while a mostly idle shard
+	// still sends each datagram immediately.
+	writeBatch = 32
+	// writeQueueDepth bounds each shard's outbound datagram queue. When the
+	// queue is full new output is dropped and counted, UDP-style, so a
+	// slow socket cannot stall session chains.
+	writeQueueDepth = 1024
+	// maxReadBackoffShift caps the transient-read-error sleep at
+	// 1ms << maxReadBackoffShift (256ms).
+	maxReadBackoffShift = 8
+)
+
+// shardCounters is one shard's counter block. Reader-side counters
+// (datagrams, malformed, rejected, feedback) are incremented by the shard's
+// reader goroutine; opened and chainErrors are attributed to the shard that
+// owns the session; writes, flushes and writeDrops belong to the shard's
+// writer. Everything is atomic so Stats can aggregate without stopping the
+// data plane.
+type shardCounters struct {
+	datagrams   atomic.Uint64
+	malformed   atomic.Uint64
+	rejected    atomic.Uint64
+	feedback    atomic.Uint64
+	opened      atomic.Uint64
+	chainErrors atomic.Uint64
+	writes      atomic.Uint64
+	flushes     atomic.Uint64
+	writeDrops  atomic.Uint64
+	_           [56]byte // pad so neighboring shards' counters don't false-share
+}
+
+// outbound is one datagram queued on a shard writer. dst is the resolved
+// unicast destination; fan selects the engine's fan-out group instead.
+type outbound struct {
+	s   *Session
+	b   *packet.Buf
+	dst netip.AddrPort
+	fan bool
+}
+
+// shard is one slice of the engine's data plane: a reader goroutine pulling
+// datagrams off its socket, a writer goroutine flushing batched output, and
+// the counter block both report into. In the portable single-socket mode all
+// shards share one net.UDPConn (the kernel serializes receives, but
+// validation, demux and queueing overlap across readers); in SO_REUSEPORT
+// mode each shard owns its own socket and the kernel spreads flows across
+// them.
+type shard struct {
+	idx      int
+	eng      *Engine
+	conn     *net.UDPConn
+	writeq   chan outbound
+	counters shardCounters
+}
+
+// stats snapshots this shard's counters.
+func (sh *shard) stats() metrics.ShardStats {
+	return metrics.ShardStats{
+		Shard:       sh.idx,
+		Sessions:    sh.eng.table.countShard(sh.idx),
+		Datagrams:   sh.counters.datagrams.Load(),
+		Malformed:   sh.counters.malformed.Load(),
+		Rejected:    sh.counters.rejected.Load(),
+		Feedback:    sh.counters.feedback.Load(),
+		ChainErrors: sh.counters.chainErrors.Load(),
+		Writes:      sh.counters.writes.Load(),
+		Flushes:     sh.counters.flushes.Load(),
+		WriteDrops:  sh.counters.writeDrops.Load(),
+	}
+}
+
+// readLoop pulls datagrams off the shard's socket and routes each to its
+// session: lookup and open touch only the owning table shard's lock, receiver
+// reports are consumed on the control path, and nothing in steady state
+// allocates. Transient read errors back off exponentially — both the retry
+// pace and the logging — so a persistent socket fault can neither spin a
+// core nor storm the log.
+func (sh *shard) readLoop() {
+	e := sh.eng
+	defer e.wg.Done()
+	var errStreak uint
+	for {
+		b := packet.GetBuf(packet.MaxDatagram)
+		n, from, err := sh.conn.ReadFromUDPAddrPort(b.B)
+		if err != nil {
+			b.Release()
+			if errors.Is(err, net.ErrClosed) || e.closed.Load() {
+				return
+			}
+			errStreak++
+			if errStreak&(errStreak-1) == 0 {
+				// Log errors 1, 2, 4, 8, ...: exponential backoff keeps a
+				// persistent fault to a handful of lines per thousand errors.
+				e.logf("shard %d: read: %v (error %d in a row)", sh.idx, err, errStreak)
+			}
+			if errStreak > 1 {
+				time.Sleep(time.Millisecond << min(errStreak-2, maxReadBackoffShift))
+			}
+			continue
+		}
+		errStreak = 0
+		sh.counters.datagrams.Add(1)
+		if n < packet.SessionIDSize {
+			sh.counters.malformed.Add(1)
+			b.Release()
+			continue
+		}
+		b.B = b.B[:n]
+		// Reject garbage before it can reach (or create) a session: a frame
+		// that fails validation would otherwise kill the session's chain.
+		if packet.ValidateFrame(b.B[packet.SessionIDSize:]) != nil {
+			sh.counters.malformed.Add(1)
+			b.Release()
+			continue
+		}
+		id := binary.BigEndian.Uint32(b.B)
+		// Receiver reports close the adaptation loop on the control path:
+		// they are consumed here, never enter a chain, and never open a
+		// session (a report for an unknown session is simply dropped).
+		if packet.Kind(b.B[packet.SessionIDSize+3]) == packet.KindFeedback {
+			sh.counters.feedback.Add(1)
+			if s := e.table.lookup(id); s != nil {
+				s.handleFeedback(from, b.B[packet.SessionIDSize:])
+			}
+			b.Release()
+			continue
+		}
+		s := e.table.lookup(id)
+		if s == nil {
+			var err error
+			s, err = e.openSession(id, from)
+			if err != nil {
+				sh.counters.rejected.Add(1)
+				b.Release()
+				if !errors.Is(err, ErrSessionLimit) && !errors.Is(err, ErrEngineClosed) {
+					e.logf("session %d: %v", id, err)
+				}
+				continue
+			}
+		}
+		s.deliver(b, from)
+	}
+}
+
+// enqueue hands one outbound datagram to the shard's writer, dropping
+// (UDP-style, counted) when the queue is full so a saturated socket cannot
+// stall the session chains feeding it. enqueue takes ownership of o.b.
+func (sh *shard) enqueue(o outbound) {
+	select {
+	case sh.writeq <- o:
+	default:
+		o.s.counters.Drops.Add(1)
+		sh.counters.writeDrops.Add(1)
+		o.b.Release()
+	}
+}
+
+// writeLoop is the shard's batched send path: it blocks for one outbound
+// datagram, opportunistically drains up to writeBatch-1 more without
+// blocking, and flushes the batch back to back. Per-session output order is
+// preserved because every session enqueues on exactly one shard.
+func (sh *shard) writeLoop() {
+	e := sh.eng
+	defer e.wg.Done()
+	var batch [writeBatch]outbound
+	for {
+		select {
+		case o := <-sh.writeq:
+			batch[0] = o
+		case <-e.stopWriters:
+			sh.drainWriteQueue()
+			return
+		}
+		n := 1
+	fill:
+		for n < writeBatch {
+			select {
+			case o := <-sh.writeq:
+				batch[n] = o
+				n++
+			default:
+				break fill
+			}
+		}
+		for i := 0; i < n; i++ {
+			sh.write(batch[i])
+			batch[i] = outbound{}
+		}
+		sh.counters.writes.Add(uint64(n))
+		sh.counters.flushes.Add(1)
+	}
+}
+
+// write sends one queued datagram: to its resolved unicast destination, or to
+// every receiver in the engine's fan-out group. Send failures are counted
+// against the session and never fatal, matching UDP's fire-and-forget
+// semantics. write owns o.b.
+func (sh *shard) write(o outbound) {
+	if o.fan {
+		targets := o.s.eng.group.Snapshot()
+		if len(targets) == 0 {
+			o.s.counters.Drops.Add(1)
+			o.b.Release()
+			return
+		}
+		for _, dst := range targets {
+			n, err := sh.conn.WriteToUDPAddrPort(o.b.B, dst)
+			if err != nil {
+				o.s.counters.Drops.Add(1)
+				continue
+			}
+			o.s.counters.OutPackets.Add(1)
+			o.s.counters.OutBytes.Add(uint64(n))
+		}
+		o.b.Release()
+		return
+	}
+	n, err := sh.conn.WriteToUDPAddrPort(o.b.B, o.dst)
+	o.b.Release()
+	if err != nil {
+		o.s.counters.Drops.Add(1)
+		return
+	}
+	o.s.counters.OutPackets.Add(1)
+	o.s.counters.OutBytes.Add(uint64(n))
+}
+
+// drainWriteQueue releases whatever is still queued at shutdown.
+func (sh *shard) drainWriteQueue() {
+	for {
+		select {
+		case o := <-sh.writeq:
+			o.b.Release()
+		default:
+			return
+		}
+	}
+}

@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"net/netip"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -101,6 +104,207 @@ func TestEngineSoak256Sessions(t *testing.T) {
 	}
 	if inPkts < total {
 		t.Fatalf("sessions accepted %d packets, want >= %d", inPkts, total)
+	}
+}
+
+// TestEngineSoak4096SessionsCrossShard opens DefaultMaxSessions (4096)
+// concurrent sessions spread across every shard of the sharded data plane,
+// requires an echo from each, checks that the shard placement is reasonably
+// balanced, and then tears the engine down with all of them live. Client
+// sockets are shared (64 sessions per socket) so the test stays within file
+// descriptor limits.
+//
+// Each session runs two chain goroutines, so under the race detector — which
+// refuses to track more than 8128 simultaneously alive goroutines — the soak
+// scales itself down to stay inside that budget while still crossing every
+// shard.
+func TestEngineSoak4096SessionsCrossShard(t *testing.T) {
+	sessions := DefaultMaxSessions // 4096
+	if raceEnabled {
+		sessions = 3584 // 2 goroutines/session + clients + runtime < 8128
+	}
+	const clients = 64
+	perClient := sessions / clients
+
+	e := newTestEngine(t, Config{MaxSessions: sessions})
+	addr := e.LocalAddr().(*net.UDPAddr)
+
+	var wg sync.WaitGroup
+	var failed atomic.Uint64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(base uint32) {
+			defer wg.Done()
+			conn, err := net.DialUDP("udp", nil, addr)
+			if err != nil {
+				t.Errorf("client %d: dial: %v", base, err)
+				return
+			}
+			defer conn.Close()
+			pending := make(map[uint32]bool, perClient)
+			for i := 0; i < perClient; i++ {
+				pending[base+uint32(i)] = true
+			}
+			buf := make([]byte, packet.MaxDatagram)
+			for round := 0; round < 10 && len(pending) > 0; round++ {
+				for id := range pending {
+					dgram, err := packet.AppendDatagram(nil, id, &packet.Packet{
+						Seq: uint64(round), StreamID: id, Kind: packet.KindData,
+						Payload: []byte{byte(id), byte(id >> 8)},
+					})
+					if err != nil {
+						t.Errorf("session %d: marshal: %v", id, err)
+						return
+					}
+					if _, err := conn.Write(dgram); err != nil {
+						t.Errorf("session %d: write: %v", id, err)
+						return
+					}
+				}
+				// Collect echoes until the read window goes quiet.
+				for len(pending) > 0 {
+					conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+					n, err := conn.Read(buf)
+					if err != nil {
+						break // window quiet: resend what is still pending
+					}
+					id, frame, err := packet.SplitSessionID(buf[:n])
+					if err != nil || !pending[id] {
+						continue
+					}
+					if got, _, err := packet.Unmarshal(frame); err != nil ||
+						len(got.Payload) != 2 || got.Payload[0] != byte(id) || got.Payload[1] != byte(id>>8) {
+						t.Errorf("session %d: corrupted echo", id)
+						return
+					}
+					delete(pending, id)
+				}
+			}
+			failed.Add(uint64(len(pending)))
+		}(uint32(c*perClient + 1))
+	}
+	wg.Wait()
+
+	if n := failed.Load(); n > 0 {
+		t.Fatalf("%d of %d sessions never echoed", n, sessions)
+	}
+	if n := e.SessionCount(); n != sessions {
+		t.Fatalf("SessionCount = %d, want %d", n, sessions)
+	}
+	if got := len(e.SessionStats()); got != sessions {
+		t.Fatalf("SessionStats has %d entries, want %d", got, sessions)
+	}
+	// Placement must actually be cross-shard and roughly balanced: no shard
+	// empty, none holding more than twice its fair share.
+	shardStats := e.ShardStats()
+	total, mean := 0, sessions/len(shardStats)
+	for _, sh := range shardStats {
+		total += sh.Sessions
+		if sh.Sessions == 0 {
+			t.Errorf("shard %d owns no sessions", sh.Shard)
+		}
+		if sh.Sessions > 2*mean {
+			t.Errorf("shard %d owns %d sessions, more than twice the mean %d", sh.Shard, sh.Sessions, mean)
+		}
+	}
+	if total != sessions {
+		t.Fatalf("shards account for %d sessions, want %d", total, sessions)
+	}
+	st := e.Stats()
+	if st.ActiveSessions != sessions {
+		t.Fatalf("Stats.ActiveSessions = %d, want %d", st.ActiveSessions, sessions)
+	}
+	// One more session must be refused at the cap.
+	if _, err := e.openSession(uint32(sessions+100), netip.MustParseAddrPort("127.0.0.1:9")); !errors.Is(err, ErrSessionLimit) {
+		t.Fatalf("openSession past the cap = %v, want ErrSessionLimit", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if n := e.SessionCount(); n != 0 {
+		t.Fatalf("SessionCount after Close = %d, want 0", n)
+	}
+}
+
+// TestEngineConcurrentOpenCloseRace hammers the sharded table from many
+// goroutines at once — opening sessions, closing them, snapshotting stats —
+// while another goroutine closes the whole engine mid-flight. Under -race
+// this is the regression test for the lock-free slow path: construction
+// outside the lock, insertion under the shard lock, and lost-race teardown.
+func TestEngineConcurrentOpenCloseRace(t *testing.T) {
+	e := newTestEngine(t, Config{MaxSessions: 256, Shards: 8})
+	peer := netip.MustParseAddrPort("127.0.0.1:9")
+
+	const workers = 8
+	const idSpace = 48
+	var opens atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				id := uint32((seed*31+i)%idSpace + 1)
+				s, err := e.openSession(id, peer)
+				switch {
+				case errors.Is(err, ErrEngineClosed):
+					return
+				case errors.Is(err, ErrSessionLimit):
+					continue
+				case err != nil:
+					t.Errorf("openSession(%d): %v", id, err)
+					return
+				case s == nil:
+					t.Errorf("openSession(%d) returned nil without error", id)
+					return
+				}
+				opens.Add(1)
+				if i%3 == 0 {
+					// May lose to a concurrent closer; both outcomes are fine.
+					if err := e.CloseSession(id); err != nil && !errors.Is(err, ErrUnknownSession) {
+						t.Errorf("CloseSession(%d): %v", id, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Concurrent observers keep the read paths honest under -race.
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = e.Stats()
+			_ = e.SessionStats()
+			_ = e.ShardStats()
+		}
+	}()
+	// Close the engine while the workers are still racing.
+	for opens.Load() < 2000 {
+		runtime.Gosched()
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+
+	if n := e.SessionCount(); n != 0 {
+		t.Fatalf("SessionCount after Close = %d, want 0", n)
+	}
+	if _, err := e.openSession(1, peer); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("openSession after Close = %v, want ErrEngineClosed", err)
+	}
+	if err := e.CloseSession(1); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("CloseSession after Close = %v, want ErrUnknownSession", err)
 	}
 }
 

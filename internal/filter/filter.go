@@ -68,6 +68,7 @@ type Base struct {
 	stopped bool
 	done    chan struct{}
 	runErr  error
+	onExit  func()
 }
 
 // New returns a filter named name whose processing loop is fn.
@@ -96,9 +97,20 @@ func (b *Base) Running() bool {
 	return b.started && !b.stopped
 }
 
+// OnExit registers fn to run on the processing goroutine after it has
+// terminated and after Wait observers have been unblocked. It must be called
+// before Start; at most one hook is supported (later calls replace earlier
+// ones). The engine uses this to evict sessions whose chains die without
+// spending a watchdog goroutine per session.
+func (b *Base) OnExit(fn func()) {
+	b.mu.Lock()
+	b.onExit = fn
+	b.mu.Unlock()
+}
+
 // Start implements Filter. The processing goroutine runs fn(in, out); when fn
 // returns, the output stream is closed so downstream stages observe EOF (or
-// the error fn returned).
+// the error fn returned), then any OnExit hook fires.
 func (b *Base) Start() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -107,7 +119,13 @@ func (b *Base) Start() error {
 	}
 	b.started = true
 	b.done = make(chan struct{})
+	onExit := b.onExit
 	go func() {
+		if onExit != nil {
+			// Deferred first so it runs last: after done is closed and every
+			// Wait caller can already observe the exit.
+			defer onExit()
+		}
 		defer close(b.done)
 		err := b.fn(b.in, b.out)
 		if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, stream.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {

@@ -23,7 +23,10 @@ type SessionCounters struct {
 // SessionStats is a point-in-time snapshot of one session's counters, as
 // carried in control-protocol status replies.
 type SessionStats struct {
-	ID         uint32 `json:"id"`
+	ID uint32 `json:"id"`
+	// Shard is the index of the engine data-plane shard that owns the
+	// session (its table slot and all of its outbound datagrams).
+	Shard      int    `json:"shard"`
 	Packets    uint64 `json:"packets"`
 	Bytes      uint64 `json:"bytes"`
 	OutPackets uint64 `json:"out_packets"`
@@ -56,6 +59,47 @@ type AdaptStats struct {
 	Retunes uint64 `json:"retunes"`
 	// HighestSeq is the highest sequence number any receiver acknowledged.
 	HighestSeq uint64 `json:"highest_seq"`
+}
+
+// EngineStats is an engine-level counter snapshot, aggregated across the
+// data plane's shards on demand.
+type EngineStats struct {
+	ActiveSessions int    `json:"active_sessions"`
+	TotalSessions  uint64 `json:"total_sessions"`
+	Datagrams      uint64 `json:"datagrams"`
+	Malformed      uint64 `json:"malformed"`
+	Rejected       uint64 `json:"rejected"`
+	ChainErrors    uint64 `json:"chain_errors"`
+	Feedback       uint64 `json:"feedback"`
+	// Shards is the width of the engine's data plane: the number of reader
+	// goroutines, session-table shards and batched writers.
+	Shards int `json:"shards"`
+	// BatchedWrites counts datagrams sent through the shard writers;
+	// WriteFlushes counts writer wakeups, so BatchedWrites/WriteFlushes is
+	// the mean batch size. WriteDrops counts datagrams discarded because a
+	// shard's outbound queue was full.
+	BatchedWrites uint64 `json:"batched_writes"`
+	WriteFlushes  uint64 `json:"write_flushes"`
+	WriteDrops    uint64 `json:"write_drops"`
+}
+
+// ShardStats is the counter snapshot of one engine data-plane shard.
+// Reader-side counters (Datagrams, Malformed, Rejected, Feedback) reflect
+// what the shard's reader goroutine pulled off its socket — in the shared-
+// socket mode any reader can receive any session's datagrams, so these
+// describe reader load, not session placement. Sessions, ChainErrors and the
+// writer counters are attributed to the shard that owns the session.
+type ShardStats struct {
+	Shard       int    `json:"shard"`
+	Sessions    int    `json:"sessions"`
+	Datagrams   uint64 `json:"datagrams"`
+	Malformed   uint64 `json:"malformed"`
+	Rejected    uint64 `json:"rejected"`
+	Feedback    uint64 `json:"feedback"`
+	ChainErrors uint64 `json:"chain_errors"`
+	Writes      uint64 `json:"writes"`
+	Flushes     uint64 `json:"flushes"`
+	WriteDrops  uint64 `json:"write_drops"`
 }
 
 // Snapshot captures the counters for the session with the given ID.
