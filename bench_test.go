@@ -215,6 +215,132 @@ func BenchmarkEngineShardedThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineFanoutBranches measures the delivery-tree fan-out path: one
+// session's trunk output teed (by reference, no payload copies) into 1 vs 8
+// per-receiver branches, with alternating receivers reporting 10% loss so the
+// branch tails are genuinely heterogeneous — half carry an adaptive (8,4)
+// encoder, half stay on the pure relay tail. Each op is one client datagram
+// relayed through the tree and read back from a clean receiver; the remaining
+// receivers are drained concurrently.
+func BenchmarkEngineFanoutBranches(b *testing.B) {
+	for _, receivers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("receivers-%d", receivers), func(b *testing.B) {
+			rxs := make([]*net.UDPConn, receivers)
+			fanout := make([]string, receivers)
+			for i := range rxs {
+				rx, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer rx.Close()
+				rxs[i] = rx
+				fanout[i] = rx.LocalAddr().String()
+			}
+			eng, err := engine.New(engine.Config{ListenAddr: "127.0.0.1:0", Adapt: true, Fanout: fanout})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			engAddr := eng.LocalAddr().(*net.UDPAddr)
+
+			c, err := net.DialUDP("udp", nil, engAddr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+
+			payload := make([]byte, 320)
+			rand.New(rand.NewSource(9)).Read(payload)
+			dgram, err := packet.AppendDatagram(nil, 1, &packet.Packet{
+				Seq: 1, StreamID: 1, Kind: packet.KindData, Payload: payload,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			// Prime the session: every receiver sees the first packet.
+			if _, err := c.Write(dgram); err != nil {
+				b.Fatal(err)
+			}
+			recv := make([]byte, packet.MaxDatagram)
+			for _, rx := range rxs {
+				rx.SetReadDeadline(time.Now().Add(5 * time.Second))
+				if _, err := rx.Read(recv); err != nil {
+					b.Fatalf("receiver never got the primed packet: %v", err)
+				}
+			}
+
+			// Heterogeneous channels: odd receivers report 10% loss (their
+			// branches splice in the (8,4) encoder), even receivers are clean.
+			lossyBranches := 0
+			for i, rx := range rxs {
+				rep := packet.Report{Received: 100, Window: 100}
+				if i%2 == 1 {
+					rep = packet.Report{Received: 90, Lost: 10, Window: 100}
+					lossyBranches++
+				}
+				rdgram, err := packet.AppendReportDatagram(nil, 1, 0, 0, rep)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rx.WriteToUDP(rdgram, engAddr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s := eng.Session(1)
+			if s == nil {
+				b.Fatal("session missing after prime")
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				active := 0
+				for _, rs := range s.Stats().Receivers {
+					if rs.Active {
+						active++
+					}
+				}
+				if active == lossyBranches {
+					break
+				}
+				if time.Now().After(deadline) {
+					b.Fatalf("only %d of %d lossy branches converged", active, lossyBranches)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+
+			// Drain every receiver but the first (clean) one concurrently, so
+			// parity bursts cannot back up kernel buffers.
+			for _, rx := range rxs[1:] {
+				go func(rx *net.UDPConn) {
+					buf := make([]byte, packet.MaxDatagram)
+					for {
+						rx.SetReadDeadline(time.Now().Add(10 * time.Second))
+						if _, err := rx.Read(buf); err != nil {
+							return
+						}
+					}
+				}(rx)
+			}
+			rxs[0].SetReadDeadline(time.Now().Add(10 * time.Minute))
+
+			b.SetBytes(int64(len(dgram)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Write(dgram); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rxs[0].Read(recv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAdaptiveRetune measures the engine's control-path retune: one
 // receiver report crossing a policy threshold, dispatched over the session's
 // raplet bus to the FEC responder, which splices the adaptive encoder into or

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rapidctl -addr host:7100 status
-//	rapidctl -addr host:7100 sessions
+//	rapidctl -addr host:7100 sessions [-json]
 //	rapidctl -addr host:7100 stats [-json]
 //	rapidctl -addr host:7100 kinds
 //	rapidctl -addr host:7100 insert <kind> <position> [key=value ...]
@@ -43,7 +43,7 @@ func run(args []string, out *os.File) error {
 		addr    = fs.String("addr", "127.0.0.1:7100", "control address of the proxy")
 		proxy   = fs.String("proxy", "", "proxy name (needed only when a server manages several)")
 		timeout = fs.Duration("timeout", 3*time.Second, "dial timeout")
-		asJSON  = fs.Bool("json", false, "stats: emit machine-readable JSON instead of the table")
+		asJSON  = fs.Bool("json", false, "sessions/stats: emit machine-readable JSON instead of the table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,9 +53,9 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("missing command (status|sessions|stats|kinds|insert|remove|move|upload|ping)")
 	}
 	// Accept the flag after the command too ("rapidctl stats -json"), the
-	// order scripts naturally write. Scoped to stats so other commands'
-	// positional arguments can never be mistaken for it.
-	if rest[0] == "stats" {
+	// order scripts naturally write. Scoped to the commands that honor it so
+	// other commands' positional arguments can never be mistaken for it.
+	if rest[0] == "stats" || rest[0] == "sessions" {
 		for _, arg := range rest[1:] {
 			if arg == "-json" || arg == "--json" {
 				*asJSON = true
@@ -86,6 +86,9 @@ func run(args []string, out *os.File) error {
 		stats, err := client.Sessions()
 		if err != nil {
 			return err
+		}
+		if *asJSON {
+			return printSessionsJSON(out, stats)
 		}
 		printSessions(out, stats)
 	case "stats":
@@ -224,6 +227,22 @@ func printStatus(out *os.File, st *core.Status) {
 	}
 }
 
+// printSessionsJSON emits the per-session (and per-receiver) snapshot as one
+// JSON object, for scripts — parity with "stats -json". Sessions are sorted
+// by ID like the table.
+func printSessionsJSON(out *os.File, stats []metrics.SessionStats) error {
+	stats = append([]metrics.SessionStats(nil), stats...)
+	sort.Slice(stats, func(i, j int) bool { return stats[i].ID < stats[j].ID })
+	if stats == nil {
+		stats = []metrics.SessionStats{} // "sessions": [] rather than null
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Sessions []metrics.SessionStats `json:"sessions"`
+	}{stats})
+}
+
 func printSessions(out *os.File, stats []metrics.SessionStats) {
 	if len(stats) == 0 {
 		fmt.Fprintln(out, "no live sessions")
@@ -262,5 +281,19 @@ func printSessions(out *os.File, stats []metrics.SessionStats) {
 			fmt.Fprintf(out, " %6s %7s %8d %8d", fec, loss, reports, retunes)
 		}
 		fmt.Fprintln(out)
+		// A fan-out session's delivery tree: one indented row per receiver
+		// branch with its own counters and protection level.
+		for _, rx := range s.Receivers {
+			fec := "-"
+			if rx.N > rx.K {
+				fec = fmt.Sprintf("%d/%d", rx.N, rx.K)
+			}
+			fmt.Fprintf(out, "  -> %-21s %10d %12d %8d  fec %-6s loss %.4f reports %d retunes %d",
+				rx.Receiver, rx.OutPackets, rx.OutBytes, rx.Drops, fec, rx.LossRate, rx.Reports, rx.Retunes)
+			if len(rx.Stages) > 0 {
+				fmt.Fprintf(out, "  stages %s", strings.Join(rx.Stages, ","))
+			}
+			fmt.Fprintln(out)
+		}
 	}
 }

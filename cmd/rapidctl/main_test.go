@@ -152,6 +152,34 @@ func TestPrintSessionsAdaptColumns(t *testing.T) {
 	}
 }
 
+func TestPrintSessionsReceiverRows(t *testing.T) {
+	out := captureOutput(t, func(f *os.File) error {
+		printSessions(f, []metrics.SessionStats{
+			{
+				ID:    7,
+				Adapt: &metrics.AdaptStats{K: 4, N: 8, Active: true, LossRate: 0.1, Reports: 3},
+				Receivers: []metrics.ReceiverStats{
+					{Receiver: "127.0.0.1:9000", OutPackets: 12, OutBytes: 480, K: 1, N: 1},
+					{Receiver: "127.0.0.1:9001", OutPackets: 20, OutBytes: 800, K: 4, N: 8, Active: true,
+						LossRate: 0.1, Reports: 3, Retunes: 1, Stages: []string{"thin:7"}},
+				},
+			},
+		})
+		return nil
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + session + two receiver rows
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "-> 127.0.0.1:9000") || !strings.Contains(lines[2], "fec -") {
+		t.Fatalf("clean receiver row %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "-> 127.0.0.1:9001") || !strings.Contains(lines[3], "fec 8/4") ||
+		!strings.Contains(lines[3], "stages thin:7") {
+		t.Fatalf("lossy receiver row %q", lines[3])
+	}
+}
+
 // startEngineServer brings up a control server fronting a real sharded
 // engine and returns the control address.
 func startEngineServer(t *testing.T) string {
@@ -208,6 +236,59 @@ func TestStatsCommandJSON(t *testing.T) {
 		if parsed.Engine == nil || parsed.Engine.Shards != 2 || len(parsed.Shards) != 2 {
 			t.Fatalf("args %v: parsed stats = %+v", args, parsed)
 		}
+	}
+}
+
+func TestSessionsCommandJSON(t *testing.T) {
+	addr := startEngineServer(t)
+	// The flag is accepted both before and after the command, like stats.
+	for _, args := range [][]string{
+		{"-addr", addr, "sessions", "-json"},
+		{"-addr", addr, "-json", "sessions"},
+	} {
+		out := captureOutput(t, func(f *os.File) error {
+			return run(args, f)
+		})
+		var parsed struct {
+			Sessions []metrics.SessionStats `json:"sessions"`
+		}
+		if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+			t.Fatalf("args %v: not JSON: %v\n%s", args, err, out)
+		}
+		if parsed.Sessions == nil || len(parsed.Sessions) != 0 {
+			t.Fatalf("args %v: sessions = %#v, want empty (non-null) list", args, parsed.Sessions)
+		}
+	}
+	// The table renderer still answers without the flag.
+	out := captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "sessions"}, f)
+	})
+	if !strings.Contains(out, "no live sessions") {
+		t.Fatalf("sessions table output:\n%s", out)
+	}
+}
+
+func TestPrintSessionsJSONRoundTrip(t *testing.T) {
+	out := captureOutput(t, func(f *os.File) error {
+		return printSessionsJSON(f, []metrics.SessionStats{
+			{ID: 20, Packets: 2},
+			{ID: 10, Packets: 1, Receivers: []metrics.ReceiverStats{
+				{Receiver: "127.0.0.1:9001", OutPackets: 5, K: 4, N: 8, Active: true},
+			}},
+		})
+	})
+	var parsed struct {
+		Sessions []metrics.SessionStats `json:"sessions"`
+	}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	if len(parsed.Sessions) != 2 || parsed.Sessions[0].ID != 10 || parsed.Sessions[1].ID != 20 {
+		t.Fatalf("sessions not sorted by ID: %+v", parsed.Sessions)
+	}
+	rx := parsed.Sessions[0].Receivers
+	if len(rx) != 1 || rx[0].Receiver != "127.0.0.1:9001" || rx[0].N != 8 || !rx[0].Active {
+		t.Fatalf("receiver breakdown lost in JSON: %+v", rx)
 	}
 }
 

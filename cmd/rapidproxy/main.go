@@ -14,13 +14,16 @@
 // SIGINT/SIGTERM drain the engine gracefully: every live session's chain is
 // stopped and its buffers are returned before the process exits.
 //
-// The closed-loop adaptation plane (-adapt) gives every session a raplet bus,
-// a worst-loss observer fed by receiver feedback reports, and an FEC
-// responder that splices an adaptive encoder into the live chain as reported
-// loss crosses the policy ladder's thresholds:
+// The closed-loop adaptation plane (-adapt) drives per-session FEC from
+// receiver feedback reports. With fan-out (-fanout) every member of the group
+// gets its own delivery branch — a short filter tail fed by the session's
+// shared trunk — adapted by that receiver's own loss reports, so
+// heterogeneous stations each get protection (and, with -branch, fidelity)
+// matched to their own channel:
 //
 //	rapidproxy -listen :7400 -adapt [-adapt-policy ladder.txt] \
-//	    [-fanout rx1:9000,rx2:9000]
+//	    [-fanout rx1:9000,rx2:9000] [-branch 'fec-adapt,ratelimit=64000'] \
+//	    [-report-staleness 30s]
 //
 // The legacy stream mode (-mode stream) bridges a single TCP stream through
 // one filter chain, as in earlier revisions:
@@ -40,6 +43,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"rapidware/internal/adapt"
 	"rapidware/internal/audio"
@@ -73,9 +77,11 @@ func run(args []string) error {
 		pprofAddr   = fs.String("pprof", "", "engine mode: serve net/http/pprof on this address (e.g. localhost:6060)")
 		chainSpec   = fs.String("chain", "", "engine mode: default chain spec for new sessions (e.g. counting,fec-encode=6/4)")
 		roaming     = fs.Bool("allow-roaming", false, "engine mode: let a session's echo destination follow its most recent sender")
-		adaptOn     = fs.Bool("adapt", false, "engine mode: enable the closed-loop adaptation plane (receiver feedback drives per-session FEC)")
+		adaptOn     = fs.Bool("adapt", false, "engine mode: enable the closed-loop adaptation plane (receiver feedback drives per-session FEC; per-receiver with -fanout)")
 		adaptPolicy = fs.String("adapt-policy", "", "engine mode: load the loss->(n,k) policy ladder from this file (implies -adapt)")
 		fanout      = fs.String("fanout", "", "engine mode: comma-separated downstream receiver addresses to multicast session output to")
+		branchSpec  = fs.String("branch", "", "engine mode: per-receiver branch tail spec for fan-out sessions (e.g. 'fec-adapt,ratelimit=64000')")
+		staleness   = fs.Duration("report-staleness", 0, "engine mode: age out receivers whose last loss report is older than this window (0 disables)")
 		filters     = fs.String("filters", "", "stream mode: comma-separated filter kinds to install at startup")
 		fecSpec     = fs.String("fec", "", "stream mode: install an FEC encoder with parameters n,k (e.g. 6,4)")
 	)
@@ -107,13 +113,15 @@ func run(args []string) error {
 			adapt:       *adaptOn,
 			adaptPolicy: *adaptPolicy,
 			fanout:      *fanout,
+			branch:      *branchSpec,
+			staleness:   *staleness,
 		})
 	case "stream":
 		if *chainSpec != "" || *roaming || *maxSessions != engine.DefaultMaxSessions {
 			return fmt.Errorf("-chain/-max-sessions/-allow-roaming are engine-mode flags; use -filters/-fec in stream mode")
 		}
-		if *adaptOn || *adaptPolicy != "" || *fanout != "" {
-			return fmt.Errorf("-adapt/-adapt-policy/-fanout are engine-mode flags")
+		if *adaptOn || *adaptPolicy != "" || *fanout != "" || *branchSpec != "" || *staleness != 0 {
+			return fmt.Errorf("-adapt/-adapt-policy/-fanout/-branch/-report-staleness are engine-mode flags")
 		}
 		if *shards != 0 || *reusePort || *pprofAddr != "" {
 			return fmt.Errorf("-shards/-reuseport/-pprof are engine-mode flags")
@@ -136,6 +144,8 @@ type engineOptions struct {
 	adapt                          bool
 	adaptPolicy                    string
 	fanout                         string
+	branch                         string
+	staleness                      time.Duration
 }
 
 // runEngine serves the multi-session UDP engine.
@@ -150,18 +160,20 @@ func runEngine(logger *log.Logger, opts engineOptions) error {
 		opts.adapt = true
 	}
 	eng, err := engine.New(engine.Config{
-		Name:         opts.name,
-		ListenAddr:   opts.listen,
-		MaxSessions:  opts.maxSessions,
-		Shards:       opts.shards,
-		ReusePort:    opts.reusePort,
-		Chain:        opts.chain,
-		Forward:      opts.forward,
-		AllowRoaming: opts.roaming,
-		Fanout:       splitList(opts.fanout),
-		Adapt:        opts.adapt,
-		AdaptPolicy:  policy,
-		Logger:       logger,
+		Name:            opts.name,
+		ListenAddr:      opts.listen,
+		MaxSessions:     opts.maxSessions,
+		Shards:          opts.shards,
+		ReusePort:       opts.reusePort,
+		Chain:           opts.chain,
+		Forward:         opts.forward,
+		AllowRoaming:    opts.roaming,
+		Fanout:          splitList(opts.fanout),
+		Branch:          opts.branch,
+		Adapt:           opts.adapt,
+		AdaptPolicy:     policy,
+		ReportStaleness: opts.staleness,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err

@@ -25,14 +25,25 @@
 //
 // The engine also hosts a closed-loop adaptation plane: downstream receivers
 // report observed loss upstream as feedback datagrams (packet.Report), each
-// session's raplet bus routes the worst receiver's loss to an FEC responder,
-// and the responder splices an adaptive encoder into the live chain, retunes
-// its (n,k), or removes it, following the loss→code policy ladder in the
-// transport-agnostic internal/adapt package — the same policy engine that
-// drives the legacy single-stream adaptive proxy in internal/fecproxy.
-// Sessions can fan their output out to a multicast group of receivers
-// (multicast.AddrGroup), reproducing the paper's multicast argument at
-// engine scale.
+// session's raplet bus routes every receiver's loss to its own FEC
+// responder, and the responder splices an adaptive encoder into the live
+// chain, retunes its (n,k), or removes it, following the loss→code policy
+// ladder in the transport-agnostic internal/adapt package — the same policy
+// engine that drives the legacy single-stream adaptive proxy in
+// internal/fecproxy.
+//
+// Fan-out sessions deliver through a per-receiver delivery tree, the
+// paper's heterogeneity claim at engine scale: the session's shared trunk
+// chain is teed — by pooled-buffer reference counts, never copying payload
+// bytes (filter.Tee, packet.Buf.Retain) — into one short filter-tail branch
+// per member of the multicast group (multicast.AddrGroup), and each branch
+// is driven by that receiver's own loss reports, so one degraded station no
+// longer taxes the whole group with worst-case parity. Branch tails are
+// configurable (Config.Branch: adaptive FEC via fec-adapt, rate limiting,
+// audio transcoding, media thinning), receivers that stop reporting age out
+// after a staleness window (Config.ReportStaleness), and the per-receiver
+// breakdown — counters, tail stages, current (n,k) — is exposed through the
+// control protocol (rapidctl sessions [-json]).
 //
 // See README.md for a tour (including the engine architecture and UDP wire
 // format), DESIGN.md for the system inventory and experiment index, and

@@ -1,19 +1,38 @@
-// Collaborative session example: the Pavilion substrate the paper builds on.
-// An instructor leads a collaborative browsing session; URL loads are fetched
-// through a caching proxy (so repeated visits are served from the cache, as
-// for memory-limited handhelds) and multicast to every participant. Floor
-// control passes leadership between participants.
+// Collaborative session example: the Pavilion substrate the paper builds on,
+// plus the proxy engine serving the session's media stream to heterogeneous
+// receivers. An instructor leads a collaborative browsing session; URL loads
+// are fetched through a caching proxy (so repeated visits are served from the
+// cache, as for memory-limited handhelds) and multicast to every participant.
+// Floor control passes leadership between participants. The second half
+// streams session audio through a proxy engine whose delivery tree gives each
+// participant's wireless channel its own branch: a laptop near the access
+// point and a palmtop at the edge of range report their own loss, and their
+// branches converge to different (n,k) codes — the paper's heterogeneity
+// claim, live.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math/rand"
+	"net"
+	"time"
 
 	"rapidware/internal/cache"
+	"rapidware/internal/engine"
+	"rapidware/internal/packet"
 	"rapidware/internal/session"
+	"rapidware/internal/wireless"
 )
 
 func main() {
+	collaborativeBrowsing()
+	heterogeneousDelivery()
+}
+
+// collaborativeBrowsing runs the Pavilion part: cached URL loads multicast to
+// every participant, with floor control.
+func collaborativeBrowsing() {
 	// A synthetic "web" stands in for the wired network content.
 	fetchCount := 0
 	web := func(url string) ([]byte, error) {
@@ -68,4 +87,173 @@ func main() {
 	}
 	fmt.Printf("laptop-led page observed by everyone: %d entries in laptop history, %d in palmtop history\n",
 		len(student1.History()), len(student2.History()))
+}
+
+// participant is one downstream station of the engine's fan-out group: a UDP
+// socket plus a simulated wireless channel. Packets that reach the socket are
+// "transmissions"; the loss model decides which ones the radio actually
+// delivered, and the station reports its observed window upstream, exactly as
+// a real receiver would.
+type participant struct {
+	name    string
+	metres  float64
+	conn    *net.UDPConn
+	model   wireless.LossModel
+	rng     *rand.Rand
+	rcvd    uint32
+	lost    uint32
+	highest uint64
+}
+
+func (p *participant) observe(deadline time.Duration) {
+	buf := make([]byte, packet.MaxDatagram)
+	for {
+		p.conn.SetReadDeadline(time.Now().Add(deadline))
+		n, err := p.conn.Read(buf)
+		if err != nil {
+			return // stream over
+		}
+		_, frame, err := packet.SplitSessionID(buf[:n])
+		if err != nil {
+			continue
+		}
+		pkt, _, err := packet.Unmarshal(frame)
+		if err != nil {
+			continue
+		}
+		if pkt.Seq > p.highest {
+			p.highest = pkt.Seq
+		}
+		if p.model.Lost(p.rng) {
+			p.lost++
+		} else {
+			p.rcvd++
+		}
+	}
+}
+
+func (p *participant) report(engAddr *net.UDPAddr, sessionID uint32) {
+	rep := packet.Report{HighestSeq: p.highest, Received: p.rcvd, Lost: p.lost, Window: p.rcvd + p.lost}
+	dgram, err := packet.AppendReportDatagram(nil, sessionID, 0, 0, rep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.conn.WriteToUDP(dgram, engAddr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// heterogeneousDelivery streams the session's media through the proxy engine:
+// one fan-out session, two stations on very different simulated channels,
+// per-receiver delivery branches converging to different (n,k).
+func heterogeneousDelivery() {
+	fmt.Println("\n--- heterogeneous delivery: one stream, per-receiver FEC ---")
+
+	// The laptop sits near the access point, the palmtop at the edge of
+	// range (the paper's walk-away scenario). Fixed seeds keep the demo
+	// deterministic.
+	stations := []*participant{
+		{name: "wireless-laptop", metres: 10, model: wireless.NewDistanceLoss(10, 1.2), rng: rand.New(rand.NewSource(3))},
+		{name: "palmtop", metres: 42, model: wireless.NewDistanceLoss(42, 1.2), rng: rand.New(rand.NewSource(2))},
+	}
+	fanout := make([]string, len(stations))
+	for i, st := range stations {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		st.conn = conn
+		fanout[i] = conn.LocalAddr().String()
+	}
+
+	eng, err := engine.New(engine.Config{
+		ListenAddr: "127.0.0.1:0",
+		Adapt:      true,
+		Fanout:     fanout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	engAddr := eng.LocalAddr().(*net.UDPAddr)
+
+	// The instructor's media source: one audio-sized packet stream.
+	src, err := net.DialUDP("udp", nil, engAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+	const sessionID = 1
+	const packets = 100
+	done := make(chan struct{}, len(stations))
+	for _, st := range stations {
+		go func(st *participant) {
+			st.observe(300 * time.Millisecond)
+			done <- struct{}{}
+		}(st)
+	}
+	payload := make([]byte, 320)
+	for seq := 1; seq <= packets; seq++ {
+		dgram, err := packet.AppendDatagram(nil, sessionID, &packet.Packet{
+			Seq: uint64(seq), StreamID: 1, Kind: packet.KindData, Payload: payload,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := src.Write(dgram); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(time.Millisecond) // pace like a 320-byte audio stream
+	}
+	for range stations {
+		<-done
+	}
+
+	// One observation window ends: every station reports its own channel.
+	for _, st := range stations {
+		st.report(engAddr, sessionID)
+	}
+
+	// The engine converges within the window: each branch follows its own
+	// receiver, so the two stations end up under different codes.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		s := eng.Session(sessionID)
+		if s != nil {
+			st := s.Stats()
+			reported := 0
+			for _, rx := range st.Receivers {
+				if rx.Reports > 0 {
+					reported++
+				}
+			}
+			if reported == len(stations) {
+				fmt.Printf("session %d fans out to %d receivers through per-receiver branches:\n",
+					st.ID, len(st.Receivers))
+				for _, rx := range st.Receivers {
+					code := "no FEC (pure relay)"
+					if rx.Active {
+						code = fmt.Sprintf("FEC (%d,%d)", rx.N, rx.K)
+					}
+					var name string
+					for _, stn := range stations {
+						if stn.conn.LocalAddr().String() == rx.Receiver {
+							name = fmt.Sprintf("%s @ %.0fm", stn.name, stn.metres)
+						}
+					}
+					fmt.Printf("  %-24s %-21s reported loss %5.1f%%  -> %s\n",
+						name, rx.Receiver, rx.LossRate*100, code)
+				}
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("branches never converged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }

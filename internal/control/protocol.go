@@ -39,9 +39,11 @@ const (
 	// OpPing verifies liveness.
 	OpPing Op = "ping"
 	// OpSessions returns the per-session relay counters of the attached
-	// multi-session engine, including each session's owning data-plane shard
-	// and its adaptation-plane state (current (n,k), last loss report,
-	// retune count) when the engine runs with the closed loop enabled.
+	// multi-session engine, including each session's owning data-plane shard,
+	// its adaptation-plane state (current (n,k), last loss report, retune
+	// count) when the engine runs with the closed loop enabled, and — on
+	// fan-out sessions with per-receiver delivery branches — the receiver
+	// breakdown: each branch's counters, filter tail and protection level.
 	OpSessions Op = "sessions"
 	// OpStats returns the attached engine's aggregate counters and a
 	// per-shard breakdown of its data plane.

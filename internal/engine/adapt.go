@@ -4,97 +4,239 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"rapidware/internal/adapt"
+	"rapidware/internal/filter"
 	"rapidware/internal/metrics"
-	"rapidware/internal/multicast"
 	"rapidware/internal/packet"
 	"rapidware/internal/raplet"
 )
 
-// sessionAdaptor is one session's closed adaptation loop: receiver reports
-// arriving on the engine socket feed a worst-loss observer raplet, the
-// observer publishes loss-rate events on the session's bus, and a chain FEC
-// responder reconciles the session's live chain with the policy ladder —
-// splicing an adaptive encoder in when loss appears, retuning its (n,k) as
-// loss moves between levels, and splicing it out again on a clean link. All
-// of it runs on the bus's dispatch goroutine; the relay hot path never sees
-// the adaptor.
+// sessionAdaptor is one session's closed adaptation plane: a raplet bus plus
+// one receiverLoop per downstream receiver. Each loop pairs an observer fed
+// by that receiver's own loss reports with a chain FEC responder reconciling
+// the chain that carries that receiver's copy of the stream — the session
+// trunk on unicast (echo/forward) sessions, the receiver's delivery branch on
+// fan-out sessions. Per-receiver loops are what break the old worst-case
+// coupling: one station's bad radio link retunes only its own branch. All
+// chain surgery runs on the bus's dispatch goroutine; the relay hot path
+// never sees the adaptor.
 type sessionAdaptor struct {
-	bus  *raplet.Bus
+	s      *Session
+	bus    *raplet.Bus
+	policy adapt.Policy
+
+	// lastSweep (unix nanos) rate-limits staleness sweeps: aging only has to
+	// resolve at the window's granularity, so sweeping every loop on every
+	// report — O(receivers²) observer scans per report window — is gated to
+	// a fraction of the window instead.
+	lastSweep atomic.Int64
+
+	mu    sync.Mutex
+	loops map[string]*receiverLoop
+}
+
+// trunkReceiver keys the single loop of a unicast session, whose one
+// legitimate receiver is already pinned by the data path (the session peer or
+// the forward destination).
+const trunkReceiver = ""
+
+// newSessionAdaptor assembles and starts the plane for s. On unicast sessions
+// it immediately installs the trunk loop; on fan-out sessions loops are added
+// and removed with their delivery branches.
+func newSessionAdaptor(s *Session, policy adapt.Policy) (*sessionAdaptor, error) {
+	a := &sessionAdaptor{
+		s:      s,
+		bus:    raplet.NewBus(64),
+		policy: policy,
+		loops:  make(map[string]*receiverLoop),
+	}
+	if err := a.bus.Start(); err != nil {
+		return nil, err
+	}
+	if !s.eng.branching {
+		if _, err := a.addLoop(trunkReceiver, s.chain, 1); err != nil {
+			a.bus.Stop()
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// receiverLoop is the adaptation loop of one downstream receiver: its
+// observer republishes the receiver's reported loss on the session bus, and
+// its responder splices/retunes/removes an adaptive FEC encoder on the chain
+// serving that receiver. The subscriber filters bus events by source so
+// sibling loops on the same bus never cross-trigger.
+type receiverLoop struct {
+	key  string
 	obs  *raplet.WorstLossObserver
 	resp *raplet.ChainFECResponder
+	sub  raplet.ResponderFunc
 
 	mu         sync.Mutex
 	reports    uint64
 	lastReport packet.Report
 }
 
-// newSessionAdaptor assembles and starts the loop for s. The chain may
-// already be live; the responder only touches it when events arrive.
-func newSessionAdaptor(s *Session, policy adapt.Policy) (*sessionAdaptor, error) {
-	bus := raplet.NewBus(64)
-	obs := raplet.NewWorstLossObserver(fmt.Sprintf("loss-observer:%d", s.id), bus)
-	resp, err := raplet.NewChainFECResponder(fmt.Sprintf("adapt:%d", s.id), s.chain, policy, s.id, 1)
+// addLoop builds, subscribes and primes the loop for one receiver on the
+// given chain; pos is the chain position the responder splices the encoder
+// at. Priming delivers a synchronous clean-link event so a policy whose
+// cleanest rung already demands FEC (always-on protection) has its encoder
+// spliced in before the chain carries its first packet; for ordinary ladders
+// it is a no-op. Synchronous is safe: the chain is not yet receiving (the
+// session is unregistered, or the branch is not yet published to the tee) and
+// the fresh observer has published nothing the dispatch goroutine could race
+// with.
+func (a *sessionAdaptor) addLoop(key string, chain *filter.Chain, pos int) (*receiverLoop, error) {
+	obsName := fmt.Sprintf("loss:%d:%s", a.s.id, key)
+	l := &receiverLoop{key: key, obs: raplet.NewWorstLossObserver(obsName, a.bus)}
+	if window := a.s.eng.cfg.ReportStaleness; window > 0 {
+		l.obs.SetStaleness(window, nil)
+	}
+	resp, err := raplet.NewChainFECResponder(fmt.Sprintf("adapt:%d:%s", a.s.id, key), chain, a.policy, a.s.id, pos)
 	if err != nil {
 		return nil, err
 	}
-	bus.Subscribe(raplet.EventLossRate, resp)
-	if err := bus.Start(); err != nil {
+	l.resp = resp
+	l.sub = raplet.ResponderFunc{
+		RName: obsName + ":responder",
+		Fn: func(e raplet.Event) error {
+			if e.Source != obsName {
+				return nil
+			}
+			return resp.Handle(e)
+		},
+	}
+	a.bus.Subscribe(raplet.EventLossRate, l.sub)
+	if err := resp.Handle(raplet.Event{Type: raplet.EventLossRate, Source: obsName, Value: 0}); err != nil {
+		a.bus.Unsubscribe(raplet.EventLossRate, l.sub.Name())
 		return nil, err
 	}
-	// Prime the loop with a synchronous clean-link event so a policy whose
-	// cleanest rung already demands FEC (always-on protection) has its
-	// encoder spliced in before the session's first packet can enter the
-	// chain; for ordinary ladders this is a no-op. Synchronous is safe here:
-	// the session is not yet registered, so no packets or reports flow.
-	if err := resp.Handle(raplet.Event{Type: raplet.EventLossRate, Source: obs.Name(), Value: 0}); err != nil {
-		bus.Stop()
-		return nil, err
-	}
-	return &sessionAdaptor{bus: bus, obs: obs, resp: resp}, nil
-}
-
-// pruneReceivers drops tracked receivers that are no longer members of the
-// session's fan-out group, so a departed station's last report cannot pin
-// the code at a strong level.
-func (a *sessionAdaptor) pruneReceivers(g *multicast.AddrGroup) {
-	a.obs.Prune(func(receiver string) bool {
-		ap, err := netip.ParseAddrPort(receiver)
-		return err == nil && g.Contains(ap)
-	})
-}
-
-// report feeds one receiver report into the loop. receiver identifies the
-// reporting station (the engine uses the datagram's source address), so a
-// fan-out session adapts to the worst of its receivers.
-func (a *sessionAdaptor) report(receiver string, rep packet.Report) {
 	a.mu.Lock()
-	a.reports++
-	if rep.HighestSeq >= a.lastReport.HighestSeq {
-		a.lastReport = rep
+	a.loops[key] = l
+	a.mu.Unlock()
+	return l, nil
+}
+
+// removeLoop unsubscribes a departed receiver's loop from the bus and forgets
+// it; the branch being torn down takes the spliced encoder with it.
+func (a *sessionAdaptor) removeLoop(l *receiverLoop) {
+	a.bus.Unsubscribe(raplet.EventLossRate, l.sub.Name())
+	a.mu.Lock()
+	delete(a.loops, l.key)
+	a.mu.Unlock()
+}
+
+// report routes one receiver report to the reporter's own loop — keyed by the
+// report datagram's (canonicalized) source address on fan-out sessions, the
+// trunk loop otherwise — then sweeps every loop for receivers whose last
+// report has gone stale, so a crashed station decays back to the clean-link
+// path while any of its siblings still report.
+func (a *sessionAdaptor) report(from netip.AddrPort, rep packet.Report) {
+	key := trunkReceiver
+	if a.s.eng.branching {
+		key = from.String()
+	}
+	var sweep []*receiverLoop
+	window := a.s.eng.cfg.ReportStaleness
+	aging := window > 0
+	if aging {
+		// At most one full sweep per quarter window: enough resolution for
+		// decay, without scanning every observer on every report.
+		now := time.Now().UnixNano()
+		last := a.lastSweep.Load()
+		if now-last < int64(window/4) || !a.lastSweep.CompareAndSwap(last, now) {
+			aging = false
+		}
+	}
+	a.mu.Lock()
+	loop := a.loops[key]
+	if aging {
+		sweep = make([]*receiverLoop, 0, len(a.loops))
+		for _, l := range a.loops {
+			sweep = append(sweep, l)
+		}
 	}
 	a.mu.Unlock()
-	a.obs.Report(receiver, rep.LossFraction())
+	if loop != nil {
+		loop.report(from.String(), rep)
+	}
+	for _, l := range sweep {
+		l.obs.Sweep()
+	}
 }
 
-// stop shuts the loop down, draining queued events first.
+// report feeds one report into the loop.
+func (l *receiverLoop) report(receiver string, rep packet.Report) {
+	l.mu.Lock()
+	l.reports++
+	if rep.HighestSeq >= l.lastReport.HighestSeq {
+		l.lastReport = rep
+	}
+	l.mu.Unlock()
+	l.obs.Report(receiver, rep.LossFraction())
+}
+
+// snapshot returns the loop's report counters.
+func (l *receiverLoop) snapshot() (reports uint64, last packet.Report) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reports, l.lastReport
+}
+
+// fill copies the loop's adaptation state into a receiver-stats entry.
+func (l *receiverLoop) fill(st *metrics.ReceiverStats) {
+	reports, last := l.snapshot()
+	params := l.resp.Current()
+	st.K, st.N = params.K, params.N
+	st.Active = l.resp.Active()
+	st.LossRate = l.resp.LastLoss()
+	st.Reports = reports
+	st.Retunes = l.resp.Retunes()
+	st.HighestSeq = last.HighestSeq
+}
+
+// stop shuts the plane down, draining queued events first.
 func (a *sessionAdaptor) stop() { a.bus.Stop() }
 
-// stats snapshots the loop for control-protocol replies.
+// stats aggregates the plane for control-protocol replies. With several
+// receiver loops (a fan-out session) the protection columns report the most
+// protected branch — the group's weakest receiver — while reports, receivers,
+// retunes and expirations sum across loops; the per-receiver breakdown lives
+// in SessionStats.Receivers.
 func (a *sessionAdaptor) stats() *metrics.AdaptStats {
 	a.mu.Lock()
-	reports, last := a.reports, a.lastReport
-	a.mu.Unlock()
-	params := a.resp.Current()
-	return &metrics.AdaptStats{
-		K:          params.K,
-		N:          params.N,
-		Active:     a.resp.Active(),
-		LossRate:   a.resp.LastLoss(),
-		Reports:    reports,
-		Receivers:  a.obs.Receivers(),
-		Retunes:    a.resp.Retunes(),
-		HighestSeq: last.HighestSeq,
+	loops := make([]*receiverLoop, 0, len(a.loops))
+	for _, l := range a.loops {
+		loops = append(loops, l)
 	}
+	a.mu.Unlock()
+
+	agg := &metrics.AdaptStats{K: 1, N: 1}
+	var worst *receiverLoop
+	worstN, worstLoss := -1, -1.0
+	for _, l := range loops {
+		reports, last := l.snapshot()
+		agg.Reports += reports
+		agg.Receivers += l.obs.Receivers()
+		agg.Retunes += l.resp.Retunes()
+		agg.Expired += l.obs.Expired()
+		if last.HighestSeq > agg.HighestSeq {
+			agg.HighestSeq = last.HighestSeq
+		}
+		n, loss := l.resp.Current().N, l.resp.LastLoss()
+		if n > worstN || (n == worstN && loss > worstLoss) {
+			worst, worstN, worstLoss = l, n, loss
+		}
+	}
+	if worst != nil {
+		params := worst.resp.Current()
+		agg.K, agg.N = params.K, params.N
+		agg.Active = worst.resp.Active()
+		agg.LossRate = worst.resp.LastLoss()
+	}
+	return agg
 }

@@ -1,0 +1,300 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rapidware/internal/endpoint"
+	"rapidware/internal/filter"
+	"rapidware/internal/metrics"
+	"rapidware/internal/packet"
+)
+
+// A fan-out session's data plane is a delivery tree: the shared trunk (the
+// session's ordinary filter chain) terminates in a tee whose taps are one
+// short filter tail — a branch — per fan-out member. The tee clones trunk
+// output into every branch by reference (pooled packet.Buf refcounts), never
+// copying payload bytes, and each branch relays its output to exactly one
+// receiver through the owning shard's batched writer. Because every branch is
+// its own chain, each receiver can carry a different tail: its own adaptive
+// FEC strength, its own transcoding or thinning — the paper's heterogeneous
+// wireless stations served from one collaborative stream.
+
+// deliveryTree owns a session's branches and keeps them reconciled with the
+// engine's fan-out group. The trunk's send path is one atomic version check
+// plus a tee dispatch; membership walks happen only when the group actually
+// changed.
+type deliveryTree struct {
+	s   *Session
+	tee *filter.Tee
+
+	mu       sync.Mutex // guards branches and reconciliation
+	branches map[netip.AddrPort]*branch
+	version  atomic.Uint64 // AddrGroup version last reconciled; 0 = never
+}
+
+func newDeliveryTree(s *Session) *deliveryTree {
+	return &deliveryTree{s: s, tee: filter.NewTee(), branches: make(map[netip.AddrPort]*branch)}
+}
+
+// dispatch fans one trunk output frame out to every branch, reconciling the
+// branch set first if the fan-out group changed. It consumes the caller's
+// buffer reference. Called from the trunk sink's goroutine only.
+func (t *deliveryTree) dispatch(b *packet.Buf) {
+	if t.s.eng.group.Version() != t.version.Load() {
+		t.reconcile()
+	}
+	if t.tee.Dispatch(b) == 0 {
+		t.s.counters.Drops.Add(1)
+	}
+}
+
+// reconcile aligns the branch set with the fan-out group's membership:
+// departed members' branches are torn down (their adaptation loops with
+// them), new members get freshly built branches, and the tee's tap list is
+// republished. Runs on the trunk sink goroutine (version check in dispatch)
+// and on the feedback path (handleFeedback), serialized by t.mu.
+func (t *deliveryTree) reconcile() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	members, v := t.s.eng.group.SnapshotVersion()
+	if v == t.version.Load() {
+		return
+	}
+	want := make(map[netip.AddrPort]bool, len(members))
+	for _, ap := range members {
+		want[ap] = true
+	}
+	for ap, br := range t.branches {
+		if !want[ap] {
+			br.stop()
+			delete(t.branches, ap)
+		}
+	}
+	for _, ap := range members {
+		if t.branches[ap] != nil {
+			continue
+		}
+		br, err := newBranch(t.s, ap)
+		if err != nil {
+			// The member gets nothing until membership changes again; branch
+			// specs are validated at engine construction, so this is a
+			// resource-level failure worth surfacing.
+			t.s.shard.counters.chainErrors.Add(1)
+			t.s.eng.logf("session %d: branch %s: %v", t.s.id, ap, err)
+			continue
+		}
+		t.branches[ap] = br
+	}
+	taps := make([]filter.BufSink, 0, len(t.branches))
+	for _, br := range t.branches {
+		taps = append(taps, br.deliver)
+	}
+	t.tee.SetTaps(taps)
+	t.version.Store(v)
+}
+
+// close tears every branch down. The trunk chain must already be stopped so
+// no dispatch is in flight.
+func (t *deliveryTree) close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tee.SetTaps(nil)
+	for ap, br := range t.branches {
+		br.stop()
+		delete(t.branches, ap)
+	}
+}
+
+// stats snapshots every branch, ordered by receiver address for deterministic
+// control-plane output.
+func (t *deliveryTree) stats() []metrics.ReceiverStats {
+	t.mu.Lock()
+	branches := make([]*branch, 0, len(t.branches))
+	for _, br := range t.branches {
+		branches = append(branches, br)
+	}
+	t.mu.Unlock()
+	out := make([]metrics.ReceiverStats, 0, len(branches))
+	for _, br := range branches {
+		out = append(out, br.stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Receiver < out[j].Receiver })
+	return out
+}
+
+// branch is one receiver's delivery tail: a queue fed by the trunk tee, a
+// short filter chain bracketed by the same UDP endpoints sessions use, and a
+// sink that stamps the session ID and hands each datagram to the owning
+// shard's batched writer addressed to this member. Branches splice and retune
+// live exactly like the trunk: their chains support the same pause/reconnect
+// protocol, and the per-receiver responder drives them over the session bus.
+type branch struct {
+	s      *Session
+	member netip.AddrPort
+
+	chain  *filter.Chain
+	source *endpoint.UDPSource
+	sink   *endpoint.UDPSink
+	loop   *receiverLoop // nil without per-receiver adaptation
+
+	counters metrics.ReceiverCounters
+
+	in       chan *packet.Buf
+	done     chan struct{}
+	closed   atomic.Bool
+	stopOnce sync.Once
+}
+
+// newBranch builds and starts the tail for one fan-out member, including its
+// adaptation loop when the engine runs the per-receiver feedback plane. The
+// branch is fully constructed — always-on policies primed, encoder spliced —
+// before the caller publishes it to the tee, so the first frame through the
+// branch is already protected.
+func newBranch(s *Session, member netip.AddrPort) (*branch, error) {
+	e := s.eng
+	br := &branch{
+		s:      s,
+		member: member,
+		in:     make(chan *packet.Buf, e.cfg.QueueDepth),
+		done:   make(chan struct{}),
+	}
+	name := fmt.Sprintf("session-%d-branch-%s", s.id, member)
+	br.chain = filter.NewChain(name)
+	br.source = endpoint.NewUDPSource(fmt.Sprintf("branch-in:%d:%s", s.id, member), br.recv)
+	br.sink = endpoint.NewUDPSink(fmt.Sprintf("branch-out:%d:%s", s.id, member), packet.SessionIDSize, br.send)
+	if err := br.chain.Append(br.source); err != nil {
+		return nil, err
+	}
+	for _, build := range e.branchBuilders {
+		f, err := build(s)
+		if err != nil {
+			return nil, fmt.Errorf("branch tail: %w", err)
+		}
+		if err := br.chain.Append(f); err != nil {
+			return nil, err
+		}
+	}
+	if err := br.chain.Append(br.sink); err != nil {
+		return nil, err
+	}
+	// A branch chain that dies on its own (a tail stage failed) stops
+	// consuming; its queue overflows into the drop counters rather than
+	// stalling the trunk. The closed flag short-circuits deliveries.
+	br.sink.OnExit(func() {
+		br.closed.Store(true)
+		if err := br.sink.Err(); err != nil {
+			s.shard.counters.chainErrors.Add(1)
+			e.logf("session %d: branch %s: chain failed: %v", s.id, member, err)
+		}
+	})
+	if err := br.chain.Start(); err != nil {
+		return nil, fmt.Errorf("branch start: %w", err)
+	}
+	if e.branching && e.adaptOn {
+		loop, err := s.adaptor.addLoop(member.String(), br.chain, e.branchAdaptPos)
+		if err != nil {
+			br.stop()
+			return nil, fmt.Errorf("branch adaptor: %w", err)
+		}
+		br.loop = loop
+	}
+	return br, nil
+}
+
+// deliver hands one shared trunk frame to the branch, dropping rather than
+// blocking when the queue is full so one slow branch cannot stall the trunk
+// or its sibling branches. deliver consumes one buffer reference.
+func (br *branch) deliver(b *packet.Buf) {
+	if br.closed.Load() {
+		br.counters.Drops.Add(1)
+		br.s.counters.Drops.Add(1)
+		b.Release()
+		return
+	}
+	select {
+	case br.in <- b:
+		// stop() may have flipped closed — and drained the queue — between
+		// the check above and the enqueue, stranding this buffer's reference
+		// in a channel nothing reads anymore. Re-check and reclaim one
+		// queued buffer; if the consumer (or stop's drain) already took
+		// ours, whichever buffer we pop needed releasing just the same.
+		if br.closed.Load() {
+			select {
+			case b2 := <-br.in:
+				br.counters.Drops.Add(1)
+				br.s.counters.Drops.Add(1)
+				b2.Release()
+			default:
+			}
+		}
+	default:
+		br.counters.Drops.Add(1)
+		br.s.counters.Drops.Add(1)
+		b.Release()
+	}
+}
+
+// recv feeds the branch source: it blocks for the next teed frame and returns
+// io.EOF once the branch is stopped. The frame bytes are shared with sibling
+// branches, so they are written into the chain (copied at the stream
+// boundary) and the shared reference released without ever re-slicing b.B.
+func (br *branch) recv() (*packet.Buf, error) {
+	select {
+	case b := <-br.in:
+		return b, nil
+	case <-br.done:
+		return nil, io.EOF
+	}
+}
+
+// send relays one branch-output frame to the branch's member through the
+// owning shard's batched writer. The sink reserved session-ID headroom, so
+// the ID is stamped in place and the whole buffer is one datagram. send owns
+// b until the enqueue.
+func (br *branch) send(b *packet.Buf) error {
+	packet.PutSessionID(b.B, br.s.id)
+	br.s.shard.enqueue(outbound{s: br.s, b: b, dst: br.member, rx: &br.counters})
+	return nil
+}
+
+// stop tears the branch down: its adaptation loop leaves the session bus, the
+// source observes EOF, the chain drains and stops, and queued shared buffers
+// release their references.
+func (br *branch) stop() {
+	br.stopOnce.Do(func() {
+		br.closed.Store(true)
+		if br.loop != nil {
+			br.s.adaptor.removeLoop(br.loop)
+		}
+		close(br.done)
+		br.chain.Stop()
+		for {
+			select {
+			case b := <-br.in:
+				b.Release()
+			default:
+				return
+			}
+		}
+	})
+}
+
+// stats snapshots the branch for control-protocol replies: relay counters,
+// the tail's interior stages, and — with the per-receiver loop on — the
+// protection level this receiver's own reports selected.
+func (br *branch) stats() metrics.ReceiverStats {
+	st := br.counters.Snapshot(br.member.String())
+	names := br.chain.Names()
+	if len(names) >= 2 {
+		st.Stages = names[1 : len(names)-1]
+	}
+	if br.loop != nil {
+		br.loop.fill(&st)
+	}
+	return st
+}

@@ -19,6 +19,11 @@
 // buffers (packet.GetBuf) from the socket read, through the chain's
 // detachable streams, to the shard writer's socket write, and session
 // lookup, peer tracking and counters all avoid per-packet allocation.
+//
+// Fan-out sessions with adaptation (or a Branch spec) relay through a
+// delivery tree instead of a single chain: the shared trunk's output is teed
+// by reference into one short filter tail per receiver, each driven by that
+// receiver's own loss reports — see branch.go.
 package engine
 
 import (
@@ -32,6 +37,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rapidware/internal/adapt"
 	"rapidware/internal/metrics"
@@ -106,16 +112,35 @@ type Config struct {
 	// Forward. Receivers can also be added and removed at run time through
 	// FanoutGroup.
 	Fanout []string
-	// Adapt enables the closed-loop adaptation plane: each session gets a
-	// raplet bus, a worst-loss observer fed by receiver reports (KindFeedback
-	// datagrams sent upstream on the engine socket), and an FEC responder
-	// that splices an adaptive encoder into the session's live chain as loss
-	// appears, retunes its (n,k) as loss moves between policy levels, and
-	// removes it again on a clean link.
+	// Branch is the per-receiver filter-tail spec of a fan-out session's
+	// delivery tree; see ParseBranch for the syntax (chain stages plus the
+	// branch-only "fec-adapt"). Setting it turns the fan-out path into a
+	// delivery tree — the shared trunk chain's output is cloned (by
+	// reference, never copying payload bytes) into one short tail per
+	// receiver, so each station can get FEC strength and media fidelity
+	// matched to its own channel. Requires fan-out (Fanout, or members added
+	// through FanoutGroup at run time); mutually exclusive with Forward.
+	Branch string
+	// Adapt enables the closed-loop adaptation plane, driven by receiver
+	// reports (KindFeedback datagrams sent upstream on the engine socket).
+	// On unicast (echo/forward) sessions an FEC responder splices an
+	// adaptive encoder into the session's live chain as loss appears,
+	// retunes its (n,k) as loss moves between policy levels, and removes it
+	// again on a clean link. On fan-out sessions adaptation is per receiver:
+	// every member of the group gets its own delivery branch and its own
+	// observer/responder pair, so one station's bad radio link no longer
+	// taxes the whole group with worst-case parity.
 	Adapt bool
-	// AdaptPolicy is the loss → (n,k) ladder used when Adapt is set; the
-	// zero value selects adapt.DefaultPolicy.
+	// AdaptPolicy is the loss → (n,k) ladder used when the adaptation plane
+	// is on (Adapt, or a Branch spec naming fec-adapt); the zero value
+	// selects adapt.DefaultPolicy.
 	AdaptPolicy adapt.Policy
+	// ReportStaleness ages out receivers that stop reporting: a receiver
+	// whose last loss report is older than this window no longer pins its
+	// branch's (or, on unicast sessions, the session's) protection level —
+	// a station that crashed without leaving the group decays back to the
+	// clean-link path. 0 (the default) disables aging.
+	ReportStaleness time.Duration
 	// Logger receives engine lifecycle messages; nil disables logging.
 	Logger *log.Logger
 }
@@ -127,8 +152,19 @@ type Stats = metrics.EngineStats
 // Engine is a multi-session UDP proxy with a sharded data plane.
 type Engine struct {
 	cfg      Config
-	policy   adapt.Policy // resolved adaptation policy (valid iff cfg.Adapt)
+	policy   adapt.Policy // resolved adaptation policy (valid iff adaptOn)
 	builders []StageBuilder
+
+	// Per-receiver delivery-branch configuration, resolved by New. branching
+	// selects the delivery-tree fan-out path (trunk + per-receiver tails)
+	// over the plain multicast write; adaptOn enables the feedback plane at
+	// all (trunk loop on unicast sessions, per-branch loops when branching);
+	// branchAdaptPos is the chain position branch responders splice the
+	// adaptive encoder at.
+	branchBuilders []StageBuilder
+	branchAdaptPos int
+	branching      bool
+	adaptOn        bool
 
 	conns   []*net.UDPConn       // one per shard in ReusePort mode, else one shared
 	forward netip.AddrPort       // zero value when echoing to senders
@@ -171,26 +207,42 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Forward != "" && len(cfg.Fanout) > 0 {
-		return nil, errors.New("engine: Forward and Fanout are mutually exclusive")
+	branchBuilders, branchAdaptPos, err := ParseBranch(cfg.Branch)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Adapt && chainSpecHasFECEncode(cfg.Chain) {
+	if cfg.Forward != "" && (len(cfg.Fanout) > 0 || cfg.Branch != "") {
+		return nil, errors.New("engine: Forward and Fanout/Branch are mutually exclusive")
+	}
+	adaptOn := cfg.Adapt || branchAdaptPos >= 0
+	if adaptOn && chainSpecHasFECEncode(cfg.Chain) {
 		// A static encoder under the adaptation plane would re-encode the
 		// adaptive encoder's output (parity-of-parity) the moment loss
 		// appears. The plane owns FEC encoding; fail fast instead.
-		return nil, errors.New("engine: Adapt manages the FEC encoder itself; remove fec-encode from Chain")
+		return nil, errors.New("engine: the adaptation plane manages the FEC encoder itself; remove fec-encode from Chain")
+	}
+	if adaptOn && chainSpecHasFECEncode(cfg.Branch) {
+		return nil, errors.New("engine: the adaptation plane manages each branch's FEC encoder; remove fec-encode from Branch (or drop fec-adapt/Adapt)")
 	}
 	e := &Engine{
-		cfg:         cfg,
-		builders:    builders,
-		table:       newTable(cfg.Shards),
-		shards:      make([]shard, cfg.Shards),
-		stopWriters: make(chan struct{}),
+		cfg:            cfg,
+		builders:       builders,
+		branchBuilders: branchBuilders,
+		branchAdaptPos: branchAdaptPos,
+		adaptOn:        adaptOn,
+		table:          newTable(cfg.Shards),
+		shards:         make([]shard, cfg.Shards),
+		stopWriters:    make(chan struct{}),
+	}
+	if e.branchAdaptPos < 0 {
+		// Adapt without an explicit fec-adapt stage: the encoder splices in
+		// right after the branch source, as the trunk responder does.
+		e.branchAdaptPos = 1
 	}
 	for i := range e.shards {
 		e.shards[i] = shard{idx: i, eng: e, writeq: make(chan outbound, writeQueueDepth)}
 	}
-	if cfg.Adapt {
+	if adaptOn {
 		e.policy = cfg.AdaptPolicy
 		if len(e.policy.Levels) == 0 {
 			e.policy = adapt.DefaultPolicy()
@@ -199,7 +251,7 @@ func New(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
-	if len(cfg.Fanout) > 0 {
+	if len(cfg.Fanout) > 0 || cfg.Branch != "" {
 		e.group = multicast.NewAddrGroup(cfg.Name + "-fanout")
 		for _, addr := range cfg.Fanout {
 			udp, err := net.ResolveUDPAddr("udp", addr)
@@ -209,6 +261,12 @@ func New(cfg Config) (*Engine, error) {
 			e.group.Add(udp.AddrPort())
 		}
 	}
+	// The delivery tree engages whenever fan-out needs per-receiver tails:
+	// adaptation (each member's own loss reports drive its own branch) or an
+	// explicit Branch spec. Plain fan-out without either keeps the direct
+	// multicast write path — no per-branch goroutines, one batched write per
+	// receiver.
+	e.branching = e.group != nil && (cfg.Adapt || cfg.Branch != "")
 	return e, nil
 }
 
@@ -237,9 +295,10 @@ func (e *Engine) Shards() int { return len(e.shards) }
 
 // FanoutGroup returns the downstream receiver group sessions multicast to,
 // or nil when the engine echoes or forwards instead. Membership may be
-// changed at run time; sessions pick the new set up on their next packet,
-// and a removed member's loss reports are pruned from each session's
-// adaptation state on the next report.
+// changed at run time; sessions pick the new set up on their next packet or
+// receiver report — on the delivery-tree path a joining member gets a fresh
+// branch (with its own adaptation loop) and a departing member's branch is
+// torn down, so a removed station's last loss report cannot pin anything.
 func (e *Engine) FanoutGroup() *multicast.AddrGroup { return e.group }
 
 // receiverAuthorized reports whether a feedback datagram's source is one of
@@ -306,11 +365,16 @@ func (e *Engine) Start() error {
 	}
 	e.logf("serving UDP on %s (%d shards over %s, max %d sessions, chain %q)",
 		e.conns[0].LocalAddr(), len(e.shards), mode, e.cfg.MaxSessions, e.cfg.Chain)
-	if e.cfg.Adapt {
+	if e.adaptOn {
 		e.logf("adaptation plane on (policy %s)", e.policy)
 	}
 	if e.group != nil {
-		e.logf("fanning out to %d receivers", e.group.Len())
+		if e.branching {
+			e.logf("fanning out to %d receivers through per-receiver delivery branches (branch spec %q)",
+				e.group.Len(), e.cfg.Branch)
+		} else {
+			e.logf("fanning out to %d receivers", e.group.Len())
+		}
 	}
 	return nil
 }

@@ -374,17 +374,62 @@ func TestEngineShardedStatsAggregate(t *testing.T) {
 }
 
 func TestParseChain(t *testing.T) {
-	good := []string{"", "null", "counting,checksum", "delay=5ms", "ratelimit=1024", "fec-encode=6/4", "fec-encode=6/4,fec-decode", " null , counting "}
+	good := []string{"", "null", "counting,checksum", "delay=5ms", "ratelimit=1024", "fec-encode=6/4", "fec-encode=6/4,fec-decode", " null , counting ", "transcode=2", "thin=3", "transcode", "thin", "counting,thin=2,transcode=4"}
 	for _, spec := range good {
 		if _, err := ParseChain(spec); err != nil {
 			t.Errorf("ParseChain(%q) = %v, want nil", spec, err)
 		}
 	}
-	bad := []string{"bogus", "delay=xyz", "ratelimit=-1", "fec-encode=4", "fec-encode=4/6", "fec-encode=a/b"}
+	bad := []string{"bogus", "delay=xyz", "ratelimit=-1", "fec-encode=4", "fec-encode=4/6", "fec-encode=a/b", "transcode=0", "transcode=x", "thin=-1", "thin=x", "fec-adapt"}
 	for _, spec := range bad {
 		if _, err := ParseChain(spec); err == nil {
 			t.Errorf("ParseChain(%q) succeeded, want error", spec)
 		}
+	}
+}
+
+func TestParseBranch(t *testing.T) {
+	cases := []struct {
+		spec     string
+		stages   int
+		adaptPos int
+	}{
+		{"", 0, -1},
+		{"thin=2", 1, -1},
+		{"fec-adapt", 0, 1},
+		{"fec-adapt,ratelimit=64000", 1, 1},
+		{"ratelimit=64000,fec-adapt", 1, 2},
+		{"thin=2,fec-adapt,ratelimit=1000", 2, 2},
+	}
+	for _, tc := range cases {
+		builders, adaptPos, err := ParseBranch(tc.spec)
+		if err != nil {
+			t.Errorf("ParseBranch(%q) = %v", tc.spec, err)
+			continue
+		}
+		if len(builders) != tc.stages || adaptPos != tc.adaptPos {
+			t.Errorf("ParseBranch(%q) = %d stages, adaptPos %d; want %d, %d",
+				tc.spec, len(builders), adaptPos, tc.stages, tc.adaptPos)
+		}
+	}
+	for _, spec := range []string{"fec-adapt=6/4", "fec-adapt,fec-adapt", "bogus", "thin=0", "fec-decode", "thin=2,fec-decode"} {
+		if _, _, err := ParseBranch(spec); err == nil {
+			t.Errorf("ParseBranch(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestEngineChainTranscodeStage checks the transcode wiring end to end: an
+// engine chain with an audio downsampler halves every data payload.
+func TestEngineChainTranscodeStage(t *testing.T) {
+	e := newTestEngine(t, Config{Chain: "transcode=2"})
+	c := dialEngine(t, e)
+
+	payload := make([]byte, 320)
+	sendPacket(t, c, 8, &packet.Packet{Seq: 1, Kind: packet.KindData, Payload: payload})
+	_, p := readPacket(t, c, 2*time.Second)
+	if len(p.Payload) != len(payload)/2 {
+		t.Fatalf("transcoded payload = %d bytes, want %d", len(p.Payload), len(payload)/2)
 	}
 }
 

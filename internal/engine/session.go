@@ -31,9 +31,14 @@ type Session struct {
 	sink     *endpoint.UDPSink
 	counters metrics.SessionCounters
 
-	// adaptor is the session's closed adaptation loop; nil when the engine
-	// runs without Config.Adapt.
+	// adaptor is the session's closed adaptation plane; nil when the engine
+	// runs without the feedback loop.
 	adaptor *sessionAdaptor
+
+	// tree is the session's per-receiver delivery tree: the trunk chain's
+	// output is cloned by reference into one branch tail per fan-out member.
+	// nil on unicast sessions and on plain (branch-less) fan-out.
+	tree *deliveryTree
 
 	// repairs reports FEC reconstruction counts from any decoder stages in
 	// the chain; read at snapshot time, never on the data path.
@@ -70,7 +75,14 @@ func newSession(e *Engine, id uint32, peer netip.AddrPort) (*Session, error) {
 	}
 	s.chain = filter.NewChain(fmt.Sprintf("session-%d", id))
 	s.source = endpoint.NewUDPSource(fmt.Sprintf("udp-in:%d", id), s.recv)
-	s.sink = endpoint.NewUDPSink(fmt.Sprintf("udp-out:%d", id), packet.SessionIDSize, s.send)
+	// On the delivery-tree path the trunk's output frames are teed into the
+	// branch tails, which re-frame with their own session-ID headroom; the
+	// trunk sink therefore reserves none, so b.B is exactly the shared frame.
+	headroom := packet.SessionIDSize
+	if e.branching {
+		headroom = 0
+	}
+	s.sink = endpoint.NewUDPSink(fmt.Sprintf("udp-out:%d", id), headroom, s.send)
 	if err := s.chain.Append(s.source); err != nil {
 		return nil, err
 	}
@@ -100,13 +112,20 @@ func newSession(e *Engine, id uint32, peer netip.AddrPort) (*Session, error) {
 		}
 		return nil, fmt.Errorf("engine: session %d start: %w", id, err)
 	}
-	if e.cfg.Adapt {
+	if e.adaptOn {
 		a, err := newSessionAdaptor(s, e.policy)
 		if err != nil {
 			s.close()
 			return nil, fmt.Errorf("engine: session %d adaptor: %w", id, err)
 		}
 		s.adaptor = a
+	}
+	if e.branching {
+		// Build the delivery tree (and one branch per current fan-out member)
+		// before the session can receive a packet, so the first trunk frame
+		// already fans out through fully primed branches.
+		s.tree = newDeliveryTree(s)
+		s.tree.reconcile()
 	}
 	return s, nil
 }
@@ -132,12 +151,15 @@ func (s *Session) Stats() metrics.SessionStats {
 	if s.adaptor != nil {
 		st.Adapt = s.adaptor.stats()
 	}
+	if s.tree != nil {
+		st.Receivers = s.tree.stats()
+	}
 	return st
 }
 
 // handleFeedback consumes one validated receiver-report frame. The report's
-// source address identifies the receiver, so a fan-out session tracks each
-// downstream station separately and adapts to the worst. Reports from
+// source address identifies the receiver, so on a fan-out session each
+// downstream station steers only its own delivery branch. Reports from
 // addresses that are not legitimate receivers of this session are dropped —
 // the feedback plane honors the same off-path protections as the data path.
 // Called from the engine's read loop; the heavy lifting happens on the bus
@@ -146,9 +168,9 @@ func (s *Session) handleFeedback(from netip.AddrPort, frame []byte) {
 	if s.adaptor == nil {
 		return
 	}
-	// Canonicalize once: authorization, pruning and the receiver key all
-	// compare unmapped forms (a dual-stack socket may report the same
-	// station as 1.2.3.4 or ::ffff:1.2.3.4 depending on how it sent).
+	// Canonicalize once: authorization and the receiver key both compare
+	// unmapped forms (a dual-stack socket may report the same station as
+	// 1.2.3.4 or ::ffff:1.2.3.4 depending on how it sent).
 	from = multicast.UnmapAddrPort(from)
 	if !s.eng.receiverAuthorized(s, from) {
 		return
@@ -157,13 +179,14 @@ func (s *Session) handleFeedback(from netip.AddrPort, frame []byte) {
 	if err != nil {
 		return
 	}
-	if g := s.eng.group; g != nil {
-		// Membership may have shrunk since the last report: drop departed
-		// receivers first so the worst-loss computation below cannot be
-		// pinned by a stale report.
-		s.adaptor.pruneReceivers(g)
+	if s.tree != nil {
+		// Membership may have changed since the last packet: a departed
+		// member's branch (and loop) is torn down before routing, so its last
+		// report cannot pin anything, and a member that joined silently gets
+		// its branch before its first report would be dropped on the floor.
+		s.tree.reconcile()
 	}
-	s.adaptor.report(from.String(), rep)
+	s.adaptor.report(from, rep)
 }
 
 // Peer returns the address the session currently relays to in echo mode: the
@@ -224,13 +247,19 @@ func (s *Session) recv() (*packet.Buf, error) {
 	}
 }
 
-// send relays one chain-output frame by handing it to the owning shard's
-// batched writer. The sink reserved SessionIDSize bytes of headroom, so the
-// session ID is stamped in place and the whole buffer is one datagram.
-// Routing every datagram of a session through one shard writer preserves
-// per-session output order; a full writer queue drops (UDP-style, counted)
-// rather than blocking the chain. send owns b until the enqueue.
+// send relays one chain-output frame. On the delivery-tree path the frame is
+// teed into every receiver branch by reference (the branches stamp IDs and
+// enqueue on the shard writer themselves); otherwise the sink reserved
+// SessionIDSize bytes of headroom, the session ID is stamped in place and the
+// whole buffer is one datagram for the owning shard's batched writer. Routing
+// every datagram of a session through one shard writer preserves per-session
+// output order; a full writer queue drops (UDP-style, counted) rather than
+// blocking the chain. send owns b until the enqueue.
 func (s *Session) send(b *packet.Buf) error {
+	if s.tree != nil {
+		s.tree.dispatch(b)
+		return nil
+	}
 	packet.PutSessionID(b.B, s.id)
 	if s.eng.group != nil {
 		// Fan-out: the writer snapshots the receiver group at flush time so
@@ -251,9 +280,11 @@ func (s *Session) send(b *packet.Buf) error {
 	return nil
 }
 
-// close terminates the session: the adaptation loop stops first (so no
-// splice can race the teardown), then the source observes EOF, the chain
-// drains and stops, and queued buffers are returned to the pool.
+// close terminates the session: the adaptation plane stops first (so no
+// splice can race the teardown), then the source observes EOF, the trunk
+// chain drains and stops — flushing any in-flight frames through the tee —
+// the delivery branches drain and stop in turn, and queued buffers are
+// returned to the pool.
 func (s *Session) close() error {
 	s.closeOnce.Do(func() {
 		if s.adaptor != nil {
@@ -261,6 +292,11 @@ func (s *Session) close() error {
 		}
 		close(s.done)
 		s.closeErr = s.chain.Stop()
+		if s.tree != nil {
+			// The trunk is stopped, so no dispatch is in flight; tear the
+			// branches down after it so trailing trunk output still fanned out.
+			s.tree.close()
+		}
 		for {
 			select {
 			case b := <-s.in:

@@ -48,11 +48,14 @@ type shardCounters struct {
 }
 
 // outbound is one datagram queued on a shard writer. dst is the resolved
-// unicast destination; fan selects the engine's fan-out group instead.
+// unicast destination; fan selects the engine's fan-out group instead (the
+// plain multicast path — delivery-tree branches enqueue per-receiver unicast
+// datagrams with rx pointing at the branch's counter block).
 type outbound struct {
 	s   *Session
 	b   *packet.Buf
 	dst netip.AddrPort
+	rx  *metrics.ReceiverCounters
 	fan bool
 }
 
@@ -168,6 +171,9 @@ func (sh *shard) enqueue(o outbound) {
 	case sh.writeq <- o:
 	default:
 		o.s.counters.Drops.Add(1)
+		if o.rx != nil {
+			o.rx.Drops.Add(1)
+		}
 		sh.counters.writeDrops.Add(1)
 		o.b.Release()
 	}
@@ -237,10 +243,17 @@ func (sh *shard) write(o outbound) {
 	o.b.Release()
 	if err != nil {
 		o.s.counters.Drops.Add(1)
+		if o.rx != nil {
+			o.rx.Drops.Add(1)
+		}
 		return
 	}
 	o.s.counters.OutPackets.Add(1)
 	o.s.counters.OutBytes.Add(uint64(n))
+	if o.rx != nil {
+		o.rx.OutPackets.Add(1)
+		o.rx.OutBytes.Add(uint64(n))
+	}
 }
 
 // drainWriteQueue releases whatever is still queued at shutdown.

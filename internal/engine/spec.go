@@ -6,9 +6,11 @@ import (
 	"strings"
 	"time"
 
+	"rapidware/internal/audio"
 	"rapidware/internal/fec"
 	"rapidware/internal/fecproxy"
 	"rapidware/internal/filter"
+	"rapidware/internal/transcode"
 )
 
 // A chain spec is a comma-separated list of interior stages instantiated for
@@ -19,10 +21,22 @@ import (
 //	checksum              pass-through CRC-32
 //	delay=<duration>      fixed per-chunk delay (e.g. delay=5ms)
 //	ratelimit=<Bps>       token-bucket shaping to Bps bytes/second
+//	transcode=<factor>    audio downsampler (paper PCM format, e.g. transcode=2)
+//	thin=<factor>         media thinning: forward 1 data packet in <factor>
 //	fec-encode=<n>/<k>    (n,k) FEC block encoder (e.g. fec-encode=6/4)
 //	fec-decode            FEC block decoder; feeds the session's repair count
 //
 // Example: "counting,fec-encode=6/4".
+//
+// A branch spec (Config.Branch, ParseBranch) uses the same syntax for the
+// per-receiver filter tails of a fan-out session's delivery tree, plus one
+// branch-only stage:
+//
+//	fec-adapt             adaptive FEC encoder driven by this receiver's own
+//	                      loss reports; spliced in and retuned by the branch's
+//	                      responder, so it may appear at most once
+//
+// Example: "fec-adapt,ratelimit=64000".
 
 // StageBuilder constructs one interior filter for a new session. Builders may
 // register per-session hooks (e.g. the FEC decoder's repair counter) on s.
@@ -45,6 +59,48 @@ func ParseChain(spec string) ([]StageBuilder, error) {
 		builders = append(builders, b)
 	}
 	return builders, nil
+}
+
+// ParseBranch validates a branch-tail spec and returns one builder per
+// concrete stage plus the chain position at which the branch's adaptive FEC
+// encoder splices in: the position of the "fec-adapt" pseudo-stage when the
+// spec names one, or -1 when it does not (the engine then defaults to
+// position 1 — immediately after the branch source — when per-receiver
+// adaptation is enabled another way).
+func ParseBranch(spec string) (builders []StageBuilder, adaptPos int, err error) {
+	adaptPos = -1
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, arg, _ := strings.Cut(part, "=")
+		if kind == "fec-decode" {
+			// Decoding belongs on the trunk (one decode for the whole
+			// session), and the decoder's repair hook registers per-session
+			// state that branch construction — which runs on live-session
+			// control paths as members join — must not mutate.
+			return nil, -1, fmt.Errorf("engine: fec-decode is a chain-only stage; decode on the trunk, not per branch")
+		}
+		if kind == "fec-adapt" {
+			if arg != "" {
+				return nil, -1, fmt.Errorf("engine: fec-adapt takes no parameter (the policy ladder picks the code); got %q", arg)
+			}
+			if adaptPos >= 0 {
+				return nil, -1, fmt.Errorf("engine: branch spec %q names fec-adapt more than once", spec)
+			}
+			// The encoder lands after the stages parsed so far (chain position
+			// 0 is the branch source).
+			adaptPos = len(builders) + 1
+			continue
+		}
+		b, err := buildStage(kind, arg)
+		if err != nil {
+			return nil, -1, err
+		}
+		builders = append(builders, b)
+	}
+	return builders, adaptPos, nil
 }
 
 func buildStage(kind, arg string) (StageBuilder, error) {
@@ -77,6 +133,24 @@ func buildStage(kind, arg string) (StageBuilder, error) {
 		return func(s *Session) (filter.Filter, error) {
 			return filter.NewRateLimit(stageName(s, "ratelimit"), bps), nil
 		}, nil
+	case "transcode":
+		factor, err := parseFactor("transcode", arg)
+		if err != nil {
+			return nil, err
+		}
+		return func(s *Session) (filter.Filter, error) {
+			return transcode.NewDownsampleFilter(stageName(s, "transcode"), audio.PaperFormat(), factor)
+		}, nil
+	case "thin":
+		factor, err := parseFactor("thin", arg)
+		if err != nil {
+			return nil, err
+		}
+		return func(s *Session) (filter.Filter, error) {
+			return transcode.NewThinningFilter(stageName(s, "thin"), factor)
+		}, nil
+	case "fec-adapt":
+		return nil, fmt.Errorf("engine: fec-adapt is a branch-only stage (use it in a -branch spec)")
 	case "fec-encode":
 		params, err := parseFECParams(arg)
 		if err != nil {
@@ -97,6 +171,19 @@ func buildStage(kind, arg string) (StageBuilder, error) {
 	default:
 		return nil, fmt.Errorf("engine: unknown chain stage %q", kind)
 	}
+}
+
+// parseFactor parses a positive integer stage argument; empty selects 2 (the
+// conventional halving for both downsampling and thinning).
+func parseFactor(kind, arg string) (int, error) {
+	if arg == "" {
+		return 2, nil
+	}
+	factor, err := strconv.Atoi(arg)
+	if err != nil || factor <= 0 {
+		return 0, fmt.Errorf("engine: %s spec %q: want a positive integer factor", kind, arg)
+	}
+	return factor, nil
 }
 
 // parseFECParams parses "n/k" into code parameters.

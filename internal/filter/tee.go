@@ -1,0 +1,73 @@
+package filter
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rapidware/internal/packet"
+)
+
+// BufSink consumes one pooled frame buffer. The callee takes ownership of one
+// reference and must Release it exactly once; it must treat the bytes as
+// read-only, because a Tee hands the same storage to every tap.
+type BufSink func(*packet.Buf)
+
+// Tee fans one stream of pooled frame buffers out to a dynamic set of taps
+// without copying payload bytes: Dispatch retains len(taps)-1 extra
+// references on the buffer and hands the same *packet.Buf to every tap. It is
+// the composition primitive under the engine's delivery tree — a session's
+// trunk chain terminates in a Tee whose taps are the per-receiver branch
+// tails.
+//
+// Dispatch is wait-free with respect to SetTaps (one atomic pointer load), so
+// the trunk's hot path never takes a lock; SetTaps is for the control path
+// (membership reconciliation) and may be called concurrently with Dispatch.
+type Tee struct {
+	mu   sync.Mutex
+	taps atomic.Pointer[[]BufSink]
+}
+
+// NewTee returns a tee with no taps; Dispatch releases every buffer until
+// taps are attached.
+func NewTee() *Tee { return &Tee{} }
+
+// SetTaps replaces the tap set. The slice is published as-is and must not be
+// mutated by the caller afterwards. nil (or empty) detaches every tap.
+func (t *Tee) SetTaps(taps []BufSink) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(taps) == 0 {
+		t.taps.Store(nil)
+		return
+	}
+	t.taps.Store(&taps)
+}
+
+// Len returns the current number of taps.
+func (t *Tee) Len() int {
+	p := t.taps.Load()
+	if p == nil {
+		return 0
+	}
+	return len(*p)
+}
+
+// Dispatch fans b out to every tap, cloning ownership (reference counts)
+// rather than bytes. It consumes the caller's reference: with no taps the
+// buffer is released, with n taps each receives the same buffer holding one
+// of n references. It returns how many taps received the buffer.
+func (t *Tee) Dispatch(b *packet.Buf) int {
+	p := t.taps.Load()
+	if p == nil {
+		b.Release()
+		return 0
+	}
+	taps := *p
+	if n := len(taps); n > 1 {
+		b.Retain(n - 1)
+	}
+	for _, tap := range taps {
+		tap(b)
+	}
+	return len(taps)
+}

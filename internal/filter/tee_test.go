@@ -1,0 +1,87 @@
+package filter
+
+import (
+	"sync"
+	"testing"
+
+	"rapidware/internal/packet"
+)
+
+func TestTeeDispatchSharesOneBuffer(t *testing.T) {
+	tee := NewTee()
+
+	// No taps: the buffer is consumed (released), not leaked.
+	b := packet.GetBuf(32)
+	if n := tee.Dispatch(b); n != 0 {
+		t.Fatalf("Dispatch with no taps delivered to %d", n)
+	}
+	if tee.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tee.Len())
+	}
+
+	// Three taps must all see the same storage, each owning one reference.
+	var mu sync.Mutex
+	var got []*packet.Buf
+	tap := func(b *packet.Buf) {
+		mu.Lock()
+		got = append(got, b)
+		mu.Unlock()
+	}
+	tee.SetTaps([]BufSink{tap, tap, tap})
+	if tee.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tee.Len())
+	}
+	b = packet.GetBuf(32)
+	b.B[0] = 0x7F
+	if n := tee.Dispatch(b); n != 3 {
+		t.Fatalf("Dispatch delivered to %d taps, want 3", n)
+	}
+	if len(got) != 3 || got[0] != b || got[1] != b || got[2] != b {
+		t.Fatalf("taps received %v, want the same buffer three times", got)
+	}
+	if b.Refs() != 3 {
+		t.Fatalf("refs after dispatch = %d, want 3", b.Refs())
+	}
+	// Each tap releases its reference; only the last drop recycles.
+	got[0].Release()
+	got[1].Release()
+	if b.Refs() != 1 || b.B[0] != 0x7F {
+		t.Fatalf("buffer recycled before the last holder released (refs=%d)", b.Refs())
+	}
+	got[2].Release()
+
+	// Detaching returns the tee to the consume-everything state.
+	tee.SetTaps(nil)
+	if n := tee.Dispatch(packet.GetBuf(8)); n != 0 {
+		t.Fatalf("Dispatch after detach delivered to %d", n)
+	}
+}
+
+// TestTeeConcurrentSetTapsDispatch exists to be run with -race: Dispatch must
+// read a consistent tap set while SetTaps swaps it.
+func TestTeeConcurrentSetTapsDispatch(t *testing.T) {
+	tee := NewTee()
+	drop := func(b *packet.Buf) { b.Release() }
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			switch i % 3 {
+			case 0:
+				tee.SetTaps(nil)
+			case 1:
+				tee.SetTaps([]BufSink{drop})
+			case 2:
+				tee.SetTaps([]BufSink{drop, drop})
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			tee.Dispatch(packet.GetBuf(16))
+		}
+	}()
+	wg.Wait()
+}

@@ -34,8 +34,64 @@ type SessionStats struct {
 	Repairs    uint64 `json:"repairs"`
 	Drops      uint64 `json:"drops"`
 	// Adapt carries the session's adaptation-plane state; nil when the
-	// engine runs without the closed loop.
+	// engine runs without the closed loop. On a fan-out session with
+	// per-receiver branches it aggregates across receivers (worst protection
+	// level, total reports/retunes); the per-receiver breakdown is in
+	// Receivers.
 	Adapt *AdaptStats `json:"adapt,omitempty"`
+	// Receivers is the per-receiver breakdown of a fan-out session's delivery
+	// tree: one entry per branch, ordered by receiver address. Empty for
+	// unicast (echo/forward) sessions and for plain fan-out without branches.
+	Receivers []ReceiverStats `json:"receivers,omitempty"`
+}
+
+// ReceiverCounters is the per-branch counter block maintained on the engine's
+// fan-out send path; all fields are atomics so branch output never takes a
+// lock to account for a datagram.
+type ReceiverCounters struct {
+	// OutPackets and OutBytes count datagrams sent to this receiver.
+	OutPackets atomic.Uint64
+	OutBytes   atomic.Uint64
+	// Drops counts datagrams discarded for this receiver: branch queue
+	// overflow, writer queue overflow and send errors.
+	Drops atomic.Uint64
+}
+
+// ReceiverStats is the point-in-time state of one receiver's delivery branch
+// in a fan-out session: the branch's own relay counters, its filter tail, and
+// — when the per-receiver adaptation loop is on — the protection level that
+// receiver's own loss reports have selected.
+type ReceiverStats struct {
+	// Receiver is the downstream station's UDP address.
+	Receiver   string `json:"receiver"`
+	OutPackets uint64 `json:"out_packets"`
+	OutBytes   uint64 `json:"out_bytes"`
+	Drops      uint64 `json:"drops"`
+	// Stages lists the branch tail's interior filter stages, in order.
+	Stages []string `json:"stages,omitempty"`
+	// K and N are the code currently protecting this receiver's branch
+	// (K == N means no FEC); Active reports whether an encoder is spliced in.
+	K      int  `json:"k,omitempty"`
+	N      int  `json:"n,omitempty"`
+	Active bool `json:"active,omitempty"`
+	// LossRate is the loss this receiver last reported (as acted on by its
+	// branch responder); Reports counts its reports, Retunes its branch's
+	// protection-level changes, and HighestSeq the highest sequence number it
+	// acknowledged.
+	LossRate   float64 `json:"loss_rate,omitempty"`
+	Reports    uint64  `json:"reports,omitempty"`
+	Retunes    uint64  `json:"retunes,omitempty"`
+	HighestSeq uint64  `json:"highest_seq,omitempty"`
+}
+
+// Snapshot captures the receiver counter block for one branch.
+func (c *ReceiverCounters) Snapshot(receiver string) ReceiverStats {
+	return ReceiverStats{
+		Receiver:   receiver,
+		OutPackets: c.OutPackets.Load(),
+		OutBytes:   c.OutBytes.Load(),
+		Drops:      c.Drops.Load(),
+	}
 }
 
 // AdaptStats is the adaptation-plane state of one engine session: the code
@@ -57,6 +113,9 @@ type AdaptStats struct {
 	// Retunes counts protection-level changes: encoder insertions, removals
 	// and in-place (n,k) switches.
 	Retunes uint64 `json:"retunes"`
+	// Expired counts receivers aged out by the report-staleness window (a
+	// station that stopped reporting without leaving the group).
+	Expired uint64 `json:"expired,omitempty"`
 	// HighestSeq is the highest sequence number any receiver acknowledged.
 	HighestSeq uint64 `json:"highest_seq"`
 }

@@ -21,6 +21,7 @@ type AddrGroup struct {
 	mu      sync.Mutex
 	members map[netip.AddrPort]struct{}
 	snap    atomic.Pointer[[]netip.AddrPort]
+	version atomic.Uint64
 }
 
 // NewAddrGroup returns an empty group.
@@ -96,8 +97,30 @@ func (g *AddrGroup) Snapshot() []netip.AddrPort {
 	return *p
 }
 
+// Version returns a counter that increments on every membership change. A
+// consumer that derives per-member state from the group (the engine's
+// delivery tree maps each member to a receiver branch) compares the version
+// it last reconciled against with one atomic load per packet, and only walks
+// the membership when they differ.
+func (g *AddrGroup) Version() uint64 { return g.version.Load() }
+
+// SnapshotVersion returns the membership snapshot together with the version
+// it corresponds to, as one consistent pair. Reconcilers use this so a
+// membership change racing the read is observed as a version they have not
+// caught up with yet, never as a stale snapshot filed under a fresh version.
+func (g *AddrGroup) SnapshotVersion() ([]netip.AddrPort, uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p := g.snap.Load()
+	if p == nil {
+		return nil, g.version.Load()
+	}
+	return *p, g.version.Load()
+}
+
 // rebuildLocked publishes a fresh sorted snapshot; caller holds g.mu.
 func (g *AddrGroup) rebuildLocked() {
+	g.version.Add(1)
 	if len(g.members) == 0 {
 		g.snap.Store(nil)
 		return

@@ -61,6 +61,44 @@ func TestAddrGroupUnmapsMappedAddrs(t *testing.T) {
 	}
 }
 
+// TestAddrGroupVersionTracksMembership checks that the version counter moves
+// exactly when membership actually changes, and that SnapshotVersion returns
+// a consistent pair.
+func TestAddrGroupVersionTracksMembership(t *testing.T) {
+	g := NewAddrGroup("versioned")
+	v0 := g.Version()
+	a := netip.MustParseAddrPort("127.0.0.1:9001")
+	g.Add(a)
+	v1 := g.Version()
+	if v1 == v0 {
+		t.Fatal("Add did not bump the version")
+	}
+	if g.Add(a) {
+		t.Fatal("duplicate add reported new")
+	}
+	if g.Version() != v1 {
+		t.Fatal("no-op Add bumped the version")
+	}
+	snap, v := g.SnapshotVersion()
+	if v != v1 || len(snap) != 1 || snap[0] != a {
+		t.Fatalf("SnapshotVersion = %v, %d; want [%v], %d", snap, v, a, v1)
+	}
+	g.Remove(a)
+	if g.Version() == v1 {
+		t.Fatal("Remove did not bump the version")
+	}
+	if g.Remove(a) {
+		t.Fatal("second remove reported a member")
+	}
+	v2 := g.Version()
+	if g.Version() != v2 {
+		t.Fatal("no-op Remove bumped the version")
+	}
+	if snap, v := g.SnapshotVersion(); snap != nil || v != v2 {
+		t.Fatalf("empty SnapshotVersion = %v, %d", snap, v)
+	}
+}
+
 // TestAddrGroupConcurrentAccess runs mutators against snapshot readers; it
 // exists to be run with -race (the snapshot must be immutable once
 // published).

@@ -71,6 +71,66 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzParseReportDatagram throws raw datagrams at the feedback wire path the
+// engine's read loop runs: split the session-ID prefix, validate the frame,
+// and parse the receiver report. Nothing may panic on arbitrary bytes, and
+// every accepted report must survive a re-encode round trip bit-faithfully —
+// the loss numbers steering a session's FEC level cannot afford codec drift.
+func FuzzParseReportDatagram(f *testing.F) {
+	if dgram, err := AppendReportDatagram(nil, 7, 3, 9, Report{HighestSeq: 42, Received: 90, Lost: 10, Window: 100}); err == nil {
+		f.Add(dgram)
+		f.Add(dgram[:len(dgram)-1]) // truncated payload
+	}
+	if dgram, err := AppendReportDatagram(nil, 0, 0, 0, Report{}); err == nil {
+		f.Add(dgram)
+	}
+	if frame, err := Marshal(&Packet{Kind: KindData, Payload: []byte("not feedback")}); err == nil {
+		f.Add(append(AppendSessionID(nil, 5), frame...))
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, frame, err := SplitSessionID(data)
+		if err != nil {
+			return
+		}
+		// The engine's gate: only validated frames reach ParseReport.
+		if ValidateFrame(frame) != nil {
+			return
+		}
+		rep, err := ParseReport(frame)
+		if err != nil {
+			// Anything the engine would consume as feedback must either parse
+			// or be a non-feedback kind / malformed payload — both rejected
+			// without panicking, which reaching this point proves.
+			return
+		}
+		if loss := rep.LossFraction(); loss < 0 || loss > 1 {
+			t.Fatalf("LossFraction = %v out of [0,1] for %v", loss, rep)
+		}
+		// Round trip: re-encoding the parsed report must yield a datagram
+		// whose report parses back identically, for the same session.
+		p, _, err := Unmarshal(frame)
+		if err != nil {
+			t.Fatalf("validated feedback frame failed Unmarshal: %v", err)
+		}
+		redgram, err := AppendReportDatagram(nil, id, p.Seq, p.StreamID, rep)
+		if err != nil {
+			t.Fatalf("re-encode of accepted report failed: %v", err)
+		}
+		id2, frame2, err := SplitSessionID(redgram)
+		if err != nil || id2 != id {
+			t.Fatalf("re-encoded datagram session = %d, %v; want %d", id2, err, id)
+		}
+		rep2, err := ParseReport(frame2)
+		if err != nil {
+			t.Fatalf("re-encoded report failed ParseReport: %v", err)
+		}
+		if rep2 != rep {
+			t.Fatalf("report round trip mismatch: sent %v, got %v", rep, rep2)
+		}
+	})
+}
+
 // FuzzDecodeNoPanic throws arbitrary bytes at every decode surface: Unmarshal,
 // SplitSessionID, and the streaming Reader (both the decoding and the pooled
 // raw-frame paths). Nothing may panic, and accepted input must re-encode.

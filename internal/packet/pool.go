@@ -1,6 +1,9 @@
 package packet
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The engine's steady-state relay path must not allocate per packet, so every
 // datagram and frame travels in a pooled Buf. Buffers are drawn from a small
@@ -13,14 +16,21 @@ var bufClasses = [...]int{512, 2048, 16 * 1024, MaxDatagram}
 // the largest pooled buffer class.
 const MaxDatagram = SessionIDSize + HeaderSize + 64*1024
 
-// Buf is a pooled byte buffer. B is the active region and may be re-sliced
-// freely (including advancing its start, e.g. to strip a datagram prefix);
-// the full backing storage is retained separately so Release restores it.
-// A Buf must not be used after Release, and Release must be called at most
-// once per Get.
+// Buf is a pooled, reference-counted byte buffer. B is the active region and
+// may be re-sliced freely (including advancing its start, e.g. to strip a
+// datagram prefix); the full backing storage is retained separately so the
+// final Release restores it.
+//
+// A fresh Buf holds one reference. Retain adds more, letting several
+// consumers share the same bytes — the engine's delivery tree fans one trunk
+// frame out to every receiver branch this way, cloning ownership instead of
+// payload bytes. Shared holders must treat B as read-only (and must not
+// re-slice the shared Buf's B field); each holder calls Release exactly once,
+// and the storage returns to its pool only when the last reference drops.
 type Buf struct {
 	B     []byte
 	full  []byte
+	refs  atomic.Int32
 	class int8 // index into bufClasses, -1 when unpooled
 }
 
@@ -37,24 +47,46 @@ func init() {
 	}
 }
 
-// GetBuf returns a pooled buffer whose B has length exactly n. Requests
-// beyond the largest size class are served by a one-off allocation.
+// GetBuf returns a pooled buffer whose B has length exactly n, holding one
+// reference. Requests beyond the largest size class are served by a one-off
+// allocation.
 func GetBuf(n int) *Buf {
 	for i, size := range bufClasses {
 		if n <= size {
 			b := bufPools[i].Get().(*Buf)
 			b.B = b.full[:n]
+			b.refs.Store(1)
 			return b
 		}
 	}
 	s := make([]byte, n)
-	return &Buf{B: s, full: s, class: -1}
+	b := &Buf{B: s, full: s, class: -1}
+	b.refs.Store(1)
+	return b
 }
 
-// Release returns the buffer to its pool. Unpooled (oversize) buffers are
-// left for the garbage collector.
+// Retain adds n additional references, so n more holders may (and must) call
+// Release. It is safe from any goroutine holding a live reference.
+func (b *Buf) Retain(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.refs.Add(int32(n))
+}
+
+// Refs returns the current reference count (for tests and diagnostics).
+func (b *Buf) Refs() int { return int(b.refs.Load()) }
+
+// Release drops one reference; the last drop returns the buffer to its pool.
+// Unpooled (oversize) buffers are left for the garbage collector.
 func (b *Buf) Release() {
-	if b == nil || b.class < 0 {
+	if b == nil {
+		return
+	}
+	if b.refs.Add(-1) > 0 {
+		return
+	}
+	if b.class < 0 {
 		return
 	}
 	b.B = b.full

@@ -35,6 +35,47 @@ func TestBufSurvivesReslicing(t *testing.T) {
 	}
 }
 
+// TestBufRetainSharesOwnership covers the delivery tree's fan-out pattern:
+// one producer retains n-1 extra references and hands the same buffer to n
+// consumers; the storage must return to the pool only after the last Release.
+func TestBufRetainSharesOwnership(t *testing.T) {
+	b := GetBuf(64)
+	if b.Refs() != 1 {
+		t.Fatalf("fresh Buf refs = %d, want 1", b.Refs())
+	}
+	b.Retain(2) // three holders in total
+	if b.Refs() != 3 {
+		t.Fatalf("after Retain(2): refs = %d, want 3", b.Refs())
+	}
+	b.B[0] = 0xEE
+	b.Release()
+	b.Release()
+	// Two of three references dropped: the bytes must still be intact and the
+	// buffer must not yet have been recycled.
+	if b.Refs() != 1 || b.B[0] != 0xEE {
+		t.Fatalf("after 2 releases: refs = %d, B[0] = %#x", b.Refs(), b.B[0])
+	}
+	b.Release()
+	// The final release recycles; a fresh Get must hold exactly one reference
+	// again even if it reuses the same storage.
+	nb := GetBuf(64)
+	if nb.Refs() != 1 {
+		t.Fatalf("recycled Buf refs = %d, want 1", nb.Refs())
+	}
+	nb.Release()
+	// Retain on nil and with non-positive counts must be no-ops.
+	var nilBuf *Buf
+	nilBuf.Retain(1)
+	nilBuf.Release()
+	ok := GetBuf(8)
+	ok.Retain(0)
+	ok.Retain(-3)
+	if ok.Refs() != 1 {
+		t.Fatalf("Retain(<=0) changed refs to %d", ok.Refs())
+	}
+	ok.Release()
+}
+
 func TestReadFrameBufHeadroom(t *testing.T) {
 	p := &Packet{Seq: 3, Kind: KindData, Payload: []byte("abc")}
 	frame, err := Marshal(p)

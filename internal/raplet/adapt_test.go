@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"rapidware/internal/adapt"
 	"rapidware/internal/fec"
@@ -161,6 +162,68 @@ func TestWorstLossObserverTracksWorstReceiver(t *testing.T) {
 	obs.Report("rx-c", 1.5)
 	if _, loss := obs.Worst(); loss != 1 {
 		t.Fatalf("clamped loss = %v, want 1", loss)
+	}
+}
+
+// TestWorstLossObserverStaleness drives report aging with a fake clock: a
+// receiver that stops reporting must not pin the worst-loss computation past
+// the staleness window, and Sweep must publish the recomputed worst so
+// responders converge away from the dead station.
+func TestWorstLossObserverStaleness(t *testing.T) {
+	bus := NewBus(64)
+	rec := &recorder{}
+	bus.Subscribe(EventLossRate, rec)
+	bus.Start()
+	defer bus.Stop()
+
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	obs := NewWorstLossObserver("stale-test", bus)
+	obs.SetStaleness(10*time.Second, clock)
+
+	obs.Report("rx-dead", 0.30) // the station that will crash
+	now = now.Add(4 * time.Second)
+	obs.Report("rx-live", 0.02)
+	if rx, loss := obs.Worst(); rx != "rx-dead" || loss != 0.30 {
+		t.Fatalf("Worst = %q/%v, want rx-dead/0.30", rx, loss)
+	}
+
+	// Inside the window nothing ages out.
+	if n := obs.Sweep(); n != 0 {
+		t.Fatalf("Sweep inside window removed %d", n)
+	}
+	rec.waitFor(t, 2)
+
+	// rx-dead's report crosses the window: the live receiver's next report
+	// must no longer be dominated by the dead station.
+	now = now.Add(7 * time.Second) // rx-dead 11s old, rx-live 7s old
+	obs.Report("rx-live", 0.02)
+	rec.waitFor(t, 3)
+	if rx, loss := obs.Worst(); rx != "rx-live" || loss != 0.02 {
+		t.Fatalf("after aging: Worst = %q/%v, want rx-live/0.02", rx, loss)
+	}
+	if obs.Receivers() != 1 || obs.Expired() != 1 {
+		t.Fatalf("Receivers=%d Expired=%d, want 1/1", obs.Receivers(), obs.Expired())
+	}
+
+	// The last receiver going silent decays to a clean-link publication.
+	now = now.Add(11 * time.Second)
+	if n := obs.Sweep(); n != 1 {
+		t.Fatalf("Sweep removed %d, want 1", n)
+	}
+	rec.waitFor(t, 4)
+	rec.mu.Lock()
+	last := rec.events[len(rec.events)-1]
+	rec.mu.Unlock()
+	if last.Value != 0 || last.Attrs["receiver"] != "" {
+		t.Fatalf("decay event %+v, want clean-link (0, no receiver)", last)
+	}
+	if obs.Receivers() != 0 || obs.Expired() != 2 {
+		t.Fatalf("Receivers=%d Expired=%d after full decay", obs.Receivers(), obs.Expired())
+	}
+	// Sweep with nothing tracked publishes nothing further.
+	if n := obs.Sweep(); n != 0 {
+		t.Fatalf("idle Sweep removed %d", n)
 	}
 }
 

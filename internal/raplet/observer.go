@@ -118,7 +118,11 @@ type WorstLossObserver struct {
 
 	mu      sync.Mutex
 	loss    map[string]float64
+	seen    map[string]time.Time // last report per receiver (staleness aging)
+	window  time.Duration        // 0 disables aging
+	now     func() time.Time
 	reports uint64
+	expired uint64
 }
 
 // NewWorstLossObserver returns an observer publishing EventLossRate with the
@@ -127,7 +131,27 @@ func NewWorstLossObserver(name string, bus *Bus) *WorstLossObserver {
 	if name == "" {
 		name = "worst-loss-observer"
 	}
-	return &WorstLossObserver{name: name, bus: bus, loss: make(map[string]float64)}
+	return &WorstLossObserver{
+		name: name,
+		bus:  bus,
+		loss: make(map[string]float64),
+		seen: make(map[string]time.Time),
+		now:  time.Now,
+	}
+}
+
+// SetStaleness configures report aging: a receiver whose last report is older
+// than window no longer participates in (or pins) the worst-loss computation
+// — a station that crashed without leaving the group would otherwise hold the
+// code at its last reported level forever. window <= 0 disables aging (the
+// default). clock overrides the time source for tests; nil keeps time.Now.
+func (o *WorstLossObserver) SetStaleness(window time.Duration, clock func() time.Time) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.window = window
+	if clock != nil {
+		o.now = clock
+	}
 }
 
 // Name implements Observer.
@@ -150,7 +174,9 @@ func (o *WorstLossObserver) Report(receiver string, loss float64) {
 	}
 	o.mu.Lock()
 	o.loss[receiver] = loss
+	o.seen[receiver] = o.now()
 	o.reports++
+	o.expireLocked()
 	worstRx, worst := o.worstLocked()
 	o.mu.Unlock()
 	if o.bus == nil {
@@ -170,6 +196,58 @@ func (o *WorstLossObserver) Forget(receiver string) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	delete(o.loss, receiver)
+	delete(o.seen, receiver)
+}
+
+// Sweep ages out receivers whose last report is older than the configured
+// staleness window and, when any were dropped, publishes the recomputed worst
+// so subscribed responders converge away from the dead station's last report
+// (all the way to a clean-link event when no receiver remains). It returns
+// how many receivers were aged out. Callers run this from a control path —
+// the engine sweeps each session's loops whenever any receiver reports.
+func (o *WorstLossObserver) Sweep() int {
+	o.mu.Lock()
+	removed := o.expireLocked()
+	worstRx, worst := o.worstLocked()
+	o.mu.Unlock()
+	if removed == 0 {
+		return 0
+	}
+	if o.bus != nil {
+		o.bus.Publish(Event{
+			Type:   EventLossRate,
+			Source: o.name,
+			Value:  worst,
+			Attrs:  map[string]string{"receiver": worstRx},
+		})
+	}
+	return removed
+}
+
+// Expired returns how many receivers have been aged out by staleness.
+func (o *WorstLossObserver) Expired() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.expired
+}
+
+// expireLocked drops receivers whose last report fell outside the staleness
+// window, returning how many were removed; caller holds o.mu.
+func (o *WorstLossObserver) expireLocked() int {
+	if o.window <= 0 {
+		return 0
+	}
+	cutoff := o.now().Add(-o.window)
+	removed := 0
+	for rx, at := range o.seen {
+		if at.Before(cutoff) {
+			delete(o.loss, rx)
+			delete(o.seen, rx)
+			removed++
+		}
+	}
+	o.expired += uint64(removed)
+	return removed
 }
 
 // Prune drops every receiver keep rejects, returning how many were removed.
@@ -183,6 +261,7 @@ func (o *WorstLossObserver) Prune(keep func(receiver string) bool) int {
 	for rx := range o.loss {
 		if !keep(rx) {
 			delete(o.loss, rx)
+			delete(o.seen, rx)
 			removed++
 		}
 	}

@@ -133,6 +133,31 @@ func NewMonoFilter(name string, f audio.Format) (filter.Filter, error) {
 	}, nil), nil
 }
 
+// NewThinningFilter returns a packet filter that forwards one data packet in
+// every keepOneIn and drops the rest — the paper's media-thinning fidelity
+// reduction for receivers whose link (or battery) cannot carry the full
+// stream. Non-data packets (parity, control, feedback) always pass so repair
+// and signalling survive thinning. keepOneIn == 1 forwards everything.
+func NewThinningFilter(name string, keepOneIn int) (filter.Filter, error) {
+	if keepOneIn <= 0 {
+		return nil, fmt.Errorf("transcode: invalid thinning factor %d", keepOneIn)
+	}
+	if name == "" {
+		name = fmt.Sprintf("thin-1in%d", keepOneIn)
+	}
+	seen := 0
+	return filter.NewPacketFunc(name, func(p *packet.Packet) ([]*packet.Packet, error) {
+		if p.Kind != packet.KindData || keepOneIn == 1 {
+			return []*packet.Packet{p}, nil
+		}
+		seen++
+		if (seen-1)%keepOneIn == 0 {
+			return []*packet.Packet{p}, nil
+		}
+		return nil, nil
+	}, nil), nil
+}
+
 // NewCompressFilter returns a packet filter that DEFLATE-compresses payloads.
 // level follows compress/flate (1 fastest .. 9 best, -1 default).
 func NewCompressFilter(name string, level int) (filter.Filter, error) {
@@ -188,7 +213,8 @@ func NewDecompressFilter(name string) filter.Filter {
 
 // RegisterKinds adds the transcoding filter kinds to a registry so they can
 // be instantiated through the control protocol: "downsample" (param
-// "factor"), "mono", "compress" (param "level"), "decompress".
+// "factor"), "mono", "thin" (param "factor"), "compress" (param "level"),
+// "decompress".
 func RegisterKinds(r *filter.Registry, f audio.Format) error {
 	if err := r.Register("downsample", func(s filter.Spec) (filter.Filter, error) {
 		factor := 2
@@ -203,6 +229,17 @@ func RegisterKinds(r *filter.Registry, f audio.Format) error {
 	}
 	if err := r.Register("mono", func(s filter.Spec) (filter.Filter, error) {
 		return NewMonoFilter(s.Name, f)
+	}); err != nil {
+		return err
+	}
+	if err := r.Register("thin", func(s filter.Spec) (filter.Filter, error) {
+		keep := 2
+		if v, ok := s.Params["factor"]; ok {
+			if _, err := fmt.Sscanf(v, "%d", &keep); err != nil {
+				return nil, fmt.Errorf("transcode: bad factor %q: %w", v, err)
+			}
+		}
+		return NewThinningFilter(s.Name, keep)
 	}); err != nil {
 		return err
 	}

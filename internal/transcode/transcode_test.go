@@ -165,6 +165,40 @@ func TestMonoFilter(t *testing.T) {
 	}
 }
 
+func TestThinningFilter(t *testing.T) {
+	tf, err := NewThinningFilter("", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in []*packet.Packet
+	for i := 0; i < 9; i++ {
+		in = append(in, &packet.Packet{Seq: uint64(i), Kind: packet.KindData, Payload: []byte{byte(i)}})
+	}
+	// Parity and control packets must survive thinning regardless of position.
+	in = append(in, &packet.Packet{Seq: 100, Kind: packet.KindParity, K: 4, N: 6, Payload: []byte("p")})
+	out := runPacketFilter(t, tf, in)
+	if len(out) != 4 {
+		t.Fatalf("thinned to %d packets, want 4 (3 data + parity)", len(out))
+	}
+	for i, wantSeq := range []uint64{0, 3, 6, 100} {
+		if out[i].Seq != wantSeq {
+			t.Fatalf("out[%d].Seq = %d, want %d", i, out[i].Seq, wantSeq)
+		}
+	}
+
+	// Factor 1 forwards everything.
+	all, err := NewThinningFilter("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := runPacketFilter(t, all, in); len(out) != len(in) {
+		t.Fatalf("factor 1 thinned %d to %d packets", len(in), len(out))
+	}
+	if _, err := NewThinningFilter("", 0); err == nil {
+		t.Fatal("expected error for factor 0")
+	}
+}
+
 func TestCompressDecompressRoundTrip(t *testing.T) {
 	cf, err := NewCompressFilter("", 6)
 	if err != nil {
@@ -234,10 +268,13 @@ func TestRegisterKinds(t *testing.T) {
 	if err := RegisterKinds(r, audio.PaperFormat()); err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"downsample", "mono", "compress", "decompress"} {
+	for _, k := range []string{"downsample", "mono", "thin", "compress", "decompress"} {
 		if _, err := r.Build(filter.Spec{Kind: k}); err != nil {
 			t.Fatalf("Build(%q): %v", k, err)
 		}
+	}
+	if _, err := r.Build(filter.Spec{Kind: "thin", Params: map[string]string{"factor": "x"}}); err == nil {
+		t.Fatal("expected error for bad thin factor param")
 	}
 	if _, err := r.Build(filter.Spec{Kind: "downsample", Params: map[string]string{"factor": "4"}}); err != nil {
 		t.Fatal(err)
