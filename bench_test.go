@@ -733,3 +733,81 @@ func BenchmarkAudioSynthesis(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLiveRecompose measures the steady-state relay path while the
+// composition plane is actively rewriting the session's chain: one session
+// carries round-trip traffic as a background goroutine recomposes its trunk
+// every 10ms, alternating between plans that share an instance. Recomposition
+// cost lands on the control path; the figure of merit is how little the relay
+// path notices.
+func BenchmarkLiveRecompose(b *testing.B) {
+	eng, err := engine.New(engine.Config{ListenAddr: "127.0.0.1:0", Chain: "counting"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	addr := eng.LocalAddr().(*net.UDPAddr)
+
+	payload := make([]byte, 320)
+	rand.New(rand.NewSource(7)).Read(payload)
+	c, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	const id = 1
+	dgram, err := packet.AppendDatagram(nil, id, &packet.Packet{Seq: 1, StreamID: id, Kind: packet.KindData, Payload: payload})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recv := make([]byte, packet.MaxDatagram)
+	if _, err := c.Write(dgram); err != nil {
+		b.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(recv); err != nil {
+		b.Fatalf("session never echoed: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(10 * time.Minute))
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var recomps atomic.Uint64
+	go func() {
+		defer close(done)
+		specs := []string{"counting,checksum", "counting"}
+		ticker := time.NewTicker(10 * time.Millisecond)
+		defer ticker.Stop()
+		for n := 0; ; n++ {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+			}
+			if _, err := eng.RecomposeSession(id, "", specs[n%len(specs)]); err != nil {
+				b.Errorf("recompose: %v", err)
+				return
+			}
+			recomps.Add(1)
+		}
+	}()
+
+	b.SetBytes(int64(len(dgram)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(dgram); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Read(recv); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+	b.ReportMetric(float64(recomps.Load()), "recomposes")
+}

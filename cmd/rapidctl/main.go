@@ -1,5 +1,5 @@
 // Command rapidctl is the ControlManager command-line client: it connects to
-// a rapidproxy's control port and queries or reconfigures its filter chain.
+// a rapidproxy's control port and queries or reconfigures its filter chains.
 //
 // Usage:
 //
@@ -12,6 +12,21 @@
 //	rapidctl -addr host:7100 move <from> <to>
 //	rapidctl -addr host:7100 upload <kind> [key=value ...]
 //	rapidctl -addr host:7100 ping
+//
+// Live engine sessions are recomposed while they carry traffic. The compose
+// command rewrites a session's whole chain to a target spec (the canonical
+// current spec is shown by "sessions"); with -branch it rewrites the
+// delivery-branch tail serving one fan-out receiver instead:
+//
+//	rapidctl -addr host:7100 compose <session> [-branch <receiver>] '<spec>'
+//
+// The single-stage operations take a -session (and optional -branch) flag
+// and then address plan positions (0 = first interior stage) and stage specs
+// rather than registry kinds:
+//
+//	rapidctl -addr host:7100 -session 7 insert <stage-spec> <position>
+//	rapidctl -addr host:7100 -session 7 remove <position|kind>
+//	rapidctl -addr host:7100 -session 7 move <from> <to>
 package main
 
 import (
@@ -44,13 +59,15 @@ func run(args []string, out *os.File) error {
 		proxy   = fs.String("proxy", "", "proxy name (needed only when a server manages several)")
 		timeout = fs.Duration("timeout", 3*time.Second, "dial timeout")
 		asJSON  = fs.Bool("json", false, "sessions/stats: emit machine-readable JSON instead of the table")
+		session = fs.String("session", "", "insert/remove/move: act on this live engine session's chain instead of a proxy")
+		branch  = fs.String("branch", "", "with -session (or compose): act on the delivery branch serving this receiver address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (status|sessions|stats|kinds|insert|remove|move|upload|ping)")
+		return fmt.Errorf("missing command (status|sessions|stats|kinds|compose|insert|remove|move|upload|ping)")
 	}
 	// Accept the flag after the command too ("rapidctl stats -json"), the
 	// order scripts naturally write. Scoped to the commands that honor it so
@@ -106,13 +123,41 @@ func run(args []string, out *os.File) error {
 			return err
 		}
 		fmt.Fprintln(out, strings.Join(kinds, "\n"))
+	case "compose":
+		// compose <session> [-branch <receiver>] '<spec>'
+		id, receiver, spec, err := parseComposeArgs(rest[1:], *branch)
+		if err != nil {
+			return err
+		}
+		chain, err := client.Compose(id, receiver, spec)
+		if err != nil {
+			return err
+		}
+		printChain(out, id, receiver, chain)
 	case "insert":
 		if len(rest) < 3 {
-			return fmt.Errorf("usage: insert <kind> <position> [key=value ...]")
+			return fmt.Errorf("usage: insert <kind> <position> [key=value ...] (or -session <id> insert <stage-spec> <position>)")
 		}
 		pos, err := strconv.Atoi(rest[2])
 		if err != nil {
 			return fmt.Errorf("invalid position %q: %w", rest[2], err)
+		}
+		if *session != "" {
+			if len(rest) > 3 {
+				// The legacy key=value form does not apply to stage specs;
+				// refusing beats silently installing a stage with defaults.
+				return fmt.Errorf("session insert takes a single stage spec (e.g. thin=4), not key=value parameters: %v", rest[3:])
+			}
+			id, err := parseSessionID(*session)
+			if err != nil {
+				return err
+			}
+			chain, err := client.SessionInsert(id, *branch, rest[1], pos)
+			if err != nil {
+				return err
+			}
+			printChain(out, id, *branch, chain)
+			break
 		}
 		st, err := client.Insert(*proxy, specFromArgs(rest[1], rest[3:]), pos)
 		if err != nil {
@@ -130,7 +175,19 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintf(out, "container: %v\n", names)
 	case "remove":
 		if len(rest) < 2 {
-			return fmt.Errorf("usage: remove <position|filter-name>")
+			return fmt.Errorf("usage: remove <position|filter-name> (or -session <id> remove <position|kind>)")
+		}
+		if *session != "" {
+			id, err := parseSessionID(*session)
+			if err != nil {
+				return err
+			}
+			chain, err := client.SessionRemove(id, *branch, rest[1])
+			if err != nil {
+				return err
+			}
+			printChain(out, id, *branch, chain)
+			break
 		}
 		var st *core.Status
 		if pos, convErr := strconv.Atoi(rest[1]); convErr == nil {
@@ -151,6 +208,18 @@ func run(args []string, out *os.File) error {
 		if err1 != nil || err2 != nil {
 			return fmt.Errorf("move positions must be integers")
 		}
+		if *session != "" {
+			id, err := parseSessionID(*session)
+			if err != nil {
+				return err
+			}
+			chain, err := client.SessionMove(id, *branch, from, to)
+			if err != nil {
+				return err
+			}
+			printChain(out, id, *branch, chain)
+			break
+		}
 		st, err := client.Move(*proxy, from, to)
 		if err != nil {
 			return err
@@ -160,6 +229,54 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
 	return nil
+}
+
+// parseSessionID parses a decimal engine session ID.
+func parseSessionID(s string) (uint32, error) {
+	id, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("invalid session ID %q: %w", s, err)
+	}
+	return uint32(id), nil
+}
+
+// parseComposeArgs parses "compose <session> [-branch <receiver>] '<spec>'".
+// A -branch passed before the command (the global flag) is honored too.
+func parseComposeArgs(args []string, globalBranch string) (id uint32, receiver, spec string, err error) {
+	receiver = globalBranch
+	var positional []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-branch" || args[i] == "--branch" {
+			if i+1 >= len(args) {
+				return 0, "", "", fmt.Errorf("-branch needs a receiver address")
+			}
+			receiver = args[i+1]
+			i++
+			continue
+		}
+		positional = append(positional, args[i])
+	}
+	if len(positional) != 2 {
+		return 0, "", "", fmt.Errorf("usage: compose <session> [-branch <receiver>] '<spec>'")
+	}
+	id, err = parseSessionID(positional[0])
+	if err != nil {
+		return 0, "", "", err
+	}
+	return id, receiver, positional[1], nil
+}
+
+// printChain reports the canonical plan a session-scoped operation left
+// behind.
+func printChain(out *os.File, id uint32, receiver, chain string) {
+	target := fmt.Sprintf("session %d", id)
+	if receiver != "" {
+		target += " branch " + receiver
+	}
+	if chain == "" {
+		chain = "(pure relay)"
+	}
+	fmt.Fprintf(out, "%s chain: %s\n", target, chain)
 }
 
 // specFromArgs builds a filter spec from a kind and key=value parameters. The
@@ -281,6 +398,28 @@ func printSessions(out *os.File, stats []metrics.SessionStats) {
 			fmt.Fprintf(out, " %6s %7s %8d %8d", fec, loss, reports, retunes)
 		}
 		fmt.Fprintln(out)
+		// The trunk's composition: the canonical plan (the string compose
+		// accepts back) and one row per stage with its live instance and
+		// per-stage traffic.
+		if s.Chain != "" || len(s.Stages) > 0 {
+			chain := s.Chain
+			if chain == "" {
+				chain = "(pure relay)"
+			}
+			fmt.Fprintf(out, "  chain %s\n", chain)
+		}
+		for i, st := range s.Stages {
+			name := st.Name
+			if name == "" {
+				name = "(idle)"
+			}
+			state := "active"
+			if !st.Active {
+				state = "idle"
+			}
+			fmt.Fprintf(out, "   [%d] %-14s %-22s %-6s in %-10d out %d\n",
+				i, st.Spec, name, state, st.InBytes, st.OutBytes)
+		}
 		// A fan-out session's delivery tree: one indented row per receiver
 		// branch with its own counters and protection level.
 		for _, rx := range s.Receivers {
@@ -290,6 +429,9 @@ func printSessions(out *os.File, stats []metrics.SessionStats) {
 			}
 			fmt.Fprintf(out, "  -> %-21s %10d %12d %8d  fec %-6s loss %.4f reports %d retunes %d",
 				rx.Receiver, rx.OutPackets, rx.OutBytes, rx.Drops, fec, rx.LossRate, rx.Reports, rx.Retunes)
+			if rx.Chain != "" {
+				fmt.Fprintf(out, "  tail %s", rx.Chain)
+			}
 			if len(rx.Stages) > 0 {
 				fmt.Fprintf(out, "  stages %s", strings.Join(rx.Stages, ","))
 			}

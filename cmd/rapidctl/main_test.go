@@ -2,16 +2,19 @@ package main
 
 import (
 	"encoding/json"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"rapidware/internal/control"
 	"rapidware/internal/core"
 	"rapidware/internal/engine"
 	"rapidware/internal/filter"
 	"rapidware/internal/metrics"
+	"rapidware/internal/packet"
 )
 
 // startTestServer brings up a control server managing one proxy and returns
@@ -331,5 +334,175 @@ func TestServerSideErrorPropagates(t *testing.T) {
 	addr := startTestServer(t)
 	if err := run([]string{"-addr", addr, "insert", "not-a-kind", "1"}, os.Stdout); err == nil {
 		t.Fatal("expected error for unknown filter kind")
+	}
+}
+
+// startComposableEngine brings up an engine with a trunk chain, opens one
+// live session (ID 7) by relaying a datagram through it, and returns the
+// control address.
+func startComposableEngine(t *testing.T, chain string) string {
+	t.Helper()
+	eng, err := engine.New(engine.Config{ListenAddr: "127.0.0.1:0", Shards: 1, Chain: chain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+
+	conn, err := net.DialUDP("udp", nil, eng.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	dgram, err := packet.AppendDatagram(nil, 7, &packet.Packet{Seq: 1, Kind: packet.KindData, Payload: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(dgram); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, packet.MaxDatagram)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("echo never arrived: %v", err)
+	}
+
+	s := control.NewServer(nil)
+	s.SetSessionSource(eng)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return addr
+}
+
+func TestComposeCommandFlow(t *testing.T) {
+	addr := startComposableEngine(t, "counting")
+
+	// The sessions table shows the trunk plan and its per-stage view.
+	out := captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "sessions"}, f)
+	})
+	if !strings.Contains(out, "chain counting") || !strings.Contains(out, "[0] counting") ||
+		!strings.Contains(out, "counting:7") || !strings.Contains(out, "active") {
+		t.Fatalf("sessions table missing the per-stage view:\n%s", out)
+	}
+
+	// Full recompose via the compose command.
+	out = captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "compose", "7", "counting,checksum"}, f)
+	})
+	if !strings.Contains(out, "session 7 chain: counting,checksum") {
+		t.Fatalf("compose output:\n%s", out)
+	}
+
+	// Single-stage session operations.
+	out = captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "-session", "7", "insert", "delay=1ms", "2"}, f)
+	})
+	if !strings.Contains(out, "counting,checksum,delay=1ms") {
+		t.Fatalf("session insert output:\n%s", out)
+	}
+	out = captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "-session", "7", "move", "2", "0"}, f)
+	})
+	if !strings.Contains(out, "delay=1ms,counting,checksum") {
+		t.Fatalf("session move output:\n%s", out)
+	}
+	out = captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "-session", "7", "remove", "delay"}, f)
+	})
+	if !strings.Contains(out, "session 7 chain: counting,checksum") {
+		t.Fatalf("session remove output:\n%s", out)
+	}
+	out = captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "-session", "7", "remove", "1"}, f)
+	})
+	if !strings.Contains(out, "session 7 chain: counting\n") {
+		t.Fatalf("remove-by-position output:\n%s", out)
+	}
+
+	// Recompose to a pure relay renders a placeholder.
+	out = captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "compose", "7", ""}, f)
+	})
+	if !strings.Contains(out, "session 7 chain: (pure relay)") {
+		t.Fatalf("pure-relay compose output:\n%s", out)
+	}
+
+	// kinds answers from the engine's compose registry.
+	out = captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "kinds"}, f)
+	})
+	for _, want := range []string{"counting", "fec-adapt", "fec-encode", "thin", "transcode"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("kinds output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Errors propagate: unknown session, unknown branch, bad stage.
+	for _, args := range [][]string{
+		{"-addr", addr, "compose", "404", "counting"},
+		{"-addr", addr, "compose", "7", "-branch", "10.0.0.1:9", "counting"},
+		{"-addr", addr, "-session", "7", "insert", "bogus", "0"},
+		{"-addr", addr, "compose", "7", "fec-adapt"}, // marker on a non-adaptive trunk
+		{"-addr", addr, "compose"},                   // missing args
+		{"-addr", addr, "compose", "x", "counting"},  // bad session ID
+	} {
+		if err := run(args, os.Stdout); err == nil {
+			t.Fatalf("args %v: expected an error", args)
+		}
+	}
+}
+
+func TestSessionsJSONCarriesChain(t *testing.T) {
+	addr := startComposableEngine(t, "counting,checksum")
+	out := captureOutput(t, func(f *os.File) error {
+		return run([]string{"-addr", addr, "sessions", "-json"}, f)
+	})
+	var parsed struct {
+		Sessions []metrics.SessionStats `json:"sessions"`
+	}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	if len(parsed.Sessions) != 1 {
+		t.Fatalf("sessions = %+v", parsed.Sessions)
+	}
+	s := parsed.Sessions[0]
+	if s.Chain != "counting,checksum" {
+		t.Fatalf("chain field = %q", s.Chain)
+	}
+	if len(s.Stages) != 2 || s.Stages[0].Kind != "counting" || s.Stages[0].Name != "counting:7" ||
+		!s.Stages[0].Active || s.Stages[1].Spec != "checksum" {
+		t.Fatalf("stages field = %+v", s.Stages)
+	}
+	if s.Stages[0].InBytes == 0 || s.Stages[0].OutBytes == 0 {
+		t.Fatalf("per-stage counters never moved: %+v", s.Stages[0])
+	}
+}
+
+func TestPrintSessionsReceiverChain(t *testing.T) {
+	out := captureOutput(t, func(f *os.File) error {
+		printSessions(f, []metrics.SessionStats{
+			{
+				ID:    7,
+				Chain: "counting",
+				Adapt: &metrics.AdaptStats{K: 4, N: 8, Active: true},
+				Receivers: []metrics.ReceiverStats{
+					{Receiver: "127.0.0.1:9001", Chain: "fec-adapt,thin=2", Stages: []string{"thin:7"}},
+				},
+			},
+		})
+		return nil
+	})
+	if !strings.Contains(out, "chain counting") {
+		t.Fatalf("trunk chain missing:\n%s", out)
+	}
+	if !strings.Contains(out, "tail fec-adapt,thin=2") {
+		t.Fatalf("branch tail plan missing:\n%s", out)
 	}
 }

@@ -46,15 +46,12 @@ import (
 	"time"
 
 	"rapidware/internal/adapt"
-	"rapidware/internal/audio"
+	"rapidware/internal/compose"
 	"rapidware/internal/control"
 	"rapidware/internal/core"
 	"rapidware/internal/endpoint"
 	"rapidware/internal/engine"
-	"rapidware/internal/fec"
-	"rapidware/internal/fecproxy"
 	"rapidware/internal/filter"
-	"rapidware/internal/transcode"
 )
 
 func main() {
@@ -224,25 +221,10 @@ func runStream(logger *log.Logger, name, listen, forward, controlAddr, filters, 
 		return fmt.Errorf("-forward is required in stream mode")
 	}
 
-	// Registry with every filter kind this build knows about.
-	registry := filter.NewRegistry()
-	if err := transcode.RegisterKinds(registry, audio.PaperFormat()); err != nil {
-		return err
-	}
-	if err := registry.Register("fec-encoder", func(s filter.Spec) (filter.Filter, error) {
-		params, err := parseFECParams(s.Params["nk"])
-		if err != nil {
-			return nil, err
-		}
-		return fecproxy.NewEncoderFilter(s.Name, params, 1)
-	}); err != nil {
-		return err
-	}
-	if err := registry.Register("fec-decoder", func(s filter.Spec) (filter.Filter, error) {
-		return fecproxy.NewDecoderFilter(s.Name, nil), nil
-	}); err != nil {
-		return err
-	}
+	// The stream proxy instantiates filters through the same compose
+	// registry the engine composes session chains from — one kind set, one
+	// set of constructors, adapted to the control protocol's spec form.
+	registry := compose.NewFilterRegistry(nil, compose.Env{StreamID: 1})
 
 	proxy := core.New(name, core.WithRegistry(registry))
 
@@ -278,7 +260,7 @@ func runStream(logger *log.Logger, name, listen, forward, controlAddr, filters, 
 	}
 	if fecSpec != "" {
 		if _, err := proxy.InsertSpec(filter.Spec{
-			Kind:   "fec-encoder",
+			Kind:   "fec-encode",
 			Name:   "fec-encoder(" + fecSpec + ")",
 			Params: map[string]string{"nk": fecSpec},
 		}, pos); err != nil {
@@ -308,16 +290,6 @@ func waitForSignal(logger *log.Logger) {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	logger.Printf("shutting down")
-}
-
-// parseFECParams parses "n,k" into fec.Params.
-func parseFECParams(s string) (fec.Params, error) {
-	var n, k int
-	if _, err := fmt.Sscanf(s, "%d,%d", &n, &k); err != nil {
-		return fec.Params{}, fmt.Errorf("invalid FEC parameters %q (want n,k): %w", s, err)
-	}
-	p := fec.Params{K: k, N: n}
-	return p, p.Validate()
 }
 
 func splitList(s string) []string {

@@ -32,6 +32,21 @@
 // engine that drives the legacy single-stream adaptive proxy in
 // internal/fecproxy.
 //
+// Composition itself is a dedicated plane, internal/compose: one validated
+// plan IR for every chain in the system, one parser for the spec language,
+// one canonical pretty-printer, and one stage registry shared by the
+// engine's trunk chains, its delivery-branch tails and the legacy stream
+// proxy. Every live session binds its chain to a compose.Live, whose
+// transactional recompose diffs plans, carries matching stage instances
+// across rewrites, and applies the change as a single atomic splice
+// (filter.Chain.SetInterior) that pauses inflow and drains each stage to
+// quiescence before detaching it — chains are rebuilt mid-traffic without
+// dropping a relayed packet. The control plane drives it end to end:
+// OpRecompose (rapidctl compose <session> '<spec>'), session-scoped
+// insert/remove/move, and a per-stage counter view in rapidctl sessions.
+// Adaptation responders express their FEC splices through the same plane via
+// a fec-adapt marker stage in the plan.
+//
 // Fan-out sessions deliver through a per-receiver delivery tree, the
 // paper's heterogeneity claim at engine scale: the session's shared trunk
 // chain is teed — by pooled-buffer reference counts, never copying payload

@@ -1,0 +1,46 @@
+package compose
+
+import "testing"
+
+// FuzzParsePlan feeds arbitrary spec strings through both parse dialects and
+// checks the IR's core contract: parsing never panics, a parsed plan prints a
+// canonical string that reparses cleanly, and canonicalization is a fixpoint
+// after one normalization (parse → print → parse → print is stable).
+func FuzzParsePlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"null",
+		"counting,checksum",
+		"delay=5ms,ratelimit=1024",
+		"fec-encode=6/4,fec-decode",
+		"transcode=2,thin=3",
+		"fec-adapt,ratelimit=64000",
+		"thin = 2 , fec-adapt",
+		"delay=300s",
+		"fec-adapt,fec-adapt",
+		"kind=with=equals",
+		",,,",
+		"counting,\x00,checksum",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		for _, mode := range []Mode{ModeChain, ModeBranch, {AllowMarker: true, AllowChainOnly: true}} {
+			p, err := Parse(spec, mode)
+			if err != nil {
+				continue // invalid specs just error; they must not panic
+			}
+			canon := p.String()
+			p2, err := Parse(canon, mode)
+			if err != nil {
+				t.Fatalf("canonical %q (from %q) does not reparse: %v", canon, spec, err)
+			}
+			if got := p2.String(); got != canon {
+				t.Fatalf("canonicalization not a fixpoint: %q -> %q -> %q", spec, canon, got)
+			}
+			if p2.Len() != p.Len() {
+				t.Fatalf("round-trip changed stage count: %d -> %d", p.Len(), p2.Len())
+			}
+		}
+	})
+}

@@ -1,0 +1,337 @@
+package compose
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"rapidware/internal/filter"
+)
+
+// byteSource produces payload into the chain in small paced chunks; capture
+// collects whatever reaches the far endpoint. After the payload is written
+// the source parks on its (never-written) input until the chain stops, so
+// live recompositions keep finding a running chain.
+func byteSource(payload []byte) *filter.Base {
+	return filter.New("src", func(r io.Reader, w io.Writer) error {
+		for off := 0; off < len(payload); off += 256 {
+			end := off + 256
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := w.Write(payload[off:end]); err != nil {
+				return err
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		var park [1]byte
+		for {
+			if _, err := r.Read(park[:]); err != nil {
+				return nil
+			}
+		}
+	})
+}
+
+type capture struct {
+	*filter.Base
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func newCapture() *capture {
+	c := &capture{}
+	c.Base = filter.New("dst", func(r io.Reader, _ io.Writer) error {
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			if n > 0 {
+				c.mu.Lock()
+				c.buf.Write(tmp[:n])
+				c.mu.Unlock()
+			}
+			if err != nil {
+				return err
+			}
+		}
+	})
+	return c
+}
+
+func (c *capture) wait(t *testing.T, want int) []byte {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		n := c.buf.Len()
+		c.mu.Unlock()
+		if n >= want {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return append([]byte(nil), c.buf.Bytes()...)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("capture got %d bytes, want %d", c.buf.Len(), want)
+	return nil
+}
+
+// newLiveChain builds a started endpoint pair with the given plan attached.
+func newLiveChain(t *testing.T, payload []byte, mode Mode, spec string) (*Live, *capture) {
+	t.Helper()
+	chain := filter.NewChain("live-test")
+	dst := newCapture()
+	if err := chain.Append(byteSource(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.Append(dst); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Parse(spec, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := Attach(chain, Default(), Env{StreamID: 7}, mode, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { chain.Stop() })
+	return live, dst
+}
+
+func TestLiveAttachBuildsPlan(t *testing.T) {
+	payload := bytes.Repeat([]byte("abc"), 1000)
+	live, dst := newLiveChain(t, payload, ModeChain, "counting,checksum")
+	if got := live.String(); got != "counting,checksum" {
+		t.Fatalf("live plan = %q", got)
+	}
+	if got := live.Chain().Names(); len(got) != 4 {
+		t.Fatalf("chain names = %v", got)
+	}
+	if !bytes.Equal(dst.wait(t, len(payload)), payload) {
+		t.Fatal("payload corrupted through attached plan")
+	}
+	stats := live.StageStats()
+	if len(stats) != 2 || stats[0].Kind != "counting" || !stats[0].Active {
+		t.Fatalf("stage stats = %+v", stats)
+	}
+	if stats[0].InBytes < uint64(len(payload)) || stats[0].OutBytes < uint64(len(payload)) {
+		t.Fatalf("stage IO counters = %+v", stats[0])
+	}
+}
+
+func TestLiveRecomposeReusesMatchingInstances(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5A}, 1<<18)
+	live, dst := newLiveChain(t, payload, ModeChain, "counting")
+	dst.wait(t, 512)
+
+	before := live.Instance("counting")
+	if before == nil {
+		t.Fatal("no counting instance")
+	}
+	target, err := Parse("checksum,counting,null", ModeChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Recompose(target); err != nil {
+		t.Fatalf("Recompose: %v", err)
+	}
+	if live.String() != "checksum,counting,null" {
+		t.Fatalf("plan after recompose = %q", live.String())
+	}
+	if live.Instance("counting") != before {
+		t.Fatal("matching stage did not keep its instance across recompose")
+	}
+	// Back to a single stage: the counting instance survives again, the rest
+	// stop.
+	chk := live.Instance("checksum")
+	target, err = Parse("counting", ModeChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Recompose(target); err != nil {
+		t.Fatal(err)
+	}
+	if live.Instance("counting") != before {
+		t.Fatal("instance lost on shrink")
+	}
+	if chk.Running() {
+		t.Fatal("removed stage still running")
+	}
+	if cf, ok := before.(*filter.CountingFilter); !ok || cf.Bytes() == 0 {
+		t.Fatal("kept instance lost its counters")
+	}
+}
+
+func TestLiveRecomposeRejectsInvalidPlan(t *testing.T) {
+	live, _ := newLiveChain(t, []byte("x"), ModeChain, "null")
+	bad := Plan{Stages: []Stage{{Kind: KindFECAdapt}}}
+	if err := live.Recompose(bad); err == nil {
+		t.Fatal("chain-mode live accepted a marker stage")
+	}
+	if live.String() != "null" {
+		t.Fatalf("failed recompose mutated the plan: %q", live.String())
+	}
+}
+
+func TestLivePlanEditOperations(t *testing.T) {
+	payload := bytes.Repeat([]byte("z"), 1<<16)
+	live, dst := newLiveChain(t, payload, ModeChain, "counting")
+	if err := live.InsertStage(Stage{Kind: "checksum"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if live.String() != "counting,checksum" {
+		t.Fatalf("after insert: %q", live.String())
+	}
+	if err := live.MoveStage(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if live.String() != "checksum,counting" {
+		t.Fatalf("after move: %q", live.String())
+	}
+	if err := live.RemoveStageKind("checksum"); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.RemoveStageAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if live.String() != "" {
+		t.Fatalf("after removals: %q", live.String())
+	}
+	if err := live.RemoveStageKind("counting"); !errors.Is(err, ErrNoStage) {
+		t.Fatalf("removing a missing kind = %v, want ErrNoStage", err)
+	}
+	if !bytes.Equal(dst.wait(t, len(payload)), payload) {
+		t.Fatal("payload corrupted across plan edits")
+	}
+}
+
+func TestLiveMarkerActivateDeactivate(t *testing.T) {
+	payload := bytes.Repeat([]byte("m"), 1<<16)
+	live, dst := newLiveChain(t, payload, ModeBranch, "fec-adapt,counting")
+	if live.Instance(KindFECAdapt) != nil {
+		t.Fatal("marker active before activation")
+	}
+	if !live.HasMarker(KindFECAdapt) {
+		t.Fatal("marker not found")
+	}
+	stats := live.StageStats()
+	if len(stats) != 2 || stats[0].Active || stats[0].Name != "" {
+		t.Fatalf("idle marker stats = %+v", stats[0])
+	}
+	enc := filter.NewNull("managed-encoder")
+	if err := live.Activate(KindFECAdapt, enc); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	if live.Instance(KindFECAdapt) != enc || !enc.Running() {
+		t.Fatal("activated instance not live")
+	}
+	if err := live.Activate(KindFECAdapt, filter.NewNull("second")); !errors.Is(err, ErrMarkerActive) {
+		t.Fatalf("double activate = %v, want ErrMarkerActive", err)
+	}
+	// A recompose that keeps the marker keeps the active instance.
+	target, err := Parse("counting,fec-adapt", ModeBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Recompose(target); err != nil {
+		t.Fatal(err)
+	}
+	if live.Instance(KindFECAdapt) != enc {
+		t.Fatal("active marker instance lost across recompose")
+	}
+	removed, err := live.Deactivate(KindFECAdapt)
+	if err != nil || !removed {
+		t.Fatalf("Deactivate = %v/%v", removed, err)
+	}
+	if enc.Running() {
+		t.Fatal("deactivated instance still running")
+	}
+	if removed, err := live.Deactivate(KindFECAdapt); err != nil || removed {
+		t.Fatalf("second Deactivate = %v/%v, want no-op", removed, err)
+	}
+	// Recomposing the marker away removes the splice point entirely.
+	target, err = Parse("counting", ModeBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Recompose(target); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Activate(KindFECAdapt, filter.NewNull("x")); !errors.Is(err, ErrNoStage) {
+		t.Fatalf("Activate without marker = %v, want ErrNoStage", err)
+	}
+	if !bytes.Equal(dst.wait(t, len(payload)), payload) {
+		t.Fatal("payload corrupted across marker operations")
+	}
+}
+
+func TestNewFilterRegistryAdaptsComposeKinds(t *testing.T) {
+	fr := NewFilterRegistry(nil, Env{StreamID: 3})
+	kinds := fr.Kinds()
+	for _, want := range []string{"null", "fec-encode", "fec-decode", "transcode"} {
+		found := false
+		for _, k := range kinds {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("adapted registry missing %q: %v", want, kinds)
+		}
+	}
+	for _, k := range kinds {
+		if k == KindFECAdapt {
+			t.Fatal("marker kind leaked into the filter registry")
+		}
+	}
+	f, err := fr.Build(filter.Spec{Kind: "fec-encode", Params: map[string]string{"arg": "6/4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "fec-encoder" {
+		t.Fatalf("built name = %q", f.Name())
+	}
+	// Legacy parameter keys still work.
+	if _, err := fr.Build(filter.Spec{Kind: "fec-encode", Params: map[string]string{"nk": "6,4"}}); err != nil {
+		t.Fatalf("legacy nk param: %v", err)
+	}
+	if _, err := fr.Build(filter.Spec{Kind: "delay", Params: map[string]string{"ms": "5"}}); err != nil {
+		t.Fatalf("legacy ms param: %v", err)
+	}
+	if _, err := fr.Build(filter.Spec{Kind: "ratelimit", Params: map[string]string{"bps": "4096"}}); err != nil {
+		t.Fatalf("legacy bps param: %v", err)
+	}
+	// ... as do the historical kind names and the old parameterless defaults.
+	for _, spec := range []filter.Spec{
+		{Kind: "fec-encoder", Params: map[string]string{"nk": "6,4"}},
+		{Kind: "fec-decoder"},
+		{Kind: "downsample", Params: map[string]string{"factor": "4"}},
+		{Kind: "mono"},
+		{Kind: "compress", Params: map[string]string{"level": "6"}},
+		{Kind: "compress"},
+		{Kind: "decompress"},
+		{Kind: "ratelimit"}, // defaulted to 1 MiB/s pre-compose
+		{Kind: "delay"},     // defaulted to 0ms pre-compose
+	} {
+		if _, err := fr.Build(spec); err != nil {
+			t.Fatalf("legacy surface %+v: %v", spec, err)
+		}
+	}
+	named, err := fr.Build(filter.Spec{Kind: "counting", Name: "my-counter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if named.Name() != "my-counter" {
+		t.Fatalf("spec name not honored: %q", named.Name())
+	}
+	if _, err := fr.Build(filter.Spec{Kind: "ratelimit", Params: map[string]string{"bps": "-1"}}); err == nil {
+		t.Fatal("invalid legacy param accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -146,6 +147,54 @@ func (c *Client) Move(proxy string, from, to int) (*core.Status, error) {
 		return nil, err
 	}
 	return resp.Status, nil
+}
+
+// sessionKey renders a session ID for the wire (decimal, so ID 0 is
+// distinguishable from "no session").
+func sessionKey(session uint32) string {
+	return strconv.FormatUint(uint64(session), 10)
+}
+
+// Compose atomically rewrites a live engine session's chain to the full
+// target spec; receiver (optional) narrows the rewrite to the delivery
+// branch serving that fan-out member. It returns the canonical plan string
+// after the rewrite.
+func (c *Client) Compose(session uint32, receiver, spec string) (string, error) {
+	resp, err := c.roundTrip(Request{Op: OpRecompose, Session: sessionKey(session), Receiver: receiver, Chain: spec})
+	if err != nil {
+		return "", err
+	}
+	return resp.Chain, nil
+}
+
+// SessionInsert splices one stage (spec syntax, e.g. "delay=5ms") into a
+// live engine session's chain at the given plan position.
+func (c *Client) SessionInsert(session uint32, receiver, stage string, pos int) (string, error) {
+	resp, err := c.roundTrip(Request{Op: OpInsert, Session: sessionKey(session), Receiver: receiver, Stage: stage, Position: pos})
+	if err != nil {
+		return "", err
+	}
+	return resp.Chain, nil
+}
+
+// SessionRemove removes a stage from a live engine session's chain; sel is a
+// plan position or a stage kind.
+func (c *Client) SessionRemove(session uint32, receiver, sel string) (string, error) {
+	resp, err := c.roundTrip(Request{Op: OpRemove, Session: sessionKey(session), Receiver: receiver, Stage: sel})
+	if err != nil {
+		return "", err
+	}
+	return resp.Chain, nil
+}
+
+// SessionMove relocates a stage between plan positions of a live engine
+// session's chain, preserving its running instance.
+func (c *Client) SessionMove(session uint32, receiver string, from, to int) (string, error) {
+	resp, err := c.roundTrip(Request{Op: OpMove, Session: sessionKey(session), Receiver: receiver, Position: from, Target: to})
+	if err != nil {
+		return "", err
+	}
+	return resp.Chain, nil
 }
 
 // Manager aggregates clients for several proxies, the multi-proxy management

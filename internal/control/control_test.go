@@ -1,6 +1,8 @@
 package control
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -335,5 +337,137 @@ func TestEngineOnlyStatus(t *testing.T) {
 	resp := s.Handle(Request{Op: OpStatus})
 	if !resp.OK || len(resp.Sessions) != 1 || resp.Sessions[0].ID != 3 {
 		t.Fatalf("engine-only status = %+v", resp)
+	}
+}
+
+// stubComposer records session-scoped composition calls.
+type stubComposer struct {
+	stubSessions
+	kinds    []string
+	lastCall string
+	lastID   uint32
+	lastRx   string
+	failWith error
+}
+
+func (s *stubComposer) Kinds() []string { return s.kinds }
+
+func (s *stubComposer) RecomposeSession(id uint32, receiver, target string) (string, error) {
+	s.lastCall, s.lastID, s.lastRx = "recompose:"+target, id, receiver
+	if s.failWith != nil {
+		return "", s.failWith
+	}
+	return target, nil
+}
+
+func (s *stubComposer) InsertSessionStage(id uint32, receiver, stage string, pos int) (string, error) {
+	s.lastCall, s.lastID, s.lastRx = fmt.Sprintf("insert:%s@%d", stage, pos), id, receiver
+	return stage, nil
+}
+
+func (s *stubComposer) RemoveSessionStage(id uint32, receiver, sel string) (string, error) {
+	s.lastCall, s.lastID, s.lastRx = "remove:"+sel, id, receiver
+	return "", nil
+}
+
+func (s *stubComposer) MoveSessionStage(id uint32, receiver string, from, to int) (string, error) {
+	s.lastCall, s.lastID, s.lastRx = fmt.Sprintf("move:%d->%d", from, to), id, receiver
+	return "moved", nil
+}
+
+func TestSessionComposeOverTheWire(t *testing.T) {
+	comp := &stubComposer{kinds: []string{"counting", "fec-adapt"}}
+	s, addr := startServer(t)
+	s.SetSessionSource(comp)
+	c := dialClient(t, addr)
+
+	chain, err := c.Compose(7, "", "counting,thin=2")
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	if chain != "counting,thin=2" || comp.lastID != 7 || comp.lastCall != "recompose:counting,thin=2" {
+		t.Fatalf("compose dispatch: chain=%q call=%q id=%d", chain, comp.lastCall, comp.lastID)
+	}
+	// Session 0 is addressable (the ID travels as a string).
+	if _, err := c.Compose(0, "10.0.0.1:9000", ""); err != nil {
+		t.Fatalf("Compose session 0: %v", err)
+	}
+	if comp.lastID != 0 || comp.lastRx != "10.0.0.1:9000" {
+		t.Fatalf("session-0 dispatch: id=%d rx=%q", comp.lastID, comp.lastRx)
+	}
+
+	if chain, err = c.SessionInsert(9, "", "delay=5ms", 1); err != nil || chain != "delay=5ms" {
+		t.Fatalf("SessionInsert = %q, %v", chain, err)
+	}
+	if comp.lastCall != "insert:delay=5ms@1" {
+		t.Fatalf("insert dispatch: %q", comp.lastCall)
+	}
+	if _, err = c.SessionRemove(9, "", "counting"); err != nil {
+		t.Fatalf("SessionRemove: %v", err)
+	}
+	if comp.lastCall != "remove:counting" {
+		t.Fatalf("remove dispatch: %q", comp.lastCall)
+	}
+	if chain, err = c.SessionMove(9, "", 0, 2); err != nil || chain != "moved" {
+		t.Fatalf("SessionMove = %q, %v", chain, err)
+	}
+	if comp.lastCall != "move:0->2" {
+		t.Fatalf("move dispatch: %q", comp.lastCall)
+	}
+
+	// Engine-only servers answer the kind listing from the composer.
+	kinds, err := c.Kinds("")
+	if err != nil {
+		t.Fatalf("Kinds: %v", err)
+	}
+	if !contains(kinds, "fec-adapt") {
+		t.Fatalf("Kinds = %v", kinds)
+	}
+
+	// Composer errors propagate to the client.
+	comp.failWith = errors.New("engine: unknown session")
+	if _, err := c.Compose(404, "", "counting"); err == nil || !strings.Contains(err.Error(), "unknown session") {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestSessionComposeWithoutComposer(t *testing.T) {
+	s, _ := startServer(t, newManagedProxy("p1"))
+	resp := s.Handle(Request{Op: OpRecompose, Session: "1", Chain: "counting"})
+	if resp.OK || !strings.Contains(resp.Error, "no composable engine") {
+		t.Fatalf("recompose without composer = %+v", resp)
+	}
+	resp = s.Handle(Request{Op: OpInsert, Session: "zzz", Stage: "counting"})
+	if resp.OK || !strings.Contains(resp.Error, "no composable engine") {
+		t.Fatalf("bad-session insert = %+v", resp)
+	}
+	s.SetSessionSource(&stubComposer{})
+	resp = s.Handle(Request{Op: OpInsert, Session: "zzz", Stage: "counting"})
+	if resp.OK || !strings.Contains(resp.Error, "session ID") {
+		t.Fatalf("unparsable session ID = %+v", resp)
+	}
+}
+
+func TestSessionRequestValidation(t *testing.T) {
+	bad := []Request{
+		{Op: OpRecompose},            // missing session
+		{Op: OpInsert, Session: "1"}, // missing stage
+		{Op: OpRemove, Session: "1"}, // missing selector
+	}
+	for _, req := range bad {
+		if err := req.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) accepted an invalid request", req)
+		}
+	}
+	good := []Request{
+		{Op: OpRecompose, Session: "0"}, // empty Chain = pure relay
+		{Op: OpInsert, Session: "1", Stage: "counting"},
+		{Op: OpRemove, Session: "1", Stage: "0"},
+		{Op: OpMove, Session: "1"},
+	}
+	for _, req := range good {
+		if err := req.Validate(); err != nil {
+			t.Fatalf("Validate(%+v) = %v", req, err)
+		}
 	}
 }

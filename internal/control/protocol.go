@@ -40,7 +40,8 @@ const (
 	OpPing Op = "ping"
 	// OpSessions returns the per-session relay counters of the attached
 	// multi-session engine, including each session's owning data-plane shard,
-	// its adaptation-plane state (current (n,k), last loss report, retune
+	// its composed chain (canonical plan string plus a per-stage view), its
+	// adaptation-plane state (current (n,k), last loss report, retune
 	// count) when the engine runs with the closed loop enabled, and — on
 	// fan-out sessions with per-receiver delivery branches — the receiver
 	// breakdown: each branch's counters, filter tail and protection level.
@@ -48,6 +49,12 @@ const (
 	// OpStats returns the attached engine's aggregate counters and a
 	// per-shard breakdown of its data plane.
 	OpStats Op = "stats"
+	// OpRecompose atomically rewrites a live engine session's chain to the
+	// full target spec in Chain (Session selects the session; Receiver
+	// optionally selects one delivery branch). Stages the current plan
+	// already contains keep their running instances; the rest are built and
+	// the drop-outs stopped, in one splice that never drops relayed data.
+	OpRecompose Op = "recompose"
 )
 
 // Request is one control-plane command.
@@ -57,6 +64,19 @@ type Request struct {
 	Position int         `json:"position,omitempty"`
 	Target   int         `json:"target,omitempty"`
 	Name     string      `json:"name,omitempty"`
+	// Session addresses a live engine session by wire ID (decimal string, so
+	// session 0 is distinguishable from "no session"). When set, OpInsert,
+	// OpRemove, OpMove and OpRecompose act on that session's composed chain
+	// instead of a legacy proxy.
+	Session string `json:"session,omitempty"`
+	// Receiver optionally narrows a session-scoped operation to the delivery
+	// branch serving one fan-out receiver (its UDP address).
+	Receiver string `json:"receiver,omitempty"`
+	// Stage is a one-stage spec ("kind" or "kind=arg") for session-scoped
+	// OpInsert, or a stage selector (plan position or kind) for OpRemove.
+	Stage string `json:"stage,omitempty"`
+	// Chain is OpRecompose's full target spec (may be empty: a pure relay).
+	Chain string `json:"chain,omitempty"`
 }
 
 // Response is the reply to a Request.
@@ -69,6 +89,9 @@ type Response struct {
 	Sessions []metrics.SessionStats `json:"sessions,omitempty"`
 	Engine   *metrics.EngineStats   `json:"engine,omitempty"`
 	Shards   []metrics.ShardStats   `json:"shards,omitempty"`
+	// Chain is the canonical plan string of the addressed session chain
+	// after a session-scoped composition operation.
+	Chain string `json:"chain,omitempty"`
 }
 
 // Validate checks a request for obvious problems before dispatch.
@@ -76,12 +99,34 @@ func (r Request) Validate() error {
 	switch r.Op {
 	case OpStatus, OpKinds, OpPing, OpSessions, OpStats:
 		return nil
-	case OpInsert, OpUpload:
+	case OpRecompose:
+		if r.Session == "" {
+			return fmt.Errorf("control: recompose requires a session ID")
+		}
+		return nil
+	case OpInsert:
+		if r.Session != "" {
+			if r.Stage == "" {
+				return fmt.Errorf("control: session insert requires a stage spec")
+			}
+			return nil
+		}
+		if r.Spec.Kind == "" {
+			return fmt.Errorf("control: %s requires a filter spec", r.Op)
+		}
+		return nil
+	case OpUpload:
 		if r.Spec.Kind == "" {
 			return fmt.Errorf("control: %s requires a filter spec", r.Op)
 		}
 		return nil
 	case OpRemove:
+		if r.Session != "" {
+			if r.Stage == "" {
+				return fmt.Errorf("control: session remove requires a stage selector (position or kind)")
+			}
+			return nil
+		}
 		if r.Position < 0 && r.Spec.Name == "" {
 			return fmt.Errorf("control: remove requires a position or a filter name")
 		}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"strconv"
 	"sync"
 
 	"rapidware/internal/core"
@@ -26,6 +27,20 @@ type EngineSource interface {
 	SessionSource
 	EngineStats() metrics.EngineStats
 	ShardStats() []metrics.ShardStats
+}
+
+// Composer is implemented by session sources whose live sessions can be
+// recomposed through the control plane (the proxy engine): every method
+// addresses one session — and optionally one delivery branch, by receiver
+// address — and returns the canonical plan string after the rewrite.
+// Session-scoped OpInsert/OpRemove/OpMove and OpRecompose require it.
+type Composer interface {
+	SessionSource
+	Kinds() []string
+	RecomposeSession(id uint32, receiver, target string) (string, error)
+	InsertSessionStage(id uint32, receiver, stage string, pos int) (string, error)
+	RemoveSessionStage(id uint32, receiver, sel string) (string, error)
+	MoveSessionStage(id uint32, receiver string, from, to int) (string, error)
 }
 
 // Server exposes one or more proxies over the control protocol. Each accepted
@@ -171,6 +186,47 @@ func (s *Server) serveConn(conn io.ReadWriter) {
 	}
 }
 
+// composer returns the attached session source's composition surface, or nil
+// when no engine (or a compose-less source) is attached.
+func (s *Server) composer() Composer {
+	s.mu.Lock()
+	src := s.sessions
+	s.mu.Unlock()
+	c, _ := src.(Composer)
+	return c
+}
+
+// handleSessionOp dispatches a session-scoped composition request to the
+// attached engine.
+func (s *Server) handleSessionOp(req Request) Response {
+	comp := s.composer()
+	if comp == nil {
+		return Response{Error: "control: no composable engine attached"}
+	}
+	id64, err := strconv.ParseUint(req.Session, 10, 32)
+	if err != nil {
+		return Response{Error: fmt.Sprintf("control: session ID %q: %v", req.Session, err)}
+	}
+	id := uint32(id64)
+	var chain string
+	switch req.Op {
+	case OpRecompose:
+		chain, err = comp.RecomposeSession(id, req.Receiver, req.Chain)
+	case OpInsert:
+		chain, err = comp.InsertSessionStage(id, req.Receiver, req.Stage, req.Position)
+	case OpRemove:
+		chain, err = comp.RemoveSessionStage(id, req.Receiver, req.Stage)
+	case OpMove:
+		chain, err = comp.MoveSessionStage(id, req.Receiver, req.Position, req.Target)
+	default:
+		return Response{Error: fmt.Sprintf("control: op %q does not take a session", req.Op)}
+	}
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	return Response{OK: true, Chain: chain}
+}
+
 // Handle executes one request against the managed proxies. It is exported so
 // in-process callers (tests, raplets) can use the same dispatch logic as the
 // network path.
@@ -191,13 +247,21 @@ func (s *Server) Handle(req Request) Response {
 		}
 		return Response{OK: true, Engine: eng, Shards: shards}
 	}
+	if req.Session != "" || req.Op == OpRecompose {
+		return s.handleSessionOp(req)
+	}
 	p, err := s.lookup(req.Name)
 	if err != nil {
-		// An engine-only server has no proxies, but status is still
-		// meaningful: reply with the per-session counters.
+		// An engine-only server has no proxies, but status and the kind
+		// listing are still meaningful: reply from the engine.
 		if req.Op == OpStatus && req.Name == "" {
 			if stats := s.sessionStats(); stats != nil {
 				return Response{OK: true, Sessions: stats}
+			}
+		}
+		if req.Op == OpKinds && req.Name == "" {
+			if comp := s.composer(); comp != nil {
+				return Response{OK: true, Kinds: comp.Kinds()}
 			}
 		}
 		return Response{Error: err.Error()}

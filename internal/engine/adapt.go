@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"rapidware/internal/adapt"
-	"rapidware/internal/filter"
+	"rapidware/internal/compose"
 	"rapidware/internal/metrics"
 	"rapidware/internal/packet"
 	"rapidware/internal/raplet"
@@ -57,7 +57,7 @@ func newSessionAdaptor(s *Session, policy adapt.Policy) (*sessionAdaptor, error)
 		return nil, err
 	}
 	if !s.eng.branching {
-		if _, err := a.addLoop(trunkReceiver, s.chain, 1); err != nil {
+		if _, err := a.addLoop(trunkReceiver, s.live); err != nil {
 			a.bus.Stop()
 			return nil, err
 		}
@@ -82,21 +82,21 @@ type receiverLoop struct {
 }
 
 // addLoop builds, subscribes and primes the loop for one receiver on the
-// given chain; pos is the chain position the responder splices the encoder
-// at. Priming delivers a synchronous clean-link event so a policy whose
-// cleanest rung already demands FEC (always-on protection) has its encoder
-// spliced in before the chain carries its first packet; for ordinary ladders
-// it is a no-op. Synchronous is safe: the chain is not yet receiving (the
-// session is unregistered, or the branch is not yet published to the tee) and
-// the fresh observer has published nothing the dispatch goroutine could race
-// with.
-func (a *sessionAdaptor) addLoop(key string, chain *filter.Chain, pos int) (*receiverLoop, error) {
+// given live chain; the responder splices its encoder at the plan's
+// fec-adapt marker. Priming delivers a synchronous clean-link event so a
+// policy whose cleanest rung already demands FEC (always-on protection) has
+// its encoder spliced in before the chain carries its first packet; for
+// ordinary ladders it is a no-op. Synchronous is safe: the chain is not yet
+// receiving (the session is unregistered, or the branch is not yet published
+// to the tee) and the fresh observer has published nothing the dispatch
+// goroutine could race with.
+func (a *sessionAdaptor) addLoop(key string, live *compose.Live) (*receiverLoop, error) {
 	obsName := fmt.Sprintf("loss:%d:%s", a.s.id, key)
 	l := &receiverLoop{key: key, obs: raplet.NewWorstLossObserver(obsName, a.bus)}
 	if window := a.s.eng.cfg.ReportStaleness; window > 0 {
 		l.obs.SetStaleness(window, nil)
 	}
-	resp, err := raplet.NewChainFECResponder(fmt.Sprintf("adapt:%d:%s", a.s.id, key), chain, a.policy, a.s.id, pos)
+	resp, err := raplet.NewChainFECResponder(fmt.Sprintf("adapt:%d:%s", a.s.id, key), live, a.policy, a.s.id)
 	if err != nil {
 		return nil, err
 	}

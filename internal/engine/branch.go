@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rapidware/internal/compose"
 	"rapidware/internal/endpoint"
 	"rapidware/internal/filter"
 	"rapidware/internal/metrics"
@@ -98,6 +99,13 @@ func (t *deliveryTree) reconcile() {
 	t.version.Store(v)
 }
 
+// branchFor returns the live branch serving the given member, or nil.
+func (t *deliveryTree) branchFor(member netip.AddrPort) *branch {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.branches[member]
+}
+
 // close tears every branch down. The trunk chain must already be stopped so
 // no dispatch is in flight.
 func (t *deliveryTree) close() {
@@ -137,7 +145,11 @@ type branch struct {
 	s      *Session
 	member netip.AddrPort
 
-	chain  *filter.Chain
+	chain *filter.Chain
+	// live binds the branch tail to its plan; recompose operations with a
+	// receiver selector and the branch responder's splices both go through
+	// it.
+	live   *compose.Live
 	source *endpoint.UDPSource
 	sink   *endpoint.UDPSink
 	loop   *receiverLoop // nil without per-receiver adaptation
@@ -170,18 +182,18 @@ func newBranch(s *Session, member netip.AddrPort) (*branch, error) {
 	if err := br.chain.Append(br.source); err != nil {
 		return nil, err
 	}
-	for _, build := range e.branchBuilders {
-		f, err := build(s)
-		if err != nil {
-			return nil, fmt.Errorf("branch tail: %w", err)
-		}
-		if err := br.chain.Append(f); err != nil {
-			return nil, err
-		}
-	}
 	if err := br.chain.Append(br.sink); err != nil {
 		return nil, err
 	}
+	env := compose.Env{
+		StreamID: s.id,
+		Name:     func(kind string) string { return fmt.Sprintf("%s:%d:%s", kind, s.id, member) },
+	}
+	live, err := compose.Attach(br.chain, e.reg, env, compose.ModeBranch, e.branchPlan)
+	if err != nil {
+		return nil, fmt.Errorf("branch tail: %w", err)
+	}
+	br.live = live
 	// A branch chain that dies on its own (a tail stage failed) stops
 	// consuming; its queue overflows into the drop counters rather than
 	// stalling the trunk. The closed flag short-circuits deliveries.
@@ -196,7 +208,7 @@ func newBranch(s *Session, member netip.AddrPort) (*branch, error) {
 		return nil, fmt.Errorf("branch start: %w", err)
 	}
 	if e.branching && e.adaptOn {
-		loop, err := s.adaptor.addLoop(member.String(), br.chain, e.branchAdaptPos)
+		loop, err := s.adaptor.addLoop(member.String(), br.live)
 		if err != nil {
 			br.stop()
 			return nil, fmt.Errorf("branch adaptor: %w", err)
@@ -293,6 +305,7 @@ func (br *branch) stats() metrics.ReceiverStats {
 	if len(names) >= 2 {
 		st.Stages = names[1 : len(names)-1]
 	}
+	st.Chain = br.live.String()
 	if br.loop != nil {
 		br.loop.fill(&st)
 	}

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+
+	"rapidware/internal/compose"
+	"rapidware/internal/multicast"
+)
+
+// Session-scoped composition: the control plane addresses a live session (and
+// optionally one of its delivery branches) and rewrites its chain while
+// traffic flows. Every operation resolves the target chain's compose.Live
+// and applies the rewrite under its splice lock, serialized with the
+// session's adaptation responder; the canonical plan string after the
+// rewrite is returned for display.
+
+// liveFor resolves the composed chain a control operation addresses: the
+// session's trunk when receiver is empty, otherwise the delivery branch
+// serving that receiver address.
+func (e *Engine) liveFor(id uint32, receiver string) (*compose.Live, compose.Mode, error) {
+	s := e.table.lookup(id)
+	if s == nil {
+		return nil, compose.Mode{}, fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	if receiver == "" {
+		return s.live, e.trunkMode(), nil
+	}
+	if s.tree == nil {
+		return nil, compose.Mode{}, fmt.Errorf("engine: session %d has no delivery branches", id)
+	}
+	ap, err := netip.ParseAddrPort(receiver)
+	if err != nil {
+		return nil, compose.Mode{}, fmt.Errorf("engine: receiver %q: %w", receiver, err)
+	}
+	br := s.tree.branchFor(multicast.UnmapAddrPort(ap))
+	if br == nil {
+		return nil, compose.Mode{}, fmt.Errorf("engine: session %d has no branch for receiver %s", id, receiver)
+	}
+	return br.live, compose.ModeBranch, nil
+}
+
+// RecomposeSession atomically rewrites a live session chain to the target
+// spec — the control plane's compose operation. Stages the current plan
+// already contains (same kind and argument) keep their running instances;
+// the rest are built fresh and the drop-outs stopped, in one splice that
+// never exposes a half-built chain to traffic. It returns the canonical plan
+// string after the rewrite.
+func (e *Engine) RecomposeSession(id uint32, receiver, target string) (string, error) {
+	live, mode, err := e.liveFor(id, receiver)
+	if err != nil {
+		return "", err
+	}
+	plan, err := compose.ParseWith(e.reg, target, mode)
+	if err != nil {
+		return "", err
+	}
+	if err := live.Recompose(plan); err != nil {
+		return "", err
+	}
+	return live.String(), nil
+}
+
+// InsertSessionStage splices one stage (spec syntax, e.g. "delay=5ms") into
+// a live session chain at the given plan position.
+func (e *Engine) InsertSessionStage(id uint32, receiver, stage string, pos int) (string, error) {
+	live, mode, err := e.liveFor(id, receiver)
+	if err != nil {
+		return "", err
+	}
+	st, err := parseOneStage(e.reg, stage, mode)
+	if err != nil {
+		return "", err
+	}
+	if err := live.InsertStage(st, pos); err != nil {
+		return "", err
+	}
+	return live.String(), nil
+}
+
+// RemoveSessionStage removes a stage from a live session chain. sel is a
+// plan position or a stage kind (first match).
+func (e *Engine) RemoveSessionStage(id uint32, receiver, sel string) (string, error) {
+	live, _, err := e.liveFor(id, receiver)
+	if err != nil {
+		return "", err
+	}
+	if pos, convErr := strconv.Atoi(sel); convErr == nil {
+		err = live.RemoveStageAt(pos)
+	} else {
+		err = live.RemoveStageKind(sel)
+	}
+	if err != nil {
+		return "", err
+	}
+	return live.String(), nil
+}
+
+// MoveSessionStage relocates a stage between plan positions of a live
+// session chain, preserving its running instance.
+func (e *Engine) MoveSessionStage(id uint32, receiver string, from, to int) (string, error) {
+	live, _, err := e.liveFor(id, receiver)
+	if err != nil {
+		return "", err
+	}
+	if err := live.MoveStage(from, to); err != nil {
+		return "", err
+	}
+	return live.String(), nil
+}
+
+// parseOneStage parses a spec that must contain exactly one stage.
+func parseOneStage(reg *compose.Registry, spec string, mode compose.Mode) (compose.Stage, error) {
+	plan, err := compose.ParseWith(reg, spec, mode)
+	if err != nil {
+		return compose.Stage{}, err
+	}
+	if plan.Len() != 1 {
+		return compose.Stage{}, fmt.Errorf("engine: want exactly one stage, got %q", spec)
+	}
+	return plan.Stages[0], nil
+}

@@ -7,6 +7,14 @@
 // any live session — and relays each chain's output either back to the
 // session's sender (echo mode) or to a fixed downstream address.
 //
+// Chains are built on the composition plane (internal/compose): the trunk
+// and branch specs parse to plan IRs instantiated through the shared stage
+// registry, every session binds its chain to a compose.Live, and the
+// control plane can atomically recompose any live session's chain — full
+// target-spec rewrites (RecomposeSession) or single-stage surgery — while
+// it carries traffic, serialized with the adaptation responders on the same
+// splice lock.
+//
 // The data plane is sharded: Config.Shards reader goroutines (default one
 // per CPU) pull datagrams off the socket, sessions live in a sharded table
 // (per-shard lock, session ID hashed to shard) so open/lookup/close never
@@ -34,12 +42,12 @@ import (
 	"net/netip"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rapidware/internal/adapt"
+	"rapidware/internal/compose"
 	"rapidware/internal/metrics"
 	"rapidware/internal/multicast"
 )
@@ -151,20 +159,25 @@ type Stats = metrics.EngineStats
 
 // Engine is a multi-session UDP proxy with a sharded data plane.
 type Engine struct {
-	cfg      Config
-	policy   adapt.Policy // resolved adaptation policy (valid iff adaptOn)
-	builders []StageBuilder
+	cfg    Config
+	policy adapt.Policy // resolved adaptation policy (valid iff adaptOn)
+
+	// reg is the stage registry session plans are instantiated through;
+	// trunkPlan and branchPlan are the validated compositions every new
+	// session's trunk chain and delivery-branch tails start from. When the
+	// adaptation plane manages a chain, its plan carries a fec-adapt marker
+	// stage (injected for adaptive trunks, from the Branch spec or injected
+	// for branches) at the position the responder splices the encoder.
+	reg       *compose.Registry
+	trunkPlan compose.Plan
 
 	// Per-receiver delivery-branch configuration, resolved by New. branching
 	// selects the delivery-tree fan-out path (trunk + per-receiver tails)
 	// over the plain multicast write; adaptOn enables the feedback plane at
-	// all (trunk loop on unicast sessions, per-branch loops when branching);
-	// branchAdaptPos is the chain position branch responders splice the
-	// adaptive encoder at.
-	branchBuilders []StageBuilder
-	branchAdaptPos int
-	branching      bool
-	adaptOn        bool
+	// all (trunk loop on unicast sessions, per-branch loops when branching).
+	branchPlan compose.Plan
+	branching  bool
+	adaptOn    bool
 
 	conns   []*net.UDPConn       // one per shard in ReusePort mode, else one shared
 	forward netip.AddrPort       // zero value when echoing to senders
@@ -203,41 +216,37 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.ReusePort && !reusePortAvailable {
 		return nil, errors.New("engine: ReusePort requires linux and the 'reuseport' build tag")
 	}
-	builders, err := ParseChain(cfg.Chain)
+	reg := compose.Default()
+	trunkPlan, err := compose.ParseWith(reg, cfg.Chain, compose.ModeChain)
 	if err != nil {
 		return nil, err
 	}
-	branchBuilders, branchAdaptPos, err := ParseBranch(cfg.Branch)
+	branchPlan, err := compose.ParseWith(reg, cfg.Branch, compose.ModeBranch)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Forward != "" && (len(cfg.Fanout) > 0 || cfg.Branch != "") {
 		return nil, errors.New("engine: Forward and Fanout/Branch are mutually exclusive")
 	}
-	adaptOn := cfg.Adapt || branchAdaptPos >= 0
-	if adaptOn && chainSpecHasFECEncode(cfg.Chain) {
+	adaptOn := cfg.Adapt || branchPlan.Has(compose.KindFECAdapt)
+	if adaptOn && trunkPlan.Has("fec-encode") {
 		// A static encoder under the adaptation plane would re-encode the
 		// adaptive encoder's output (parity-of-parity) the moment loss
 		// appears. The plane owns FEC encoding; fail fast instead.
 		return nil, errors.New("engine: the adaptation plane manages the FEC encoder itself; remove fec-encode from Chain")
 	}
-	if adaptOn && chainSpecHasFECEncode(cfg.Branch) {
+	if adaptOn && branchPlan.Has("fec-encode") {
 		return nil, errors.New("engine: the adaptation plane manages each branch's FEC encoder; remove fec-encode from Branch (or drop fec-adapt/Adapt)")
 	}
 	e := &Engine{
-		cfg:            cfg,
-		builders:       builders,
-		branchBuilders: branchBuilders,
-		branchAdaptPos: branchAdaptPos,
-		adaptOn:        adaptOn,
-		table:          newTable(cfg.Shards),
-		shards:         make([]shard, cfg.Shards),
-		stopWriters:    make(chan struct{}),
-	}
-	if e.branchAdaptPos < 0 {
-		// Adapt without an explicit fec-adapt stage: the encoder splices in
-		// right after the branch source, as the trunk responder does.
-		e.branchAdaptPos = 1
+		cfg:         cfg,
+		reg:         reg,
+		trunkPlan:   trunkPlan,
+		branchPlan:  branchPlan,
+		adaptOn:     adaptOn,
+		table:       newTable(cfg.Shards),
+		shards:      make([]shard, cfg.Shards),
+		stopWriters: make(chan struct{}),
 	}
 	for i := range e.shards {
 		e.shards[i] = shard{idx: i, eng: e, writeq: make(chan outbound, writeQueueDepth)}
@@ -267,8 +276,37 @@ func New(cfg Config) (*Engine, error) {
 	// multicast write path — no per-branch goroutines, one batched write per
 	// receiver.
 	e.branching = e.group != nil && (cfg.Adapt || cfg.Branch != "")
+	// Chains owned by the adaptation plane carry a fec-adapt marker in their
+	// plan: the position the responder's encoder activates at, visible in
+	// (and preserved by) control-plane recomposition. Specs without an
+	// explicit marker get one injected right after the chain source, the
+	// historical default splice position.
+	if e.adaptOn {
+		if e.branching {
+			if !e.branchPlan.Has(compose.KindFECAdapt) {
+				e.branchPlan, _ = e.branchPlan.WithInsert(0, compose.Stage{Kind: compose.KindFECAdapt})
+			}
+		} else {
+			e.trunkPlan, _ = e.trunkPlan.WithInsert(0, compose.Stage{Kind: compose.KindFECAdapt})
+		}
+	}
 	return e, nil
 }
+
+// trunkMode returns the validation mode for live rewrites of a session's
+// trunk plan: markers are legal exactly when the trunk is owned by an
+// adaptation loop.
+func (e *Engine) trunkMode() compose.Mode {
+	mode := compose.ModeChain
+	if e.adaptOn && !e.branching {
+		mode.AllowMarker = true
+	}
+	return mode
+}
+
+// Kinds returns the stage kinds sessions of this engine can compose — the
+// control protocol's kind listing.
+func (e *Engine) Kinds() []string { return e.reg.Kinds() }
 
 // resolveShards normalizes a Shards setting: 0 means one shard per CPU, and
 // the result is clamped to [1, maxShards] and rounded up to a power of two so
@@ -317,18 +355,6 @@ func (e *Engine) receiverAuthorized(s *Session, from netip.AddrPort) bool {
 	default:
 		return from == multicast.UnmapAddrPort(s.Peer())
 	}
-}
-
-// chainSpecHasFECEncode reports whether a chain spec contains a static FEC
-// encoder stage.
-func chainSpecHasFECEncode(spec string) bool {
-	for _, part := range strings.Split(spec, ",") {
-		kind, _, _ := strings.Cut(strings.TrimSpace(part), "=")
-		if kind == "fec-encode" {
-			return true
-		}
-	}
-	return false
 }
 
 // Start binds the UDP socket(s) and launches the shard runtime: one reader

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"rapidware/internal/compose"
 	"rapidware/internal/filter"
 	"rapidware/internal/packet"
 )
@@ -283,11 +284,23 @@ func TestEngineChainDyingDuringOpenDoesNotBlackholeID(t *testing.T) {
 	// must evict it anyway — the ID must never be blackholed by a dead
 	// session, and the admission slot must be released.
 	e := newTestEngine(t, Config{MaxSessions: 2})
-	e.builders = []StageBuilder{func(s *Session) (filter.Filter, error) {
-		return filter.New("insta-fail", func(io.Reader, io.Writer) error {
-			return errors.New("boom")
-		}), nil
-	}}
+	reg := compose.Default().Clone()
+	if err := reg.Register(compose.Definition{
+		Kind: "insta-fail",
+		Build: func(compose.Env, string) (filter.Filter, error) {
+			return filter.New("insta-fail", func(io.Reader, io.Writer) error {
+				return errors.New("boom")
+			}), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.reg = reg
+	failPlan, err := compose.ParseWith(reg, "insta-fail", compose.ModeChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.trunkPlan = failPlan
 	peer := netip.MustParseAddrPort("127.0.0.1:9")
 	for i := 0; i < 30; i++ {
 		if _, err := e.openSession(77, peer); errors.Is(err, ErrEngineClosed) {
@@ -307,7 +320,7 @@ func TestEngineChainDyingDuringOpenDoesNotBlackholeID(t *testing.T) {
 	// sessions: the loop above may not leak admission slots (MaxSessions is
 	// only 2). A just-finished eviction may still be releasing its slot, so
 	// tolerate a brief ErrSessionLimit window.
-	e.builders = nil
+	e.trunkPlan = compose.Plan{}
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		s, err := e.openSession(500, peer)
@@ -390,30 +403,30 @@ func TestParseChain(t *testing.T) {
 
 func TestParseBranch(t *testing.T) {
 	cases := []struct {
-		spec     string
-		stages   int
-		adaptPos int
+		spec      string
+		stages    int
+		markerIdx int
 	}{
 		{"", 0, -1},
 		{"thin=2", 1, -1},
-		{"fec-adapt", 0, 1},
-		{"fec-adapt,ratelimit=64000", 1, 1},
-		{"ratelimit=64000,fec-adapt", 1, 2},
-		{"thin=2,fec-adapt,ratelimit=1000", 2, 2},
+		{"fec-adapt", 1, 0},
+		{"fec-adapt,ratelimit=64000", 2, 0},
+		{"ratelimit=64000,fec-adapt", 2, 1},
+		{"thin=2,fec-adapt,ratelimit=1000", 3, 1},
 	}
 	for _, tc := range cases {
-		builders, adaptPos, err := ParseBranch(tc.spec)
+		plan, err := ParseBranch(tc.spec)
 		if err != nil {
 			t.Errorf("ParseBranch(%q) = %v", tc.spec, err)
 			continue
 		}
-		if len(builders) != tc.stages || adaptPos != tc.adaptPos {
-			t.Errorf("ParseBranch(%q) = %d stages, adaptPos %d; want %d, %d",
-				tc.spec, len(builders), adaptPos, tc.stages, tc.adaptPos)
+		if plan.Len() != tc.stages || plan.Index(compose.KindFECAdapt) != tc.markerIdx {
+			t.Errorf("ParseBranch(%q) = %d stages, marker %d; want %d, %d",
+				tc.spec, plan.Len(), plan.Index(compose.KindFECAdapt), tc.stages, tc.markerIdx)
 		}
 	}
 	for _, spec := range []string{"fec-adapt=6/4", "fec-adapt,fec-adapt", "bogus", "thin=0", "fec-decode", "thin=2,fec-decode"} {
-		if _, _, err := ParseBranch(spec); err == nil {
+		if _, err := ParseBranch(spec); err == nil {
 			t.Errorf("ParseBranch(%q) succeeded, want error", spec)
 		}
 	}

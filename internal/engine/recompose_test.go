@@ -1,0 +1,341 @@
+package engine
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rapidware/internal/metrics"
+	"rapidware/internal/packet"
+)
+
+// openEchoSession opens one engine session over its own UDP socket and
+// verifies the relay path before handing the socket back.
+func openEchoSession(t *testing.T, e *Engine, id uint32) *net.UDPConn {
+	t.Helper()
+	c := dialEngine(t, e)
+	sendPacket(t, c, id, &packet.Packet{Seq: 0, Kind: packet.KindData, Payload: []byte("open")})
+	gotID, _ := readPacket(t, c, 2*time.Second)
+	if gotID != id {
+		t.Fatalf("echo for session %d, want %d", gotID, id)
+	}
+	return c
+}
+
+func TestEngineRecomposeSession(t *testing.T) {
+	e := newTestEngine(t, Config{Chain: "counting"})
+	c := openEchoSession(t, e, 7)
+
+	// Full rewrite: the counting instance survives (same kind+arg), a
+	// checksum stage joins.
+	chain, err := e.RecomposeSession(7, "", "checksum,counting")
+	if err != nil {
+		t.Fatalf("RecomposeSession: %v", err)
+	}
+	if chain != "checksum,counting" {
+		t.Fatalf("chain after recompose = %q", chain)
+	}
+	// Traffic still relays, and the per-stage view reflects the new plan.
+	sendPacket(t, c, 7, &packet.Packet{Seq: 1, Kind: packet.KindData, Payload: []byte("post")})
+	readPacket(t, c, 2*time.Second)
+	st := e.Session(7).Stats()
+	if st.Chain != "checksum,counting" || len(st.Stages) != 2 {
+		t.Fatalf("session stats chain = %q stages %+v", st.Chain, st.Stages)
+	}
+	if st.Stages[0].Kind != "checksum" || !st.Stages[0].Active || st.Stages[0].Name == "" {
+		t.Fatalf("stage 0 = %+v", st.Stages[0])
+	}
+
+	// Single-stage operations address plan positions.
+	if chain, err = e.InsertSessionStage(7, "", "delay=1ms", 1); err != nil || chain != "checksum,delay=1ms,counting" {
+		t.Fatalf("InsertSessionStage = %q, %v", chain, err)
+	}
+	if chain, err = e.MoveSessionStage(7, "", 1, 0); err != nil || chain != "delay=1ms,checksum,counting" {
+		t.Fatalf("MoveSessionStage = %q, %v", chain, err)
+	}
+	if chain, err = e.RemoveSessionStage(7, "", "delay"); err != nil || chain != "checksum,counting" {
+		t.Fatalf("RemoveSessionStage by kind = %q, %v", chain, err)
+	}
+	if chain, err = e.RemoveSessionStage(7, "", "0"); err != nil || chain != "counting" {
+		t.Fatalf("RemoveSessionStage by position = %q, %v", chain, err)
+	}
+
+	// Errors: unknown session, unknown receiver, invalid stage, bad selector.
+	if _, err := e.RecomposeSession(404, "", ""); err == nil {
+		t.Fatal("recompose of an unknown session succeeded")
+	}
+	if _, err := e.RecomposeSession(7, "127.0.0.1:9", ""); err == nil {
+		t.Fatal("branch recompose on a unicast session succeeded")
+	}
+	if _, err := e.InsertSessionStage(7, "", "bogus", 0); err == nil {
+		t.Fatal("insert of an unknown stage kind succeeded")
+	}
+	if _, err := e.InsertSessionStage(7, "", "counting,checksum", 0); err == nil {
+		t.Fatal("insert of a multi-stage spec succeeded")
+	}
+	if _, err := e.RecomposeSession(7, "", "fec-adapt"); err == nil {
+		t.Fatal("marker accepted on a non-adaptive trunk")
+	}
+}
+
+// TestEngineRecomposeRejectsStaticFECBesideMarker guards the constructor's
+// parity-of-parity invariant on the live path: a recompose may not put a
+// static fec-encode next to the adaptation plane's fec-adapt marker.
+func TestEngineRecomposeRejectsStaticFECBesideMarker(t *testing.T) {
+	e := newTestEngine(t, Config{Adapt: true})
+	openEchoSession(t, e, 3)
+	if _, err := e.RecomposeSession(3, "", "fec-adapt,fec-encode=6/4"); err == nil {
+		t.Fatal("live recompose accepted fec-encode beside the fec-adapt marker")
+	}
+	// The injected marker is preserved by a legal rewrite, so adaptation
+	// keeps working after operator recompositions.
+	chain, err := e.RecomposeSession(3, "", "fec-adapt,counting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain != "fec-adapt,counting" {
+		t.Fatalf("chain = %q", chain)
+	}
+}
+
+// TestEngineRecomposeUnderLoad hammers live sessions spread across shards
+// with concurrent recompose operations while each session carries traffic —
+// the race-detector workout for the composition plane's splice path.
+func TestEngineRecomposeUnderLoad(t *testing.T) {
+	e := newTestEngine(t, Config{Shards: 4, Chain: "counting"})
+	const (
+		sessions   = 8
+		duration   = 400 * time.Millisecond
+		recomposer = 2 // concurrent recomposers per session
+	)
+	specs := []string{
+		"counting",
+		"counting,checksum",
+		"checksum,null,counting",
+		"",
+		"null",
+	}
+
+	conns := make([]*net.UDPConn, sessions)
+	for i := range conns {
+		conns[i] = openEchoSession(t, e, uint32(i+1))
+	}
+
+	var (
+		wg        sync.WaitGroup
+		stop      = make(chan struct{})
+		sent      [sessions]atomic.Uint64
+		recomps   atomic.Uint64
+		recompErr atomic.Uint64
+	)
+	// Traffic: every session keeps sending and draining echoes.
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := conns[i]
+			id := uint32(i + 1)
+			buf := make([]byte, packet.MaxDatagram)
+			for seq := uint64(1); ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sendPacket(t, c, id, &packet.Packet{Seq: seq, Kind: packet.KindData, Payload: []byte{byte(seq)}})
+				sent[i].Add(1)
+				c.SetReadDeadline(time.Now().Add(5 * time.Millisecond))
+				for {
+					if _, err := c.Read(buf); err != nil {
+						break
+					}
+				}
+			}
+		}(i)
+	}
+	// Recomposers: concurrent full rewrites of every session's trunk.
+	for i := 0; i < sessions; i++ {
+		for r := 0; r < recomposer; r++ {
+			wg.Add(1)
+			go func(i, r int) {
+				defer wg.Done()
+				id := uint32(i + 1)
+				for n := r; ; n++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := e.RecomposeSession(id, "", specs[n%len(specs)]); err != nil {
+						// A session evicted mid-storm is tolerable churn, not a
+						// composition bug; anything else fails the test.
+						if !strings.Contains(err.Error(), "unknown session") {
+							recompErr.Add(1)
+							t.Errorf("session %d recompose: %v", id, err)
+							return
+						}
+						continue
+					}
+					recomps.Add(1)
+				}
+			}(i, r)
+		}
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	if recompErr.Load() > 0 {
+		t.Fatalf("%d recompose errors under load", recompErr.Load())
+	}
+	if recomps.Load() < sessions*recomposer {
+		t.Fatalf("only %d recompositions completed", recomps.Load())
+	}
+
+	// Every session survived the storm and still relays after one final
+	// deterministic recompose.
+	for i := 0; i < sessions; i++ {
+		id := uint32(i + 1)
+		if chain, err := e.RecomposeSession(id, "", "counting"); err != nil || chain != "counting" {
+			t.Fatalf("session %d final recompose = %q, %v", id, chain, err)
+		}
+		sendPacket(t, conns[i], id, &packet.Packet{Seq: 1 << 30, Kind: packet.KindData, Payload: []byte("fin")})
+		// Stale echoes from the storm may still be queued on the socket;
+		// drain until the fin comes back.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			gotID, p := readPacket(t, conns[i], time.Until(deadline))
+			if gotID == id && p.Seq == 1<<30 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("session %d dead after recompose storm", id)
+			}
+		}
+	}
+}
+
+// TestEngineRecomposeVsResponderRetune interleaves control-plane branch
+// recompositions with the branch responder's own feedback-driven retunes on
+// a fan-out delivery branch: the two writers share the branch's splice lock,
+// so neither may corrupt the chain or deadlock.
+func TestEngineRecomposeVsResponderRetune(t *testing.T) {
+	rx, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+
+	e := newTestEngine(t, Config{
+		Adapt:  true,
+		Branch: "fec-adapt,thin=1",
+		Fanout: []string{rx.LocalAddr().String()},
+	})
+	c := dialEngine(t, e)
+	const id = 11
+	sendPacket(t, c, id, &packet.Packet{Seq: 0, Kind: packet.KindData, Payload: []byte("prime")})
+	rx.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := rx.Read(make([]byte, packet.MaxDatagram)); err != nil {
+		t.Fatalf("branch prime: %v", err)
+	}
+	receiver := rx.LocalAddr().(*net.UDPAddr).AddrPort().String()
+
+	var (
+		wg   sync.WaitGroup
+		stop = make(chan struct{})
+	)
+	// Feedback storm: alternating lossy and clean reports drive the branch
+	// responder through insert/retune/remove cycles on the bus goroutine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		engAddr := e.LocalAddr().(*net.UDPAddr)
+		for n := 0; ; n++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rep := packet.Report{Received: 100, Window: 100}
+			switch n % 3 {
+			case 1:
+				rep = packet.Report{Received: 90, Lost: 10, Window: 100}
+			case 2:
+				rep = packet.Report{Received: 70, Lost: 30, Window: 100}
+			}
+			rep.HighestSeq = uint64(n)
+			dgram, err := packet.AppendReportDatagram(nil, id, 0, 0, rep)
+			if err != nil {
+				t.Errorf("report: %v", err)
+				return
+			}
+			if _, err := rx.WriteToUDP(dgram, engAddr); err != nil {
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	// Branch recomposer: rewrites the tail, sometimes removing the marker
+	// (sending the responder dormant) and restoring it again.
+	branchSpecs := []string{
+		"fec-adapt,thin=1",
+		"thin=1,fec-adapt",
+		"fec-adapt",
+		"thin=1", // marker gone: responder must go dormant, not fail
+		"fec-adapt,null",
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; ; n++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := e.RecomposeSession(id, receiver, branchSpecs[n%len(branchSpecs)]); err != nil {
+				t.Errorf("branch recompose: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Trunk traffic keeps the tee and branch queue busy throughout.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for seq := uint64(1); ; seq++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sendPacket(t, c, id, &packet.Packet{Seq: seq, Kind: packet.KindData, Payload: []byte{byte(seq)}})
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Settle on a marker-bearing tail and verify the loop still closes: a
+	// lossy report upgrades the branch, a clean one releases it.
+	if _, err := e.RecomposeSession(id, receiver, "fec-adapt,thin=1"); err != nil {
+		t.Fatalf("final branch recompose: %v", err)
+	}
+	reportFrom(t, rx, e, id, packet.Report{HighestSeq: 1 << 20, Received: 90, Lost: 10, Window: 100})
+	receiverStat(t, e, id, receiver, "post-storm upgrade", func(rs metrics.ReceiverStats) bool {
+		return rs.Active && rs.N == 8 && rs.K == 4
+	})
+	reportFrom(t, rx, e, id, packet.Report{HighestSeq: 1 << 21, Received: 100, Lost: 0, Window: 100})
+	receiverStat(t, e, id, receiver, "post-storm release", func(rs metrics.ReceiverStats) bool {
+		return !rs.Active && rs.N == 1
+	})
+	st := e.Session(id).Stats()
+	if len(st.Receivers) != 1 || st.Receivers[0].Chain != "fec-adapt,thin=1" {
+		t.Fatalf("final branch plan = %+v", st.Receivers)
+	}
+}

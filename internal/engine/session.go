@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rapidware/internal/compose"
 	"rapidware/internal/endpoint"
 	"rapidware/internal/filter"
 	"rapidware/internal/metrics"
@@ -26,7 +27,11 @@ type Session struct {
 	// the session's output.
 	shard *shard
 
-	chain    *filter.Chain
+	chain *filter.Chain
+	// live binds the trunk chain to its composition plan; all structural
+	// mutation — control-plane recompose, responder splices — goes through
+	// it, serialized by its splice lock.
+	live     *compose.Live
 	source   *endpoint.UDPSource
 	sink     *endpoint.UDPSink
 	counters metrics.SessionCounters
@@ -40,9 +45,12 @@ type Session struct {
 	// nil on unicast sessions and on plain (branch-less) fan-out.
 	tree *deliveryTree
 
-	// repairs reports FEC reconstruction counts from any decoder stages in
-	// the chain; read at snapshot time, never on the data path.
-	repairs []func() uint64
+	// repairs reports FEC reconstruction counts from decoder stages built
+	// into the chain (past and present — a recomposed-away decoder's final
+	// count still tells the truth about the session's history); read at
+	// snapshot time, never on the data path.
+	repairsMu sync.Mutex
+	repairs   []func() uint64
 
 	in   chan *packet.Buf
 	done chan struct{}
@@ -86,18 +94,17 @@ func newSession(e *Engine, id uint32, peer netip.AddrPort) (*Session, error) {
 	if err := s.chain.Append(s.source); err != nil {
 		return nil, err
 	}
-	for _, build := range e.builders {
-		f, err := build(s)
-		if err != nil {
-			return nil, fmt.Errorf("engine: session %d chain: %w", id, err)
-		}
-		if err := s.chain.Append(f); err != nil {
-			return nil, err
-		}
-	}
 	if err := s.chain.Append(s.sink); err != nil {
 		return nil, err
 	}
+	// Compose the trunk interior between the endpoints from the engine's
+	// plan; the same Live later applies control-plane recompositions and the
+	// adaptation responder's splices to the running chain.
+	live, err := compose.Attach(s.chain, e.reg, s.composeEnv(), e.trunkMode(), e.trunkPlan)
+	if err != nil {
+		return nil, fmt.Errorf("engine: session %d chain: %w", id, err)
+	}
+	s.live = live
 	// The sink's exit hook is the session's watchdog: when the chain
 	// terminates on its own the hook evicts the session, without spending a
 	// goroutine per session on a blocking Wait. Registered (and accounted in
@@ -133,9 +140,32 @@ func newSession(e *Engine, id uint32, peer netip.AddrPort) (*Session, error) {
 // ID returns the session's wire identifier.
 func (s *Session) ID() uint32 { return s.id }
 
-// Chain exposes the session's filter chain so callers (control plane, tests,
-// raplets) can insert, remove and reorder filters on the live stream.
+// Chain exposes the session's filter chain for observation. Structural
+// mutation goes through Live, which keeps the chain and its plan consistent.
 func (s *Session) Chain() *filter.Chain { return s.chain }
+
+// Live exposes the session's composed trunk so the control plane (and tests)
+// can recompose it transactionally while traffic flows.
+func (s *Session) Live() *compose.Live { return s.live }
+
+// composeEnv is the build environment trunk plan stages are instantiated
+// with.
+func (s *Session) composeEnv() compose.Env {
+	return compose.Env{
+		StreamID:  s.id,
+		Name:      func(kind string) string { return fmt.Sprintf("%s:%d", kind, s.id) },
+		OnRepairs: s.addRepairHook,
+	}
+}
+
+// addRepairHook registers one decoder stage's reconstruction counter. Hooks
+// accumulate across recompositions so Stats stays monotonic; the slice only
+// grows on control-path chain builds.
+func (s *Session) addRepairHook(fn func() uint64) {
+	s.repairsMu.Lock()
+	s.repairs = append(s.repairs, fn)
+	s.repairsMu.Unlock()
+}
 
 // Counters returns the session's counter block.
 func (s *Session) Counters() *metrics.SessionCounters { return &s.counters }
@@ -145,9 +175,14 @@ func (s *Session) Counters() *metrics.SessionCounters { return &s.counters }
 func (s *Session) Stats() metrics.SessionStats {
 	st := s.counters.Snapshot(s.id)
 	st.Shard = s.shard.idx
-	for _, fn := range s.repairs {
+	s.repairsMu.Lock()
+	hooks := append([]func() uint64(nil), s.repairs...)
+	s.repairsMu.Unlock()
+	for _, fn := range hooks {
 		st.Repairs += fn()
 	}
+	st.Chain = s.live.String()
+	st.Stages = s.live.StageStats()
 	if s.adaptor != nil {
 		st.Adapt = s.adaptor.stats()
 	}

@@ -1,209 +1,23 @@
 package engine
 
-import (
-	"fmt"
-	"strconv"
-	"strings"
-	"time"
+import "rapidware/internal/compose"
 
-	"rapidware/internal/audio"
-	"rapidware/internal/fec"
-	"rapidware/internal/fecproxy"
-	"rapidware/internal/filter"
-	"rapidware/internal/transcode"
-)
+// The engine's chain and branch spec language is the compose plane's: a
+// comma-separated list of stage specs ("kind" or "kind=arg") validated
+// against the shared stage registry. See internal/compose for the kind set
+// and the plan IR. These helpers are thin aliases kept for the engine's
+// public surface; exactly one spec parser exists in the tree.
 
-// A chain spec is a comma-separated list of interior stages instantiated for
-// every new session, in order, between the session's UDP endpoints:
-//
-//	null                  identity filter
-//	counting              pass-through byte/chunk counter
-//	checksum              pass-through CRC-32
-//	delay=<duration>      fixed per-chunk delay (e.g. delay=5ms)
-//	ratelimit=<Bps>       token-bucket shaping to Bps bytes/second
-//	transcode=<factor>    audio downsampler (paper PCM format, e.g. transcode=2)
-//	thin=<factor>         media thinning: forward 1 data packet in <factor>
-//	fec-encode=<n>/<k>    (n,k) FEC block encoder (e.g. fec-encode=6/4)
-//	fec-decode            FEC block decoder; feeds the session's repair count
-//
-// Example: "counting,fec-encode=6/4".
-//
-// A branch spec (Config.Branch, ParseBranch) uses the same syntax for the
-// per-receiver filter tails of a fan-out session's delivery tree, plus one
-// branch-only stage:
-//
-//	fec-adapt             adaptive FEC encoder driven by this receiver's own
-//	                      loss reports; spliced in and retuned by the branch's
-//	                      responder, so it may appear at most once
-//
-// Example: "fec-adapt,ratelimit=64000".
-
-// StageBuilder constructs one interior filter for a new session. Builders may
-// register per-session hooks (e.g. the FEC decoder's repair counter) on s.
-type StageBuilder func(s *Session) (filter.Filter, error)
-
-// ParseChain validates a chain spec and returns one builder per stage. An
-// empty spec yields no builders (a pure relay).
-func ParseChain(spec string) ([]StageBuilder, error) {
-	var builders []StageBuilder
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		kind, arg, _ := strings.Cut(part, "=")
-		b, err := buildStage(kind, arg)
-		if err != nil {
-			return nil, err
-		}
-		builders = append(builders, b)
-	}
-	return builders, nil
+// ParseChain validates a trunk chain spec and returns its plan. An empty
+// spec yields the empty plan (a pure relay).
+func ParseChain(spec string) (compose.Plan, error) {
+	return compose.Parse(spec, compose.ModeChain)
 }
 
-// ParseBranch validates a branch-tail spec and returns one builder per
-// concrete stage plus the chain position at which the branch's adaptive FEC
-// encoder splices in: the position of the "fec-adapt" pseudo-stage when the
-// spec names one, or -1 when it does not (the engine then defaults to
-// position 1 — immediately after the branch source — when per-receiver
-// adaptation is enabled another way).
-func ParseBranch(spec string) (builders []StageBuilder, adaptPos int, err error) {
-	adaptPos = -1
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		kind, arg, _ := strings.Cut(part, "=")
-		if kind == "fec-decode" {
-			// Decoding belongs on the trunk (one decode for the whole
-			// session), and the decoder's repair hook registers per-session
-			// state that branch construction — which runs on live-session
-			// control paths as members join — must not mutate.
-			return nil, -1, fmt.Errorf("engine: fec-decode is a chain-only stage; decode on the trunk, not per branch")
-		}
-		if kind == "fec-adapt" {
-			if arg != "" {
-				return nil, -1, fmt.Errorf("engine: fec-adapt takes no parameter (the policy ladder picks the code); got %q", arg)
-			}
-			if adaptPos >= 0 {
-				return nil, -1, fmt.Errorf("engine: branch spec %q names fec-adapt more than once", spec)
-			}
-			// The encoder lands after the stages parsed so far (chain position
-			// 0 is the branch source).
-			adaptPos = len(builders) + 1
-			continue
-		}
-		b, err := buildStage(kind, arg)
-		if err != nil {
-			return nil, -1, err
-		}
-		builders = append(builders, b)
-	}
-	return builders, adaptPos, nil
-}
-
-func buildStage(kind, arg string) (StageBuilder, error) {
-	switch kind {
-	case "null":
-		return func(s *Session) (filter.Filter, error) {
-			return filter.NewNull(stageName(s, "null")), nil
-		}, nil
-	case "counting":
-		return func(s *Session) (filter.Filter, error) {
-			return filter.NewCounting(stageName(s, "counting")), nil
-		}, nil
-	case "checksum":
-		return func(s *Session) (filter.Filter, error) {
-			return filter.NewChecksum(stageName(s, "checksum")), nil
-		}, nil
-	case "delay":
-		d, err := time.ParseDuration(arg)
-		if err != nil {
-			return nil, fmt.Errorf("engine: delay spec %q: %w", arg, err)
-		}
-		return func(s *Session) (filter.Filter, error) {
-			return filter.NewDelay(stageName(s, "delay"), d), nil
-		}, nil
-	case "ratelimit":
-		bps, err := strconv.Atoi(arg)
-		if err != nil || bps <= 0 {
-			return nil, fmt.Errorf("engine: ratelimit spec %q: want a positive bytes/second", arg)
-		}
-		return func(s *Session) (filter.Filter, error) {
-			return filter.NewRateLimit(stageName(s, "ratelimit"), bps), nil
-		}, nil
-	case "transcode":
-		factor, err := parseFactor("transcode", arg)
-		if err != nil {
-			return nil, err
-		}
-		return func(s *Session) (filter.Filter, error) {
-			return transcode.NewDownsampleFilter(stageName(s, "transcode"), audio.PaperFormat(), factor)
-		}, nil
-	case "thin":
-		factor, err := parseFactor("thin", arg)
-		if err != nil {
-			return nil, err
-		}
-		return func(s *Session) (filter.Filter, error) {
-			return transcode.NewThinningFilter(stageName(s, "thin"), factor)
-		}, nil
-	case "fec-adapt":
-		return nil, fmt.Errorf("engine: fec-adapt is a branch-only stage (use it in a -branch spec)")
-	case "fec-encode":
-		params, err := parseFECParams(arg)
-		if err != nil {
-			return nil, err
-		}
-		return func(s *Session) (filter.Filter, error) {
-			return fecproxy.NewEncoderFilter(stageName(s, "fec-encoder"), params, s.ID())
-		}, nil
-	case "fec-decode":
-		return func(s *Session) (filter.Filter, error) {
-			df := fecproxy.NewDecoderFilter(stageName(s, "fec-decoder"), nil)
-			s.repairs = append(s.repairs, func() uint64 {
-				_, reconstructed, _ := df.Stats()
-				return reconstructed
-			})
-			return df, nil
-		}, nil
-	default:
-		return nil, fmt.Errorf("engine: unknown chain stage %q", kind)
-	}
-}
-
-// parseFactor parses a positive integer stage argument; empty selects 2 (the
-// conventional halving for both downsampling and thinning).
-func parseFactor(kind, arg string) (int, error) {
-	if arg == "" {
-		return 2, nil
-	}
-	factor, err := strconv.Atoi(arg)
-	if err != nil || factor <= 0 {
-		return 0, fmt.Errorf("engine: %s spec %q: want a positive integer factor", kind, arg)
-	}
-	return factor, nil
-}
-
-// parseFECParams parses "n/k" into code parameters.
-func parseFECParams(arg string) (fec.Params, error) {
-	ns, ks, ok := strings.Cut(arg, "/")
-	if !ok {
-		return fec.Params{}, fmt.Errorf("engine: FEC spec %q: want n/k (e.g. 6/4)", arg)
-	}
-	n, err1 := strconv.Atoi(strings.TrimSpace(ns))
-	k, err2 := strconv.Atoi(strings.TrimSpace(ks))
-	if err1 != nil || err2 != nil {
-		return fec.Params{}, fmt.Errorf("engine: FEC spec %q: want integers n/k", arg)
-	}
-	p := fec.Params{K: k, N: n}
-	if err := p.Validate(); err != nil {
-		return fec.Params{}, err
-	}
-	return p, nil
-}
-
-func stageName(s *Session, kind string) string {
-	return fmt.Sprintf("%s:%d", kind, s.ID())
+// ParseBranch validates a delivery-branch tail spec — the same syntax plus
+// the branch-only fec-adapt marker stage, which reserves the position where
+// the branch's adaptation responder splices its FEC encoder — and returns
+// its plan. The marker position, when present, is plan.Index(compose.KindFECAdapt).
+func ParseBranch(spec string) (compose.Plan, error) {
+	return compose.Parse(spec, compose.ModeBranch)
 }

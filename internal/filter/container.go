@@ -105,6 +105,13 @@ type Registry struct {
 	constructors map[string]Constructor
 }
 
+// NewBareRegistry returns a registry with no registered kinds, for callers
+// (like the compose plane's adapter) that supply the complete kind set
+// themselves.
+func NewBareRegistry() *Registry {
+	return &Registry{constructors: make(map[string]Constructor)}
+}
+
 // NewRegistry returns a registry pre-populated with the built-in filter
 // kinds: "null", "counting", "checksum", "ratelimit", "delay".
 func NewRegistry() *Registry {

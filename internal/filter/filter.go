@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"rapidware/internal/stream"
 )
@@ -63,6 +64,19 @@ type Base struct {
 	in  *stream.DetachableReader
 	out *stream.DetachableWriter
 
+	// bytesIn and bytesOut count the bytes the processing goroutine has read
+	// and written, maintained by thin wrappers around the streams handed to
+	// fn. They feed the control plane's per-stage view; two atomic adds per
+	// chunk keep the data path allocation-free.
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+	// busy is true from the moment a read hands the processing goroutine
+	// data until it comes back for more — i.e. while the goroutine may hold
+	// consumed-but-unemitted bytes. Chain.SetInterior waits for stages to go
+	// quiescent after freezing their inflow, so a splice never discards a
+	// chunk that was mid-transform.
+	busy atomic.Bool
+
 	mu      sync.Mutex
 	started bool
 	stopped bool
@@ -73,10 +87,17 @@ type Base struct {
 
 // New returns a filter named name whose processing loop is fn.
 func New(name string, fn ProcessFunc) *Base {
+	in := stream.NewDetachableReader()
+	// Filter loops always come back to Read, so their inputs can carry
+	// hand-off accounting: a splice that pauses this filter's inflow does
+	// not complete the drain until the loop has pushed everything it was
+	// handed and asked for more — the guarantee behind loss-free live
+	// recomposition.
+	in.TrackHandoff()
 	return &Base{
 		name: name,
 		fn:   fn,
-		in:   stream.NewDetachableReader(),
+		in:   in,
 		out:  stream.NewDetachableWriter(),
 	}
 }
@@ -127,7 +148,7 @@ func (b *Base) Start() error {
 			defer onExit()
 		}
 		defer close(b.done)
-		err := b.fn(b.in, b.out)
+		err := b.fn(countingReader{b.in, &b.bytesIn, &b.busy}, countingWriter{b.out, &b.bytesOut})
 		if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, stream.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {
 			b.mu.Lock()
 			b.runErr = err
@@ -169,6 +190,63 @@ func (b *Base) Err() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.runErr
+}
+
+// IOBytes returns the number of bytes the filter's processing goroutine has
+// read from its input and written to its output, the per-stage counters the
+// control plane's session view reports.
+func (b *Base) IOBytes() (in, out uint64) {
+	return b.bytesIn.Load(), b.bytesOut.Load()
+}
+
+// Quiescer is implemented by filters that can report whether their
+// processing goroutine is currently holding consumed-but-unemitted data.
+// Chain.SetInterior uses it to drain a stage completely — upstream paused,
+// stage idle — before detaching it, so live recomposition never loses a
+// chunk that was mid-transform.
+type Quiescer interface {
+	Quiescent() bool
+}
+
+// Quiescent reports that the processing goroutine holds no consumed data: it
+// is parked in (or on its way back to) a read. Only meaningful while the
+// filter's inflow is frozen — with data still arriving the state flaps.
+func (b *Base) Quiescent() bool { return !b.busy.Load() }
+
+// countingReader and countingWriter wrap the stream endpoints handed to a
+// Base's ProcessFunc so every stage reports per-stage traffic — and the
+// quiescence state splices rely on — without any cooperation from the
+// filter body.
+type countingReader struct {
+	r    io.Reader
+	n    *atomic.Uint64
+	busy *atomic.Bool
+}
+
+func (c countingReader) Read(p []byte) (int, error) {
+	// Everything consumed so far has been processed and emitted (or
+	// deliberately retained as filter state): the goroutine is back asking
+	// for more.
+	c.busy.Store(false)
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.n.Add(uint64(n))
+		c.busy.Store(true)
+	}
+	return n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Uint64
+}
+
+func (c countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	if n > 0 {
+		c.n.Add(uint64(n))
+	}
+	return n, err
 }
 
 // Wait blocks until the processing goroutine has exited (after Start).

@@ -1,0 +1,238 @@
+package filter
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSetInteriorReplacesInteriorAtomically swaps the whole interior of a
+// running chain mid-stream and verifies no byte is lost or reordered.
+func TestSetInteriorReplacesInteriorAtomically(t *testing.T) {
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 4096)
+	src := sourceFilter("src", payload, 512)
+	sink := newSink("sink")
+	c := NewChain("set-interior")
+	first := NewCounting("first")
+	for _, f := range []Filter{src, first, sink} {
+		if err := c.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Let some data flow through the original interior, then swap it for a
+	// two-stage interior that keeps the counting filter instance.
+	sink.waitFor(t, 1024)
+	second := NewChecksum("second")
+	if err := c.SetInterior([]Filter{second, first}); err != nil {
+		t.Fatalf("SetInterior: %v", err)
+	}
+	if got := c.Names(); len(got) != 4 || got[1] != "second" || got[2] != "first" {
+		t.Fatalf("Names after SetInterior = %v", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate after SetInterior: %v", err)
+	}
+	got := sink.waitFor(t, len(payload))
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted across SetInterior: got %d bytes, want %d", len(got), len(payload))
+	}
+	if first.Bytes() < uint64(len(payload)) {
+		t.Fatalf("kept stage lost its state or missed traffic: counted %d of %d", first.Bytes(), len(payload))
+	}
+	in, out := first.IOBytes()
+	if in < uint64(len(payload)) || out < uint64(len(payload)) {
+		t.Fatalf("per-stage IO counters = %d in / %d out, want >= %d", in, out, len(payload))
+	}
+}
+
+// TestSetInteriorStopsRemovedStartsAdded checks lifecycle handling on both
+// sides of the swap.
+func TestSetInteriorStopsRemovedStartsAdded(t *testing.T) {
+	src := sourceFilter("src", bytes.Repeat([]byte("x"), 1<<16), 1024)
+	sink := newSink("sink")
+	oldStage := NewNull("old")
+	c := NewChain("lifecycle")
+	for _, f := range []Filter{src, oldStage, sink} {
+		if err := c.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	sink.waitFor(t, 1)
+
+	added := NewNull("new")
+	if err := c.SetInterior([]Filter{added}); err != nil {
+		t.Fatalf("SetInterior: %v", err)
+	}
+	if oldStage.Running() {
+		t.Fatal("removed stage still running")
+	}
+	if !added.Running() {
+		t.Fatal("added stage not started")
+	}
+	// An emptied interior must connect the endpoints directly.
+	if err := c.SetInterior(nil); err != nil {
+		t.Fatalf("SetInterior(nil): %v", err)
+	}
+	if added.Running() {
+		t.Fatal("stage removed by the second swap still running")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate after emptying interior: %v", err)
+	}
+	sink.waitFor(t, 1<<16)
+}
+
+// TestSetInteriorBeforeStart wires an unstarted chain; Start then brings the
+// whole composition up.
+func TestSetInteriorBeforeStart(t *testing.T) {
+	payload := []byte("hello, composition plane")
+	src := sourceFilter("src", payload, 8)
+	sink := newSink("sink")
+	c := NewChain("prestart")
+	if err := c.Append(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(sink); err != nil {
+		t.Fatal(err)
+	}
+	mid := NewCounting("mid")
+	if err := c.SetInterior([]Filter{mid}); err != nil {
+		t.Fatalf("SetInterior before Start: %v", err)
+	}
+	if mid.Running() {
+		t.Fatal("stage started before the chain")
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if got := sink.waitFor(t, len(payload)); !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+}
+
+func TestSetInteriorRejectsBadTargets(t *testing.T) {
+	c := NewChain("bad")
+	if err := c.SetInterior(nil); !errors.Is(err, ErrChainTooShort) {
+		t.Fatalf("SetInterior on empty chain = %v, want ErrChainTooShort", err)
+	}
+	if err := c.Append(NewNull("in")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(NewNull("out")); err != nil {
+		t.Fatal(err)
+	}
+	dup := NewNull("dup")
+	if err := c.SetInterior([]Filter{dup, dup}); err == nil {
+		t.Fatal("SetInterior accepted a duplicated stage")
+	}
+	if err := c.SetInterior([]Filter{nil}); err == nil {
+		t.Fatal("SetInterior accepted a nil stage")
+	}
+}
+
+// TestSetInteriorUnderSustainedTraffic hammers the swap while data flows,
+// alternating between interiors that share one instance.
+func TestSetInteriorUnderSustainedTraffic(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 1<<20)
+	src := sourceFilter("src", payload, 2048)
+	sink := newSink("sink")
+	keep := NewCounting("keep")
+	c := NewChain("sustained")
+	for _, f := range []Filter{src, keep, sink} {
+		if err := c.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			var interior []Filter
+			if i%2 == 0 {
+				interior = []Filter{NewNull("extra"), keep}
+			} else {
+				interior = []Filter{keep}
+			}
+			if err := c.SetInterior(interior); err != nil {
+				t.Errorf("swap %d: %v", i, err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	got := sink.waitFor(t, len(payload))
+	<-done
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted under sustained swaps: %d bytes", len(got))
+	}
+}
+
+// TestSetInteriorPreflightRejectsUnusableStages verifies that a stage which
+// cannot survive the splice — already running, wired elsewhere, or stopped
+// (a Base cannot restart) — is rejected before any wiring is disturbed.
+func TestSetInteriorPreflightRejectsUnusableStages(t *testing.T) {
+	payload := bytes.Repeat([]byte("p"), 1<<16)
+	src := sourceFilter("src", payload, 1024)
+	sink := newSink("sink")
+	keep := NewNull("keep")
+	c := NewChain("preflight")
+	for _, f := range []Filter{src, keep, sink} {
+		if err := c.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	sink.waitFor(t, 1)
+
+	// A stage that was stopped once cannot be restarted.
+	dead := NewNull("dead")
+	if err := dead.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dead.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetInterior([]Filter{dead}); err == nil {
+		t.Fatal("stopped stage accepted")
+	}
+	// A stage wired into another chain must be rejected too.
+	other := NewChain("other")
+	foreign := NewNull("foreign")
+	for _, f := range []Filter{NewNull("o-in"), foreign, NewNull("o-out")} {
+		if err := other.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SetInterior([]Filter{foreign}); err == nil {
+		t.Fatal("foreign-wired stage accepted")
+	}
+
+	// Both rejections happened before any wiring was touched: the original
+	// interior still stands, validates, and relays the full payload.
+	if got := c.Names(); len(got) != 3 || got[1] != "keep" {
+		t.Fatalf("chain changed by rejected splices: %v", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate after rejected splices: %v", err)
+	}
+	sink.waitFor(t, len(payload))
+}

@@ -43,6 +43,30 @@ type SessionStats struct {
 	// tree: one entry per branch, ordered by receiver address. Empty for
 	// unicast (echo/forward) sessions and for plain fan-out without branches.
 	Receivers []ReceiverStats `json:"receivers,omitempty"`
+	// Chain is the canonical spec string of the session's trunk plan, the
+	// form accepted back by the recompose control operation.
+	Chain string `json:"chain,omitempty"`
+	// Stages is the per-stage view of the trunk plan, in chain order.
+	Stages []StageStats `json:"stages,omitempty"`
+}
+
+// StageStats is the control-plane view of one stage of a composed chain: its
+// plan spec, the instance currently realizing it (if any), and the traffic
+// that has moved through it.
+type StageStats struct {
+	// Kind is the stage's registered kind; Spec is its canonical one-stage
+	// spec (kind or kind=arg).
+	Kind string `json:"kind"`
+	Spec string `json:"spec"`
+	// Name is the running filter instance's name; empty for a marker stage
+	// (e.g. fec-adapt) whose instance is not currently spliced in.
+	Name string `json:"name,omitempty"`
+	// Active reports whether a filter instance is live at this stage.
+	Active bool `json:"active"`
+	// InBytes and OutBytes count the bytes the stage's instance has read and
+	// written since it was spliced in.
+	InBytes  uint64 `json:"in_bytes"`
+	OutBytes uint64 `json:"out_bytes"`
 }
 
 // ReceiverCounters is the per-branch counter block maintained on the engine's
@@ -69,6 +93,9 @@ type ReceiverStats struct {
 	Drops      uint64 `json:"drops"`
 	// Stages lists the branch tail's interior filter stages, in order.
 	Stages []string `json:"stages,omitempty"`
+	// Chain is the canonical spec string of the branch tail's plan, the form
+	// accepted back by the recompose control operation.
+	Chain string `json:"chain,omitempty"`
 	// K and N are the code currently protecting this receiver's branch
 	// (K == N means no FEC); Active reports whether an encoder is spliced in.
 	K      int  `json:"k,omitempty"`

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rapidware/internal/adapt"
+	"rapidware/internal/compose"
 	"rapidware/internal/fec"
 	"rapidware/internal/filter"
 )
@@ -235,8 +236,9 @@ func TestWorstLossObserverEmpty(t *testing.T) {
 	obs.Report("rx", 0.5) // nil bus must not panic
 }
 
-// newTestChain builds a started two-endpoint chain suitable for splicing.
-func newTestChain(t *testing.T) *filter.Chain {
+// newTestLive builds a started two-endpoint chain whose plan is a bare
+// fec-adapt marker — the shape the engine hands its responders.
+func newTestLive(t *testing.T) (*compose.Live, *filter.Chain) {
 	t.Helper()
 	c := filter.NewChain("adapt-test")
 	if err := c.Append(filter.NewNull("in")); err != nil {
@@ -245,16 +247,24 @@ func newTestChain(t *testing.T) *filter.Chain {
 	if err := c.Append(filter.NewNull("out")); err != nil {
 		t.Fatal(err)
 	}
+	plan, err := compose.Parse(compose.KindFECAdapt, compose.ModeBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := compose.Attach(c, nil, compose.Env{StreamID: 7}, compose.ModeBranch, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := c.Start(); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { c.Stop() })
-	return c
+	return live, c
 }
 
 func TestChainFECResponderLifecycle(t *testing.T) {
-	chain := newTestChain(t)
-	r, err := NewChainFECResponder("", chain, adapt.DefaultPolicy(), 7, 0)
+	live, chain := newTestLive(t)
+	r, err := NewChainFECResponder("", live, adapt.DefaultPolicy(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,9 +344,9 @@ func TestChainFECResponderLifecycle(t *testing.T) {
 // never inserted the encoder because the selection matched the initial
 // "current" value.
 func TestChainFECResponderFECOnlyPolicy(t *testing.T) {
-	chain := newTestChain(t)
+	live, chain := newTestLive(t)
 	policy := adapt.Policy{Levels: []adapt.Level{{LossAtLeast: 0.10, Params: fec.Params{K: 4, N: 8}}}}
-	r, err := NewChainFECResponder("fec-only", chain, policy, 1, 0)
+	r, err := NewChainFECResponder("fec-only", live, policy, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,11 +362,63 @@ func TestChainFECResponderFECOnlyPolicy(t *testing.T) {
 }
 
 func TestChainFECResponderValidation(t *testing.T) {
-	if _, err := NewChainFECResponder("x", nil, adapt.DefaultPolicy(), 1, 1); err == nil {
-		t.Fatal("expected error for nil chain")
+	if _, err := NewChainFECResponder("x", nil, adapt.DefaultPolicy(), 1); err == nil {
+		t.Fatal("expected error for nil live chain")
 	}
-	chain := filter.NewChain("v")
-	if _, err := NewChainFECResponder("x", chain, adapt.Policy{}, 1, 1); err == nil {
+	live, _ := newTestLive(t)
+	if _, err := NewChainFECResponder("x", live, adapt.Policy{}, 1); err == nil {
 		t.Fatal("expected error for empty policy")
+	}
+}
+
+// TestChainFECResponderDormantWithoutMarker exercises the recompose-vs-
+// responder contract: when an operator rewrites the plan without the
+// fec-adapt marker, the responder goes dormant instead of fighting the
+// operator, and resumes once a recompose restores the marker.
+func TestChainFECResponderDormantWithoutMarker(t *testing.T) {
+	live, chain := newTestLive(t)
+	r, err := NewChainFECResponder("dormant", live, adapt.DefaultPolicy(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Handle(Event{Type: EventLossRate, Value: 0.10}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Active() || chain.Len() != 3 {
+		t.Fatal("encoder not spliced before the recompose")
+	}
+
+	// Operator recomposes the marker away: the active encoder goes with it.
+	empty, err := compose.Parse("", compose.ModeBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Recompose(empty); err != nil {
+		t.Fatal(err)
+	}
+	if r.Active() || chain.Len() != 2 {
+		t.Fatal("recompose did not remove the managed encoder")
+	}
+	// Loss events are acknowledged but change nothing.
+	if err := r.Handle(Event{Type: EventLossRate, Value: 0.30}); err != nil {
+		t.Fatalf("dormant responder errored: %v", err)
+	}
+	if r.Active() || chain.Len() != 2 {
+		t.Fatal("dormant responder touched the chain")
+	}
+
+	// Restoring the marker wakes the loop on the next event.
+	restored, err := compose.Parse(compose.KindFECAdapt, compose.ModeBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Recompose(restored); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Handle(Event{Type: EventLossRate, Value: 0.30}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Active() || chain.Len() != 3 {
+		t.Fatal("responder did not resume after the marker returned")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"rapidware/internal/adapt"
+	"rapidware/internal/compose"
 	"rapidware/internal/core"
 	"rapidware/internal/fec"
 	"rapidware/internal/fecproxy"
@@ -173,40 +174,44 @@ func (r *SpecResponder) Handle(e Event) error {
 	return nil
 }
 
-// ChainFECResponder drives demand-driven FEC directly on a *filter.Chain —
-// the form the multi-session engine uses, where every session owns a chain
-// but no core.Proxy. On each loss-rate event it selects the (n,k) code from
-// an adapt.Policy and reconciles the chain with the selection:
+// ChainFECResponder drives demand-driven FEC on a composed live chain — the
+// form the multi-session engine uses, where every session trunk and delivery
+// branch is a compose.Live whose plan carries a fec-adapt marker stage. On
+// each loss-rate event it selects the (n,k) code from an adapt.Policy and
+// reconciles the marker with the selection, expressed entirely as plan
+// operations on the Live (never ad-hoc chain surgery):
 //
-//   - policy says no FEC (K == N) and an encoder is spliced in → remove it,
-//   - policy says FEC and no encoder is present → splice in an adaptive
-//     encoder at the configured position,
+//   - policy says no FEC (K == N) and an encoder is active → deactivate the
+//     marker, splicing the encoder out,
+//   - policy says FEC and the marker is idle → activate it with a fresh
+//     adaptive encoder,
 //   - policy says a different code while the encoder runs → retune it in
 //     place (the switch lands on the next group boundary).
 //
-// All of this happens on the bus's dispatch goroutine via the chain's
-// pause/reconnect splice path; the session's relay hot path is untouched.
+// All of this happens on the bus's dispatch goroutine under the Live's
+// splice lock, so responder retunes serialize with control-plane
+// recompositions; the session's relay hot path is untouched. If an operator
+// recomposes the fec-adapt marker out of the plan, the responder goes
+// dormant (events are acknowledged but change nothing) until a recompose
+// restores the marker.
 type ChainFECResponder struct {
 	name       string
-	chain      *filter.Chain
+	live       *compose.Live
 	policy     adapt.Policy
 	streamID   uint32
-	position   int
 	filterName string
 
 	mu       sync.Mutex
-	enc      *fecproxy.AdaptiveEncoderFilter
 	current  fec.Params
 	lastLoss float64
 	retunes  uint64
 }
 
-// NewChainFECResponder returns a responder managing an adaptive FEC encoder
-// in chain. position is the splice position (<= 0 selects 1, immediately
-// after the input endpoint); streamID is stamped on emitted packets.
-func NewChainFECResponder(name string, chain *filter.Chain, policy adapt.Policy, streamID uint32, position int) (*ChainFECResponder, error) {
-	if chain == nil {
-		return nil, errors.New("raplet: chain FEC responder requires a chain")
+// NewChainFECResponder returns a responder managing the adaptive FEC encoder
+// behind live's fec-adapt marker; streamID is stamped on emitted packets.
+func NewChainFECResponder(name string, live *compose.Live, policy adapt.Policy, streamID uint32) (*ChainFECResponder, error) {
+	if live == nil {
+		return nil, errors.New("raplet: chain FEC responder requires a live chain")
 	}
 	if err := policy.Validate(); err != nil {
 		return nil, err
@@ -214,15 +219,11 @@ func NewChainFECResponder(name string, chain *filter.Chain, policy adapt.Policy,
 	if name == "" {
 		name = "chain-fec-responder"
 	}
-	if position <= 0 {
-		position = 1
-	}
 	return &ChainFECResponder{
 		name:       name,
-		chain:      chain,
+		live:       live,
 		policy:     policy,
 		streamID:   streamID,
-		position:   position,
 		filterName: name + "-encoder",
 		current:    policy.Select(0),
 	}, nil
@@ -233,9 +234,13 @@ func (r *ChainFECResponder) Name() string { return r.name }
 
 // Active reports whether an FEC encoder is currently spliced into the chain.
 func (r *ChainFECResponder) Active() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.enc != nil
+	return r.encoder() != nil
+}
+
+// encoder returns the marker's live adaptive encoder instance, or nil.
+func (r *ChainFECResponder) encoder() *fecproxy.AdaptiveEncoderFilter {
+	enc, _ := r.live.Instance(compose.KindFECAdapt).(*fecproxy.AdaptiveEncoderFilter)
+	return enc
 }
 
 // Current returns the code the responder has selected (K == N means no FEC).
@@ -260,11 +265,11 @@ func (r *ChainFECResponder) Retunes() uint64 {
 	return r.retunes
 }
 
-// Handle implements Responder: it reconciles the chain with the policy's
-// selection for the reported loss rate. Reconciliation is driven by the
-// chain's *actual* state (encoder spliced in or not), never by comparing
-// selections, so a policy whose cleanest rung is already an FEC level still
-// gets its encoder inserted on the first event.
+// Handle implements Responder: it reconciles the live chain's marker with
+// the policy's selection for the reported loss rate. Reconciliation is
+// driven by the chain's *actual* state (encoder active or not), never by
+// comparing selections, so a policy whose cleanest rung is already an FEC
+// level still gets its encoder inserted on the first event.
 func (r *ChainFECResponder) Handle(e Event) error {
 	if e.Type != EventLossRate {
 		return nil
@@ -275,35 +280,38 @@ func (r *ChainFECResponder) Handle(e Event) error {
 	r.lastLoss = loss
 	params := r.policy.Select(loss)
 	changed := false
-	switch {
+	switch enc := r.encoder(); {
 	case params.N == params.K:
-		// Clean link: splice the encoder out so the session returns to the
-		// pure relay path.
-		if r.enc != nil {
-			if _, err := r.chain.RemoveByName(r.filterName); err != nil {
-				return fmt.Errorf("raplet: remove adaptive encoder: %w", err)
-			}
-			r.enc = nil
-			changed = true
+		// Clean link: deactivate the marker so the chain returns to the pure
+		// relay path.
+		removed, err := r.live.Deactivate(compose.KindFECAdapt)
+		if err != nil {
+			return fmt.Errorf("raplet: remove adaptive encoder: %w", err)
 		}
-	case r.enc == nil:
-		// Loss demands FEC and none is in place: splice a fresh adaptive
-		// encoder in. (A stopped Base cannot be restarted, so each insertion
-		// builds a new filter; this is the control path.)
-		enc, err := fecproxy.NewAdaptiveEncoderFilter(r.filterName, r.policy, r.streamID)
+		changed = removed
+	case enc == nil:
+		// Loss demands FEC and none is in place: activate the marker with a
+		// fresh adaptive encoder. (A stopped Base cannot be restarted, so
+		// each activation builds a new filter; this is the control path.)
+		fresh, err := fecproxy.NewAdaptiveEncoderFilter(r.filterName, r.policy, r.streamID)
 		if err != nil {
 			return err
 		}
-		enc.SetLossRate(loss)
-		if err := r.chain.Insert(enc, r.position); err != nil {
+		fresh.SetLossRate(loss)
+		if err := r.live.Activate(compose.KindFECAdapt, fresh); err != nil {
+			if errors.Is(err, compose.ErrNoStage) {
+				// The operator recomposed the marker away: adaptation is
+				// switched off for this chain until a plan restores it.
+				r.current = params
+				return nil
+			}
 			return fmt.Errorf("raplet: insert adaptive encoder: %w", err)
 		}
-		r.enc = enc
 		changed = true
 	default:
 		// Encoder already running: keep its loss view fresh; a level change
 		// retunes in place (the new code lands on the next group boundary).
-		r.enc.SetLossRate(loss)
+		enc.SetLossRate(loss)
 		changed = params != r.current
 	}
 	r.current = params

@@ -55,8 +55,16 @@ type link struct {
 	start int    // index of first unread byte
 	count int    // number of unread bytes
 
-	writers  int   // Write calls currently copying into this link
-	pausing  bool  // a pause is in progress: new writes divert, reads drain
+	writers int  // Write calls currently copying into this link
+	pausing bool // a pause is in progress: new writes divert, reads drain
+	// handed is true from the moment a read returns bytes to the consumer
+	// until the consumer comes back for more. A pause's drain is not
+	// complete while bytes are handed out: the consumer may still be
+	// transforming them, and detaching (then stopping) it there would lose
+	// data the stream had already accepted. Tracking the hand-off under the
+	// link mutex makes drain-complete and consumer-busy a single atomic
+	// judgment.
+	handed   bool
 	detached bool  // the pair has been split; both sides must renegotiate
 	wclosed  bool  // writer closed: reader sees werr (or io.EOF) after drain
 	rclosed  bool  // reader closed: writer sees io.ErrClosedPipe
@@ -127,9 +135,18 @@ func (l *link) write(p []byte) (int, error) {
 // read copies buffered bytes into p, blocking while the buffer is empty. When
 // the buffer is empty it returns io.EOF if the writer closed, the writer's
 // CloseWithError error if any, or errInterrupted if the link was detached.
-func (l *link) read(p []byte) (int, error) {
+// track enables hand-off accounting for loop-shaped consumers (see
+// DetachableReader.TrackHandoff).
+func (l *link) read(p []byte, track bool) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// The consumer coming back for more acknowledges the previous hand-off:
+	// everything it was given has been transformed and pushed on (or
+	// deliberately retained as filter state).
+	if l.handed {
+		l.handed = false
+		l.cond.Broadcast()
+	}
 	for l.count == 0 {
 		switch {
 		case l.rclosed:
@@ -157,6 +174,7 @@ func (l *link) read(p []byte) (int, error) {
 	}
 	l.start = (l.start + n) % len(l.buf)
 	l.count -= n
+	l.handed = track
 	l.cond.Broadcast()
 	return n, nil
 }
@@ -169,15 +187,17 @@ func (l *link) available() int {
 }
 
 // drainAndDetach implements the paper's pause(): let any in-flight write
-// finish, wait until the reader has consumed every buffered byte, then mark
-// the link detached and wake all waiters. New writes are held off at the
-// DetachableWriter level by the paused flag set before this is called.
+// finish, wait until the reader has consumed every buffered byte — and come
+// back for more, proving the consumed bytes were pushed downstream rather
+// than still sitting mid-transform — then mark the link detached and wake
+// all waiters. New writes are held off at the DetachableWriter level by the
+// paused flag set before this is called.
 func (l *link) drainAndDetach() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.pausing = true
 	l.cond.Broadcast()
-	for (l.count > 0 || l.writers > 0) && !l.rclosed && !l.wclosed {
+	for (l.count > 0 || l.writers > 0 || l.handed) && !l.rclosed && !l.wclosed {
 		l.cond.Wait()
 	}
 	l.detached = true
@@ -241,6 +261,22 @@ type DetachableReader struct {
 	source *DetachableWriter
 	paused bool
 	closed bool
+	// trackHandoff opts this reader into hand-off accounting: a Pause on
+	// the connected writer does not complete its drain until this reader,
+	// having been handed the final bytes, comes back for more. Correct only
+	// for loop-shaped consumers (read → transform → write → read …), which
+	// is every filter-chain stage; one-shot consumers would stall Pause.
+	trackHandoff bool
+}
+
+// TrackHandoff enables hand-off accounting for this reader (see the field
+// doc). Call before the reader is used; filter chains enable it on every
+// stage input so live splices never detach a stage that still holds
+// consumed-but-unemitted bytes.
+func (r *DetachableReader) TrackHandoff() {
+	r.mu.Lock()
+	r.trackHandoff = true
+	r.mu.Unlock()
 }
 
 // NewDetachableReader returns an unconnected reader.
@@ -420,6 +456,14 @@ func (w *DetachableWriter) Connected() bool {
 	return w.link != nil
 }
 
+// Closed reports whether the writer has been closed (it can never be
+// connected again).
+func (w *DetachableWriter) Closed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}
+
 // Paused reports whether the writer is paused (detached by Pause and not yet
 // reconnected).
 func (w *DetachableWriter) Paused() bool {
@@ -490,9 +534,10 @@ func (r *DetachableReader) Read(p []byte) (int, error) {
 			return 0, ErrClosed
 		}
 		l := r.link
+		track := r.trackHandoff
 		r.mu.Unlock()
 
-		n, err := l.read(p)
+		n, err := l.read(p, track)
 		if err == nil || !errors.Is(err, errInterrupted) {
 			return n, err
 		}
@@ -522,6 +567,14 @@ func (r *DetachableReader) Connected() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.link != nil
+}
+
+// Closed reports whether the reader has been closed (it can never be
+// connected again).
+func (r *DetachableReader) Closed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
 }
 
 // Paused reports whether the reader has been detached by Pause and not yet

@@ -660,3 +660,52 @@ func TestCloseUnblocksPendingIO(t *testing.T) {
 		t.Fatal("Close did not unblock Write")
 	}
 }
+
+// TestPauseWaitsForTrackedHandoff pins the hand-off contract behind
+// loss-free live splices: with TrackHandoff enabled, Pause does not finish
+// its drain when the reader has merely *consumed* the final bytes — it
+// waits until the reader comes back for more, proving the consumer pushed
+// what it was handed.
+func TestPauseWaitsForTrackedHandoff(t *testing.T) {
+	r, w := Pipe()
+	r.TrackHandoff()
+	if _, err := w.Write([]byte("chunk")); err != nil {
+		t.Fatal(err)
+	}
+	consumed := make(chan struct{})
+	acknowledge := make(chan struct{})
+	go func() {
+		buf := make([]byte, 8)
+		if _, err := r.Read(buf); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		close(consumed)
+		<-acknowledge
+		r.Read(buf) // the loop coming back for more completes the drain
+	}()
+	<-consumed
+
+	paused := make(chan struct{})
+	go func() {
+		if err := w.Pause(); err != nil {
+			t.Errorf("pause: %v", err)
+		}
+		close(paused)
+	}()
+	// The buffer is empty but the hand-off is unacknowledged: Pause must
+	// still be draining.
+	select {
+	case <-paused:
+		t.Fatal("Pause completed while the reader still held the hand-off")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(acknowledge)
+	select {
+	case <-paused:
+	case <-time.After(time.Second):
+		t.Fatal("Pause never completed after the reader came back")
+	}
+	// The second read is parked waiting for a reconnect; closing the reader
+	// releases it.
+	r.Close()
+}
