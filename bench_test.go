@@ -811,3 +811,176 @@ func BenchmarkLiveRecompose(b *testing.B) {
 	<-done
 	b.ReportMetric(float64(recomps.Load()), "recomposes")
 }
+
+// ---------------------------------------------------------------------------
+// Reliability spectrum — ARQ retransmission and replay catch-up paths.
+// ---------------------------------------------------------------------------
+
+// BenchmarkEngineARQRecovery measures the NACK repair path end to end: one
+// session with an arq history stage is primed with a stream, then each op is
+// one NACK datagram answered with one retransmitted frame out of the bounded
+// history — the per-repair cost a receiver pays after reporting a gap.
+func BenchmarkEngineARQRecovery(b *testing.B) {
+	eng, err := engine.New(engine.Config{ListenAddr: "127.0.0.1:0", Chain: "arq"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	c, err := net.DialUDP("udp", nil, eng.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	const id = 1
+	const primed = 256
+	payload := make([]byte, 320)
+	rand.New(rand.NewSource(3)).Read(payload)
+	recv := make([]byte, packet.MaxDatagram)
+	// Prime the history one round trip at a time so nothing is dropped on
+	// either socket.
+	for seq := uint64(0); seq < primed; seq++ {
+		dgram, err := packet.AppendDatagram(nil, id, &packet.Packet{Seq: seq, StreamID: id, Kind: packet.KindData, Payload: payload})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Write(dgram); err != nil {
+			b.Fatal(err)
+		}
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := c.Read(recv); err != nil {
+			b.Fatalf("seq %d never echoed: %v", seq, err)
+		}
+	}
+	nacks := make([][]byte, primed)
+	for i := range nacks {
+		d, err := packet.AppendNackDatagram(nil, id, 0, 0, []uint64{uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nacks[i] = d
+	}
+	c.SetReadDeadline(time.Now().Add(10 * time.Minute))
+
+	b.SetBytes(int64(packet.SessionIDSize + packet.HeaderSize + len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(nacks[i%primed]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Read(recv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBranchReplayPrime measures the late-join catch-up path: a fan-out
+// session whose trunk retains a 32-deep replay window, with one op being one
+// station joining the group, having its fresh delivery branch primed with the
+// full retained history, and leaving again.
+func BenchmarkBranchReplayPrime(b *testing.B) {
+	const depth = 32
+	rxA, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rxA.Close()
+	rxB, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rxB.Close()
+	eng, err := engine.New(engine.Config{
+		ListenAddr: "127.0.0.1:0",
+		Chain:      fmt.Sprintf("replay=%d", depth),
+		Fanout:     []string{rxA.LocalAddr().String()},
+		Branch:     "null",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	c, err := net.DialUDP("udp", nil, eng.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	const id = 1
+	payload := make([]byte, 320)
+	rand.New(rand.NewSource(5)).Read(payload)
+	// Fill the replay ring through the permanent member; rxA is drained in the
+	// background for the whole benchmark.
+	go func() {
+		buf := make([]byte, packet.MaxDatagram)
+		for {
+			rxA.SetReadDeadline(time.Now().Add(10 * time.Minute))
+			if _, err := rxA.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	seq := uint64(0)
+	send := func() {
+		dgram, err := packet.AppendDatagram(nil, id, &packet.Packet{Seq: seq, StreamID: id, Kind: packet.KindData, Payload: payload})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Write(dgram); err != nil {
+			b.Fatal(err)
+		}
+		seq++
+	}
+	for i := 0; i < depth; i++ {
+		send()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Session(id) == nil {
+		if time.Now().After(deadline) {
+			b.Fatal("session never appeared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	member := rxB.LocalAddr().(*net.UDPAddr).AddrPort()
+	recv := make([]byte, packet.MaxDatagram)
+	rxB.SetReadDeadline(time.Now().Add(10 * time.Minute))
+
+	// leave tears the joiner's branch back down between ops (outside the
+	// timed region): membership changes only apply at the next dispatch, so
+	// push one trunk frame through and wait until the branch is gone.
+	leave := func() {
+		eng.FanoutGroup().Remove(member)
+		send()
+		deadline := time.Now().Add(5 * time.Second)
+		for len(eng.Session(id).Stats().Receivers) > 1 {
+			if time.Now().After(deadline) {
+				b.Fatal("branch never torn down")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.FanoutGroup().Add(member)
+		send() // the next trunk frame reconciles the tree, building and priming the branch
+		// The joiner sees the retained window plus the live frame.
+		for got := 0; got < depth+1; got++ {
+			if _, err := rxB.Read(recv); err != nil {
+				b.Fatalf("op %d: read %d of %d primed frames: %v", i, got, depth+1, err)
+			}
+		}
+		b.StopTimer()
+		leave()
+		b.StartTimer()
+	}
+	b.ReportMetric(depth, "primed/op")
+}

@@ -305,20 +305,20 @@ func printStats(out *os.File, eng *metrics.EngineStats, shards []metrics.ShardSt
 	}
 	fmt.Fprintf(out, "engine: sessions %d (total %d), shards %d\n",
 		eng.ActiveSessions, eng.TotalSessions, eng.Shards)
-	fmt.Fprintf(out, "datagrams %d  malformed %d  rejected %d  feedback %d  chain-errors %d\n",
-		eng.Datagrams, eng.Malformed, eng.Rejected, eng.Feedback, eng.ChainErrors)
+	fmt.Fprintf(out, "datagrams %d  malformed %d  rejected %d  feedback %d  nacks %d  retransmits %d  chain-errors %d\n",
+		eng.Datagrams, eng.Malformed, eng.Rejected, eng.Feedback, eng.Nacks, eng.Retransmits, eng.ChainErrors)
 	perFlush := 0.0
 	if eng.WriteFlushes > 0 {
 		perFlush = float64(eng.BatchedWrites) / float64(eng.WriteFlushes)
 	}
 	fmt.Fprintf(out, "writes %d in %d flushes (%.1f/flush)  write-drops %d\n",
 		eng.BatchedWrites, eng.WriteFlushes, perFlush, eng.WriteDrops)
-	fmt.Fprintf(out, "%-5s %8s %10s %9s %8s %8s %10s %10s %8s %7s\n",
-		"shard", "sessions", "datagrams", "malformed", "rejected", "feedback", "chain-errs", "writes", "flushes", "wdrops")
+	fmt.Fprintf(out, "%-5s %8s %10s %9s %8s %8s %6s %7s %10s %10s %8s %7s\n",
+		"shard", "sessions", "datagrams", "malformed", "rejected", "feedback", "nacks", "rexmits", "chain-errs", "writes", "flushes", "wdrops")
 	for _, sh := range shards {
-		fmt.Fprintf(out, "%-5d %8d %10d %9d %8d %8d %10d %10d %8d %7d\n",
+		fmt.Fprintf(out, "%-5d %8d %10d %9d %8d %8d %6d %7d %10d %10d %8d %7d\n",
 			sh.Shard, sh.Sessions, sh.Datagrams, sh.Malformed, sh.Rejected, sh.Feedback,
-			sh.ChainErrors, sh.Writes, sh.Flushes, sh.WriteDrops)
+			sh.Nacks, sh.Retransmits, sh.ChainErrors, sh.Writes, sh.Flushes, sh.WriteDrops)
 	}
 }
 
@@ -379,23 +379,26 @@ func printSessions(out *os.File, stats []metrics.SessionStats) {
 	fmt.Fprintf(out, "%-10s %5s %10s %12s %10s %12s %8s %8s",
 		"session", "shard", "pkts", "bytes", "out-pkts", "out-bytes", "repairs", "drops")
 	if adaptive {
-		fmt.Fprintf(out, " %6s %7s %8s %8s", "fec", "loss", "reports", "retunes")
+		fmt.Fprintf(out, " %5s %6s %7s %8s %8s", "mech", "fec", "loss", "reports", "retunes")
 	}
 	fmt.Fprintln(out)
 	for _, s := range stats {
 		fmt.Fprintf(out, "%-10d %5d %10d %12d %10d %12d %8d %8d",
 			s.ID, s.Shard, s.Packets, s.Bytes, s.OutPackets, s.OutBytes, s.Repairs, s.Drops)
 		if adaptive {
-			fec, loss := "-", "-"
+			mech, fec, loss := "-", "-", "-"
 			var reports, retunes uint64
 			if a := s.Adapt; a != nil {
+				if a.Mechanism != "" {
+					mech = a.Mechanism
+				}
 				if a.N > a.K {
 					fec = fmt.Sprintf("%d/%d", a.N, a.K)
 				}
 				loss = fmt.Sprintf("%.4f", a.LossRate)
 				reports, retunes = a.Reports, a.Retunes
 			}
-			fmt.Fprintf(out, " %6s %7s %8d %8d", fec, loss, reports, retunes)
+			fmt.Fprintf(out, " %5s %6s %7s %8d %8d", mech, fec, loss, reports, retunes)
 		}
 		fmt.Fprintln(out)
 		// The trunk's composition: the canonical plan (the string compose
@@ -429,6 +432,12 @@ func printSessions(out *os.File, stats []metrics.SessionStats) {
 			}
 			fmt.Fprintf(out, "  -> %-21s %10d %12d %8d  fec %-6s loss %.4f reports %d retunes %d",
 				rx.Receiver, rx.OutPackets, rx.OutBytes, rx.Drops, fec, rx.LossRate, rx.Reports, rx.Retunes)
+			if rx.Mechanism != "" {
+				fmt.Fprintf(out, " mech %s", rx.Mechanism)
+			}
+			if rx.Primed > 0 {
+				fmt.Fprintf(out, " primed %d", rx.Primed)
+			}
 			if rx.Chain != "" {
 				fmt.Fprintf(out, "  tail %s", rx.Chain)
 			}

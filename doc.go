@@ -47,6 +47,21 @@
 // Adaptation responders express their FEC splices through the same plane via
 // a fec-adapt marker stage in the plan.
 //
+// Reliability spans a spectrum, not just FEC. The compose plane registers
+// the ARQ stages (internal/arq) and the replay cache (internal/cache) as
+// first-class chain stages: "arq" keeps a bounded retransmission history the
+// engine answers receiver NACKs from (packet.KindNack, consumed on the read
+// loop like feedback, authorized like feedback), "jitter=<ms>" is the
+// receiver-side smoothing buffer that lets a repair slot back into sequence,
+// and "replay=<n>" retains the recent past so a station that joins a fan-out
+// session mid-stream has its fresh branch primed with the retained window —
+// the collaborative session's late-join catch-up. With adaptation on, each
+// receiver's responder escalates across mechanisms from the full report
+// (loss and RTT): clean links run the pure relay, moderate loss splices
+// proactive parity, and rare loss on a high-RTT feedback path swaps the
+// encoder for a retransmission history, all through the same live-recompose
+// plane.
+//
 // Fan-out sessions deliver through a per-receiver delivery tree, the
 // paper's heterogeneity claim at engine scale: the session's shared trunk
 // chain is teed — by pooled-buffer reference counts, never copying payload

@@ -1,0 +1,65 @@
+package adapt
+
+import "rapidware/internal/fec"
+
+// Mechanism identifies which repair scheme the adaptation plane should run on
+// a link — the paper's reliability spectrum: nothing on a clean link,
+// proactive parity where loss is the dominant cost, and NACK-driven
+// retransmission where round trips are long but losses rare.
+type Mechanism uint8
+
+// The repair mechanisms, in escalation order.
+const (
+	// MechanismNone leaves the chain a pure relay.
+	MechanismNone Mechanism = iota
+	// MechanismFEC splices a proactive FEC encoder.
+	MechanismFEC
+	// MechanismARQ splices a retransmission history served by NACKs.
+	MechanismARQ
+)
+
+// String returns a human-readable mechanism name.
+func (m Mechanism) String() string {
+	switch m {
+	case MechanismNone:
+		return "none"
+	case MechanismFEC:
+		return "fec"
+	case MechanismARQ:
+		return "arq"
+	default:
+		return "unknown"
+	}
+}
+
+// Mechanism-selection thresholds. Retransmission only beats proactive parity
+// when two conditions meet: losses are rare enough that the occasional repair
+// costs less bandwidth than constant parity overhead, and — counterintuitively
+// — the feedback path is slow enough that retuning an FEC code from stale
+// high-RTT loss reports would chronically lag the channel, while a NACK names
+// exactly the packets that are already known missing. Below the loss ceiling
+// and above the RTT floor, ARQ wins; everywhere else the loss ladder decides.
+const (
+	// ARQRTTFloorMillis is the round-trip time above which per-report FEC
+	// retuning is considered too stale to track the channel.
+	ARQRTTFloorMillis = 150
+	// ARQLossCeiling is the loss rate above which retransmission traffic
+	// (and repeat losses of the repairs themselves) costs more than parity.
+	ARQLossCeiling = 0.05
+)
+
+// Decide maps one (loss, RTT) observation to a repair mechanism and, for
+// FEC, the code the ladder selects. rttMillis 0 means the RTT is unknown,
+// which never selects ARQ — without an RTT estimate the NACK round trip
+// cannot be budgeted against playout. The returned params are meaningful
+// only for MechanismFEC.
+func (p Policy) Decide(lossRate float64, rttMillis uint32) (Mechanism, fec.Params) {
+	params := p.Select(lossRate)
+	if params.K == params.N {
+		return MechanismNone, params
+	}
+	if rttMillis >= ARQRTTFloorMillis && lossRate <= ARQLossCeiling {
+		return MechanismARQ, params
+	}
+	return MechanismFEC, params
+}

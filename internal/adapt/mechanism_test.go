@@ -1,0 +1,46 @@
+package adapt
+
+import "testing"
+
+func TestMechanismString(t *testing.T) {
+	cases := map[Mechanism]string{
+		MechanismNone: "none",
+		MechanismFEC:  "fec",
+		MechanismARQ:  "arq",
+		Mechanism(99): "unknown",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mechanism(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestDecideSpansTheSpectrum(t *testing.T) {
+	p := DefaultPolicy()
+	cases := []struct {
+		name string
+		loss float64
+		rtt  uint32
+		want Mechanism
+	}{
+		{"clean link", 0.001, 20, MechanismNone},
+		{"clean link, slow path", 0.001, 500, MechanismNone},
+		{"moderate loss, fast feedback", 0.08, 20, MechanismFEC},
+		{"heavy loss stays proactive even on a slow path", 0.25, 400, MechanismFEC},
+		{"rare loss, slow feedback", 0.02, 200, MechanismARQ},
+		{"rare loss exactly at the RTT floor", 0.02, ARQRTTFloorMillis, MechanismARQ},
+		{"rare loss just under the RTT floor", 0.02, ARQRTTFloorMillis - 1, MechanismFEC},
+		{"loss just over the ARQ ceiling", ARQLossCeiling + 0.001, 400, MechanismFEC},
+		{"unknown RTT never selects ARQ", 0.02, 0, MechanismFEC},
+	}
+	for _, tc := range cases {
+		m, params := p.Decide(tc.loss, tc.rtt)
+		if m != tc.want {
+			t.Errorf("%s: Decide(%.3f, %d) = %v, want %v", tc.name, tc.loss, tc.rtt, m, tc.want)
+		}
+		if m == MechanismFEC && params.N <= params.K {
+			t.Errorf("%s: FEC decision with non-protective code %d/%d", tc.name, params.N, params.K)
+		}
+	}
+}

@@ -7,6 +7,13 @@
 // trip of delay to every repaired packet and scales poorly as independent
 // losses at different receivers each trigger their own retransmissions —
 // exactly the argument the paper makes for parity-based repair of multicast.
+//
+// Beyond the experiment harness, the package provides the engine-facing
+// reliability stages registered with the compose plane: SenderFilter (the
+// "arq" stage, a pass-through that keeps a bounded retransmission history the
+// engine answers KindNack requests from) and JitterFilter (the "jitter=<ms>"
+// stage, a reorder/smoothing buffer that re-sequences data packets within a
+// bounded delay).
 package arq
 
 import (
@@ -24,15 +31,25 @@ var (
 	ErrNotBuffered = errors.New("arq: packet no longer buffered")
 )
 
+// DefaultHistory is the sender-side retransmission history depth used when a
+// caller does not specify one.
+const DefaultHistory = 1024
+
+// DefaultReceiverWindow is the receiver's sliding-window span in sequence
+// numbers: gaps older than this are permanently given up. It comfortably
+// covers the experiment harness's multi-thousand-packet runs while bounding
+// state to a few kilobytes.
+const DefaultReceiverWindow = 4096
+
 // Sender transmits data packets and answers retransmission requests from a
-// bounded history of recently sent packets. It is safe for concurrent use.
+// bounded history of recently sent packets. The history is a ring indexed by
+// sequence number, so admission and eviction are O(1) with no per-packet
+// bookkeeping allocations. It is safe for concurrent use.
 type Sender struct {
 	transmit func(*packet.Packet) error
 
 	mu            sync.Mutex
-	history       map[uint64]*packet.Packet
-	order         []uint64
-	historyLimit  int
+	ring          []*packet.Packet // ring[seq%len] holds the packet iff .Seq == seq
 	nextSeq       uint64
 	sent          uint64
 	retransmitted uint64
@@ -45,12 +62,11 @@ func NewSender(historyLimit int, transmit func(*packet.Packet) error) (*Sender, 
 		return nil, errors.New("arq: transmit function is required")
 	}
 	if historyLimit <= 0 {
-		historyLimit = 1024
+		historyLimit = DefaultHistory
 	}
 	return &Sender{
-		transmit:     transmit,
-		history:      make(map[uint64]*packet.Packet),
-		historyLimit: historyLimit,
+		transmit: transmit,
+		ring:     make([]*packet.Packet, historyLimit),
 	}, nil
 }
 
@@ -61,13 +77,7 @@ func (s *Sender) Send(payload []byte) (uint64, error) {
 	seq := s.nextSeq
 	s.nextSeq++
 	p := &packet.Packet{Seq: seq, Kind: packet.KindData, Payload: append([]byte(nil), payload...)}
-	s.history[seq] = p
-	s.order = append(s.order, seq)
-	if len(s.order) > s.historyLimit {
-		oldest := s.order[0]
-		s.order = s.order[1:]
-		delete(s.history, oldest)
-	}
+	s.ring[seq%uint64(len(s.ring))] = p
 	s.sent++
 	s.mu.Unlock()
 	return seq, s.transmit(p.Clone())
@@ -77,14 +87,15 @@ func (s *Sender) Send(payload []byte) (uint64, error) {
 // transmit path (and is therefore subject to loss again).
 func (s *Sender) Retransmit(seq uint64) error {
 	s.mu.Lock()
-	p, ok := s.history[seq]
-	if ok {
-		s.retransmitted++
-	}
-	s.mu.Unlock()
-	if !ok {
+	p := s.ring[seq%uint64(len(s.ring))]
+	if p == nil || p.Seq != seq {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: seq %d", ErrNotBuffered, seq)
 	}
+	s.retransmitted++
+	s.mu.Unlock()
+	// Stored packets are never mutated after admission, only replaced, so the
+	// clone can happen outside the lock.
 	return s.transmit(p.Clone())
 }
 
@@ -102,48 +113,121 @@ func (s *Sender) Next() uint64 {
 	return s.nextSeq
 }
 
-// Receiver tracks which sequence numbers have arrived, exposes the current
-// gaps (the NACK list), and records how many repair rounds each recovered
-// packet needed. It is safe for concurrent use.
-type Receiver struct {
-	mu        sync.Mutex
-	received  map[uint64]bool
-	attempts  map[uint64]int
-	expected  uint64 // one past the highest sequence number ever observed or expected
-	maxNACKs  int
-	recovered map[uint64]int // seq -> round on which it finally arrived
+// cell is the per-sequence state inside the receiver's sliding window.
+type cell struct {
+	attempts uint16
+	received bool
+	givenUp  bool // counted in the give-up total (budget exhausted)
 }
 
-// NewReceiver returns a receiver that gives up on a packet after maxNACKs
-// unanswered repair requests (<=0 selects 3, a typical bound for isochronous
-// traffic where late packets are useless).
+// Receiver tracks which sequence numbers have arrived over a sliding window,
+// exposes the current gaps (the NACK list), and records how many repair
+// rounds each recovered packet needed. State is a fixed ring of cells over
+// the last window sequence numbers — Missing scans only the window, never
+// the full history, and memory is bounded regardless of stream length. A gap
+// that slides out of the window, or exhausts its NACK budget, is permanently
+// given up and counted as lost. It is safe for concurrent use.
+type Receiver struct {
+	mu       sync.Mutex
+	cells    []cell
+	lo       uint64 // lowest sequence number still tracked
+	hi       uint64 // one past the highest sequence number observed or expected
+	maxNACKs int
+
+	delivered       uint64 // unique packets received (including slid-out ones)
+	inWindow        int    // received cells currently inside [lo, hi)
+	finalLost       uint64 // unreceived cells that slid out of the window
+	givenUp         uint64 // gaps permanently abandoned (budget or window)
+	late            uint64 // arrivals below lo, after the gap was given up
+	recovered       uint64 // packets that arrived on a repair round
+	recoveredRounds uint64 // sum of repair-round numbers over recovered
+}
+
+// NewReceiver returns a receiver with the default window that gives up on a
+// packet after maxNACKs unanswered repair requests (<=0 selects 3, a typical
+// bound for isochronous traffic where late packets are useless).
 func NewReceiver(maxNACKs int) *Receiver {
+	return NewReceiverWindow(maxNACKs, DefaultReceiverWindow)
+}
+
+// NewReceiverWindow returns a receiver tracking gaps over the last window
+// sequence numbers (<=0 selects DefaultReceiverWindow).
+func NewReceiverWindow(maxNACKs, window int) *Receiver {
 	if maxNACKs <= 0 {
 		maxNACKs = 3
 	}
-	return &Receiver{
-		received:  make(map[uint64]bool),
-		attempts:  make(map[uint64]int),
-		recovered: make(map[uint64]int),
-		maxNACKs:  maxNACKs,
+	if window <= 0 {
+		window = DefaultReceiverWindow
 	}
+	return &Receiver{
+		cells:    make([]cell, window),
+		maxNACKs: maxNACKs,
+	}
+}
+
+// cellAt returns the window cell for seq; caller holds r.mu and guarantees
+// lo <= seq < hi.
+func (r *Receiver) cellAt(seq uint64) *cell {
+	return &r.cells[seq%uint64(len(r.cells))]
+}
+
+// advanceLocked extends the expected range to [lo, newHi), sliding the window
+// forward and finalizing cells that fall out of it; caller holds r.mu.
+func (r *Receiver) advanceLocked(newHi uint64) {
+	window := uint64(len(r.cells))
+	for s := r.hi; s < newHi; s++ {
+		if s-r.lo >= window {
+			r.slideLocked()
+		}
+		*r.cellAt(s) = cell{}
+	}
+	if newHi > r.hi {
+		r.hi = newHi
+	}
+}
+
+// slideLocked finalizes the cell at lo and advances it; caller holds r.mu.
+func (r *Receiver) slideLocked() {
+	c := r.cellAt(r.lo)
+	if c.received {
+		r.inWindow--
+	} else {
+		r.finalLost++
+		if !c.givenUp {
+			// Slid out before the NACK budget ran dry: still permanently lost.
+			r.givenUp++
+		}
+	}
+	r.lo++
 }
 
 // Deliver records an arriving packet. round is 0 for original transmissions
 // and the repair round number for retransmissions. It reports whether the
-// packet was new.
+// packet was new; arrivals below the window (already given up) are counted
+// but not accepted.
 func (r *Receiver) Deliver(p *packet.Packet, round int) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if p.Seq+1 > r.expected {
-		r.expected = p.Seq + 1
-	}
-	if r.received[p.Seq] {
+	if p.Seq < r.lo {
+		r.late++
 		return false
 	}
-	r.received[p.Seq] = true
+	r.advanceLocked(p.Seq + 1)
+	c := r.cellAt(p.Seq)
+	if c.received {
+		return false
+	}
+	c.received = true
+	if c.givenUp {
+		// A repair from an earlier round beat the give-up after all.
+		c.givenUp = false
+		r.givenUp--
+	}
+	r.delivered++
+	r.inWindow++
 	if round > 0 {
-		r.recovered[p.Seq] = round
+		r.recovered++
+		r.recoveredRounds += uint64(round)
 	}
 	return true
 }
@@ -153,26 +237,30 @@ func (r *Receiver) Deliver(p *packet.Packet, round int) bool {
 func (r *Receiver) ExpectUpTo(n uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if n > r.expected {
-		r.expected = n
-	}
+	r.advanceLocked(n)
 }
 
-// Missing returns the sequence numbers that have not arrived and have not yet
-// exhausted their NACK budget, incrementing each one's attempt counter. It is
-// the NACK list for the next repair round.
+// Missing returns the in-window sequence numbers that have not arrived and
+// have not yet exhausted their NACK budget, incrementing each one's attempt
+// counter. It is the NACK list for the next repair round. A gap skipped
+// because its budget ran dry is marked given up exactly once.
 func (r *Receiver) Missing() []uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []uint64
-	for seq := uint64(0); seq < r.expected; seq++ {
-		if r.received[seq] {
+	for seq := r.lo; seq < r.hi; seq++ {
+		c := r.cellAt(seq)
+		if c.received {
 			continue
 		}
-		if r.attempts[seq] >= r.maxNACKs {
+		if int(c.attempts) >= r.maxNACKs {
+			if !c.givenUp {
+				c.givenUp = true
+				r.givenUp++
+			}
 			continue
 		}
-		r.attempts[seq]++
+		c.attempts++
 		out = append(out, seq)
 	}
 	return out
@@ -184,27 +272,39 @@ func (r *Receiver) Missing() []uint64 {
 func (r *Receiver) Stats() (delivered, recovered, lost int, meanRepairRounds float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	delivered = len(r.received)
-	recovered = len(r.recovered)
-	lost = int(r.expected) - delivered
-	if recovered > 0 {
-		total := 0
-		for _, rounds := range r.recovered {
-			total += rounds
-		}
-		meanRepairRounds = float64(total) / float64(recovered)
+	delivered = int(r.delivered)
+	recovered = int(r.recovered)
+	lost = int(r.finalLost) + int(r.hi-r.lo) - r.inWindow
+	if r.recovered > 0 {
+		meanRepairRounds = float64(r.recoveredRounds) / float64(r.recovered)
 	}
 	return delivered, recovered, lost, meanRepairRounds
 }
 
-// DeliveredRate returns the fraction of expected packets that arrived.
-func (r *Receiver) DeliveredRate() float64 {
-	delivered, _, _, _ := r.Stats()
+// GivenUp returns how many gaps the receiver has permanently abandoned,
+// whether by exhausting their NACK budget or by sliding out of the window.
+func (r *Receiver) GivenUp() uint64 {
 	r.mu.Lock()
-	expected := r.expected
-	r.mu.Unlock()
-	if expected == 0 {
+	defer r.mu.Unlock()
+	return r.givenUp
+}
+
+// Late returns how many packets arrived after their gap had already slid out
+// of the window.
+func (r *Receiver) Late() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.late
+}
+
+// DeliveredRate returns the fraction of expected packets that arrived. The
+// snapshot is taken under one lock acquisition, so delivered and expected are
+// always consistent with each other.
+func (r *Receiver) DeliveredRate() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hi == 0 {
 		return 1
 	}
-	return float64(delivered) / float64(expected)
+	return float64(r.delivered) / float64(r.hi)
 }

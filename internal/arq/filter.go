@@ -1,0 +1,242 @@
+package arq
+
+import (
+	"container/heap"
+	"io"
+	"sync"
+	"time"
+
+	"rapidware/internal/filter"
+	"rapidware/internal/packet"
+)
+
+// SenderFilter is the compose-plane "arq" stage: a pass-through filter that
+// records every data frame it forwards in a bounded ring keyed by sequence
+// number. The engine answers KindNack feedback from this history — the
+// retransmission path never re-enters the chain, so repairs reach only the
+// receiver that asked (unicast), exactly as the paper's ARQ baseline does.
+// The hot path adds one mutex-guarded pointer store per data packet; history
+// eviction is implicit in the ring overwrite.
+type SenderFilter struct {
+	*filter.Base
+
+	mu      sync.Mutex
+	ring    []*packet.Packet // ring[seq%len] holds the frame iff .Seq == seq
+	tracked uint64
+	served  uint64
+	misses  uint64
+}
+
+// NewSenderFilter returns an ARQ history stage keeping the last historyLimit
+// data packets available for retransmission (<=0 selects DefaultHistory).
+func NewSenderFilter(name string, historyLimit int) *SenderFilter {
+	if name == "" {
+		name = "arq"
+	}
+	if historyLimit <= 0 {
+		historyLimit = DefaultHistory
+	}
+	f := &SenderFilter{ring: make([]*packet.Packet, historyLimit)}
+	f.Base = filter.NewPacketFunc(name, func(p *packet.Packet) ([]*packet.Packet, error) {
+		if p.Kind == packet.KindData {
+			f.mu.Lock()
+			f.ring[p.Seq%uint64(len(f.ring))] = p
+			f.tracked++
+			f.mu.Unlock()
+		}
+		return []*packet.Packet{p}, nil
+	}, nil)
+	return f
+}
+
+// Retransmit looks seq up in the history and, when present, marshals the
+// frame and hands it to emit. It reports whether the packet was still
+// buffered. emit is called without the filter's lock held.
+func (f *SenderFilter) Retransmit(seq uint64, emit func(frame []byte)) bool {
+	f.mu.Lock()
+	p := f.ring[seq%uint64(len(f.ring))]
+	if p == nil || p.Seq != seq {
+		f.misses++
+		f.mu.Unlock()
+		return false
+	}
+	f.served++
+	f.mu.Unlock()
+	// Ring entries are replaced, never mutated, so marshaling outside the
+	// lock is safe.
+	frame, err := packet.Marshal(p)
+	if err != nil {
+		return false
+	}
+	emit(frame)
+	return true
+}
+
+// HistoryLimit returns the ring depth.
+func (f *SenderFilter) HistoryLimit() int { return len(f.ring) }
+
+// Stats returns how many data packets were admitted to the history, how many
+// retransmissions were served, and how many requests missed (already
+// evicted or never sent).
+func (f *SenderFilter) Stats() (tracked, served, misses uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tracked, f.served, f.misses
+}
+
+// jitterEntry is one held packet with its release deadline.
+type jitterEntry struct {
+	p   *packet.Packet
+	due time.Time
+}
+
+// jitterHeap orders held packets by sequence number, so releases are always
+// in-order among buffered packets.
+type jitterHeap []jitterEntry
+
+func (h jitterHeap) Len() int            { return len(h) }
+func (h jitterHeap) Less(i, j int) bool  { return h[i].p.Seq < h[j].p.Seq }
+func (h jitterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *jitterHeap) Push(x interface{}) { *h = append(*h, x.(jitterEntry)) }
+func (h *jitterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = jitterEntry{}
+	*h = old[:n-1]
+	return e
+}
+
+// JitterFilter is the compose-plane "jitter=<ms>" stage: a reorder/smoothing
+// buffer that holds each data packet for a fixed delay and releases buffered
+// packets in sequence order — the playout-buffer half of the reliability
+// spectrum, which gives ARQ repairs a window to slot retransmissions back
+// into sequence before delivery. Non-data frames (parity, control, feedback)
+// pass straight through. A background flusher drains due packets; the
+// packet.Writer serializes its writes with the reader loop's, so frames are
+// never interleaved mid-frame.
+type JitterFilter struct {
+	*filter.Base
+	delay time.Duration
+
+	mu       sync.Mutex
+	heap     jitterHeap
+	buffered uint64 // total data packets held
+	released uint64 // total data packets released
+}
+
+// NewJitterFilter returns a smoothing buffer holding data packets for delay
+// before releasing them in sequence order (non-positive delays select 1ms).
+func NewJitterFilter(name string, delay time.Duration) *JitterFilter {
+	if name == "" {
+		name = "jitter"
+	}
+	if delay <= 0 {
+		delay = time.Millisecond
+	}
+	f := &JitterFilter{delay: delay}
+	f.Base = filter.New(name, func(r io.Reader, w io.Writer) error {
+		pr := packet.NewReader(r)
+		pw := packet.NewWriter(w)
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := delay / 4
+			if tick <= 0 {
+				tick = time.Millisecond
+			}
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case now := <-t.C:
+					for _, p := range f.take(now) {
+						if pw.WritePacket(p) != nil {
+							return
+						}
+					}
+				}
+			}
+		}()
+		defer func() {
+			close(done)
+			wg.Wait()
+		}()
+		for {
+			p, err := pr.ReadPacket()
+			if err != nil {
+				if err == io.EOF {
+					// Flush everything still held, in sequence order.
+					for _, q := range f.drain() {
+						if werr := pw.WritePacket(q); werr != nil {
+							return werr
+						}
+					}
+					return nil
+				}
+				return err
+			}
+			if p.Kind != packet.KindData {
+				if werr := pw.WritePacket(p); werr != nil {
+					return werr
+				}
+				continue
+			}
+			f.hold(p)
+		}
+	})
+	return f
+}
+
+// hold buffers a data packet until its release deadline.
+func (f *JitterFilter) hold(p *packet.Packet) {
+	f.mu.Lock()
+	heap.Push(&f.heap, jitterEntry{p: p, due: time.Now().Add(f.delay)})
+	f.buffered++
+	f.mu.Unlock()
+}
+
+// take pops the due packets in sequence order. Release stops at the first
+// not-yet-due packet so a still-maturing low sequence number is never jumped.
+func (f *JitterFilter) take(now time.Time) []*packet.Packet {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []*packet.Packet
+	for len(f.heap) > 0 && !f.heap[0].due.After(now) {
+		out = append(out, heap.Pop(&f.heap).(jitterEntry).p)
+		f.released++
+	}
+	return out
+}
+
+// drain pops every held packet in sequence order.
+func (f *JitterFilter) drain() []*packet.Packet {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*packet.Packet, 0, len(f.heap))
+	for len(f.heap) > 0 {
+		out = append(out, heap.Pop(&f.heap).(jitterEntry).p)
+		f.released++
+	}
+	return out
+}
+
+// Delay returns the configured hold time.
+func (f *JitterFilter) Delay() time.Duration { return f.delay }
+
+// Stats returns how many data packets have been buffered and released; the
+// difference is the current buffer depth.
+func (f *JitterFilter) Stats() (buffered, released uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.buffered, f.released
+}
+
+var (
+	_ filter.Filter = (*SenderFilter)(nil)
+	_ filter.Filter = (*JitterFilter)(nil)
+)

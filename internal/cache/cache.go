@@ -153,11 +153,25 @@ func (c *LRU) HitRate() float64 {
 // network on behalf of the handheld).
 type Fetcher func(url string) ([]byte, error)
 
+// call is one in-flight fetch that concurrent misses for the same URL wait
+// on instead of fetching themselves.
+type call struct {
+	wg  sync.WaitGroup
+	v   []byte
+	err error
+}
+
 // Proxy is a caching fetch-through layer: handheld requests hit the cache
-// first and fall back to the fetcher, whose responses are cached.
+// first and fall back to the fetcher, whose responses are cached. Concurrent
+// misses for the same URL are coalesced into a single fetch — without that,
+// every waiter would invoke the fetcher and re-Put the same bytes (a
+// thundering herd on the wired side exactly when the origin is slow).
 type Proxy struct {
 	cache   *LRU
 	fetcher Fetcher
+
+	mu       sync.Mutex
+	inflight map[string]*call
 }
 
 // NewProxy returns a caching proxy over the given fetcher.
@@ -169,14 +183,44 @@ func NewProxy(capacity int, fetcher Fetcher) (*Proxy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Proxy{cache: lru, fetcher: fetcher}, nil
+	return &Proxy{cache: lru, fetcher: fetcher, inflight: make(map[string]*call)}, nil
 }
 
-// Get returns the object for url, consulting the cache first.
+// Get returns the object for url, consulting the cache first. On a miss, the
+// first caller fetches while later callers for the same url block on the
+// leader's result; exactly one fetch and one cache fill happen per miss.
 func (p *Proxy) Get(url string) ([]byte, error) {
 	if v, ok := p.cache.Get(url); ok {
 		return v, nil
 	}
+	p.mu.Lock()
+	if c, ok := p.inflight[url]; ok {
+		p.mu.Unlock()
+		c.wg.Wait()
+		if c.err != nil {
+			return nil, c.err
+		}
+		// Each waiter gets its own copy, as a cache hit would.
+		return append([]byte(nil), c.v...), nil
+	}
+	c := &call{}
+	c.wg.Add(1)
+	p.inflight[url] = c
+	p.mu.Unlock()
+
+	c.v, c.err = p.fetch(url)
+	p.mu.Lock()
+	delete(p.inflight, url)
+	p.mu.Unlock()
+	c.wg.Done()
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c.v, nil
+}
+
+// fetch performs the leader's miss path: origin fetch plus cache fill.
+func (p *Proxy) fetch(url string) ([]byte, error) {
 	v, err := p.fetcher(url)
 	if err != nil {
 		return nil, fmt.Errorf("cache: fetch %s: %w", url, err)

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestNewLRUValidation(t *testing.T) {
@@ -271,5 +273,93 @@ func TestNewProxyValidation(t *testing.T) {
 	}
 	if _, err := NewProxy(0, func(string) ([]byte, error) { return nil, nil }); err == nil {
 		t.Fatal("expected error for zero capacity")
+	}
+}
+
+func TestProxySingleflightCollapsesConcurrentMisses(t *testing.T) {
+	var fetches atomic.Int32
+	gate := make(chan struct{})
+	proxy, err := NewProxy(1<<20, func(url string) ([]byte, error) {
+		fetches.Add(1)
+		<-gate // hold every caller in the miss window
+		return []byte("body of " + url), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 16
+	results := make(chan []byte, callers)
+	errs := make(chan error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := proxy.Get("http://example.edu/lecture")
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- v
+		}()
+	}
+	// Let every goroutine reach Get before the leader's fetch completes.
+	deadline := time.Now().Add(2 * time.Second)
+	for fetches.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no fetch ever started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	close(errs)
+	close(results)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("%d fetches for one URL under concurrent misses, want 1", n)
+	}
+	var got [][]byte
+	for v := range results {
+		got = append(got, v)
+	}
+	// Every caller sees the object, and each holds its own copy.
+	for _, v := range got {
+		if string(v) != "body of http://example.edu/lecture" {
+			t.Fatalf("waiter got %q", v)
+		}
+	}
+	got[0][0] ^= 0xff
+	if v, _ := proxy.Get("http://example.edu/lecture"); string(v) != "body of http://example.edu/lecture" {
+		t.Fatal("a waiter's copy aliases the cached object")
+	}
+}
+
+func TestProxySingleflightErrorNotCached(t *testing.T) {
+	var fetches atomic.Int32
+	fail := true
+	proxy, err := NewProxy(1<<20, func(url string) ([]byte, error) {
+		fetches.Add(1)
+		if fail {
+			return nil, errors.New("origin down")
+		}
+		return []byte("recovered"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proxy.Get("http://example.edu/x"); err == nil {
+		t.Fatal("Get succeeded through a failing fetcher")
+	}
+	fail = false
+	v, err := proxy.Get("http://example.edu/x")
+	if err != nil || string(v) != "recovered" {
+		t.Fatalf("Get after recovery = %q, %v", v, err)
+	}
+	if fetches.Load() != 2 {
+		t.Fatalf("fetches = %d, want 2 (the failure must not be cached)", fetches.Load())
 	}
 }

@@ -1,0 +1,114 @@
+package cache
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"rapidware/internal/filter"
+	"rapidware/internal/packet"
+)
+
+// ReplayFilter is the compose-plane "replay=<n>" stage: a pass-through that
+// keeps the last n data frames of the trunk stream in an LRU object cache so
+// a receiver joining a fan-out session mid-stream can be primed with recent
+// history on its delivery branch — the paper's collaborative-session
+// scenario, where a late-joining station must catch up on state it missed.
+// The engine drains Frames() into a freshly created branch before the branch
+// is published to the dispatch path.
+type ReplayFilter struct {
+	*filter.Base
+
+	n int
+
+	mu       sync.Mutex
+	lru      *LRU
+	seqs     []uint64 // ring of cached sequence numbers, oldest at head
+	head     int
+	count    int
+	admitted uint64
+	primes   uint64
+}
+
+// seqKey renders a sequence number as an LRU cache key.
+func seqKey(seq uint64) string { return strconv.FormatUint(seq, 10) }
+
+// NewReplayFilter returns a catch-up stage retaining the last n data frames.
+func NewReplayFilter(name string, n int) (*ReplayFilter, error) {
+	if name == "" {
+		name = "replay"
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("cache: replay depth must be positive, got %d", n)
+	}
+	// Size the cache so byte-bounded eviction can never fire before the
+	// explicit count-n eviction: n frames of the largest datagram the engine
+	// accepts always fit.
+	lru, err := NewLRU(n * packet.MaxDatagram)
+	if err != nil {
+		return nil, err
+	}
+	f := &ReplayFilter{n: n, lru: lru, seqs: make([]uint64, n)}
+	f.Base = filter.NewPacketFunc(name, func(p *packet.Packet) ([]*packet.Packet, error) {
+		if p.Kind == packet.KindData {
+			frame, err := packet.Marshal(p)
+			if err == nil {
+				f.admit(p.Seq, frame)
+			}
+		}
+		return []*packet.Packet{p}, nil
+	}, nil)
+	return f, nil
+}
+
+// admit stores one marshaled data frame, evicting the oldest when the ring
+// is full.
+func (f *ReplayFilter) admit(seq uint64, frame []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.count == f.n {
+		f.lru.Delete(seqKey(f.seqs[f.head]))
+		f.seqs[f.head] = seq
+		f.head = (f.head + 1) % f.n
+	} else {
+		f.seqs[(f.head+f.count)%f.n] = seq
+		f.count++
+	}
+	// Put only fails for frames over capacity, which the sizing above rules
+	// out.
+	_ = f.lru.Put(seqKey(seq), frame)
+	f.admitted++
+}
+
+// Frames returns copies of the retained data frames in admission order
+// (oldest first) and counts one priming drain.
+func (f *ReplayFilter) Frames() [][]byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([][]byte, 0, f.count)
+	for i := 0; i < f.count; i++ {
+		if v, ok := f.lru.Get(seqKey(f.seqs[(f.head+i)%f.n])); ok {
+			out = append(out, v)
+		}
+	}
+	if len(out) > 0 {
+		f.primes++
+	}
+	return out
+}
+
+// Depth returns the configured retention depth n.
+func (f *ReplayFilter) Depth() int { return f.n }
+
+// Stats returns how many data frames were admitted, how many are currently
+// retained, and how many priming drains served at least one frame.
+func (f *ReplayFilter) Stats() (admitted uint64, retained int, primes uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.admitted, f.count, f.primes
+}
+
+// Cache exposes the underlying LRU for statistics.
+func (f *ReplayFilter) Cache() *LRU { return f.lru }
+
+var _ filter.Filter = (*ReplayFilter)(nil)

@@ -1,0 +1,125 @@
+package cache
+
+import (
+	"io"
+	"testing"
+
+	"rapidware/internal/packet"
+	"rapidware/internal/stream"
+)
+
+// runReplay pushes packets through a started ReplayFilter and returns what
+// comes out.
+func runReplay(t *testing.T, f *ReplayFilter, in []*packet.Packet) []*packet.Packet {
+	t.Helper()
+	src := stream.NewDetachableWriter()
+	dst := stream.NewDetachableReader()
+	if err := stream.Connect(src, f.In()); err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Connect(f.Out(), dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		pw := packet.NewWriter(src)
+		for _, p := range in {
+			if err := pw.WritePacket(p); err != nil {
+				return
+			}
+		}
+		src.Close()
+	}()
+	var out []*packet.Packet
+	pr := packet.NewReader(dst)
+	for {
+		p, err := pr.ReadPacket()
+		if err != nil {
+			if err != io.EOF {
+				t.Fatalf("ReadPacket: %v", err)
+			}
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+func TestNewReplayFilterValidation(t *testing.T) {
+	if _, err := NewReplayFilter("", 0); err == nil {
+		t.Fatal("NewReplayFilter(0) succeeded, want error")
+	}
+	f, err := NewReplayFilter("", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "replay" || f.Depth() != 4 {
+		t.Fatalf("defaults = (%q, %d), want (replay, 4)", f.Name(), f.Depth())
+	}
+}
+
+func TestReplayFilterRetainsWindowInOrder(t *testing.T) {
+	f, err := NewReplayFilter("replay", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in []*packet.Packet
+	for seq := uint64(0); seq < 7; seq++ {
+		in = append(in, &packet.Packet{Seq: seq, Kind: packet.KindData, Payload: []byte{byte(seq)}})
+	}
+	// Non-data frames pass through without entering the window.
+	in = append(in, &packet.Packet{Seq: 50, Kind: packet.KindParity, Payload: []byte("p")})
+	out := runReplay(t, f, in)
+	if len(out) != len(in) {
+		t.Fatalf("forwarded %d packets, want %d", len(out), len(in))
+	}
+
+	frames := f.Frames()
+	if len(frames) != 4 {
+		t.Fatalf("retained %d frames, want the window of 4", len(frames))
+	}
+	// Oldest first: the 4-deep window over seqs 0..6 holds 3,4,5,6.
+	for i, frame := range frames {
+		p, _, err := packet.Unmarshal(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(3 + i); p.Seq != want {
+			t.Fatalf("frames[%d].Seq = %d, want %d", i, p.Seq, want)
+		}
+	}
+	if admitted, retained, primes := f.Stats(); admitted != 7 || retained != 4 || primes != 1 {
+		t.Fatalf("Stats = (%d, %d, %d), want (7, 4, 1)", admitted, retained, primes)
+	}
+}
+
+func TestReplayFilterFramesAreCopies(t *testing.T) {
+	f, err := NewReplayFilter("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runReplay(t, f, []*packet.Packet{{Seq: 0, Kind: packet.KindData, Payload: []byte("orig")}})
+	frames := f.Frames()
+	if len(frames) != 1 {
+		t.Fatalf("retained %d frames, want 1", len(frames))
+	}
+	frames[0][0] ^= 0xff
+	again := f.Frames()
+	if p, _, err := packet.Unmarshal(again[0]); err != nil || string(p.Payload) != "orig" {
+		t.Fatalf("mutating a returned frame corrupted the retained copy: %v, %v", p, err)
+	}
+}
+
+func TestReplayFilterEmptyWindowDoesNotCountPrime(t *testing.T) {
+	f, err := NewReplayFilter("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames := f.Frames(); len(frames) != 0 {
+		t.Fatalf("fresh filter retained %d frames", len(frames))
+	}
+	if _, _, primes := f.Stats(); primes != 0 {
+		t.Fatalf("primes = %d after an empty drain, want 0", primes)
+	}
+}

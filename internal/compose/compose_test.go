@@ -24,6 +24,13 @@ func TestParseCanonicalFixpoint(t *testing.T) {
 		{"counting,thin=3,transcode=4", ModeChain, "counting,thin=3,transcode=4"},
 		{"mono,compress=6,decompress", ModeChain, "mono,compress=6,decompress"},
 		{"compress", ModeChain, "compress"},
+		{"arq", ModeChain, "arq"},
+		{"arq=512", ModeChain, "arq=512"},
+		{"arq,fec-encode=6/4", ModeChain, "arq,fec-encode=6/4"},
+		{"jitter=20", ModeChain, "jitter=20"},
+		{"replay=32", ModeChain, "replay=32"},
+		{"replay=32,arq=256,jitter=5", ModeChain, "replay=32,arq=256,jitter=5"},
+		{"jitter=20", ModeBranch, "jitter=20"},
 		{"fec-adapt", ModeBranch, "fec-adapt"},
 		{"fec-adapt,ratelimit=64000", ModeBranch, "fec-adapt,ratelimit=64000"},
 		{"thin=2,fec-adapt,ratelimit=1000", ModeBranch, "thin=2,fec-adapt,ratelimit=1000"},
@@ -64,6 +71,14 @@ func TestParseRejections(t *testing.T) {
 		{"thin=x", ModeChain},
 		{"compress=99", ModeChain},
 		{"compress=x", ModeChain},
+		{"arq=0", ModeChain},
+		{"arq=x", ModeChain},
+		{"jitter", ModeChain},   // delay is required
+		{"jitter=0", ModeChain}, // ... and positive
+		{"replay", ModeChain},
+		{"replay=-1", ModeChain},
+		// The retransmission history must record the data stream, not parity.
+		{"fec-encode=6/4,arq", ModeChain},
 		{"fec-adapt", ModeChain},            // marker is branch-only
 		{"fec-decode", ModeBranch},          // decode is chain-only
 		{"thin=2,fec-decode", ModeBranch},   // ... anywhere in the spec

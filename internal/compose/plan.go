@@ -18,9 +18,19 @@ import (
 )
 
 // KindFECAdapt is the marker stage kind reserving a position for an
-// adaptation responder's FEC encoder. A marker has no instance of its own
-// until the responder activates one.
+// adaptation responder's repair mechanism (an FEC encoder or an ARQ
+// history). A marker has no instance of its own until the responder
+// activates one.
 const KindFECAdapt = "fec-adapt"
+
+// The reliability-spectrum stage kinds: sender-side retransmission history
+// ("arq"), reorder/smoothing buffer ("jitter=<ms>") and cache-backed
+// late-join catch-up ("replay=<n>").
+const (
+	KindARQ    = "arq"
+	KindJitter = "jitter"
+	KindReplay = "replay"
+)
 
 // Stage is one validated stage spec of a plan: a registered kind plus its
 // canonicalized argument.

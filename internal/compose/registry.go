@@ -9,7 +9,9 @@ import (
 	"sync"
 	"time"
 
+	"rapidware/internal/arq"
 	"rapidware/internal/audio"
+	"rapidware/internal/cache"
 	"rapidware/internal/fec"
 	"rapidware/internal/fecproxy"
 	"rapidware/internal/filter"
@@ -141,13 +143,17 @@ func (r *Registry) CanonStage(kind, arg string) (Stage, error) {
 }
 
 // Validate checks that every stage of the plan is registered and legal for
-// the mode, that no marker kind appears more than once, and that a plan
-// never carries both the fec-adapt marker and a static fec-encode stage —
-// the adaptation responder owns FEC encoding on marker-bearing chains, and a
+// the mode, that no marker kind appears more than once, that a plan never
+// carries both the fec-adapt marker and a static fec-encode stage — the
+// adaptation responder owns FEC encoding on marker-bearing chains, and a
 // static encoder beside it would re-encode the adaptive encoder's output
-// (parity-of-parity) the moment loss appears. Because every path — engine
-// startup specs and live recompositions alike — validates here, the
-// invariant cannot be bypassed mid-session.
+// (parity-of-parity) the moment loss appears — and that an arq history never
+// sits downstream of fec-encode, where it would record parity frames'
+// sequence space instead of the data stream receivers NACK against. (arq
+// downstream of the fec-adapt *marker* is legal: the history tracks only
+// data frames, so marker-activated parity passes through untracked.) Because
+// every path — engine startup specs and live recompositions alike —
+// validates here, the invariants cannot be bypassed mid-session.
 func (r *Registry) Validate(p Plan, mode Mode) error {
 	markers := make(map[string]bool)
 	hasMarker, hasStaticFEC := false, false
@@ -168,6 +174,9 @@ func (r *Registry) Validate(p Plan, mode Mode) error {
 		}
 		if st.Kind == "fec-encode" {
 			hasStaticFEC = true
+		}
+		if st.Kind == KindARQ && hasStaticFEC {
+			return fmt.Errorf("compose: plan %q puts %s downstream of fec-encode; the retransmission history must see the data stream, not parity (put %s first)", p.String(), KindARQ, KindARQ)
 		}
 		if d.ChainOnly && !mode.AllowChainOnly {
 			return fmt.Errorf("compose: %s is a chain-only stage; decode on the trunk, not per branch", st.Kind)
@@ -228,8 +237,16 @@ func Default() *Registry {
 //	fec-encode=<n>/<k>    (n,k) FEC block encoder (e.g. fec-encode=6/4)
 //	fec-decode            FEC block decoder; chain-only (one decode per session)
 //	fec-adapt             marker: the position where this chain's adaptation
-//	                      responder splices its FEC encoder; branch specs and
-//	                      live recomposition only, at most once per plan
+//	                      responder splices its repair mechanism (FEC encoder
+//	                      or ARQ history); branch specs and live recomposition
+//	                      only, at most once per plan
+//	arq                   NACK-served retransmission history over the last
+//	                      <history> data packets (arq=<history>; empty selects
+//	                      the default depth); never downstream of fec-encode
+//	jitter=<ms>           reorder/smoothing buffer: hold data packets <ms>
+//	                      milliseconds, release in sequence order
+//	replay=<n>            LRU-backed catch-up cache of the last <n> data
+//	                      frames, primed into late-joining delivery branches
 func newDefaultRegistry() *Registry {
 	r := NewRegistry()
 	must := func(err error) {
@@ -382,6 +399,63 @@ func newDefaultRegistry() *Registry {
 				})
 			}
 			return df, nil
+		},
+	}))
+	must(r.Register(Definition{
+		Kind: KindARQ,
+		Canon: func(arg string) (string, error) {
+			if arg == "" {
+				return "", nil // DefaultHistory
+			}
+			limit, err := strconv.Atoi(arg)
+			if err != nil || limit <= 0 {
+				return "", fmt.Errorf("compose: arq spec %q: want a positive history depth", arg)
+			}
+			return strconv.Itoa(limit), nil
+		},
+		Build: func(env Env, arg string) (filter.Filter, error) {
+			limit := 0
+			if arg != "" {
+				var err error
+				if limit, err = strconv.Atoi(arg); err != nil {
+					return nil, err
+				}
+			}
+			return arq.NewSenderFilter(env.StageName("arq"), limit), nil
+		},
+	}))
+	must(r.Register(Definition{
+		Kind: KindJitter,
+		Canon: func(arg string) (string, error) {
+			ms, err := strconv.Atoi(arg)
+			if err != nil || ms <= 0 {
+				return "", fmt.Errorf("compose: jitter spec %q: want a positive delay in milliseconds", arg)
+			}
+			return strconv.Itoa(ms), nil
+		},
+		Build: func(env Env, arg string) (filter.Filter, error) {
+			ms, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, err
+			}
+			return arq.NewJitterFilter(env.StageName("jitter"), time.Duration(ms)*time.Millisecond), nil
+		},
+	}))
+	must(r.Register(Definition{
+		Kind: KindReplay,
+		Canon: func(arg string) (string, error) {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n <= 0 {
+				return "", fmt.Errorf("compose: replay spec %q: want a positive frame count", arg)
+			}
+			return strconv.Itoa(n), nil
+		},
+		Build: func(env Env, arg string) (filter.Filter, error) {
+			n, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, err
+			}
+			return cache.NewReplayFilter(env.StageName("replay"), n)
 		},
 	}))
 	must(r.Register(Definition{

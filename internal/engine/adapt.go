@@ -34,6 +34,12 @@ type sessionAdaptor struct {
 	// a fraction of the window instead.
 	lastSweep atomic.Int64
 
+	// sweepStop/sweepWg manage the timer goroutine that drives staleness
+	// aging when no reports arrive to piggyback a sweep on; sweepStop is nil
+	// when aging is off.
+	sweepStop chan struct{}
+	sweepWg   sync.WaitGroup
+
 	mu    sync.Mutex
 	loops map[string]*receiverLoop
 }
@@ -62,7 +68,49 @@ func newSessionAdaptor(s *Session, policy adapt.Policy) (*sessionAdaptor, error)
 			return nil, err
 		}
 	}
+	if window := s.eng.cfg.ReportStaleness; window > 0 {
+		a.sweepStop = make(chan struct{})
+		a.sweepWg.Add(1)
+		go a.sweepLoop(window)
+	}
 	return a, nil
+}
+
+// sweepLoop drives staleness aging from a timer so a receiver decays back to
+// the clean-link path even when no report ever arrives to piggyback a sweep
+// on. Report-path sweeping alone has a hole: once every station of a session
+// goes silent — the exact situation aging exists for — nothing sweeps, and the
+// last reporter pins its protection level forever. The report path still
+// sweeps opportunistically (CAS-gated in report) so decay is not delayed a
+// full tick under traffic; the timer stamps lastSweep to push the next
+// opportunistic sweep out past its own.
+func (a *sessionAdaptor) sweepLoop(window time.Duration) {
+	defer a.sweepWg.Done()
+	tick := time.NewTicker(window / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			a.lastSweep.Store(time.Now().UnixNano())
+			a.sweepAll()
+		case <-a.sweepStop:
+			return
+		}
+	}
+}
+
+// sweepAll sweeps every loop's observer for receivers whose last report has
+// gone stale. Called from the timer goroutine and (gated) the report path.
+func (a *sessionAdaptor) sweepAll() {
+	a.mu.Lock()
+	loops := make([]*receiverLoop, 0, len(a.loops))
+	for _, l := range a.loops {
+		loops = append(loops, l)
+	}
+	a.mu.Unlock()
+	for _, l := range loops {
+		l.obs.Sweep()
+	}
 }
 
 // receiverLoop is the adaptation loop of one downstream receiver: its
@@ -140,7 +188,6 @@ func (a *sessionAdaptor) report(from netip.AddrPort, rep packet.Report) {
 	if a.s.eng.branching {
 		key = from.String()
 	}
-	var sweep []*receiverLoop
 	window := a.s.eng.cfg.ReportStaleness
 	aging := window > 0
 	if aging {
@@ -154,18 +201,12 @@ func (a *sessionAdaptor) report(from netip.AddrPort, rep packet.Report) {
 	}
 	a.mu.Lock()
 	loop := a.loops[key]
-	if aging {
-		sweep = make([]*receiverLoop, 0, len(a.loops))
-		for _, l := range a.loops {
-			sweep = append(sweep, l)
-		}
-	}
 	a.mu.Unlock()
 	if loop != nil {
 		loop.report(from.String(), rep)
 	}
-	for _, l := range sweep {
-		l.obs.Sweep()
+	if aging {
+		a.sweepAll()
 	}
 }
 
@@ -177,7 +218,7 @@ func (l *receiverLoop) report(receiver string, rep packet.Report) {
 		l.lastReport = rep
 	}
 	l.mu.Unlock()
-	l.obs.Report(receiver, rep.LossFraction())
+	l.obs.ReportLink(receiver, rep.LossFraction(), rep.RTTMillis)
 }
 
 // snapshot returns the loop's report counters.
@@ -197,10 +238,18 @@ func (l *receiverLoop) fill(st *metrics.ReceiverStats) {
 	st.Reports = reports
 	st.Retunes = l.resp.Retunes()
 	st.HighestSeq = last.HighestSeq
+	st.Mechanism = l.resp.Mechanism().String()
 }
 
-// stop shuts the plane down, draining queued events first.
-func (a *sessionAdaptor) stop() { a.bus.Stop() }
+// stop shuts the plane down: the sweep timer first (so no sweep can race the
+// bus teardown), then the bus, draining queued events.
+func (a *sessionAdaptor) stop() {
+	if a.sweepStop != nil {
+		close(a.sweepStop)
+		a.sweepWg.Wait()
+	}
+	a.bus.Stop()
+}
 
 // stats aggregates the plane for control-protocol replies. With several
 // receiver loops (a fan-out session) the protection columns report the most
@@ -237,6 +286,7 @@ func (a *sessionAdaptor) stats() *metrics.AdaptStats {
 		agg.K, agg.N = params.K, params.N
 		agg.Active = worst.resp.Active()
 		agg.LossRate = worst.resp.LastLoss()
+		agg.Mechanism = worst.resp.Mechanism().String()
 	}
 	return agg
 }

@@ -218,6 +218,61 @@ func TestEngineFeedbackIgnoredWithoutAdapt(t *testing.T) {
 	}
 }
 
+// TestEngineSweepAllExpiresStaleReceivers exercises the sweep machinery with
+// an injected fake clock: a receiver whose last report predates the staleness
+// window is expired by sweepAll regardless of whether any report arrives to
+// trigger it.
+func TestEngineSweepAllExpiresStaleReceivers(t *testing.T) {
+	const window = time.Minute
+	e := newTestEngine(t, Config{Adapt: true, ReportStaleness: window})
+	c := dialEngine(t, e)
+
+	sendPacket(t, c, 55, &packet.Packet{Kind: packet.KindData, Payload: []byte("x")})
+	readPacket(t, c, 2*time.Second)
+	sendReport(t, c, 55, packet.Report{Received: 90, Lost: 10, Window: 100})
+	waitAdapt(t, e, 55, "upgrade", func(a *metrics.AdaptStats) bool { return a.Active })
+
+	// Re-arm the trunk loop's observer on a fake clock and jump past the
+	// window; nothing else reports, so only a sweep can expire the receiver.
+	s := e.Session(55)
+	a := s.adaptor
+	a.mu.Lock()
+	loop := a.loops[trunkReceiver]
+	a.mu.Unlock()
+	now := time.Now()
+	loop.obs.SetStaleness(window, func() time.Time { return now })
+	now = now.Add(window + time.Second)
+	a.sweepAll()
+
+	st := waitAdapt(t, e, 55, "decay", func(st *metrics.AdaptStats) bool { return !st.Active })
+	if st.Expired == 0 {
+		t.Fatalf("Expired = 0 after sweeping past the window, want > 0")
+	}
+}
+
+// TestEngineTimerSweepsSilentReceivers is the regression test for staleness
+// aging without traffic: before the timer-driven sweep, expiry only ran on
+// the report path, so once every station of a session went silent — the exact
+// situation aging exists for — the last report pinned its protection level
+// forever.
+func TestEngineTimerSweepsSilentReceivers(t *testing.T) {
+	const window = 100 * time.Millisecond
+	e := newTestEngine(t, Config{Adapt: true, ReportStaleness: window})
+	c := dialEngine(t, e)
+
+	sendPacket(t, c, 56, &packet.Packet{Kind: packet.KindData, Payload: []byte("x")})
+	readPacket(t, c, 2*time.Second)
+	sendReport(t, c, 56, packet.Report{Received: 90, Lost: 10, Window: 100})
+	waitAdapt(t, e, 56, "upgrade", func(a *metrics.AdaptStats) bool { return a.Active })
+
+	// Total silence from here on. The timer must decay the session back to
+	// the clean-link path on its own.
+	st := waitAdapt(t, e, 56, "silent decay", func(a *metrics.AdaptStats) bool { return !a.Active })
+	if st.Expired == 0 {
+		t.Fatalf("Expired = 0 after silent decay, want > 0")
+	}
+}
+
 func TestEngineForwardAndFanoutAreExclusive(t *testing.T) {
 	_, err := New(Config{Forward: "127.0.0.1:1", Fanout: []string{"127.0.0.1:2"}})
 	if err == nil {

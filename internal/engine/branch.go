@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rapidware/internal/cache"
 	"rapidware/internal/compose"
 	"rapidware/internal/endpoint"
 	"rapidware/internal/filter"
@@ -90,6 +91,7 @@ func (t *deliveryTree) reconcile() {
 			continue
 		}
 		t.branches[ap] = br
+		t.prime(br)
 	}
 	taps := make([]filter.BufSink, 0, len(t.branches))
 	for _, br := range t.branches {
@@ -97,6 +99,26 @@ func (t *deliveryTree) reconcile() {
 	}
 	t.tee.SetTaps(taps)
 	t.version.Store(v)
+}
+
+// prime replays the trunk's retained history into a freshly built branch,
+// oldest first, so a station joining a fan-out session mid-stream starts with
+// recent context instead of a cold gap. The frames were recorded by a replay
+// stage in the trunk plan (no stage, no priming); they enter the branch ahead
+// of its tee tap, so they flow through the member's own tail — and its FEC or
+// thinning — before the first live frame does. Runs before SetTaps publishes
+// the branch, on the reconcile path under t.mu.
+func (t *deliveryTree) prime(br *branch) {
+	rf, ok := t.s.live.Instance(compose.KindReplay).(*cache.ReplayFilter)
+	if !ok {
+		return
+	}
+	for _, frame := range rf.Frames() {
+		b := packet.GetBuf(len(frame))
+		copy(b.B, frame)
+		br.counters.Primed.Add(1)
+		br.deliver(b)
+	}
 }
 
 // branchFor returns the live branch serving the given member, or nil.

@@ -32,6 +32,15 @@
 // delivery tree instead of a single chain: the shared trunk's output is teed
 // by reference into one short filter tail per receiver, each driven by that
 // receiver's own loss reports — see branch.go.
+//
+// Reliability stages close two more loops on the read path. NACK datagrams
+// (packet.KindNack) are consumed like feedback — never entering a chain,
+// never opening a session, honored only from legitimate receivers — and
+// answered out of the session's ARQ retransmission history (an "arq" chain
+// stage, or the history an adaptation responder spliced in), unicast back to
+// the requester. And when a session's trunk carries a "replay=<n>" stage, a
+// station joining the fan-out group mid-stream has its fresh delivery branch
+// primed with the retained window before live traffic reaches it.
 package engine
 
 import (
@@ -614,6 +623,8 @@ func (e *Engine) Stats() Stats {
 		st.Rejected += c.rejected.Load()
 		st.ChainErrors += c.chainErrors.Load()
 		st.Feedback += c.feedback.Load()
+		st.Nacks += c.nacks.Load()
+		st.Retransmits += c.retransmits.Load()
 		st.BatchedWrites += c.writes.Load()
 		st.WriteFlushes += c.flushes.Load()
 		st.WriteDrops += c.writeDrops.Load()

@@ -224,6 +224,76 @@ func (s *Session) handleFeedback(from netip.AddrPort, frame []byte) {
 	s.adaptor.report(from, rep)
 }
 
+// retransmitter is what a NACK is answered from: any stage instance holding a
+// bounded retransmission history keyed by sequence number. arq.SenderFilter
+// implements it; the lookup is structural so a future stage kind (or a custom
+// registry's) can serve NACKs without touching the engine.
+type retransmitter interface {
+	Retransmit(seq uint64, emit func(frame []byte)) bool
+}
+
+// historyFor resolves the retransmission history a NACK against the given
+// live composition should be answered from: a static arq stage if the plan
+// has one, else whatever the fec-adapt marker currently holds (the adaptation
+// plane splices an ARQ history there on high-RTT low-loss links).
+func historyFor(live *compose.Live) retransmitter {
+	if h, ok := live.Instance(compose.KindARQ).(retransmitter); ok {
+		return h
+	}
+	if h, ok := live.Instance(compose.KindFECAdapt).(retransmitter); ok {
+		return h
+	}
+	return nil
+}
+
+// handleNack consumes one validated NACK frame, answering each named sequence
+// number out of the session's ARQ retransmission history with a unicast
+// retransmission to the requester. NACKs honor the same off-path gate as
+// receiver reports; on a fan-out session the requester's own delivery branch
+// is consulted first, so a branch whose responder escalated to ARQ serves its
+// receiver from its own history. Requests for sequence numbers the bounded
+// history no longer holds are silently unanswerable — the receiver's give-up
+// accounting owns that loss. Called from the engine's read loop.
+func (s *Session) handleNack(from netip.AddrPort, frame []byte) {
+	from = multicast.UnmapAddrPort(from)
+	if !s.eng.receiverAuthorized(s, from) {
+		return
+	}
+	var seqbuf [packet.MaxNackSeqs]uint64
+	seqs, err := packet.ParseNack(frame, seqbuf[:0])
+	if err != nil {
+		return
+	}
+	var rx *metrics.ReceiverCounters
+	var h retransmitter
+	if s.tree != nil {
+		// Same reconcile-before-routing rule as reports: a silently joined
+		// member gets its branch before its first NACK is dropped.
+		s.tree.reconcile()
+		if br := s.tree.branchFor(from); br != nil {
+			rx = &br.counters
+			h = historyFor(br.live)
+		}
+	}
+	if h == nil {
+		h = historyFor(s.live)
+	}
+	if h == nil {
+		return
+	}
+	emit := func(frame []byte) {
+		b := packet.GetBuf(packet.SessionIDSize + len(frame))
+		packet.PutSessionID(b.B, s.id)
+		copy(b.B[packet.SessionIDSize:], frame)
+		s.shard.enqueue(outbound{s: s, b: b, dst: from, rx: rx})
+	}
+	for _, seq := range seqs {
+		if h.Retransmit(seq, emit) {
+			s.shard.counters.retransmits.Add(1)
+		}
+	}
+}
+
 // Peer returns the address the session currently relays to in echo mode: the
 // source of the most recent inbound datagram.
 func (s *Session) Peer() netip.AddrPort {

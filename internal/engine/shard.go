@@ -39,12 +39,14 @@ type shardCounters struct {
 	malformed   atomic.Uint64
 	rejected    atomic.Uint64
 	feedback    atomic.Uint64
+	nacks       atomic.Uint64
+	retransmits atomic.Uint64
 	opened      atomic.Uint64
 	chainErrors atomic.Uint64
 	writes      atomic.Uint64
 	flushes     atomic.Uint64
 	writeDrops  atomic.Uint64
-	_           [56]byte // pad so neighboring shards' counters don't false-share
+	_           [40]byte // pad so neighboring shards' counters don't false-share
 }
 
 // outbound is one datagram queued on a shard writer. dst is the resolved
@@ -83,6 +85,8 @@ func (sh *shard) stats() metrics.ShardStats {
 		Malformed:   sh.counters.malformed.Load(),
 		Rejected:    sh.counters.rejected.Load(),
 		Feedback:    sh.counters.feedback.Load(),
+		Nacks:       sh.counters.nacks.Load(),
+		Retransmits: sh.counters.retransmits.Load(),
 		ChainErrors: sh.counters.chainErrors.Load(),
 		Writes:      sh.counters.writes.Load(),
 		Flushes:     sh.counters.flushes.Load(),
@@ -142,6 +146,17 @@ func (sh *shard) readLoop() {
 			sh.counters.feedback.Add(1)
 			if s := e.table.lookup(id); s != nil {
 				s.handleFeedback(from, b.B[packet.SessionIDSize:])
+			}
+			b.Release()
+			continue
+		}
+		// NACKs ride the same feedback wire: consumed here, answered out of
+		// the session's ARQ retransmission history, never entering a chain or
+		// opening a session.
+		if packet.Kind(b.B[packet.SessionIDSize+3]) == packet.KindNack {
+			sh.counters.nacks.Add(1)
+			if s := e.table.lookup(id); s != nil {
+				s.handleNack(from, b.B[packet.SessionIDSize:])
 			}
 			b.Release()
 			continue

@@ -79,6 +79,9 @@ type ReceiverCounters struct {
 	// Drops counts datagrams discarded for this receiver: branch queue
 	// overflow, writer queue overflow and send errors.
 	Drops atomic.Uint64
+	// Primed counts historical frames replayed into this receiver's branch
+	// from the trunk's replay cache when the branch was built (late join).
+	Primed atomic.Uint64
 }
 
 // ReceiverStats is the point-in-time state of one receiver's delivery branch
@@ -91,6 +94,9 @@ type ReceiverStats struct {
 	OutPackets uint64 `json:"out_packets"`
 	OutBytes   uint64 `json:"out_bytes"`
 	Drops      uint64 `json:"drops"`
+	// Primed counts historical frames replayed into this branch when it was
+	// built, priming a late-joining station from the trunk's replay cache.
+	Primed uint64 `json:"primed,omitempty"`
 	// Stages lists the branch tail's interior filter stages, in order.
 	Stages []string `json:"stages,omitempty"`
 	// Chain is the canonical spec string of the branch tail's plan, the form
@@ -109,6 +115,9 @@ type ReceiverStats struct {
 	Reports    uint64  `json:"reports,omitempty"`
 	Retunes    uint64  `json:"retunes,omitempty"`
 	HighestSeq uint64  `json:"highest_seq,omitempty"`
+	// Mechanism names the repair mechanism this receiver's branch responder
+	// last selected ("none", "fec" or "arq"); empty without adaptation.
+	Mechanism string `json:"mechanism,omitempty"`
 }
 
 // Snapshot captures the receiver counter block for one branch.
@@ -118,6 +127,7 @@ func (c *ReceiverCounters) Snapshot(receiver string) ReceiverStats {
 		OutPackets: c.OutPackets.Load(),
 		OutBytes:   c.OutBytes.Load(),
 		Drops:      c.Drops.Load(),
+		Primed:     c.Primed.Load(),
 	}
 }
 
@@ -143,6 +153,9 @@ type AdaptStats struct {
 	// Expired counts receivers aged out by the report-staleness window (a
 	// station that stopped reporting without leaving the group).
 	Expired uint64 `json:"expired,omitempty"`
+	// Mechanism names the repair mechanism the loop last selected ("none",
+	// "fec" or "arq"). On fan-out sessions it is the worst branch's choice.
+	Mechanism string `json:"mechanism,omitempty"`
 	// HighestSeq is the highest sequence number any receiver acknowledged.
 	HighestSeq uint64 `json:"highest_seq"`
 }
@@ -157,6 +170,10 @@ type EngineStats struct {
 	Rejected       uint64 `json:"rejected"`
 	ChainErrors    uint64 `json:"chain_errors"`
 	Feedback       uint64 `json:"feedback"`
+	// Nacks counts KindNack datagrams accepted off the feedback wire;
+	// Retransmits counts the historical frames re-sent in answer to them.
+	Nacks       uint64 `json:"nacks,omitempty"`
+	Retransmits uint64 `json:"retransmits,omitempty"`
 	// Shards is the width of the engine's data plane: the number of reader
 	// goroutines, session-table shards and batched writers.
 	Shards int `json:"shards"`
@@ -182,6 +199,8 @@ type ShardStats struct {
 	Malformed   uint64 `json:"malformed"`
 	Rejected    uint64 `json:"rejected"`
 	Feedback    uint64 `json:"feedback"`
+	Nacks       uint64 `json:"nacks,omitempty"`
+	Retransmits uint64 `json:"retransmits,omitempty"`
 	ChainErrors uint64 `json:"chain_errors"`
 	Writes      uint64 `json:"writes"`
 	Flushes     uint64 `json:"flushes"`

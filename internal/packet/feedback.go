@@ -21,7 +21,8 @@ import (
 //	rcvd    uint32  packets received in the observation window
 //	lost    uint32  packets lost in the observation window
 //	window  uint32  nominal window size in packets
-const ReportPayloadSize = 8 + 4 + 4 + 4
+//	rtt     uint32  receiver's round-trip estimate in milliseconds (0 unknown)
+const ReportPayloadSize = 8 + 4 + 4 + 4 + 4
 
 // ErrBadReport is returned by ParseReport for frames that are not well-formed
 // receiver reports.
@@ -37,6 +38,11 @@ type Report struct {
 	Lost     uint32
 	// Window is the nominal observation window size in packets.
 	Window uint32
+	// RTTMillis is the receiver's round-trip estimate to the proxy in
+	// milliseconds, 0 when unknown. The adaptation plane uses it to choose a
+	// repair mechanism: retransmission only pays off when the RTT leaves time
+	// for a NACK round trip within the playout budget.
+	RTTMillis uint32
 }
 
 // LossFraction returns the loss rate the report describes, in [0,1].
@@ -50,8 +56,8 @@ func (r Report) LossFraction() float64 {
 
 // String summarizes the report for logs.
 func (r Report) String() string {
-	return fmt.Sprintf("report{high=%d rcvd=%d lost=%d win=%d loss=%.4f}",
-		r.HighestSeq, r.Received, r.Lost, r.Window, r.LossFraction())
+	return fmt.Sprintf("report{high=%d rcvd=%d lost=%d win=%d rtt=%dms loss=%.4f}",
+		r.HighestSeq, r.Received, r.Lost, r.Window, r.RTTMillis, r.LossFraction())
 }
 
 // appendReportPayload appends the report's wire payload to dst.
@@ -60,6 +66,7 @@ func appendReportPayload(dst []byte, r Report) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, r.Received)
 	dst = binary.BigEndian.AppendUint32(dst, r.Lost)
 	dst = binary.BigEndian.AppendUint32(dst, r.Window)
+	dst = binary.BigEndian.AppendUint32(dst, r.RTTMillis)
 	return dst
 }
 
@@ -96,5 +103,6 @@ func ParseReport(frame []byte) (Report, error) {
 		Received:   binary.BigEndian.Uint32(payload[8:]),
 		Lost:       binary.BigEndian.Uint32(payload[12:]),
 		Window:     binary.BigEndian.Uint32(payload[16:]),
+		RTTMillis:  binary.BigEndian.Uint32(payload[20:]),
 	}, nil
 }

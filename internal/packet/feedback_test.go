@@ -92,7 +92,13 @@ func TestKindFeedbackIsValid(t *testing.T) {
 	if KindFeedback.String() != "feedback" {
 		t.Fatalf("KindFeedback.String() = %q", KindFeedback.String())
 	}
-	if Kind(uint8(KindFeedback) + 1).Valid() {
-		t.Fatal("kind beyond feedback must be invalid")
+	if !KindNack.Valid() {
+		t.Fatal("KindNack must be a valid kind")
+	}
+	if KindNack.String() != "nack" {
+		t.Fatalf("KindNack.String() = %q", KindNack.String())
+	}
+	if Kind(uint8(KindNack) + 1).Valid() {
+		t.Fatal("kind beyond nack must be invalid")
 	}
 }

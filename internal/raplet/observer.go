@@ -118,6 +118,7 @@ type WorstLossObserver struct {
 
 	mu      sync.Mutex
 	loss    map[string]float64
+	rtt     map[string]uint32    // last reported RTT per receiver (0 unknown)
 	seen    map[string]time.Time // last report per receiver (staleness aging)
 	window  time.Duration        // 0 disables aging
 	now     func() time.Time
@@ -135,6 +136,7 @@ func NewWorstLossObserver(name string, bus *Bus) *WorstLossObserver {
 		name: name,
 		bus:  bus,
 		loss: make(map[string]float64),
+		rtt:  make(map[string]uint32),
 		seen: make(map[string]time.Time),
 		now:  time.Now,
 	}
@@ -164,8 +166,21 @@ func (o *WorstLossObserver) Start() error { return nil }
 func (o *WorstLossObserver) Stop() error { return nil }
 
 // Report records one receiver's observed loss rate (clamped to [0,1]) and
-// publishes the group-wide worst.
+// publishes the group-wide worst. The receiver's RTT, if previously known,
+// is left unchanged; use ReportLink to update both.
 func (o *WorstLossObserver) Report(receiver string, loss float64) {
+	o.reportLink(receiver, loss, 0, false)
+}
+
+// ReportLink records one receiver's observed loss rate and round-trip
+// estimate (milliseconds, 0 unknown) and publishes the group-wide worst
+// along with the worst receiver's RTT, so mechanism-choosing responders see
+// the link conditions of the station that drives the code.
+func (o *WorstLossObserver) ReportLink(receiver string, loss float64, rttMillis uint32) {
+	o.reportLink(receiver, loss, rttMillis, true)
+}
+
+func (o *WorstLossObserver) reportLink(receiver string, loss float64, rttMillis uint32, setRTT bool) {
 	if loss < 0 {
 		loss = 0
 	}
@@ -174,20 +189,33 @@ func (o *WorstLossObserver) Report(receiver string, loss float64) {
 	}
 	o.mu.Lock()
 	o.loss[receiver] = loss
+	if setRTT {
+		o.rtt[receiver] = rttMillis
+	}
 	o.seen[receiver] = o.now()
 	o.reports++
 	o.expireLocked()
 	worstRx, worst := o.worstLocked()
+	worstRTT := o.rtt[worstRx]
 	o.mu.Unlock()
 	if o.bus == nil {
 		return
 	}
 	o.bus.Publish(Event{
-		Type:   EventLossRate,
-		Source: o.name,
-		Value:  worst,
-		Attrs:  map[string]string{"receiver": worstRx},
+		Type:      EventLossRate,
+		Source:    o.name,
+		Value:     worst,
+		RTTMillis: worstRTT,
+		Attrs:     map[string]string{"receiver": worstRx},
 	})
+}
+
+// RTT returns the last reported round-trip estimate for a receiver (0 when
+// unknown or never reported).
+func (o *WorstLossObserver) RTT(receiver string) uint32 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.rtt[receiver]
 }
 
 // Forget drops a receiver (e.g. after it leaves the multicast group) so a
@@ -196,6 +224,7 @@ func (o *WorstLossObserver) Forget(receiver string) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	delete(o.loss, receiver)
+	delete(o.rtt, receiver)
 	delete(o.seen, receiver)
 }
 
@@ -209,16 +238,18 @@ func (o *WorstLossObserver) Sweep() int {
 	o.mu.Lock()
 	removed := o.expireLocked()
 	worstRx, worst := o.worstLocked()
+	worstRTT := o.rtt[worstRx]
 	o.mu.Unlock()
 	if removed == 0 {
 		return 0
 	}
 	if o.bus != nil {
 		o.bus.Publish(Event{
-			Type:   EventLossRate,
-			Source: o.name,
-			Value:  worst,
-			Attrs:  map[string]string{"receiver": worstRx},
+			Type:      EventLossRate,
+			Source:    o.name,
+			Value:     worst,
+			RTTMillis: worstRTT,
+			Attrs:     map[string]string{"receiver": worstRx},
 		})
 	}
 	return removed
@@ -242,6 +273,7 @@ func (o *WorstLossObserver) expireLocked() int {
 	for rx, at := range o.seen {
 		if at.Before(cutoff) {
 			delete(o.loss, rx)
+			delete(o.rtt, rx)
 			delete(o.seen, rx)
 			removed++
 		}
@@ -261,6 +293,7 @@ func (o *WorstLossObserver) Prune(keep func(receiver string) bool) int {
 	for rx := range o.loss {
 		if !keep(rx) {
 			delete(o.loss, rx)
+			delete(o.rtt, rx)
 			delete(o.seen, rx)
 			removed++
 		}

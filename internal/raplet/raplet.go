@@ -38,6 +38,10 @@ type Event struct {
 	Source string
 	// Value is the numeric payload (loss rate, bandwidth, ...).
 	Value float64
+	// RTTMillis carries the reporting link's round-trip estimate in
+	// milliseconds alongside loss-rate events, 0 when unknown. Responders
+	// that choose among repair mechanisms (FEC vs ARQ) consult it.
+	RTTMillis uint32
 	// Time is when the observation was made.
 	Time time.Time
 	// Attrs carries any additional string attributes.

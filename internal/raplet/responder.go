@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"rapidware/internal/adapt"
+	"rapidware/internal/arq"
 	"rapidware/internal/compose"
 	"rapidware/internal/core"
 	"rapidware/internal/fec"
@@ -174,19 +175,24 @@ func (r *SpecResponder) Handle(e Event) error {
 	return nil
 }
 
-// ChainFECResponder drives demand-driven FEC on a composed live chain — the
-// form the multi-session engine uses, where every session trunk and delivery
-// branch is a compose.Live whose plan carries a fec-adapt marker stage. On
-// each loss-rate event it selects the (n,k) code from an adapt.Policy and
-// reconciles the marker with the selection, expressed entirely as plan
+// ChainFECResponder drives demand-driven repair on a composed live chain —
+// the form the multi-session engine uses, where every session trunk and
+// delivery branch is a compose.Live whose plan carries a fec-adapt marker
+// stage. On each loss-rate event it asks the adapt.Policy to decide a repair
+// *mechanism* from the reported loss and RTT (the reliability spectrum:
+// clean link → nothing, lossy link → FEC, high-RTT × low-loss → ARQ) and
+// reconciles the marker with the decision, expressed entirely as plan
 // operations on the Live (never ad-hoc chain surgery):
 //
-//   - policy says no FEC (K == N) and an encoder is active → deactivate the
-//     marker, splicing the encoder out,
-//   - policy says FEC and the marker is idle → activate it with a fresh
-//     adaptive encoder,
-//   - policy says a different code while the encoder runs → retune it in
-//     place (the switch lands on the next group boundary).
+//   - mechanism none and something is active → deactivate the marker,
+//     splicing the repair stage out,
+//   - mechanism FEC and the marker is idle or holds an ARQ history →
+//     (re)activate it with a fresh adaptive encoder,
+//   - mechanism FEC while the encoder runs → retune it in place (the switch
+//     lands on the next group boundary),
+//   - mechanism ARQ and the marker is idle or holds an FEC encoder →
+//     (re)activate it with a fresh retransmission history, which the engine
+//     serves KindNack requests from.
 //
 // All of this happens on the bus's dispatch goroutine under the Live's
 // splice lock, so responder retunes serialize with control-plane
@@ -200,9 +206,11 @@ type ChainFECResponder struct {
 	policy     adapt.Policy
 	streamID   uint32
 	filterName string
+	arqName    string
 
 	mu       sync.Mutex
 	current  fec.Params
+	mech     adapt.Mechanism
 	lastLoss float64
 	retunes  uint64
 }
@@ -225,6 +233,7 @@ func NewChainFECResponder(name string, live *compose.Live, policy adapt.Policy, 
 		policy:     policy,
 		streamID:   streamID,
 		filterName: name + "-encoder",
+		arqName:    name + "-history",
 		current:    policy.Select(0),
 	}, nil
 }
@@ -232,9 +241,10 @@ func NewChainFECResponder(name string, live *compose.Live, policy adapt.Policy, 
 // Name implements Responder.
 func (r *ChainFECResponder) Name() string { return r.name }
 
-// Active reports whether an FEC encoder is currently spliced into the chain.
+// Active reports whether a repair stage (FEC encoder or ARQ history) is
+// currently spliced into the chain.
 func (r *ChainFECResponder) Active() bool {
-	return r.encoder() != nil
+	return r.live.Instance(compose.KindFECAdapt) != nil
 }
 
 // encoder returns the marker's live adaptive encoder instance, or nil.
@@ -243,11 +253,25 @@ func (r *ChainFECResponder) encoder() *fecproxy.AdaptiveEncoderFilter {
 	return enc
 }
 
+// history returns the marker's live ARQ retransmission history, or nil.
+func (r *ChainFECResponder) history() *arq.SenderFilter {
+	hist, _ := r.live.Instance(compose.KindFECAdapt).(*arq.SenderFilter)
+	return hist
+}
+
 // Current returns the code the responder has selected (K == N means no FEC).
 func (r *ChainFECResponder) Current() fec.Params {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.current
+}
+
+// Mechanism returns the repair mechanism the responder last reconciled the
+// chain to.
+func (r *ChainFECResponder) Mechanism() adapt.Mechanism {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mech
 }
 
 // LastLoss returns the most recent loss rate the responder acted on.
@@ -266,10 +290,12 @@ func (r *ChainFECResponder) Retunes() uint64 {
 }
 
 // Handle implements Responder: it reconciles the live chain's marker with
-// the policy's selection for the reported loss rate. Reconciliation is
-// driven by the chain's *actual* state (encoder active or not), never by
-// comparing selections, so a policy whose cleanest rung is already an FEC
-// level still gets its encoder inserted on the first event.
+// the policy's mechanism decision for the reported loss rate and RTT.
+// Reconciliation is driven by the chain's *actual* state (what instance
+// occupies the marker), never by comparing selections, so a policy whose
+// cleanest rung is already an FEC level still gets its encoder inserted on
+// the first event, and a mechanism change swaps the marker's occupant in one
+// deactivate/activate pair under the splice lock.
 func (r *ChainFECResponder) Handle(e Event) error {
 	if e.Type != EventLossRate {
 		return nil
@@ -278,21 +304,55 @@ func (r *ChainFECResponder) Handle(e Event) error {
 	defer r.mu.Unlock()
 	loss := e.Value
 	r.lastLoss = loss
-	params := r.policy.Select(loss)
+	mech, params := r.policy.Decide(loss, e.RTTMillis)
 	changed := false
-	switch enc := r.encoder(); {
-	case params.N == params.K:
+	switch mech {
+	case adapt.MechanismNone:
 		// Clean link: deactivate the marker so the chain returns to the pure
 		// relay path.
 		removed, err := r.live.Deactivate(compose.KindFECAdapt)
 		if err != nil {
-			return fmt.Errorf("raplet: remove adaptive encoder: %w", err)
+			return fmt.Errorf("raplet: remove repair stage: %w", err)
 		}
 		changed = removed
-	case enc == nil:
-		// Loss demands FEC and none is in place: activate the marker with a
-		// fresh adaptive encoder. (A stopped Base cannot be restarted, so
-		// each activation builds a new filter; this is the control path.)
+
+	case adapt.MechanismARQ:
+		if r.history() != nil {
+			break // retransmission history already in place
+		}
+		// Swap out whatever occupies the marker (an FEC encoder, when the
+		// link previously demanded parity), then splice in a fresh history.
+		// (A stopped Base cannot be restarted, so each activation builds a
+		// new filter; this is the control path.)
+		if _, err := r.live.Deactivate(compose.KindFECAdapt); err != nil {
+			return fmt.Errorf("raplet: clear marker for arq: %w", err)
+		}
+		if err := r.live.Activate(compose.KindFECAdapt, arq.NewSenderFilter(r.arqName, 0)); err != nil {
+			if errors.Is(err, compose.ErrNoStage) {
+				// The operator recomposed the marker away: adaptation is
+				// switched off for this chain until a plan restores it.
+				r.current, r.mech = params, mech
+				return nil
+			}
+			return fmt.Errorf("raplet: insert arq history: %w", err)
+		}
+		changed = true
+
+	case adapt.MechanismFEC:
+		enc := r.encoder()
+		if enc != nil {
+			// Encoder already running: keep its loss view fresh; a level
+			// change retunes in place (the new code lands on the next group
+			// boundary).
+			enc.SetLossRate(loss)
+			changed = params != r.current
+			break
+		}
+		// Loss demands FEC and none is in place: swap out a possible ARQ
+		// history and activate the marker with a fresh adaptive encoder.
+		if _, err := r.live.Deactivate(compose.KindFECAdapt); err != nil {
+			return fmt.Errorf("raplet: clear marker for fec: %w", err)
+		}
 		fresh, err := fecproxy.NewAdaptiveEncoderFilter(r.filterName, r.policy, r.streamID)
 		if err != nil {
 			return err
@@ -300,21 +360,14 @@ func (r *ChainFECResponder) Handle(e Event) error {
 		fresh.SetLossRate(loss)
 		if err := r.live.Activate(compose.KindFECAdapt, fresh); err != nil {
 			if errors.Is(err, compose.ErrNoStage) {
-				// The operator recomposed the marker away: adaptation is
-				// switched off for this chain until a plan restores it.
-				r.current = params
+				r.current, r.mech = params, mech
 				return nil
 			}
 			return fmt.Errorf("raplet: insert adaptive encoder: %w", err)
 		}
 		changed = true
-	default:
-		// Encoder already running: keep its loss view fresh; a level change
-		// retunes in place (the new code lands on the next group boundary).
-		enc.SetLossRate(loss)
-		changed = params != r.current
 	}
-	r.current = params
+	r.current, r.mech = params, mech
 	if changed {
 		r.retunes++
 	}
