@@ -1,0 +1,281 @@
+// Command benchguard compares a `go test -bench -json` run against the
+// repository's committed benchmark baseline (BENCH_engine.json) and fails —
+// exit status 1 — when any tracked benchmark regressed beyond the threshold.
+// It is the CI tripwire behind the repo's perf trajectory: the baseline file
+// records where the data plane's economics stand, and no PR may silently give
+// the headline numbers back.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=... -json ./... | benchguard -baseline BENCH_engine.json
+//	benchguard -baseline BENCH_engine.json -in results.json -threshold 0.2
+//	benchguard -baseline BENCH_engine.json -in results.json -update
+//
+// Input is the test2json event stream (plain `go test -bench` text is
+// accepted too). When a benchmark ran with -count > 1, the minimum ns/op is
+// used, benchstat-style, so scheduler noise can only make a run look slower,
+// never faster. Benchmarks in the baseline that did not run are reported but
+// do not fail the guard (CI may run subsets); unknown benchmarks in the run
+// are ignored. With -update the baseline's measured fields are rewritten in
+// place (history and per-entry bounds are preserved), which is how a PR that
+// legitimately moves the numbers records its new floor.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	ok, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// baseline is the committed BENCH_engine.json document.
+type baseline struct {
+	Note       string            `json:"note,omitempty"`
+	Host       string            `json:"host,omitempty"`
+	Go         string            `json:"go,omitempty"`
+	Date       string            `json:"date,omitempty"`
+	Benchmarks map[string]*entry `json:"benchmarks"`
+	History    []json.RawMessage `json:"history,omitempty"`
+}
+
+// entry is one tracked benchmark: the recorded floor plus optional hard
+// bounds that do not scale with the threshold.
+type entry struct {
+	NsPerOp        float64  `json:"ns_per_op"`
+	AllocsPerOp    *float64 `json:"allocs_per_op,omitempty"`
+	MBPerSec       *float64 `json:"mb_per_sec,omitempty"`
+	MaxAllocsPerOp *float64 `json:"max_allocs_per_op,omitempty"`
+}
+
+// result is one benchmark's best observed run.
+type result struct {
+	nsPerOp  float64
+	allocs   *float64
+	mbPerSec *float64
+	count    int
+}
+
+func run(args []string, stdin io.Reader, out io.Writer) (ok bool, err error) {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_engine.json", "committed baseline to compare against")
+		inPath       = fs.String("in", "", "benchmark results file (default: stdin)")
+		threshold    = fs.Float64("threshold", 0.20, "allowed ns/op regression fraction (0.20 = 20%)")
+		update       = fs.Bool("update", false, "rewrite the baseline's measured fields from this run instead of guarding")
+	)
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return false, fmt.Errorf("parse %s: %w", *baselinePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return false, fmt.Errorf("%s tracks no benchmarks", *baselinePath)
+	}
+
+	in := stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return false, err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseResults(in)
+	if err != nil {
+		return false, err
+	}
+	if len(results) == 0 {
+		return false, fmt.Errorf("no benchmark results in input")
+	}
+
+	if *update {
+		return true, applyUpdate(*baselinePath, &base, results, out)
+	}
+	return guard(&base, results, *threshold, out), nil
+}
+
+// benchLine matches one benchmark result line, e.g.
+// "BenchmarkEngineMultiSession-4   240934   9510 ns/op   37.01 MB/s   0 B/op   0 allocs/op".
+// The name is kept verbatim: a trailing -N may be the GOMAXPROCS suffix or a
+// genuine part of a sub-benchmark name (shards-4), which only the baseline
+// can disambiguate — see lookup.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+// lookup resolves a baseline name against the run's verbatim names, accepting
+// one trailing -GOMAXPROCS suffix on the run side.
+func lookup(results map[string]*result, name string) *result {
+	if r := results[name]; r != nil {
+		return r
+	}
+	for k, r := range results {
+		if strings.HasPrefix(k, name+"-") {
+			if _, err := strconv.Atoi(k[len(name)+1:]); err == nil {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// parseResults reads a test2json stream (or plain bench text) and returns
+// the best run per benchmark. test2json emits a benchmark's name and its
+// metrics as separate output events (the name is printed without a newline),
+// so output is reassembled per package before line matching.
+func parseResults(in io.Reader) (map[string]*result, error) {
+	results := make(map[string]*result)
+	record := func(line string) {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			return
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return
+		}
+		name, rest := m[1], m[3]
+		r := results[name]
+		if r == nil {
+			r = &result{nsPerOp: ns}
+			results[name] = r
+		}
+		r.count++
+		if ns <= r.nsPerOp {
+			r.nsPerOp = ns
+			if am := regexp.MustCompile(`([0-9.]+) allocs/op`).FindStringSubmatch(rest); am != nil {
+				v, _ := strconv.ParseFloat(am[1], 64)
+				r.allocs = &v
+			}
+			if mm := regexp.MustCompile(`([0-9.]+) MB/s`).FindStringSubmatch(rest); mm != nil {
+				v, _ := strconv.ParseFloat(mm[1], 64)
+				r.mbPerSec = &v
+			}
+		}
+	}
+
+	pending := make(map[string]string) // package -> unterminated output
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "{") {
+			record(line)
+			continue
+		}
+		var ev struct {
+			Action  string `json:"Action"`
+			Package string `json:"Package"`
+			Output  string `json:"Output"`
+		}
+		if json.Unmarshal([]byte(line), &ev) != nil || ev.Action != "output" {
+			continue
+		}
+		buf := pending[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			record(buf[:nl])
+			buf = buf[nl+1:]
+		}
+		pending[ev.Package] = buf
+	}
+	for _, buf := range pending {
+		record(buf)
+	}
+	return results, sc.Err()
+}
+
+// guard compares the run against the baseline and prints one verdict line
+// per tracked benchmark.
+func guard(base *baseline, results map[string]*result, threshold float64, out io.Writer) bool {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok := true
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got := lookup(results, name)
+		if got == nil {
+			fmt.Fprintf(out, "skip %-55s not in this run\n", name)
+			continue
+		}
+		delta := (got.nsPerOp - want.NsPerOp) / want.NsPerOp
+		verdict := "ok  "
+		switch {
+		case delta > threshold:
+			verdict = "FAIL"
+			ok = false
+		case delta < -threshold:
+			verdict = "fast"
+		}
+		fmt.Fprintf(out, "%s %-55s %10.0f ns/op  baseline %10.0f  (%+.1f%%, min of %d)\n",
+			verdict, name, got.nsPerOp, want.NsPerOp, 100*delta, got.count)
+		if want.MaxAllocsPerOp != nil {
+			if got.allocs == nil {
+				fmt.Fprintf(out, "FAIL %-55s baseline bounds allocs/op <= %g but the run has no -benchmem data\n",
+					name, *want.MaxAllocsPerOp)
+				ok = false
+			} else if *got.allocs > *want.MaxAllocsPerOp {
+				fmt.Fprintf(out, "FAIL %-55s %g allocs/op exceeds the hard bound %g\n",
+					name, *got.allocs, *want.MaxAllocsPerOp)
+				ok = false
+			}
+		}
+	}
+	if !ok {
+		fmt.Fprintf(out, "benchguard: regression beyond %.0f%% (or a hard bound) — see FAIL lines\n", 100*threshold)
+	}
+	return ok
+}
+
+// applyUpdate rewrites the baseline's measured fields from the run.
+func applyUpdate(path string, base *baseline, results map[string]*result, out io.Writer) error {
+	for name, e := range base.Benchmarks {
+		got := lookup(results, name)
+		if got == nil {
+			fmt.Fprintf(out, "update: %s not in this run, keeping recorded values\n", name)
+			continue
+		}
+		e.NsPerOp = got.nsPerOp
+		e.AllocsPerOp = got.allocs
+		e.MBPerSec = got.mbPerSec
+	}
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "update: wrote %s\n", path)
+	return nil
+}

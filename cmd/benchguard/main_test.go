@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBaseline writes a baseline file tracking the given entries.
+func writeBaseline(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testBaseline = `{
+  "note": "test",
+  "benchmarks": {
+    "BenchmarkEngineMultiSession": {"ns_per_op": 10000, "max_allocs_per_op": 2},
+    "BenchmarkEngineShardedThroughput/shards-1": {"ns_per_op": 2000}
+  },
+  "history": [{"pr": 6, "BenchmarkEngineMultiSession": 12000}]
+}`
+
+// event wraps a bench output line as one test2json event.
+func event(line string) string {
+	b, _ := json.Marshal(map[string]string{"Action": "output", "Output": line + "\n"})
+	return string(b) + "\n"
+}
+
+func TestGuardPassesWithinThreshold(t *testing.T) {
+	path := writeBaseline(t, testBaseline)
+	in := strings.NewReader(
+		event("BenchmarkEngineMultiSession-1   \t  240934\t      10500 ns/op\t  37.01 MB/s\t       0 B/op\t       0 allocs/op") +
+			event("BenchmarkEngineShardedThroughput/shards-1-1         \t  708276\t      2100 ns/op\t 105.93 MB/s\t       3 B/op\t       0 allocs/op"))
+	var out bytes.Buffer
+	ok, err := run([]string{"-baseline", path}, in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("guard failed within threshold:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok  ") {
+		t.Fatalf("no verdict lines:\n%s", out.String())
+	}
+}
+
+func TestGuardFailsOnRegression(t *testing.T) {
+	path := writeBaseline(t, testBaseline)
+	in := strings.NewReader(
+		event("BenchmarkEngineMultiSession-1 \t 100 \t 10500 ns/op \t 0 allocs/op") +
+			event("BenchmarkEngineShardedThroughput/shards-1-1 \t 100 \t 2500 ns/op")) // +25% > 20%
+	var out bytes.Buffer
+	ok, err := run([]string{"-baseline", path}, in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("guard passed a 25%% regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkEngineShardedThroughput/shards-1") {
+		t.Fatalf("regressed benchmark not named:\n%s", out.String())
+	}
+}
+
+func TestGuardUsesMinOverCounts(t *testing.T) {
+	path := writeBaseline(t, testBaseline)
+	// Three counts: two noisy, one at baseline. Min rules, so the guard passes.
+	in := strings.NewReader(
+		event("BenchmarkEngineMultiSession-1 \t 100 \t 29000 ns/op \t 1 allocs/op") +
+			event("BenchmarkEngineMultiSession-1 \t 100 \t 9900 ns/op \t 0 allocs/op") +
+			event("BenchmarkEngineMultiSession-1 \t 100 \t 31000 ns/op \t 1 allocs/op") +
+			event("BenchmarkEngineShardedThroughput/shards-1-1 \t 100 \t 1900 ns/op"))
+	var out bytes.Buffer
+	ok, err := run([]string{"-baseline", path}, in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("min-over-counts not applied:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "min of 3") {
+		t.Fatalf("count not reported:\n%s", out.String())
+	}
+}
+
+func TestGuardEnforcesAllocBound(t *testing.T) {
+	path := writeBaseline(t, testBaseline)
+	in := strings.NewReader(
+		event("BenchmarkEngineMultiSession-1 \t 100 \t 9000 ns/op \t 160 B/op \t 5 allocs/op"))
+	var out bytes.Buffer
+	ok, err := run([]string{"-baseline", path}, in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("5 allocs/op passed a <=2 bound:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "exceeds the hard bound") {
+		t.Fatalf("alloc bound violation not named:\n%s", out.String())
+	}
+}
+
+func TestGuardSkipsAbsentBenchmarks(t *testing.T) {
+	path := writeBaseline(t, testBaseline)
+	in := strings.NewReader(event("BenchmarkEngineMultiSession-1 \t 100 \t 9000 ns/op \t 0 allocs/op"))
+	var out bytes.Buffer
+	ok, err := run([]string{"-baseline", path}, in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("absent benchmark failed the guard:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "skip BenchmarkEngineShardedThroughput/shards-1") {
+		t.Fatalf("absent benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestPlainTextInputAccepted(t *testing.T) {
+	path := writeBaseline(t, testBaseline)
+	in := strings.NewReader("goos: linux\nBenchmarkEngineMultiSession-1   100   9000 ns/op   0 allocs/op\nPASS\n")
+	var out bytes.Buffer
+	ok, err := run([]string{"-baseline", path}, in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("plain-text input rejected:\n%s", out.String())
+	}
+}
+
+func TestUpdateRewritesBaseline(t *testing.T) {
+	path := writeBaseline(t, testBaseline)
+	in := strings.NewReader(
+		event("BenchmarkEngineMultiSession-1 \t 100 \t 8000 ns/op \t 42.5 MB/s \t 0 allocs/op"))
+	var out bytes.Buffer
+	ok, err := run([]string{"-baseline", path, "-update"}, in, &out)
+	if err != nil || !ok {
+		t.Fatalf("update: ok=%v err=%v\n%s", ok, err, out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc baseline
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("rewritten baseline unparsable: %v\n%s", err, raw)
+	}
+	e := doc.Benchmarks["BenchmarkEngineMultiSession"]
+	if e == nil || e.NsPerOp != 8000 || e.AllocsPerOp == nil || *e.AllocsPerOp != 0 {
+		t.Fatalf("measured fields not rewritten: %+v", e)
+	}
+	if e.MaxAllocsPerOp == nil || *e.MaxAllocsPerOp != 2 {
+		t.Fatalf("hard bound lost on update: %+v", e)
+	}
+	// The untouched benchmark and the history must survive.
+	if doc.Benchmarks["BenchmarkEngineShardedThroughput/shards-1"].NsPerOp != 2000 {
+		t.Fatalf("absent benchmark rewritten: %+v", doc.Benchmarks)
+	}
+	if len(doc.History) != 1 || !strings.Contains(string(doc.History[0]), "12000") {
+		t.Fatalf("history lost on update: %s", doc.History)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if _, err := run([]string{"-baseline", "/does/not/exist.json"}, strings.NewReader(""), new(bytes.Buffer)); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	path := writeBaseline(t, testBaseline)
+	if _, err := run([]string{"-baseline", path}, strings.NewReader("no benchmarks here\n"), new(bytes.Buffer)); err == nil {
+		t.Fatal("empty run accepted")
+	}
+	empty := writeBaseline(t, `{"benchmarks": {}}`)
+	if _, err := run([]string{"-baseline", empty}, strings.NewReader(""), new(bytes.Buffer)); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}

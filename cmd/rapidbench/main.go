@@ -1,0 +1,211 @@
+// Command rapidbench is a loopback saturation harness for the relay engine's
+// batched data plane. It stands up an in-process engine (or targets a running
+// one with -addr), drives it from batched client sockets — the same
+// recvmmsg/sendmmsg path the engine itself uses, via internal/netbatch — and
+// reports the achieved packet rate. The headline figure is pps (echoed
+// packets per second); for an in-process engine the syscall amortization
+// actually achieved (syscalls per packet, receive and send batch fill) is
+// reported alongside, since that ratio is the whole point of the batched
+// plane.
+//
+// Usage:
+//
+//	rapidbench [-duration 3s] [-clients N] [-size 320] [-shards N] [-gso]
+//	rapidbench -addr host:7400   # drive an already-running engine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/netip"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rapidware/internal/engine"
+	"rapidware/internal/metrics"
+	"rapidware/internal/netbatch"
+	"rapidware/internal/packet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatalf("rapidbench: %v", err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rapidbench", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "drive a running engine at this UDP address instead of an in-process one")
+		duration = fs.Duration("duration", 3*time.Second, "measurement length")
+		clients  = fs.Int("clients", runtime.GOMAXPROCS(0), "concurrent client sockets (one session each)")
+		size     = fs.Int("size", 320, "payload bytes per datagram")
+		shards   = fs.Int("shards", 0, "in-process engine shards (0 = NumCPU)")
+		gso      = fs.Bool("gso", false, "UDP generic segmentation offload on both the engine's and the clients' send paths")
+		window   = fs.Int("window", 4*netbatch.BatchSize, "datagrams each client keeps in flight")
+		chain    = fs.String("chain", "", "in-process engine chain spec (default: pure relay)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *clients < 1 || *size < 1 || *window < 1 {
+		return fmt.Errorf("clients, size and window must be positive")
+	}
+	if *gso && !netbatch.GSOAvailable {
+		return fmt.Errorf("-gso: UDP GSO needs the Linux batched-I/O fast path, unavailable in this build")
+	}
+
+	var eng *engine.Engine
+	var dst netip.AddrPort
+	if *addr == "" {
+		var err error
+		eng, err = engine.New(engine.Config{
+			ListenAddr: "127.0.0.1:0",
+			Shards:     *shards,
+			GSO:        *gso,
+			Chain:      *chain,
+		})
+		if err != nil {
+			return err
+		}
+		if err := eng.Start(); err != nil {
+			return err
+		}
+		defer eng.Close()
+		dst = eng.LocalAddr().(*net.UDPAddr).AddrPort()
+	} else {
+		udp, err := net.ResolveUDPAddr("udp", *addr)
+		if err != nil {
+			return fmt.Errorf("resolve %q: %w", *addr, err)
+		}
+		dst = udp.AddrPort()
+	}
+
+	mode := "portable single-datagram I/O"
+	if netbatch.Available {
+		mode = "batched mmsg I/O"
+		if *gso {
+			mode += " + GSO"
+		}
+	}
+	fmt.Fprintf(out, "rapidbench: %d clients x %dB payload for %v against %v (%s)\n",
+		*clients, *size, *duration, dst, mode)
+
+	var sent, received atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	stop := start.Add(*duration)
+	errs := make(chan error, *clients)
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(id uint32) {
+			defer wg.Done()
+			if err := client(id, dst, *size, *window, *gso, stop, &sent, &received); err != nil {
+				errs <- fmt.Errorf("client %d: %w", id, err)
+			}
+		}(uint32(i + 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
+
+	s, r := sent.Load(), received.Load()
+	if r == 0 {
+		return fmt.Errorf("no echoes received — engine unreachable or dropping everything")
+	}
+	pps := float64(r) / elapsed.Seconds()
+	dgramBytes := packet.SessionIDSize + packet.HeaderSize + *size
+	fmt.Fprintf(out, "sent %d  echoed %d (%.1f%%)\n", s, r, 100*float64(r)/float64(s))
+	fmt.Fprintf(out, "throughput %.0f pps  %.1f MB/s\n", pps, pps*float64(dgramBytes)/1e6)
+	if eng != nil {
+		printAmortization(out, eng.Stats())
+	}
+	return nil
+}
+
+// client drives one session: top the window up a batch at a time, drain
+// echoes, and re-prime after a silent stretch (UDP loss under overload must
+// not wedge the run).
+func client(id uint32, dst netip.AddrPort, size, window int, gso bool, stop time.Time, sent, received *atomic.Uint64) error {
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	bc := netbatch.New(c, netbatch.Options{GSO: gso})
+
+	dgram, err := packet.AppendDatagram(nil, id, &packet.Packet{
+		Seq: uint64(id), StreamID: id, Kind: packet.KindData, Payload: make([]byte, size),
+	})
+	if err != nil {
+		return err
+	}
+	wmsgs := make([]netbatch.Msg, netbatch.BatchSize)
+	for i := range wmsgs {
+		wmsgs[i] = netbatch.Msg{Buf: dgram, Addr: dst}
+	}
+	rmsgs := make([]netbatch.Msg, netbatch.BatchSize)
+	rbufs := make([][]byte, netbatch.BatchSize)
+	for i := range rbufs {
+		rbufs[i] = make([]byte, packet.MaxDatagram)
+	}
+
+	inflight := 0
+	for time.Now().Before(stop) {
+		for inflight < window {
+			k := min(len(wmsgs), window-inflight)
+			n, err := bc.WriteBatch(wmsgs[:k])
+			if err != nil {
+				return err
+			}
+			inflight += n
+			sent.Add(uint64(n))
+		}
+		for i := range rmsgs {
+			rmsgs[i].Buf = rbufs[i]
+		}
+		c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, err := bc.ReadBatch(rmsgs)
+		if err != nil {
+			inflight = 0 // presume the window lost; re-prime
+			continue
+		}
+		inflight -= n
+		received.Add(uint64(n))
+	}
+	// Drain stragglers (uncounted: the clock has stopped).
+	for inflight > 0 {
+		for i := range rmsgs {
+			rmsgs[i].Buf = rbufs[i]
+		}
+		c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, err := bc.ReadBatch(rmsgs)
+		if err != nil {
+			break
+		}
+		inflight -= n
+	}
+	return nil
+}
+
+// printAmortization reports the syscall economics the batched plane achieved.
+func printAmortization(out io.Writer, st metrics.EngineStats) {
+	packets := st.Datagrams + st.BatchedWrites
+	calls := st.RecvCalls + st.SendCalls
+	if packets == 0 || calls == 0 {
+		return
+	}
+	fmt.Fprintf(out, "engine: %.3f syscalls/packet (recv fill %.1f, send fill %.1f)\n",
+		float64(calls)/float64(packets),
+		float64(st.Datagrams)/float64(max(st.RecvCalls, 1)),
+		float64(st.BatchedWrites)/float64(max(st.SendCalls, 1)))
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rapidware/internal/netbatch"
+)
+
+func TestSaturationRunInProcess(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-duration", "300ms", "-clients", "2", "-shards", "1", "-size", "64"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	m := regexp.MustCompile(`throughput (\d+) pps`).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("no pps headline in output:\n%s", text)
+	}
+	if pps, _ := strconv.Atoi(m[1]); pps <= 0 {
+		t.Fatalf("non-positive pps in output:\n%s", text)
+	}
+	if netbatch.Available && !strings.Contains(text, "syscalls/packet") {
+		t.Fatalf("in-process run must report syscall amortization:\n%s", text)
+	}
+}
+
+func TestGSOFlagHonorsEngineConfig(t *testing.T) {
+	if !netbatch.GSOAvailable {
+		var out bytes.Buffer
+		if err := run([]string{"-gso", "-duration", "100ms"}, &out); err == nil {
+			t.Fatal("-gso accepted on a build without GSO support")
+		}
+		return
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-gso", "-duration", "300ms", "-clients", "1", "-shards", "1"}, &out); err != nil {
+		t.Fatalf("run -gso: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "+ GSO") {
+		t.Fatalf("GSO mode not reported:\n%s", out.String())
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-clients", "0"},
+		{"-size", "0"},
+		{"-window", "-1"},
+		{"-addr", "not-an-address:xyz"},
+	} {
+		if err := run(args, new(bytes.Buffer)); err == nil {
+			t.Fatalf("args %v: expected an error", args)
+		}
+	}
+}

@@ -313,13 +313,37 @@ func printStats(out *os.File, eng *metrics.EngineStats, shards []metrics.ShardSt
 	}
 	fmt.Fprintf(out, "writes %d in %d flushes (%.1f/flush)  write-drops %d\n",
 		eng.BatchedWrites, eng.WriteFlushes, perFlush, eng.WriteDrops)
-	fmt.Fprintf(out, "%-5s %8s %10s %9s %8s %8s %6s %7s %10s %10s %8s %7s\n",
-		"shard", "sessions", "datagrams", "malformed", "rejected", "feedback", "nacks", "rexmits", "chain-errs", "writes", "flushes", "wdrops")
+	fmt.Fprintf(out, "syscalls %d (recv %d, send %d)  per-packet %s  batch-fill %s\n",
+		eng.RecvCalls+eng.SendCalls, eng.RecvCalls, eng.SendCalls,
+		perPacket(eng.Datagrams+eng.BatchedWrites, eng.RecvCalls+eng.SendCalls),
+		fillRatio(eng.Datagrams+eng.BatchedWrites, eng.RecvCalls+eng.SendCalls))
+	fmt.Fprintf(out, "%-5s %8s %10s %9s %8s %8s %6s %7s %10s %10s %8s %7s %9s %10s\n",
+		"shard", "sessions", "datagrams", "malformed", "rejected", "feedback", "nacks", "rexmits", "chain-errs", "writes", "flushes", "wdrops", "syscalls", "batch-fill")
 	for _, sh := range shards {
-		fmt.Fprintf(out, "%-5d %8d %10d %9d %8d %8d %6d %7d %10d %10d %8d %7d\n",
+		fmt.Fprintf(out, "%-5d %8d %10d %9d %8d %8d %6d %7d %10d %10d %8d %7d %9d %10s\n",
 			sh.Shard, sh.Sessions, sh.Datagrams, sh.Malformed, sh.Rejected, sh.Feedback,
-			sh.Nacks, sh.Retransmits, sh.ChainErrors, sh.Writes, sh.Flushes, sh.WriteDrops)
+			sh.Nacks, sh.Retransmits, sh.ChainErrors, sh.Writes, sh.Flushes, sh.WriteDrops,
+			sh.RecvCalls+sh.SendCalls, fillRatio(sh.Datagrams+sh.Writes, sh.RecvCalls+sh.SendCalls))
 	}
+}
+
+// fillRatio renders packets-per-syscall (the batch amortization actually
+// achieved; BatchSize is the ceiling). A plane that has not moved traffic yet
+// renders a dash rather than a division by zero.
+func fillRatio(packets, calls uint64) string {
+	if calls == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(packets)/float64(calls))
+}
+
+// perPacket renders syscalls-per-packet, the inverse of fillRatio (0.03 means
+// one syscall carries ~32 datagrams; 1.0 means no batching).
+func perPacket(packets, calls uint64) string {
+	if packets == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", float64(calls)/float64(packets))
 }
 
 // printStatsJSON emits the same snapshot as one JSON object, for scripts.

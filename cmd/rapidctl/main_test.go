@@ -506,3 +506,39 @@ func TestPrintSessionsReceiverChain(t *testing.T) {
 		t.Fatalf("branch tail plan missing:\n%s", out)
 	}
 }
+
+// TestPrintStatsGolden pins the exact stats rendering — the syscalls and
+// batch-fill columns included — so accidental format drift is caught.
+func TestPrintStatsGolden(t *testing.T) {
+	eng := &metrics.EngineStats{
+		ActiveSessions: 3, TotalSessions: 5, Shards: 2,
+		Datagrams: 6400, Malformed: 1, Rejected: 2, Feedback: 3, Nacks: 4,
+		Retransmits: 5, ChainErrors: 6,
+		BatchedWrites: 6400, WriteFlushes: 400, WriteDrops: 7,
+		RecvCalls: 200, SendCalls: 200,
+	}
+	shards := []metrics.ShardStats{
+		{Shard: 0, Sessions: 2, Datagrams: 3200, Malformed: 1, Rejected: 2,
+			Feedback: 3, Nacks: 4, Retransmits: 5, ChainErrors: 6,
+			Writes: 3200, Flushes: 200, WriteDrops: 7, RecvCalls: 100, SendCalls: 100},
+		{Shard: 1, Sessions: 1, Datagrams: 3200,
+			Writes: 3200, Flushes: 200, RecvCalls: 100, SendCalls: 100},
+		{Shard: 2},
+	}
+	out := captureOutput(t, func(f *os.File) error {
+		printStats(f, eng, shards)
+		return nil
+	})
+	want := `engine: sessions 3 (total 5), shards 2
+datagrams 6400  malformed 1  rejected 2  feedback 3  nacks 4  retransmits 5  chain-errors 6
+writes 6400 in 400 flushes (16.0/flush)  write-drops 7
+syscalls 400 (recv 200, send 200)  per-packet 0.031  batch-fill 32.0
+shard sessions  datagrams malformed rejected feedback  nacks rexmits chain-errs     writes  flushes  wdrops  syscalls batch-fill
+0            2       3200         1        2        3      4       5          6       3200      200       7       200       32.0
+1            1       3200         0        0        0      0       0          0       3200      200       0       200       32.0
+2            0          0         0        0        0      0       0          0          0        0       0         0          -
+`
+	if out != want {
+		t.Fatalf("stats output drifted:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}

@@ -71,6 +71,7 @@ func run(args []string) error {
 		maxSessions = fs.Int("max-sessions", engine.DefaultMaxSessions, "engine mode: maximum concurrent sessions")
 		shards      = fs.Int("shards", 0, "engine mode: data-plane shards (readers/table shards/writers); 0 = one per CPU")
 		reusePort   = fs.Bool("reuseport", false, "engine mode: one SO_REUSEPORT socket per shard (linux, 'reuseport' build tag)")
+		gso         = fs.Bool("gso", false, "engine mode: UDP generic segmentation offload on the batched send path (linux fast path only)")
 		pprofAddr   = fs.String("pprof", "", "engine mode: serve net/http/pprof on this address (e.g. localhost:6060)")
 		chainSpec   = fs.String("chain", "", "engine mode: default chain spec for new sessions (e.g. counting,fec-encode=6/4)")
 		roaming     = fs.Bool("allow-roaming", false, "engine mode: let a session's echo destination follow its most recent sender")
@@ -104,6 +105,7 @@ func run(args []string) error {
 			maxSessions: *maxSessions,
 			shards:      *shards,
 			reusePort:   *reusePort,
+			gso:         *gso,
 			pprof:       *pprofAddr,
 			chain:       *chainSpec,
 			roaming:     *roaming,
@@ -120,8 +122,8 @@ func run(args []string) error {
 		if *adaptOn || *adaptPolicy != "" || *fanout != "" || *branchSpec != "" || *staleness != 0 {
 			return fmt.Errorf("-adapt/-adapt-policy/-fanout/-branch/-report-staleness are engine-mode flags")
 		}
-		if *shards != 0 || *reusePort || *pprofAddr != "" {
-			return fmt.Errorf("-shards/-reuseport/-pprof are engine-mode flags")
+		if *shards != 0 || *reusePort || *gso || *pprofAddr != "" {
+			return fmt.Errorf("-shards/-reuseport/-gso/-pprof are engine-mode flags")
 		}
 		return runStream(logger, *name, *listenAddr, *forwardAddr, *controlAddr, *filters, *fecSpec)
 	default:
@@ -135,6 +137,7 @@ type engineOptions struct {
 	maxSessions                    int
 	shards                         int
 	reusePort                      bool
+	gso                            bool
 	pprof                          string
 	chain                          string
 	roaming                        bool
@@ -162,6 +165,7 @@ func runEngine(logger *log.Logger, opts engineOptions) error {
 		MaxSessions:     opts.maxSessions,
 		Shards:          opts.shards,
 		ReusePort:       opts.reusePort,
+		GSO:             opts.gso,
 		Chain:           opts.chain,
 		Forward:         opts.forward,
 		AllowRoaming:    opts.roaming,

@@ -16,12 +16,19 @@
 // (ID hashed to shard, per-shard lock — no global lock on the data path),
 // and each shard's writer flushes output in opportunistic batches. Pooled
 // buffers travel end to end so the steady-state relay path does not
-// allocate. Linux builds tagged "reuseport" can bind one SO_REUSEPORT
-// socket per shard so the kernel spreads flows across readers. Engine,
-// per-shard and per-session counters are exposed through the control
-// protocol. cmd/rapidproxy serves the engine (with -pprof for live
-// profiling and graceful signal-driven drain); cmd/rapidctl inspects it
-// (sessions, stats, stats -json).
+// allocate. Socket I/O itself is batched (internal/netbatch): on Linux each
+// shard moves up to 32 datagrams per recvmmsg/sendmmsg call — optionally
+// coalescing equal-size runs further with UDP GSO (Config.GSO, rapidproxy
+// -gso) — with a portable single-datagram fallback elsewhere, holding the
+// data plane under 0.25 syscalls per packet at steady state. Linux builds
+// tagged "reuseport" can bind one SO_REUSEPORT socket per shard so the
+// kernel spreads flows across readers. Engine, per-shard and per-session
+// counters — including syscall and batch-fill economics — are exposed
+// through the control protocol. cmd/rapidproxy serves the engine (with
+// -pprof for live profiling and graceful signal-driven drain); cmd/rapidctl
+// inspects it (sessions, stats, stats -json); cmd/rapidbench saturates it
+// over loopback and reports pps and syscalls per packet; cmd/benchguard
+// holds every PR to the committed benchmark floor in BENCH_engine.json.
 //
 // The engine also hosts a closed-loop adaptation plane: downstream receivers
 // report observed loss upstream as feedback datagrams (packet.Report), each

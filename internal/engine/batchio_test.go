@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"rapidware/internal/netbatch"
+	"rapidware/internal/packet"
+)
+
+// scriptedDgram is one inbound datagram a scripted conn serves to the shard
+// reader.
+type scriptedDgram struct {
+	data []byte
+	from netip.AddrPort
+}
+
+// scriptedConn replaces a shard's batch conn (through the shard.bconn test
+// seam) with a fully scripted socket: ReadBatch serves pre-arranged batches,
+// WriteBatch records every send per destination and can be told to fail all
+// datagrams to one poisoned address — honoring the WriteBatch contract, where
+// an error names exactly the first unsent datagram.
+type scriptedConn struct {
+	in chan []scriptedDgram
+
+	mu     sync.Mutex
+	sent   map[netip.AddrPort][][]byte
+	total  int
+	poison netip.AddrPort
+	faults int
+}
+
+var errInjectedFault = errors.New("injected send fault")
+
+func newScriptedConn() *scriptedConn {
+	return &scriptedConn{
+		in:   make(chan []scriptedDgram, 4096),
+		sent: make(map[netip.AddrPort][][]byte),
+	}
+}
+
+func (c *scriptedConn) ReadBatch(ms []ioMsg) (int, error) {
+	batch, ok := <-c.in
+	if !ok {
+		return 0, net.ErrClosed
+	}
+	if len(batch) > len(ms) {
+		return 0, fmt.Errorf("scripted batch of %d exceeds reader capacity %d", len(batch), len(ms))
+	}
+	for i := range batch {
+		ms[i].N = copy(ms[i].Buf, batch[i].data)
+		ms[i].Addr = batch[i].from
+	}
+	return len(batch), nil
+}
+
+func (c *scriptedConn) WriteBatch(ms []ioMsg) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range ms {
+		if c.poison.IsValid() && ms[i].Addr == c.poison {
+			c.faults++
+			return i, errInjectedFault
+		}
+		c.sent[ms[i].Addr] = append(c.sent[ms[i].Addr], append([]byte(nil), ms[i].Buf...))
+		c.total++
+	}
+	return len(ms), nil
+}
+
+func (c *scriptedConn) sentTo(addr netip.AddrPort) [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]byte, len(c.sent[addr]))
+	copy(out, c.sent[addr])
+	return out
+}
+
+func (c *scriptedConn) sentTotal() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// newScriptedEngine builds an engine whose single shard reads and writes
+// through the scripted conn instead of its socket. The real socket is still
+// bound (and idle); closing the scripted input releases the reader.
+func newScriptedEngine(t *testing.T, cfg Config) (*Engine, *scriptedConn) {
+	t.Helper()
+	cfg.ListenAddr = "127.0.0.1:0"
+	cfg.Shards = 1
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sc := newScriptedConn()
+	e.shards[0].bconn = sc
+	if err := e.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		close(sc.in)
+		e.Close()
+	})
+	return e, sc
+}
+
+// mustDatagram marshals one data datagram.
+func mustDatagram(t *testing.T, session uint32, seq uint64, payload []byte) []byte {
+	t.Helper()
+	d, err := packet.AppendDatagram(nil, session, &packet.Packet{
+		Seq: seq, StreamID: session, Kind: packet.KindData, Payload: payload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatchedWriterPartialFailure drives three echo sessions through one
+// shard whose conn fails every send to the middle session's peer. The
+// regression being pinned: a transient sendmmsg error must drop only the
+// datagram it names — counted as a write drop — while the datagrams before
+// and after it in the same batch are delivered, and the writer keeps
+// flushing rounds afterwards rather than stalling.
+func TestBatchedWriterPartialFailure(t *testing.T) {
+	e, sc := newScriptedEngine(t, Config{})
+	addrA := netip.MustParseAddrPort("10.1.0.1:4000")
+	addrB := netip.MustParseAddrPort("10.1.0.2:4000")
+	addrC := netip.MustParseAddrPort("10.1.0.3:4000")
+	sc.poison = addrB
+
+	const rounds = 10
+	for seq := uint64(0); seq < rounds; seq++ {
+		sc.in <- []scriptedDgram{
+			{data: mustDatagram(t, 1, seq, []byte("to-A")), from: addrA},
+			{data: mustDatagram(t, 2, seq, []byte("to-B")), from: addrB},
+			{data: mustDatagram(t, 3, seq, []byte("to-C")), from: addrC},
+		}
+	}
+
+	waitFor(t, "all survivable echoes", func() bool {
+		return len(sc.sentTo(addrA)) == rounds && len(sc.sentTo(addrC)) == rounds
+	})
+	if got := len(sc.sentTo(addrB)); got != 0 {
+		t.Fatalf("poisoned peer received %d datagrams, want 0", got)
+	}
+	waitFor(t, "write-drop accounting", func() bool {
+		return e.Stats().WriteDrops == rounds
+	})
+	if s := e.Session(2); s == nil || s.Stats().Drops != rounds {
+		t.Fatalf("session 2 drop counter = %+v, want %d", e.Session(2).Stats(), rounds)
+	}
+	// Echo payloads arrived whole and in per-session order.
+	for seq, d := range sc.sentTo(addrA) {
+		if got := binary.BigEndian.Uint64(d[packet.SessionIDSize+4:]); got != uint64(seq) {
+			t.Fatalf("peer A datagram %d carries seq %d — order broken", seq, got)
+		}
+	}
+}
+
+// TestBatchSplitDemuxEquivalence is the framing property test: a stream of
+// session-ID-prefixed datagrams split arbitrarily across ReadBatch calls must
+// demux exactly like the single-datagram-per-read path, and each session's
+// echoes must come back complete and in order across batched flushes.
+func TestBatchSplitDemuxEquivalence(t *testing.T) {
+	const sessions = 8
+	const perSession = 48 // < QueueDepth, so no UDP-style drops distort the comparison
+
+	peers := make([]netip.AddrPort, sessions)
+	for i := range peers {
+		peers[i] = netip.MustParseAddrPort(fmt.Sprintf("10.2.0.%d:5000", i+1))
+	}
+
+	// run feeds the full round-robin stream, partitioned by next(), and
+	// returns each session's echoed seq sequence keyed by peer.
+	run := func(t *testing.T, next func(remaining int) int) map[netip.AddrPort][]uint64 {
+		t.Helper()
+		_, sc := newScriptedEngine(t, Config{MaxSessions: sessions})
+		var stream []scriptedDgram
+		for seq := uint64(0); seq < perSession; seq++ {
+			for s := 0; s < sessions; s++ {
+				stream = append(stream, scriptedDgram{
+					data: mustDatagram(t, uint32(s+1), seq, []byte{byte(s), byte(seq)}),
+					from: peers[s],
+				})
+			}
+		}
+		for off := 0; off < len(stream); {
+			n := next(len(stream) - off)
+			sc.in <- stream[off : off+n]
+			off += n
+		}
+		waitFor(t, "every echo", func() bool { return sc.sentTotal() == len(stream) })
+		out := make(map[netip.AddrPort][]uint64, sessions)
+		for _, p := range peers {
+			for _, d := range sc.sentTo(p) {
+				out[p] = append(out[p], binary.BigEndian.Uint64(d[packet.SessionIDSize+4:]))
+			}
+		}
+		return out
+	}
+
+	baseline := run(t, func(int) int { return 1 }) // the single-read path
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		got := run(t, func(remaining int) int {
+			return 1 + rng.Intn(min(remaining, batchSize))
+		})
+		for _, p := range peers {
+			if len(got[p]) != len(baseline[p]) {
+				t.Fatalf("seed %d: peer %v echoed %d datagrams, single-read path echoed %d",
+					seed, p, len(got[p]), len(baseline[p]))
+			}
+			for i := range got[p] {
+				if got[p][i] != baseline[p][i] {
+					t.Fatalf("seed %d: peer %v echo %d carries seq %d, single-read path had %d — per-session order broken",
+						seed, p, i, got[p][i], baseline[p][i])
+				}
+			}
+		}
+	}
+}
+
+// TestSoakSyscallAmortization drives sustained burst traffic through a real
+// socket pair and asserts the headline economics of the batched data plane:
+// fewer than 0.25 syscalls per packet at steady state (i.e. at least four
+// datagrams moved per recvmmsg/sendmmsg on average, receive and send
+// combined).
+func TestSoakSyscallAmortization(t *testing.T) {
+	if !batchIOAvailable {
+		t.Skip("batched I/O not available in this build")
+	}
+	e := newTestEngine(t, Config{Shards: 1})
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bc := netbatch.New(c, netbatch.Options{})
+	dst := e.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	dgram := mustDatagram(t, 1, 0, make([]byte, 320))
+	wmsgs := make([]ioMsg, batchSize)
+	for i := range wmsgs {
+		wmsgs[i] = ioMsg{Buf: dgram, Addr: dst}
+	}
+	rmsgs := make([]ioMsg, batchSize)
+	rbufs := make([][]byte, batchSize)
+	for i := range rbufs {
+		rbufs[i] = make([]byte, packet.MaxDatagram)
+	}
+
+	const rounds = 100
+	received := 0
+	for r := 0; r < rounds; r++ {
+		sent := 0
+		for sent < len(wmsgs) {
+			n, err := bc.WriteBatch(wmsgs[sent:])
+			if err != nil {
+				t.Fatalf("WriteBatch: %v", err)
+			}
+			sent += n
+		}
+		// Drain this burst's echoes before the next burst so the loopback
+		// queue can never overflow; tolerate stragglers via the deadline.
+		want := received + sent
+		for received < want {
+			for i := range rmsgs {
+				rmsgs[i].Buf = rbufs[i]
+			}
+			c.SetReadDeadline(time.Now().Add(2 * time.Second))
+			n, err := bc.ReadBatch(rmsgs)
+			if err != nil {
+				t.Fatalf("round %d: ReadBatch after %d echoes: %v", r, received, err)
+			}
+			received += n
+		}
+	}
+
+	st := e.Stats()
+	packets := st.Datagrams + st.BatchedWrites
+	calls := st.RecvCalls + st.SendCalls
+	if calls == 0 || packets == 0 {
+		t.Fatalf("counters never moved: %+v", st)
+	}
+	perPacket := float64(calls) / float64(packets)
+	t.Logf("%d packets in %d syscalls: %.3f syscalls/packet (recv fill %.1f, send fill %.1f)",
+		packets, calls, perPacket,
+		float64(st.Datagrams)/float64(st.RecvCalls),
+		float64(st.BatchedWrites)/float64(st.SendCalls))
+	if perPacket >= 0.25 {
+		t.Fatalf("syscalls per packet = %.3f, want < 0.25", perPacket)
+	}
+}

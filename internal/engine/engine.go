@@ -19,9 +19,17 @@
 // per CPU) pull datagrams off the socket, sessions live in a sharded table
 // (per-shard lock, session ID hashed to shard) so open/lookup/close never
 // touch a global lock, and each shard runs a writer goroutine that flushes
-// output in opportunistic batches. The portable path runs every reader over
-// one net.UDPConn; on Linux, builds tagged "reuseport" can give each shard
-// its own SO_REUSEPORT socket instead (Config.ReusePort).
+// output in opportunistic batches. Socket I/O is batched at the syscall
+// level where the platform allows: on linux/amd64 and linux/arm64 the shard
+// loops move up to 32 datagrams per recvmmsg/sendmmsg call (optionally
+// folding runs of equal-size datagrams into single UDP GSO super-datagrams,
+// Config.GSO), and every other platform — or any build with the "purego"
+// tag — transparently falls back to one datagram per syscall behind the
+// same interface. The portable path runs every reader over one net.UDPConn;
+// on Linux, builds tagged "reuseport" can give each shard its own
+// SO_REUSEPORT socket instead (Config.ReusePort). Per-shard RecvCalls and
+// SendCalls counters expose the achieved syscall amortization (see
+// metrics.EngineStats).
 //
 // The steady-state relay path is allocation-free: datagrams travel in pooled
 // buffers (packet.GetBuf) from the socket read, through the chain's
@@ -59,6 +67,7 @@ import (
 	"rapidware/internal/compose"
 	"rapidware/internal/metrics"
 	"rapidware/internal/multicast"
+	"rapidware/internal/netbatch"
 )
 
 // Defaults applied by New.
@@ -107,6 +116,14 @@ type Config struct {
 	// on one socket lock. Requires Linux and the "reuseport" build tag; New
 	// fails otherwise.
 	ReusePort bool
+	// GSO enables UDP generic segmentation offload on the batched send path:
+	// runs of equal-size datagrams to one destination are handed to the
+	// kernel as a single super-datagram with a UDP_SEGMENT header, so the
+	// stack is traversed once per run instead of once per datagram. Requires
+	// the Linux batched-I/O fast path (linux amd64/arm64, non-purego build);
+	// New fails otherwise. If the running kernel turns out to lack UDP GSO,
+	// the engine falls back to plain batched sends on first use.
+	GSO bool
 	// Chain is the default chain spec instantiated for every new session; see
 	// ParseChain for the syntax. Empty means a pure relay (no interior
 	// filters).
@@ -224,6 +241,9 @@ func New(cfg Config) (*Engine, error) {
 	cfg.Shards = resolveShards(cfg.Shards)
 	if cfg.ReusePort && !reusePortAvailable {
 		return nil, errors.New("engine: ReusePort requires linux and the 'reuseport' build tag")
+	}
+	if cfg.GSO && !gsoAvailable {
+		return nil, errors.New("engine: GSO requires the linux batched-I/O fast path (amd64/arm64, non-purego build)")
 	}
 	reg := compose.Default()
 	trunkPlan, err := compose.ParseWith(reg, cfg.Chain, compose.ModeChain)
@@ -390,6 +410,13 @@ func (e *Engine) Start() error {
 		} else {
 			sh.conn = e.conns[0]
 		}
+		if sh.bconn == nil { // tests may have injected a scripted conn
+			sh.bconn = netbatch.New(sh.conn, netbatch.Options{
+				GSO:       e.cfg.GSO,
+				RecvCalls: &sh.counters.recvCalls,
+				SendCalls: &sh.counters.sendCalls,
+			})
+		}
 		e.wg.Add(2)
 		go sh.readLoop()
 		go sh.writeLoop()
@@ -398,8 +425,15 @@ func (e *Engine) Start() error {
 	if e.cfg.ReusePort {
 		mode = "SO_REUSEPORT sockets"
 	}
-	e.logf("serving UDP on %s (%d shards over %s, max %d sessions, chain %q)",
-		e.conns[0].LocalAddr(), len(e.shards), mode, e.cfg.MaxSessions, e.cfg.Chain)
+	io := "single-datagram I/O"
+	if batchIOAvailable {
+		io = "batched mmsg I/O"
+		if e.cfg.GSO {
+			io = "batched mmsg I/O + GSO"
+		}
+	}
+	e.logf("serving UDP on %s (%d shards over %s, %s, max %d sessions, chain %q)",
+		e.conns[0].LocalAddr(), len(e.shards), mode, io, e.cfg.MaxSessions, e.cfg.Chain)
 	if e.adaptOn {
 		e.logf("adaptation plane on (policy %s)", e.policy)
 	}
@@ -628,6 +662,8 @@ func (e *Engine) Stats() Stats {
 		st.BatchedWrites += c.writes.Load()
 		st.WriteFlushes += c.flushes.Load()
 		st.WriteDrops += c.writeDrops.Load()
+		st.RecvCalls += c.recvCalls.Load()
+		st.SendCalls += c.sendCalls.Load()
 	}
 	return st
 }

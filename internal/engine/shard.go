@@ -9,16 +9,18 @@ import (
 	"time"
 
 	"rapidware/internal/metrics"
+	"rapidware/internal/netbatch"
 	"rapidware/internal/packet"
 )
 
 // Shard-runtime tuning constants.
 const (
-	// writeBatch is the maximum number of pending datagrams one shard writer
-	// drains per flush. Collecting a batch before touching the socket
-	// amortizes the writer's wakeups under load while a mostly idle shard
-	// still sends each datagram immediately.
-	writeBatch = 32
+	// batchSize is the number of datagrams one syscall can move in either
+	// direction: the reader offers this many buffers per ReadBatch and the
+	// writer drains this many queue entries per flush. On the Linux fast
+	// path a full batch costs one recvmmsg/sendmmsg; the portable path
+	// degrades to one syscall per datagram behind the same interface.
+	batchSize = netbatch.BatchSize
 	// writeQueueDepth bounds each shard's outbound datagram queue. When the
 	// queue is full new output is dropped and counted, UDP-style, so a
 	// slow socket cannot stall session chains.
@@ -29,11 +31,11 @@ const (
 )
 
 // shardCounters is one shard's counter block. Reader-side counters
-// (datagrams, malformed, rejected, feedback) are incremented by the shard's
-// reader goroutine; opened and chainErrors are attributed to the shard that
-// owns the session; writes, flushes and writeDrops belong to the shard's
-// writer. Everything is atomic so Stats can aggregate without stopping the
-// data plane.
+// (datagrams, malformed, rejected, feedback, recvCalls) are incremented by
+// the shard's reader goroutine; opened and chainErrors are attributed to the
+// shard that owns the session; writes, flushes, writeDrops and sendCalls
+// belong to the shard's writer. Everything is atomic so Stats can aggregate
+// without stopping the data plane.
 type shardCounters struct {
 	datagrams   atomic.Uint64
 	malformed   atomic.Uint64
@@ -46,7 +48,9 @@ type shardCounters struct {
 	writes      atomic.Uint64
 	flushes     atomic.Uint64
 	writeDrops  atomic.Uint64
-	_           [40]byte // pad so neighboring shards' counters don't false-share
+	recvCalls   atomic.Uint64
+	sendCalls   atomic.Uint64
+	_           [24]byte // pad so neighboring shards' counters don't false-share
 }
 
 // outbound is one datagram queued on a shard writer. dst is the resolved
@@ -61,19 +65,32 @@ type outbound struct {
 	fan bool
 }
 
+// wmeta carries one batched datagram's accounting targets through the send
+// path, parallel to the ioMsg slice handed to the socket.
+type wmeta struct {
+	s  *Session
+	rx *metrics.ReceiverCounters
+}
+
 // shard is one slice of the engine's data plane: a reader goroutine pulling
-// datagrams off its socket, a writer goroutine flushing batched output, and
-// the counter block both report into. In the portable single-socket mode all
-// shards share one net.UDPConn (the kernel serializes receives, but
-// validation, demux and queueing overlap across readers); in SO_REUSEPORT
-// mode each shard owns its own socket and the kernel spreads flows across
-// them.
+// datagram batches off its socket, a writer goroutine flushing batched
+// output, and the counter block both report into. In the portable
+// single-socket mode all shards share one net.UDPConn (the kernel serializes
+// receives, but validation, demux and queueing overlap across readers); in
+// SO_REUSEPORT mode each shard owns its own socket and the kernel spreads
+// flows across them.
 type shard struct {
 	idx      int
 	eng      *Engine
 	conn     *net.UDPConn
+	bconn    batchConn // wired by Start unless a test injected one
 	writeq   chan outbound
 	counters shardCounters
+
+	// Writer-side scratch, reused across flushes so fan-out expansion never
+	// allocates in steady state. Only the writer goroutine touches these.
+	wmsgs []ioMsg
+	wacct []wmeta
 }
 
 // stats snapshots this shard's counters.
@@ -91,24 +108,42 @@ func (sh *shard) stats() metrics.ShardStats {
 		Writes:      sh.counters.writes.Load(),
 		Flushes:     sh.counters.flushes.Load(),
 		WriteDrops:  sh.counters.writeDrops.Load(),
+		RecvCalls:   sh.counters.recvCalls.Load(),
+		SendCalls:   sh.counters.sendCalls.Load(),
 	}
 }
 
-// readLoop pulls datagrams off the shard's socket and routes each to its
-// session: lookup and open touch only the owning table shard's lock, receiver
-// reports are consumed on the control path, and nothing in steady state
-// allocates. Transient read errors back off exponentially — both the retry
-// pace and the logging — so a persistent socket fault can neither spin a
-// core nor storm the log.
+// readLoop pulls datagram batches off the shard's socket and routes each to
+// its session. Buffers are leased from the packet pool a batch at a time;
+// slots the kernel didn't fill keep their buffer for the next batch, so an
+// idle shard holds at most batchSize spare buffers and steady state still
+// allocates nothing. Transient read errors back off exponentially — both the
+// retry pace and the logging — so a persistent socket fault can neither spin
+// a core nor storm the log.
 func (sh *shard) readLoop() {
 	e := sh.eng
 	defer e.wg.Done()
+	var (
+		bufs [batchSize]*packet.Buf
+		ms   [batchSize]ioMsg
+	)
+	defer func() {
+		for _, b := range bufs {
+			if b != nil {
+				b.Release()
+			}
+		}
+	}()
 	var errStreak uint
 	for {
-		b := packet.GetBuf(packet.MaxDatagram)
-		n, from, err := sh.conn.ReadFromUDPAddrPort(b.B)
+		for i := range bufs {
+			if bufs[i] == nil {
+				bufs[i] = packet.GetBuf(packet.MaxDatagram)
+			}
+			ms[i].Buf = bufs[i].B
+		}
+		n, err := sh.bconn.ReadBatch(ms[:])
 		if err != nil {
-			b.Release()
 			if errors.Is(err, net.ErrClosed) || e.closed.Load() {
 				return
 			}
@@ -124,58 +159,71 @@ func (sh *shard) readLoop() {
 			continue
 		}
 		errStreak = 0
-		sh.counters.datagrams.Add(1)
-		if n < packet.SessionIDSize {
-			sh.counters.malformed.Add(1)
-			b.Release()
-			continue
+		sh.counters.datagrams.Add(uint64(n))
+		for i := 0; i < n; i++ {
+			b := bufs[i]
+			bufs[i] = nil // ownership moves to the session (or is released below)
+			sh.handleDatagram(b, ms[i].N, ms[i].Addr)
 		}
-		b.B = b.B[:n]
-		// Reject garbage before it can reach (or create) a session: a frame
-		// that fails validation would otherwise kill the session's chain.
-		if packet.ValidateFrame(b.B[packet.SessionIDSize:]) != nil {
-			sh.counters.malformed.Add(1)
-			b.Release()
-			continue
-		}
-		id := binary.BigEndian.Uint32(b.B)
-		// Receiver reports close the adaptation loop on the control path:
-		// they are consumed here, never enter a chain, and never open a
-		// session (a report for an unknown session is simply dropped).
-		if packet.Kind(b.B[packet.SessionIDSize+3]) == packet.KindFeedback {
-			sh.counters.feedback.Add(1)
-			if s := e.table.lookup(id); s != nil {
-				s.handleFeedback(from, b.B[packet.SessionIDSize:])
-			}
-			b.Release()
-			continue
-		}
-		// NACKs ride the same feedback wire: consumed here, answered out of
-		// the session's ARQ retransmission history, never entering a chain or
-		// opening a session.
-		if packet.Kind(b.B[packet.SessionIDSize+3]) == packet.KindNack {
-			sh.counters.nacks.Add(1)
-			if s := e.table.lookup(id); s != nil {
-				s.handleNack(from, b.B[packet.SessionIDSize:])
-			}
-			b.Release()
-			continue
-		}
-		s := e.table.lookup(id)
-		if s == nil {
-			var err error
-			s, err = e.openSession(id, from)
-			if err != nil {
-				sh.counters.rejected.Add(1)
-				b.Release()
-				if !errors.Is(err, ErrSessionLimit) && !errors.Is(err, ErrEngineClosed) {
-					e.logf("session %d: %v", id, err)
-				}
-				continue
-			}
-		}
-		s.deliver(b, from)
 	}
+}
+
+// handleDatagram validates and demuxes one received datagram: lookup and
+// open touch only the owning table shard's lock, receiver reports are
+// consumed on the control path, and nothing in steady state allocates.
+// handleDatagram owns b.
+func (sh *shard) handleDatagram(b *packet.Buf, n int, from netip.AddrPort) {
+	e := sh.eng
+	if n < packet.SessionIDSize {
+		sh.counters.malformed.Add(1)
+		b.Release()
+		return
+	}
+	b.B = b.B[:n]
+	// Reject garbage before it can reach (or create) a session: a frame
+	// that fails validation would otherwise kill the session's chain.
+	if packet.ValidateFrame(b.B[packet.SessionIDSize:]) != nil {
+		sh.counters.malformed.Add(1)
+		b.Release()
+		return
+	}
+	id := binary.BigEndian.Uint32(b.B)
+	// Receiver reports close the adaptation loop on the control path:
+	// they are consumed here, never enter a chain, and never open a
+	// session (a report for an unknown session is simply dropped).
+	if packet.Kind(b.B[packet.SessionIDSize+3]) == packet.KindFeedback {
+		sh.counters.feedback.Add(1)
+		if s := e.table.lookup(id); s != nil {
+			s.handleFeedback(from, b.B[packet.SessionIDSize:])
+		}
+		b.Release()
+		return
+	}
+	// NACKs ride the same feedback wire: consumed here, answered out of
+	// the session's ARQ retransmission history, never entering a chain or
+	// opening a session.
+	if packet.Kind(b.B[packet.SessionIDSize+3]) == packet.KindNack {
+		sh.counters.nacks.Add(1)
+		if s := e.table.lookup(id); s != nil {
+			s.handleNack(from, b.B[packet.SessionIDSize:])
+		}
+		b.Release()
+		return
+	}
+	s := e.table.lookup(id)
+	if s == nil {
+		var err error
+		s, err = e.openSession(id, from)
+		if err != nil {
+			sh.counters.rejected.Add(1)
+			b.Release()
+			if !errors.Is(err, ErrSessionLimit) && !errors.Is(err, ErrEngineClosed) {
+				e.logf("session %d: %v", id, err)
+			}
+			return
+		}
+	}
+	s.deliver(b, from)
 }
 
 // enqueue hands one outbound datagram to the shard's writer, dropping
@@ -195,13 +243,14 @@ func (sh *shard) enqueue(o outbound) {
 }
 
 // writeLoop is the shard's batched send path: it blocks for one outbound
-// datagram, opportunistically drains up to writeBatch-1 more without
-// blocking, and flushes the batch back to back. Per-session output order is
-// preserved because every session enqueues on exactly one shard.
+// datagram, opportunistically drains up to batchSize-1 more without
+// blocking, and flushes the batch through the batch conn. Per-session output
+// order is preserved because every session enqueues on exactly one shard and
+// the flush sends in queue order.
 func (sh *shard) writeLoop() {
 	e := sh.eng
 	defer e.wg.Done()
-	var batch [writeBatch]outbound
+	var batch [batchSize]outbound
 	for {
 		select {
 		case o := <-sh.writeq:
@@ -212,7 +261,7 @@ func (sh *shard) writeLoop() {
 		}
 		n := 1
 	fill:
-		for n < writeBatch {
+		for n < batchSize {
 			select {
 			case o := <-sh.writeq:
 				batch[n] = o
@@ -221,8 +270,8 @@ func (sh *shard) writeLoop() {
 				break fill
 			}
 		}
+		sh.flush(batch[:n])
 		for i := 0; i < n; i++ {
-			sh.write(batch[i])
 			batch[i] = outbound{}
 		}
 		sh.counters.writes.Add(uint64(n))
@@ -230,44 +279,74 @@ func (sh *shard) writeLoop() {
 	}
 }
 
-// write sends one queued datagram: to its resolved unicast destination, or to
-// every receiver in the engine's fan-out group. Send failures are counted
-// against the session and never fatal, matching UDP's fire-and-forget
-// semantics. write owns o.b.
-func (sh *shard) write(o outbound) {
-	if o.fan {
+// flush expands one drained batch into the wire-level datagram list — fan-out
+// entries become one datagram per group member, sharing the payload buffer by
+// reference — sends it, and releases every buffer. flush owns the batch's
+// buffers.
+func (sh *shard) flush(batch []outbound) {
+	ms := sh.wmsgs[:0]
+	acct := sh.wacct[:0]
+	for i := range batch {
+		o := &batch[i]
+		if !o.fan {
+			ms = append(ms, ioMsg{Buf: o.b.B, Addr: o.dst})
+			acct = append(acct, wmeta{s: o.s, rx: o.rx})
+			continue
+		}
 		targets := o.s.eng.group.Snapshot()
 		if len(targets) == 0 {
 			o.s.counters.Drops.Add(1)
-			o.b.Release()
-			return
+			continue
 		}
 		for _, dst := range targets {
-			n, err := sh.conn.WriteToUDPAddrPort(o.b.B, dst)
-			if err != nil {
-				o.s.counters.Drops.Add(1)
-				continue
+			ms = append(ms, ioMsg{Buf: o.b.B, Addr: dst})
+			acct = append(acct, wmeta{s: o.s})
+		}
+	}
+	sh.wmsgs, sh.wacct = ms, acct
+	sh.sendBatch(ms, acct)
+	for i := range batch {
+		batch[i].b.Release()
+	}
+}
+
+// sendBatch pushes a prepared datagram list through the batch conn, crediting
+// each success to its session (and receiver branch, when present). Failures
+// follow UDP's fire-and-forget contract: a conn error names exactly one
+// datagram, which is dropped and counted, and the remainder is re-offered —
+// so a transient send error can never stall the queue or discard the
+// datagrams behind it. The loop terminates because every round either sends
+// or drops at least one datagram.
+func (sh *shard) sendBatch(ms []ioMsg, acct []wmeta) {
+	sent := 0
+	for sent < len(ms) {
+		n, err := sh.bconn.WriteBatch(ms[sent:])
+		for i := sent; i < sent+n; i++ {
+			m := &acct[i]
+			m.s.counters.OutPackets.Add(1)
+			m.s.counters.OutBytes.Add(uint64(len(ms[i].Buf)))
+			if m.rx != nil {
+				m.rx.OutPackets.Add(1)
+				m.rx.OutBytes.Add(uint64(len(ms[i].Buf)))
 			}
-			o.s.counters.OutPackets.Add(1)
-			o.s.counters.OutBytes.Add(uint64(n))
 		}
-		o.b.Release()
-		return
-	}
-	n, err := sh.conn.WriteToUDPAddrPort(o.b.B, o.dst)
-	o.b.Release()
-	if err != nil {
-		o.s.counters.Drops.Add(1)
-		if o.rx != nil {
-			o.rx.Drops.Add(1)
+		sent += n
+		if err != nil {
+			if sent >= len(ms) {
+				return
+			}
+			m := &acct[sent]
+			m.s.counters.Drops.Add(1)
+			if m.rx != nil {
+				m.rx.Drops.Add(1)
+			}
+			sh.counters.writeDrops.Add(1)
+			sent++
+		} else if n == 0 {
+			// No progress and no error: a conn contract violation. Bail out
+			// rather than spin; the batch's remainder is dropped uncounted.
+			return
 		}
-		return
-	}
-	o.s.counters.OutPackets.Add(1)
-	o.s.counters.OutBytes.Add(uint64(n))
-	if o.rx != nil {
-		o.rx.OutPackets.Add(1)
-		o.rx.OutBytes.Add(uint64(n))
 	}
 }
 

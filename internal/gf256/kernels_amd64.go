@@ -1,0 +1,87 @@
+//go:build amd64 && !purego
+
+package gf256
+
+// amd64 fast path: the split nibble tables live in two XMM registers and
+// PSHUFB resolves sixteen table lookups per instruction — the SIMD form of
+// the same lo[b&0x0f] ^ hi[b>>4] decomposition the portable kernel uses.
+// Build with -tags purego to force the portable path.
+
+// nibTab is one multiplier's split table in byte form, contiguous so the
+// assembly can load each half with a single 16-byte move.
+type nibTab struct {
+	lo [16]byte // lo[x] = c*x
+	hi [16]byte // hi[x] = c*(x<<4)
+}
+
+var nibTables = buildNibTables()
+
+func buildNibTables() *[Order]nibTab {
+	ts := &[Order]nibTab{}
+	for c := 1; c < Order; c++ {
+		row := &mulTable[c]
+		for x := 0; x < 16; x++ {
+			ts[c].lo[x] = row[x]
+			ts[c].hi[x] = row[x<<4]
+		}
+	}
+	return ts
+}
+
+// hasSSSE3 reports whether the CPU implements PSHUFB (CPUID.1:ECX bit 9).
+// Detected directly because the runtime's internal/cpu flags are not
+// importable from here.
+var hasSSSE3 = func() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return false
+	}
+	_, _, ecx, _ := cpuid(1, 0)
+	return ecx&(1<<9) != 0
+}()
+
+// cpuid executes the CPUID instruction. Implemented in kernels_amd64.s.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// addMulBlocks computes dst[i] ^= c*src[i] over n 16-byte blocks using the
+// PSHUFB split-table kernel. src and dst must not overlap and must each hold
+// at least 16*n bytes. Implemented in kernels_amd64.s.
+//
+//go:noescape
+func addMulBlocks(lo, hi *[16]byte, src, dst *byte, n int)
+
+// mulBlocks is addMulBlocks' overwriting twin: dst[i] = c*src[i].
+//
+//go:noescape
+func mulBlocks(lo, hi *[16]byte, src, dst *byte, n int)
+
+// addMulFast runs dst[i] ^= c*src[i] through the SSSE3 kernel, finishing the
+// sub-block tail with the portable wide kernel. Returns false (having done
+// nothing) when the slice is too short to fill a block or the CPU lacks
+// SSSE3, letting the caller fall back.
+func addMulFast(c byte, src, dst []byte) bool {
+	if !hasSSSE3 || len(src) < 16 {
+		return false
+	}
+	t := &nibTables[c]
+	n := len(src) &^ 15
+	addMulBlocks(&t.lo, &t.hi, &src[0], &dst[0], n>>4)
+	if n < len(src) {
+		addMulWide(&wideTables[c], src[n:], dst[n:])
+	}
+	return true
+}
+
+// mulFast is addMulFast's overwriting twin.
+func mulFast(c byte, src, dst []byte) bool {
+	if !hasSSSE3 || len(src) < 16 {
+		return false
+	}
+	t := &nibTables[c]
+	n := len(src) &^ 15
+	mulBlocks(&t.lo, &t.hi, &src[0], &dst[0], n>>4)
+	if n < len(src) {
+		mulWide(&wideTables[c], src[n:], dst[n:])
+	}
+	return true
+}

@@ -1,0 +1,54 @@
+package gf256
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkGF256AddMul measures the erasure coder's inner-loop kernel across
+// payload sizes from one cache line (64B) to the maximum frame (64KiB), the
+// figure the wide split-table and PSHUFB kernels exist to move. It is part of
+// the CI-tracked benchmark set (see BENCH_engine.json).
+func BenchmarkGF256AddMul(b *testing.B) {
+	for _, size := range []int{64, 320, 1024, 16 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			src := make([]byte, size)
+			dst := make([]byte, size)
+			rng.Read(src)
+			rng.Read(dst)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				AddMulSlice(0x53, src, dst)
+			}
+		})
+	}
+}
+
+// benchScalarAddMul is the pre-wide-kernel byte-table walk, kept as the
+// baseline the SWAR kernel is compared against.
+func benchScalarAddMul(c byte, src, dst []byte) {
+	row := &mulTable[c]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+func BenchmarkGF256AddMulScalarBaseline(b *testing.B) {
+	for _, size := range []int{320, 16 << 10} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			src := make([]byte, size)
+			dst := make([]byte, size)
+			rng.Read(src)
+			rng.Read(dst)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchScalarAddMul(0x53, src, dst)
+			}
+		})
+	}
+}

@@ -86,6 +86,60 @@ func TestXORWordsOffsets(t *testing.T) {
 	}
 }
 
+// TestAddMulSliceOffsets nails the wide kernel's unroll/word/tail boundaries
+// deterministically: every length 0..72 and every starting offset within a
+// word, across a sample of coefficients (0, 1, 2 and three generic values).
+func TestAddMulSliceOffsets(t *testing.T) {
+	base := make([]byte, 128)
+	for i := range base {
+		base[i] = byte(i*29 + 11)
+	}
+	for _, c := range []byte{0, 1, 2, 0x1d, 0x53, 0xff} {
+		for off := 0; off < wordSize; off++ {
+			for n := 0; n <= 72; n++ {
+				src := base[off : off+n]
+				dst := make([]byte, n)
+				want := make([]byte, n)
+				for i := range dst {
+					dst[i] = byte(i*17 + 5)
+					want[i] = dst[i] ^ Mul(c, src[i])
+				}
+				AddMulSlice(c, src, dst)
+				if !bytes.Equal(dst, want) {
+					t.Fatalf("AddMulSlice c=%#x off=%d n=%d mismatch", c, off, n)
+				}
+				got := make([]byte, n)
+				MulSlice(c, src, got)
+				for i := range got {
+					if got[i] != Mul(c, src[i]) {
+						t.Fatalf("MulSlice c=%#x off=%d n=%d byte %d", c, off, n, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWideTablesAgreeWithMulTable cross-checks the split nibble tables (and
+// their lane replication) against the product table for the whole field.
+func TestWideTablesAgreeWithMulTable(t *testing.T) {
+	for c := 1; c < Order; c++ {
+		w := &wideTables[c]
+		for x := 0; x < 16; x++ {
+			wantLo := uint64(mulTable[c][x]) * lanes
+			wantHi := uint64(mulTable[c][x<<4]) * lanes
+			if w.lo[x] != wantLo || w.hi[x] != wantHi {
+				t.Fatalf("wideTables[%d] entry %d = %#x/%#x, want %#x/%#x", c, x, w.lo[x], w.hi[x], wantLo, wantHi)
+			}
+		}
+		for b := 0; b < Order; b++ {
+			if got, want := w.mulByte(byte(b)), mulTable[c][b]; got != want {
+				t.Fatalf("mulByte(%d, %d) = %d, want %d", c, b, got, want)
+			}
+		}
+	}
+}
+
 // TestMulTableAgreesWithLogExp cross-checks the 64 KiB product table against
 // the log/exp construction over the full field.
 func TestMulTableAgreesWithLogExp(t *testing.T) {

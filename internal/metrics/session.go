@@ -184,6 +184,13 @@ type EngineStats struct {
 	BatchedWrites uint64 `json:"batched_writes"`
 	WriteFlushes  uint64 `json:"write_flushes"`
 	WriteDrops    uint64 `json:"write_drops"`
+	// RecvCalls and SendCalls count receive and send syscalls issued by the
+	// shard loops. With batched I/O each call can move many datagrams, so
+	// Datagrams/RecvCalls and BatchedWrites/SendCalls are the read and write
+	// batch-fill factors, and (RecvCalls+SendCalls)/(Datagrams+BatchedWrites)
+	// is the syscalls-per-packet figure the batching exists to shrink.
+	RecvCalls uint64 `json:"recv_calls"`
+	SendCalls uint64 `json:"send_calls"`
 }
 
 // ShardStats is the counter snapshot of one engine data-plane shard.
@@ -205,6 +212,11 @@ type ShardStats struct {
 	Writes      uint64 `json:"writes"`
 	Flushes     uint64 `json:"flushes"`
 	WriteDrops  uint64 `json:"write_drops"`
+	// RecvCalls and SendCalls count this shard's receive and send syscalls;
+	// see EngineStats for the derived batch-fill and syscalls-per-packet
+	// readings.
+	RecvCalls uint64 `json:"recv_calls"`
+	SendCalls uint64 `json:"send_calls"`
 }
 
 // Snapshot captures the counters for the session with the given ID.

@@ -1,0 +1,186 @@
+package netbatch
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pair binds two loopback sockets and wraps each in a batch conn.
+func pair(t *testing.T, opts Options) (a, b *net.UDPConn, ba, bb Conn) {
+	t.Helper()
+	var err error
+	a, err = net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err = net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return a, b, New(a, opts), New(b, Options{})
+}
+
+// drain reads until want datagrams arrived (in however many batches the
+// kernel delivers them) and returns them in arrival order.
+func drain(t *testing.T, c *net.UDPConn, bc Conn, want int) []Msg {
+	t.Helper()
+	var got []Msg
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < want {
+		ms := make([]Msg, BatchSize)
+		for i := range ms {
+			ms[i].Buf = make([]byte, 2048)
+		}
+		c.SetReadDeadline(deadline)
+		n, err := bc.ReadBatch(ms)
+		if err != nil {
+			t.Fatalf("ReadBatch after %d of %d: %v", len(got), want, err)
+		}
+		got = append(got, ms[:n]...)
+	}
+	return got
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	var recvCalls, sendCalls atomic.Uint64
+	a, b, ba, bb := pair(t, Options{RecvCalls: &recvCalls, SendCalls: &sendCalls})
+	_ = bb
+	dst := b.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	// Mixed sizes, so no two adjacent datagrams could be silently merged.
+	const count = 12
+	var ms []Msg
+	for i := 0; i < count; i++ {
+		payload := bytes.Repeat([]byte{byte(i + 1)}, 16+i*13)
+		ms = append(ms, Msg{Buf: payload, Addr: dst})
+	}
+	sent := 0
+	for sent < len(ms) {
+		n, err := ba.WriteBatch(ms[sent:])
+		if err != nil {
+			t.Fatalf("WriteBatch: %v", err)
+		}
+		if n == 0 {
+			t.Fatal("WriteBatch made no progress")
+		}
+		sent += n
+	}
+
+	got := drain(t, b, New(b, Options{RecvCalls: &recvCalls}), count)
+	from := a.LocalAddr().(*net.UDPAddr).AddrPort()
+	for i, m := range got {
+		if m.N != 16+i*13 {
+			t.Fatalf("datagram %d: got %d bytes, want %d", i, m.N, 16+i*13)
+		}
+		if !bytes.Equal(m.Buf[:m.N], bytes.Repeat([]byte{byte(i + 1)}, m.N)) {
+			t.Fatalf("datagram %d corrupted", i)
+		}
+		if netip.AddrPortFrom(m.Addr.Addr().Unmap(), m.Addr.Port()) != netip.AddrPortFrom(from.Addr().Unmap(), from.Port()) {
+			t.Fatalf("datagram %d: from %v, want %v", i, m.Addr, from)
+		}
+	}
+	if sendCalls.Load() == 0 || recvCalls.Load() == 0 {
+		t.Fatalf("syscall counters never moved: recv %d send %d", recvCalls.Load(), sendCalls.Load())
+	}
+	if Available && sendCalls.Load() >= count {
+		t.Fatalf("fast path made %d send syscalls for %d datagrams — not batching", sendCalls.Load(), count)
+	}
+}
+
+func TestWriteBatchInterleavedDestinations(t *testing.T) {
+	a, b, ba, bb := pair(t, Options{})
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bc := New(c, Options{})
+	_ = a
+	dstB := b.LocalAddr().(*net.UDPAddr).AddrPort()
+	dstC := c.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	var ms []Msg
+	for i := 0; i < 8; i++ {
+		dst := dstB
+		if i%2 == 1 {
+			dst = dstC
+		}
+		ms = append(ms, Msg{Buf: []byte(fmt.Sprintf("dgram-%d", i)), Addr: dst})
+	}
+	sent := 0
+	for sent < len(ms) {
+		n, err := ba.WriteBatch(ms[sent:])
+		if err != nil {
+			t.Fatalf("WriteBatch: %v", err)
+		}
+		sent += n
+	}
+	for i, m := range drain(t, b, bb, 4) {
+		if want := fmt.Sprintf("dgram-%d", i*2); string(m.Buf[:m.N]) != want {
+			t.Fatalf("B datagram %d = %q, want %q", i, m.Buf[:m.N], want)
+		}
+	}
+	for i, m := range drain(t, c, bc, 4) {
+		if want := fmt.Sprintf("dgram-%d", i*2+1); string(m.Buf[:m.N]) != want {
+			t.Fatalf("C datagram %d = %q, want %q", i, m.Buf[:m.N], want)
+		}
+	}
+}
+
+func TestGSOCoalescedSend(t *testing.T) {
+	if !GSOAvailable {
+		t.Skip("UDP GSO not available in this build")
+	}
+	var sendCalls atomic.Uint64
+	a, b, ba, bb := pair(t, Options{GSO: true, SendCalls: &sendCalls})
+	_ = a
+	dst := b.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	// A run of equal-size datagrams to one destination, then a size change
+	// (ends the run), then a final run. The receiver must see every datagram
+	// at its original boundary.
+	payloads := make([][]byte, 0, 24)
+	var ms []Msg
+	for i := 0; i < 20; i++ {
+		p := bytes.Repeat([]byte{byte(i + 1)}, 512)
+		payloads = append(payloads, p)
+		ms = append(ms, Msg{Buf: p, Addr: dst})
+	}
+	small := []byte("odd-one-out")
+	payloads = append(payloads, small)
+	ms = append(ms, Msg{Buf: small, Addr: dst})
+	for i := 0; i < 3; i++ {
+		p := bytes.Repeat([]byte{0xAA ^ byte(i)}, 256)
+		payloads = append(payloads, p)
+		ms = append(ms, Msg{Buf: p, Addr: dst})
+	}
+
+	sent := 0
+	for sent < len(ms) {
+		n, err := ba.WriteBatch(ms[sent:])
+		if err != nil {
+			t.Fatalf("WriteBatch: %v", err)
+		}
+		if n == 0 {
+			t.Fatal("WriteBatch made no progress")
+		}
+		sent += n
+	}
+	got := drain(t, b, bb, len(payloads))
+	for i, m := range got {
+		if !bytes.Equal(m.Buf[:m.N], payloads[i]) {
+			t.Fatalf("datagram %d: %d bytes, want %d (segmentation boundary lost)", i, m.N, len(payloads[i]))
+		}
+	}
+	// Unless the kernel rejected GSO (auto-disable), 24 datagrams must cost
+	// far fewer than 24 syscall entries; with coalescing the whole list fits
+	// in one sendmmsg.
+	t.Logf("sent %d datagrams in %d send syscalls", len(payloads), sendCalls.Load())
+}

@@ -1,0 +1,6 @@
+//go:build linux && !purego
+
+package netbatch
+
+// sendmmsg predates the syscall package's frozen number table.
+const sysSendmmsg = 307
