@@ -1012,3 +1012,134 @@ func BenchmarkBranchReplayPrime(b *testing.B) {
 	}
 	b.ReportMetric(depth, "primed/op")
 }
+
+// ---------------------------------------------------------------------------
+// Idle-session parking: the million-session economics.
+// ---------------------------------------------------------------------------
+
+// BenchmarkSessionParkUnpark measures one full park/wake cycle on a single
+// session: the harvester's drain-and-stop teardown, then the first-packet
+// chain rebuild and its echo. This is the latency a peer pays on the first
+// datagram after an idle period — the entire cost of parking, since every
+// other datagram takes the normal hot path.
+func BenchmarkSessionParkUnpark(b *testing.B) {
+	eng, err := engine.New(engine.Config{ListenAddr: "127.0.0.1:0", IdleTTL: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	addr := eng.LocalAddr().(*net.UDPAddr)
+
+	c, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	const id = 1
+	dgram, err := packet.AppendDatagram(nil, id, &packet.Packet{
+		Seq: 1, StreamID: id, Kind: packet.KindData, Payload: make([]byte, 320),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recv := make([]byte, packet.MaxDatagram)
+	c.SetReadDeadline(time.Now().Add(10 * time.Minute))
+	if _, err := c.Write(dgram); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Read(recv); err != nil {
+		b.Fatalf("prime echo: %v", err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.ParkSession(id); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Write(dgram); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Read(recv); err != nil {
+			b.Fatalf("wake echo: %v", err)
+		}
+	}
+}
+
+// BenchmarkEngineIdleChurn measures steady-state session churn against a
+// full table under the harvest admission policy: each op contacts a fresh
+// session ID — evicting the oldest parked session to admit it — echoes one
+// datagram through the new chain, and parks it again. This is the sustained
+// arrival/retirement cycle a million-session deployment lives in; the table
+// holds MaxSessions parked records throughout.
+func BenchmarkEngineIdleChurn(b *testing.B) {
+	const capSessions = 1024
+	eng, err := engine.New(engine.Config{
+		ListenAddr:  "127.0.0.1:0",
+		IdleTTL:     time.Hour,
+		MaxSessions: capSessions,
+		Admission:   engine.AdmitHarvest,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	addr := eng.LocalAddr().(*net.UDPAddr)
+
+	c, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	recv := make([]byte, packet.MaxDatagram)
+	c.SetReadDeadline(time.Now().Add(10 * time.Minute))
+
+	payload := make([]byte, 320)
+	dgram := make([]byte, 0, packet.SessionIDSize+packet.HeaderSize+len(payload))
+	// Fill the table with parked sessions so every measured op churns at
+	// capacity rather than into free slots.
+	for id := uint32(1); id <= capSessions; id++ {
+		dgram = dgram[:0]
+		if dgram, err = packet.AppendDatagram(dgram, id, &packet.Packet{
+			Seq: 1, StreamID: id, Kind: packet.KindData, Payload: payload,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Write(dgram); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Read(recv); err != nil {
+			b.Fatalf("session %d: prime echo: %v", id, err)
+		}
+		if err := eng.ParkSession(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint32(capSessions + i + 1)
+		dgram = dgram[:0]
+		if dgram, err = packet.AppendDatagram(dgram, id, &packet.Packet{
+			Seq: 1, StreamID: id, Kind: packet.KindData, Payload: payload,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Write(dgram); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Read(recv); err != nil {
+			b.Fatalf("op %d: churn echo: %v", i, err)
+		}
+		if err := eng.ParkSession(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -303,10 +303,12 @@ func printStats(out *os.File, eng *metrics.EngineStats, shards []metrics.ShardSt
 		fmt.Fprintln(out, "no engine stats")
 		return
 	}
-	fmt.Fprintf(out, "engine: sessions %d (total %d), shards %d\n",
-		eng.ActiveSessions, eng.TotalSessions, eng.Shards)
+	fmt.Fprintf(out, "engine: sessions %d (%d live, %d parked; total %d), shards %d\n",
+		eng.ActiveSessions, eng.LiveSessions, eng.ParkedSessions, eng.TotalSessions, eng.Shards)
 	fmt.Fprintf(out, "datagrams %d  malformed %d  rejected %d  feedback %d  nacks %d  retransmits %d  chain-errors %d\n",
 		eng.Datagrams, eng.Malformed, eng.Rejected, eng.Feedback, eng.Nacks, eng.Retransmits, eng.ChainErrors)
+	fmt.Fprintf(out, "parks %d  unparks %d  harvested %d  admission-drops %d\n",
+		eng.Parks, eng.Unparks, eng.Harvested, eng.AdmissionDrops)
 	perFlush := 0.0
 	if eng.WriteFlushes > 0 {
 		perFlush = float64(eng.BatchedWrites) / float64(eng.WriteFlushes)
@@ -317,12 +319,13 @@ func printStats(out *os.File, eng *metrics.EngineStats, shards []metrics.ShardSt
 		eng.RecvCalls+eng.SendCalls, eng.RecvCalls, eng.SendCalls,
 		perPacket(eng.Datagrams+eng.BatchedWrites, eng.RecvCalls+eng.SendCalls),
 		fillRatio(eng.Datagrams+eng.BatchedWrites, eng.RecvCalls+eng.SendCalls))
-	fmt.Fprintf(out, "%-5s %8s %10s %9s %8s %8s %6s %7s %10s %10s %8s %7s %9s %10s\n",
-		"shard", "sessions", "datagrams", "malformed", "rejected", "feedback", "nacks", "rexmits", "chain-errs", "writes", "flushes", "wdrops", "syscalls", "batch-fill")
+	fmt.Fprintf(out, "%-5s %8s %6s %10s %9s %8s %8s %6s %7s %10s %10s %8s %7s %7s %6s %9s %10s\n",
+		"shard", "sessions", "parked", "datagrams", "malformed", "rejected", "feedback", "nacks", "rexmits", "chain-errs", "writes", "flushes", "wdrops", "harvest", "adrops", "syscalls", "batch-fill")
 	for _, sh := range shards {
-		fmt.Fprintf(out, "%-5d %8d %10d %9d %8d %8d %6d %7d %10d %10d %8d %7d %9d %10s\n",
-			sh.Shard, sh.Sessions, sh.Datagrams, sh.Malformed, sh.Rejected, sh.Feedback,
+		fmt.Fprintf(out, "%-5d %8d %6d %10d %9d %8d %8d %6d %7d %10d %10d %8d %7d %7d %6d %9d %10s\n",
+			sh.Shard, sh.Sessions, sh.Parked, sh.Datagrams, sh.Malformed, sh.Rejected, sh.Feedback,
 			sh.Nacks, sh.Retransmits, sh.ChainErrors, sh.Writes, sh.Flushes, sh.WriteDrops,
+			sh.Harvested, sh.AdmissionDrops,
 			sh.RecvCalls+sh.SendCalls, fillRatio(sh.Datagrams+sh.Writes, sh.RecvCalls+sh.SendCalls))
 	}
 }
@@ -400,15 +403,23 @@ func printSessions(out *os.File, stats []metrics.SessionStats) {
 			break
 		}
 	}
-	fmt.Fprintf(out, "%-10s %5s %10s %12s %10s %12s %8s %8s",
-		"session", "shard", "pkts", "bytes", "out-pkts", "out-bytes", "repairs", "drops")
+	fmt.Fprintf(out, "%-10s %5s %6s %8s %10s %12s %10s %12s %8s %8s",
+		"session", "shard", "state", "idle", "pkts", "bytes", "out-pkts", "out-bytes", "repairs", "drops")
 	if adaptive {
 		fmt.Fprintf(out, " %5s %6s %7s %8s %8s", "mech", "fec", "loss", "reports", "retunes")
 	}
 	fmt.Fprintln(out)
 	for _, s := range stats {
-		fmt.Fprintf(out, "%-10d %5d %10d %12d %10d %12d %8d %8d",
-			s.ID, s.Shard, s.Packets, s.Bytes, s.OutPackets, s.OutBytes, s.Repairs, s.Drops)
+		state := "live"
+		if s.Parked {
+			state = "parked"
+		}
+		idle := "-"
+		if s.IdleForMs > 0 {
+			idle = fmt.Sprintf("%dms", s.IdleForMs)
+		}
+		fmt.Fprintf(out, "%-10d %5d %6s %8s %10d %12d %10d %12d %8d %8d",
+			s.ID, s.Shard, state, idle, s.Packets, s.Bytes, s.OutPackets, s.OutBytes, s.Repairs, s.Drops)
 		if adaptive {
 			mech, fec, loss := "-", "-", "-"
 			var reports, retunes uint64

@@ -155,6 +155,40 @@ func TestPrintSessionsAdaptColumns(t *testing.T) {
 	}
 }
 
+// TestPrintSessionsParkedColumns pins the state/idle columns: a parked
+// session renders "parked" with its idle age, a live one renders "live", and
+// a session the engine has no idle clock for renders a dash.
+func TestPrintSessionsParkedColumns(t *testing.T) {
+	out := captureOutput(t, func(f *os.File) error {
+		printSessions(f, []metrics.SessionStats{
+			{ID: 1, Packets: 4},
+			{ID: 2, Packets: 9, Parked: true, IdleForMs: 1500, Chain: "counting"},
+			{ID: 3, Packets: 1, IdleForMs: 20},
+		})
+		return nil
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + three rows + parked session's chain line
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "state") || !strings.Contains(lines[0], "idle") {
+		t.Fatalf("header %q missing state/idle columns", lines[0])
+	}
+	if !strings.Contains(lines[1], "live") || !strings.Contains(lines[1], "-") {
+		t.Fatalf("live row %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "parked") || !strings.Contains(lines[2], "1500ms") {
+		t.Fatalf("parked row %q", lines[2])
+	}
+	// A parked session's chain column still renders — it is the retained plan.
+	if !strings.Contains(lines[3], "chain counting") {
+		t.Fatalf("parked chain line %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "live") || !strings.Contains(lines[4], "20ms") {
+		t.Fatalf("idle live row %q", lines[4])
+	}
+}
+
 func TestPrintSessionsReceiverRows(t *testing.T) {
 	out := captureOutput(t, func(f *os.File) error {
 		printSessions(f, []metrics.SessionStats{
@@ -511,16 +545,18 @@ func TestPrintSessionsReceiverChain(t *testing.T) {
 // batch-fill columns included — so accidental format drift is caught.
 func TestPrintStatsGolden(t *testing.T) {
 	eng := &metrics.EngineStats{
-		ActiveSessions: 3, TotalSessions: 5, Shards: 2,
+		ActiveSessions: 3, LiveSessions: 2, ParkedSessions: 1, TotalSessions: 5, Shards: 2,
 		Datagrams: 6400, Malformed: 1, Rejected: 2, Feedback: 3, Nacks: 4,
 		Retransmits: 5, ChainErrors: 6,
+		Parks: 9, Unparks: 8, Harvested: 1, AdmissionDrops: 2,
 		BatchedWrites: 6400, WriteFlushes: 400, WriteDrops: 7,
 		RecvCalls: 200, SendCalls: 200,
 	}
 	shards := []metrics.ShardStats{
-		{Shard: 0, Sessions: 2, Datagrams: 3200, Malformed: 1, Rejected: 2,
+		{Shard: 0, Sessions: 2, Parked: 1, Datagrams: 3200, Malformed: 1, Rejected: 2,
 			Feedback: 3, Nacks: 4, Retransmits: 5, ChainErrors: 6,
-			Writes: 3200, Flushes: 200, WriteDrops: 7, RecvCalls: 100, SendCalls: 100},
+			Writes: 3200, Flushes: 200, WriteDrops: 7, Harvested: 1, AdmissionDrops: 2,
+			RecvCalls: 100, SendCalls: 100},
 		{Shard: 1, Sessions: 1, Datagrams: 3200,
 			Writes: 3200, Flushes: 200, RecvCalls: 100, SendCalls: 100},
 		{Shard: 2},
@@ -529,14 +565,15 @@ func TestPrintStatsGolden(t *testing.T) {
 		printStats(f, eng, shards)
 		return nil
 	})
-	want := `engine: sessions 3 (total 5), shards 2
+	want := `engine: sessions 3 (2 live, 1 parked; total 5), shards 2
 datagrams 6400  malformed 1  rejected 2  feedback 3  nacks 4  retransmits 5  chain-errors 6
+parks 9  unparks 8  harvested 1  admission-drops 2
 writes 6400 in 400 flushes (16.0/flush)  write-drops 7
 syscalls 400 (recv 200, send 200)  per-packet 0.031  batch-fill 32.0
-shard sessions  datagrams malformed rejected feedback  nacks rexmits chain-errs     writes  flushes  wdrops  syscalls batch-fill
-0            2       3200         1        2        3      4       5          6       3200      200       7       200       32.0
-1            1       3200         0        0        0      0       0          0       3200      200       0       200       32.0
-2            0          0         0        0        0      0       0          0          0        0       0         0          -
+shard sessions parked  datagrams malformed rejected feedback  nacks rexmits chain-errs     writes  flushes  wdrops harvest adrops  syscalls batch-fill
+0            2      1       3200         1        2        3      4       5          6       3200      200       7       1      2       200       32.0
+1            1      0       3200         0        0        0      0       0          0       3200      200       0       0      0       200       32.0
+2            0      0          0         0        0        0      0       0          0          0        0       0       0      0         0          -
 `
 	if out != want {
 		t.Fatalf("stats output drifted:\ngot:\n%s\nwant:\n%s", out, want)

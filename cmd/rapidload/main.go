@@ -1,0 +1,403 @@
+// Command rapidload is a session-churn load generator for the relay engine —
+// the scale harness behind the million-session claims. Where rapidbench
+// saturates the data plane with a handful of hot sessions, rapidload does the
+// opposite: it spreads a modest packet rate over thousands of sessions,
+// retires and replaces them at a configurable churn rate, and models each
+// receiver's wireless hop with its own loss process (per-receiver
+// wireless.LossModel instance, as the paper's independent-loss assumption
+// requires), feeding loss reports back to the engine like a real receiver
+// population would. Against an in-process engine it reports the park/unpark
+// and admission economics alongside the echo totals.
+//
+// Usage:
+//
+//	rapidload [-sessions 1000] [-rate 5000] [-duration 10s] [-churn 100]
+//	          [-loss bernoulli:0.015] [-report 500ms] [-idle-ttl 2s]
+//	rapidload -addr host:7400   # drive an already-running engine
+//
+// Loss specs: bernoulli:P | gilbert:RATE,BURST | distance:METRES[,BURST]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rapidware/internal/engine"
+	"rapidware/internal/metrics"
+	"rapidware/internal/packet"
+	"rapidware/internal/wireless"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatalf("rapidload: %v", err)
+	}
+}
+
+// lossFactory builds one independent LossModel per receiver. Models are not
+// concurrency-safe and carry per-receiver burst state, so sharing a single
+// instance would correlate losses across receivers — exactly the property
+// the paper's block-erasure argument forbids.
+type lossFactory func() wireless.LossModel
+
+// parseLossSpec parses a -loss argument into a per-receiver model factory.
+// The empty spec means a lossless downstream hop.
+func parseLossSpec(spec string) (lossFactory, error) {
+	if spec == "" {
+		return func() wireless.LossModel { return nil }, nil
+	}
+	kind, arg, _ := strings.Cut(spec, ":")
+	fields := strings.Split(arg, ",")
+	num := func(i int) (float64, error) {
+		if i >= len(fields) || fields[i] == "" {
+			return 0, fmt.Errorf("loss spec %q: missing argument %d", spec, i+1)
+		}
+		return strconv.ParseFloat(fields[i], 64)
+	}
+	switch kind {
+	case "bernoulli":
+		p, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("loss spec %q: probability out of [0,1]", spec)
+		}
+		return func() wireless.LossModel { return wireless.Bernoulli{P: p} }, nil
+	case "gilbert":
+		rate, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		burst, err := num(1)
+		if err != nil {
+			return nil, err
+		}
+		if rate < 0 || rate >= 1 || burst < 1 {
+			return nil, fmt.Errorf("loss spec %q: want rate in [0,1) and burst >= 1", spec)
+		}
+		// Same stationary-rate algebra as wireless.NewDistanceLoss: bursts of
+		// mean length BURST, total loss RATE.
+		pBG := 1 / burst
+		pGB := rate * pBG / (1 - rate)
+		return func() wireless.LossModel { return wireless.NewGilbertElliott(pGB, pBG, 0, 1) }, nil
+	case "distance":
+		metres, err := num(0)
+		if err != nil {
+			return nil, err
+		}
+		burst := 1.0
+		if len(fields) > 1 {
+			if burst, err = num(1); err != nil {
+				return nil, err
+			}
+		}
+		return func() wireless.LossModel { return wireless.NewDistanceLoss(metres, burst) }, nil
+	default:
+		return nil, fmt.Errorf("loss spec %q: unknown model (want bernoulli, gilbert or distance)", spec)
+	}
+}
+
+// receiver is one simulated downstream receiver bound to a session ID. The
+// socket's reader goroutine owns every field except seq, which the paced
+// sender owns; totals cross goroutines through the run-wide atomics only.
+type receiver struct {
+	id   uint32
+	seq  uint64 // next data seq to send (sender-owned)
+	sock int
+
+	model      wireless.LossModel
+	rng        *rand.Rand
+	received   uint32
+	lost       uint32
+	highest    uint64
+	lastReport time.Time
+	reportSeq  uint64
+}
+
+// summary is the machine-readable run result (-json).
+type summary struct {
+	Sessions  int     `json:"sessions"`
+	Sockets   int     `json:"sockets"`
+	DurationS float64 `json:"duration_s"`
+	Sent      uint64  `json:"sent"`
+	Echoed    uint64  `json:"echoed"`
+	LossDrops uint64  `json:"loss_drops"`
+	Reports   uint64  `json:"reports"`
+	Churned   uint64  `json:"churned"`
+	Rate      float64 `json:"achieved_pps"`
+	MeanLoss  float64 `json:"mean_loss_rate"`
+
+	Engine *metrics.EngineStats `json:"engine,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rapidload", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "", "drive a running engine at this UDP address instead of an in-process one")
+		sessions    = fs.Int("sessions", 1000, "concurrent sessions held open")
+		sockets     = fs.Int("sockets", 8, "client UDP sockets the sessions share")
+		rate        = fs.Int("rate", 5000, "aggregate send rate, packets/sec across all sessions")
+		payload     = fs.Int("payload", 320, "payload bytes per datagram")
+		duration    = fs.Duration("duration", 10*time.Second, "run length")
+		churn       = fs.Int("churn", 0, "sessions retired and replaced per second")
+		lossSpec    = fs.String("loss", "", "per-receiver downstream loss model: bernoulli:P | gilbert:RATE,BURST | distance:METRES[,BURST]")
+		report      = fs.Duration("report", 0, "per-receiver feedback report interval (0 = no reports)")
+		seed        = fs.Int64("seed", 1, "loss-model RNG seed")
+		jsonOut     = fs.Bool("json", false, "print the summary as JSON")
+		chain       = fs.String("chain", "", "in-process engine chain spec (default: pure relay)")
+		shards      = fs.Int("shards", 0, "in-process engine shards (0 = NumCPU)")
+		idleTTL     = fs.Duration("idle-ttl", 0, "in-process engine idle TTL (0 = never park)")
+		maxSessions = fs.Int("max-sessions", 0, "in-process engine session cap (0 = engine default)")
+		admission   = fs.String("admission", "", "in-process engine admission policy at the cap: reject or harvest")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sessions < 1 || *sockets < 1 || *rate < 1 || *payload < 1 {
+		return fmt.Errorf("sessions, sockets, rate and payload must be positive")
+	}
+	if *sockets > *sessions {
+		*sockets = *sessions
+	}
+	newModel, err := parseLossSpec(*lossSpec)
+	if err != nil {
+		return err
+	}
+
+	var eng *engine.Engine
+	var dst *net.UDPAddr
+	if *addr == "" {
+		eng, err = engine.New(engine.Config{
+			ListenAddr:  "127.0.0.1:0",
+			Chain:       *chain,
+			Shards:      *shards,
+			IdleTTL:     *idleTTL,
+			MaxSessions: *maxSessions,
+			Admission:   engine.AdmissionPolicy(*admission),
+		})
+		if err != nil {
+			return err
+		}
+		if err := eng.Start(); err != nil {
+			return err
+		}
+		defer eng.Close()
+		dst = eng.LocalAddr().(*net.UDPAddr)
+	} else {
+		if dst, err = net.ResolveUDPAddr("udp", *addr); err != nil {
+			return fmt.Errorf("resolve %q: %w", *addr, err)
+		}
+	}
+
+	conns := make([]*net.UDPConn, *sockets)
+	for i := range conns {
+		c, err := net.DialUDP("udp", nil, dst)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	// Receiver registry: the sender iterates the slice, socket readers look
+	// up by ID, the churn tick swaps entries. All three touch it briefly
+	// under one mutex — rapidload's rates are session-scale, not
+	// line-rate (that is rapidbench's job).
+	var (
+		mu    sync.Mutex
+		ring  = make([]*receiver, *sessions)
+		byID  = make(map[uint32]*receiver, *sessions)
+		nextI uint32
+	)
+	start := time.Now()
+	newReceiver := func(sock int) *receiver {
+		nextI++
+		r := &receiver{
+			id:         nextI,
+			sock:       sock,
+			model:      newModel(),
+			rng:        rand.New(rand.NewSource(*seed + int64(nextI))),
+			lastReport: start,
+		}
+		byID[r.id] = r
+		return r
+	}
+	mu.Lock()
+	for i := range ring {
+		ring[i] = newReceiver(i % *sockets)
+	}
+	mu.Unlock()
+
+	var sent, echoed, lossDrops, reports, churned atomic.Uint64
+
+	// Socket readers: classify echoes by session, pass each through the
+	// receiver's own wireless hop, and emit a feedback report when due.
+	var wg sync.WaitGroup
+	for si, c := range conns {
+		wg.Add(1)
+		go func(si int, c *net.UDPConn) {
+			defer wg.Done()
+			buf := make([]byte, packet.MaxDatagram)
+			for {
+				n, err := c.Read(buf)
+				if err != nil {
+					return // deadline or close: run over
+				}
+				id, frame, err := packet.SplitSessionID(buf[:n])
+				if err != nil {
+					continue
+				}
+				p, _, err := packet.Unmarshal(frame)
+				if err != nil {
+					continue
+				}
+				mu.Lock()
+				r := byID[id]
+				mu.Unlock()
+				if r == nil {
+					continue // echo for a churned-out session
+				}
+				if r.model != nil && r.model.Lost(r.rng) {
+					r.lost++
+					lossDrops.Add(1)
+					continue
+				}
+				echoed.Add(1)
+				r.received++
+				if p.Seq > r.highest {
+					r.highest = p.Seq
+				}
+				if *report > 0 && time.Since(r.lastReport) >= *report {
+					r.reportSeq++
+					dgram, err := packet.AppendReportDatagram(nil, r.id, r.reportSeq, r.id, packet.Report{
+						HighestSeq: r.highest,
+						Received:   r.received,
+						Lost:       r.lost,
+						Window:     r.received + r.lost,
+					})
+					if err == nil {
+						c.Write(dgram)
+						reports.Add(1)
+						r.lastReport = time.Now()
+					}
+				}
+			}
+		}(si, c)
+	}
+
+	// Paced sender: spread the aggregate rate over the ring, round-robin, in
+	// 5ms ticks. The churn tick rides the same loop.
+	stop := start.Add(*duration)
+	const tick = 5 * time.Millisecond
+	perTick := float64(*rate) * tick.Seconds()
+	churnPerTick := float64(*churn) * tick.Seconds()
+	var sendDebt, churnDebt float64
+	pay := make([]byte, *payload)
+	dgram := make([]byte, 0, packet.SessionIDSize+packet.HeaderSize+*payload)
+	ringPos := 0
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for now := range ticker.C {
+		if !now.Before(stop) {
+			break
+		}
+		sendDebt += perTick
+		for ; sendDebt >= 1; sendDebt-- {
+			mu.Lock()
+			r := ring[ringPos%len(ring)]
+			ringPos++
+			r.seq++
+			seq := r.seq
+			id, sock := r.id, r.sock
+			mu.Unlock()
+			dgram = dgram[:0]
+			dgram, err = packet.AppendDatagram(dgram, id, &packet.Packet{
+				Seq: seq, StreamID: id, Kind: packet.KindData, Payload: pay,
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := conns[sock].Write(dgram); err != nil {
+				return err
+			}
+			sent.Add(1)
+		}
+		churnDebt += churnPerTick
+		for ; churnDebt >= 1; churnDebt-- {
+			mu.Lock()
+			victim := ring[ringPos%len(ring)]
+			delete(byID, victim.id)
+			ring[ringPos%len(ring)] = newReceiver(victim.sock)
+			mu.Unlock()
+			churned.Add(1)
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Shut the readers down by deadline so in-flight echoes drain first.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for _, c := range conns {
+		c.SetReadDeadline(deadline)
+	}
+	wg.Wait()
+
+	sm := summary{
+		Sessions:  *sessions,
+		Sockets:   *sockets,
+		DurationS: elapsed.Seconds(),
+		Sent:      sent.Load(),
+		Echoed:    echoed.Load(),
+		LossDrops: lossDrops.Load(),
+		Reports:   reports.Load(),
+		Churned:   churned.Load(),
+		Rate:      float64(echoed.Load()) / elapsed.Seconds(),
+	}
+	if m := newModel(); m != nil {
+		sm.MeanLoss = m.MeanLossRate()
+	}
+	if eng != nil {
+		st := eng.Stats()
+		sm.Engine = &st
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sm)
+	}
+	lossDesc := "lossless"
+	if m := newModel(); m != nil {
+		lossDesc = m.String()
+	}
+	fmt.Fprintf(out, "rapidload: %d sessions over %d sockets at %d pps, churn %d/s, %s, %v\n",
+		*sessions, *sockets, *rate, *churn, lossDesc, duration.Round(time.Millisecond))
+	fmt.Fprintf(out, "sent %d  echoed %d (%.1f%%)  lossy-dropped %d  reports %d  churned %d\n",
+		sm.Sent, sm.Echoed, pct(sm.Echoed, sm.Sent), sm.LossDrops, sm.Reports, sm.Churned)
+	fmt.Fprintf(out, "achieved %.0f pps over %.2fs\n", sm.Rate, sm.DurationS)
+	if sm.Engine != nil {
+		st := sm.Engine
+		fmt.Fprintf(out, "engine: %d sessions (%d live, %d parked)  parks %d  unparks %d  harvested %d  admission-drops %d\n",
+			st.ActiveSessions, st.LiveSessions, st.ParkedSessions,
+			st.Parks, st.Unparks, st.Harvested, st.AdmissionDrops)
+	}
+	return nil
+}
+
+// pct is a safe percentage for display.
+func pct(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}

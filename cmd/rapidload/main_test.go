@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rapidware/internal/wireless"
+)
+
+func TestParseLossSpec(t *testing.T) {
+	tests := []struct {
+		spec string
+		want string  // String() of the built model; "" = nil model
+		rate float64 // expected MeanLossRate
+	}{
+		{"", "", 0},
+		{"bernoulli:0.015", "bernoulli(p=0.0150)", 0.015},
+		{"gilbert:0.10,4", "", 0.10},
+		{"distance:25,2", "", wireless.LossAtDistance(25)},
+	}
+	for _, tt := range tests {
+		factory, err := parseLossSpec(tt.spec)
+		if err != nil {
+			t.Errorf("parseLossSpec(%q): %v", tt.spec, err)
+			continue
+		}
+		m := factory()
+		if tt.spec == "" {
+			if m != nil {
+				t.Errorf("parseLossSpec(%q) built %v, want nil", tt.spec, m)
+			}
+			continue
+		}
+		if tt.want != "" && m.String() != tt.want {
+			t.Errorf("parseLossSpec(%q).String() = %q, want %q", tt.spec, m.String(), tt.want)
+		}
+		if got := m.MeanLossRate(); math.Abs(got-tt.rate) > 1e-9 {
+			t.Errorf("parseLossSpec(%q).MeanLossRate() = %v, want %v", tt.spec, got, tt.rate)
+		}
+	}
+}
+
+func TestParseLossSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bernoulli:", "bernoulli:2", "bernoulli:x",
+		"gilbert:0.1", "gilbert:0.1,0.5", "gilbert:1,4",
+		"distance:", "weibull:0.1",
+	} {
+		if _, err := parseLossSpec(spec); err == nil {
+			t.Errorf("parseLossSpec(%q) accepted, want error", spec)
+		}
+	}
+}
+
+// TestLossFactoryIndependence pins the per-receiver contract: each factory
+// call must yield a fresh model instance, so one receiver's burst state never
+// leaks into another's loss process.
+func TestLossFactoryIndependence(t *testing.T) {
+	factory, err := parseLossSpec("gilbert:0.5,100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := factory(), factory()
+	if a == b {
+		t.Fatal("factory returned the same model instance twice")
+	}
+	// Drive a into its Bad state; b, untouched, must keep its own state.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a.Lost(rng)
+	}
+	if ga, gb := a.(*wireless.GilbertElliott), b.(*wireless.GilbertElliott); ga == gb {
+		t.Fatal("models share identity")
+	}
+}
+
+// TestRunSmoke drives a short in-process run: traffic echoes, the simulated
+// receivers drop roughly the configured fraction, and churned-out sessions
+// park once their TTL lapses.
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-sessions", "64", "-sockets", "4", "-rate", "2000", "-duration", "1s",
+		"-churn", "32", "-loss", "bernoulli:0.05", "-report", "100ms",
+		"-idle-ttl", "200ms", "-payload", "64", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var sm summary
+	if err := json.Unmarshal(out.Bytes(), &sm); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, out.String())
+	}
+	if sm.Sent == 0 || sm.Echoed == 0 {
+		t.Fatalf("no traffic: %+v", sm)
+	}
+	if sm.Echoed+sm.LossDrops > sm.Sent {
+		t.Fatalf("echoed %d + dropped %d > sent %d", sm.Echoed, sm.LossDrops, sm.Sent)
+	}
+	if sm.Reports == 0 {
+		t.Fatalf("no feedback reports: %+v", sm)
+	}
+	if sm.Churned == 0 {
+		t.Fatalf("no churn: %+v", sm)
+	}
+	if sm.Engine == nil {
+		t.Fatalf("no engine stats in in-process mode: %+v", sm)
+	}
+	if sm.Engine.ActiveSessions < 64 {
+		t.Fatalf("ActiveSessions = %d, want >= 64", sm.Engine.ActiveSessions)
+	}
+	if sm.Engine.Parks == 0 {
+		t.Fatalf("churned sessions never parked: %+v", *sm.Engine)
+	}
+}
+
+// TestRunTextSummary checks the human rendering mentions the headline
+// figures.
+func TestRunTextSummary(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-sessions", "16", "-sockets", "2", "-rate", "500", "-duration", "300ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"rapidload:", "sent ", "achieved ", "engine: "} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-sessions", "0"},
+		{"-rate", "0"},
+		{"-loss", "nope:1"},
+		{"-addr", "///"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -80,6 +80,8 @@ func run(args []string) error {
 		fanout      = fs.String("fanout", "", "engine mode: comma-separated downstream receiver addresses to multicast session output to")
 		branchSpec  = fs.String("branch", "", "engine mode: per-receiver branch tail spec for fan-out sessions (e.g. 'fec-adapt,ratelimit=64000')")
 		staleness   = fs.Duration("report-staleness", 0, "engine mode: age out receivers whose last loss report is older than this window (0 disables)")
+		idleTTL     = fs.Duration("idle-ttl", 0, "engine mode: park sessions idle for this long down to a compact record, rebuilt on their next datagram (0 disables)")
+		admission   = fs.String("admission", "", "engine mode: policy at -max-sessions: reject (default) or harvest (evict the oldest-idle session)")
 		filters     = fs.String("filters", "", "stream mode: comma-separated filter kinds to install at startup")
 		fecSpec     = fs.String("fec", "", "stream mode: install an FEC encoder with parameters n,k (e.g. 6,4)")
 	)
@@ -114,6 +116,8 @@ func run(args []string) error {
 			fanout:      *fanout,
 			branch:      *branchSpec,
 			staleness:   *staleness,
+			idleTTL:     *idleTTL,
+			admission:   *admission,
 		})
 	case "stream":
 		if *chainSpec != "" || *roaming || *maxSessions != engine.DefaultMaxSessions {
@@ -121,6 +125,9 @@ func run(args []string) error {
 		}
 		if *adaptOn || *adaptPolicy != "" || *fanout != "" || *branchSpec != "" || *staleness != 0 {
 			return fmt.Errorf("-adapt/-adapt-policy/-fanout/-branch/-report-staleness are engine-mode flags")
+		}
+		if *idleTTL != 0 || *admission != "" {
+			return fmt.Errorf("-idle-ttl/-admission are engine-mode flags")
 		}
 		if *shards != 0 || *reusePort || *gso || *pprofAddr != "" {
 			return fmt.Errorf("-shards/-reuseport/-gso/-pprof are engine-mode flags")
@@ -146,6 +153,8 @@ type engineOptions struct {
 	fanout                         string
 	branch                         string
 	staleness                      time.Duration
+	idleTTL                        time.Duration
+	admission                      string
 }
 
 // runEngine serves the multi-session UDP engine.
@@ -174,6 +183,8 @@ func runEngine(logger *log.Logger, opts engineOptions) error {
 		Adapt:           opts.adapt,
 		AdaptPolicy:     policy,
 		ReportStaleness: opts.staleness,
+		IdleTTL:         opts.idleTTL,
+		Admission:       engine.AdmissionPolicy(opts.admission),
 		Logger:          logger,
 	})
 	if err != nil {

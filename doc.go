@@ -30,6 +30,18 @@
 // over loopback and reports pps and syscalls per packet; cmd/benchguard
 // holds every PR to the committed benchmark floor in BENCH_engine.json.
 //
+// Scale past the hot set comes from idle-session parking: a session with no
+// traffic for Config.IdleTTL is drained losslessly and torn down to a
+// compact record — identity, counters, canonical plan, adaptation snapshot —
+// releasing its goroutines and queue, and is rebuilt transparently by the
+// next datagram or control operation. One engine-wide maintenance ticker
+// drives harvesting and stale-receiver sweeps; admission (Config.MaxSessions,
+// default 1M, with reject or harvest-oldest-idle policy at the cap) and
+// Stats() read atomic gauges rather than walking the table. cmd/rapidload is
+// the churn harness: thousands of sessions, configurable replacement rate,
+// an independent wireless loss process per receiver, and feedback reports,
+// against an in-process or remote engine.
+//
 // The engine also hosts a closed-loop adaptation plane: downstream receivers
 // report observed loss upstream as feedback datagrams (packet.Report), each
 // session's raplet bus routes every receiver's loss to its own FEC

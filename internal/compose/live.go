@@ -95,6 +95,20 @@ func Attach(chain *filter.Chain, reg *Registry, env Env, mode Mode, plan Plan) (
 // Chain returns the underlying filter chain.
 func (l *Live) Chain() *filter.Chain { return l.chain }
 
+// Quiesce runs fn while holding the splice lock: no structural rewrite — a
+// control-plane recompose, a responder's marker activation — is in flight
+// when fn begins, and none can start until it returns. Dataflow through the
+// chain is unaffected. The engine parks sessions under this guarantee: its
+// drain-then-stop teardown feeds the source EOF and waits for the cascade to
+// reach the sink, which requires a fully wired chain — an EOF raised while a
+// splice holds a link detached is lost with the old wiring, and the sink
+// then waits forever on a stream nothing will ever close.
+func (l *Live) Quiesce(fn func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fn()
+}
+
 // Plan returns a copy of the current plan. Like all read paths it serves
 // from the published snapshot and never blocks behind an in-flight splice.
 func (l *Live) Plan() Plan {

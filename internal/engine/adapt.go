@@ -31,14 +31,10 @@ type sessionAdaptor struct {
 	// lastSweep (unix nanos) rate-limits staleness sweeps: aging only has to
 	// resolve at the window's granularity, so sweeping every loop on every
 	// report — O(receivers²) observer scans per report window — is gated to
-	// a fraction of the window instead.
+	// a fraction of the window instead. The engine's maintenance tick stamps
+	// it when it sweeps (park.go), pushing the next opportunistic
+	// report-path sweep out past its own.
 	lastSweep atomic.Int64
-
-	// sweepStop/sweepWg manage the timer goroutine that drives staleness
-	// aging when no reports arrive to piggyback a sweep on; sweepStop is nil
-	// when aging is off.
-	sweepStop chan struct{}
-	sweepWg   sync.WaitGroup
 
 	mu    sync.Mutex
 	loops map[string]*receiverLoop
@@ -49,10 +45,15 @@ type sessionAdaptor struct {
 // the forward destination).
 const trunkReceiver = ""
 
-// newSessionAdaptor assembles and starts the plane for s. On unicast sessions
-// it immediately installs the trunk loop; on fan-out sessions loops are added
-// and removed with their delivery branches.
-func newSessionAdaptor(s *Session, policy adapt.Policy) (*sessionAdaptor, error) {
+// newSessionAdaptor assembles and starts the plane for one chain incarnation
+// of s. On unicast sessions it immediately installs the trunk loop on the
+// incarnation's live chain; on fan-out sessions loops are added and removed
+// with their delivery branches. Timer-driven staleness aging — needed so a
+// receiver decays back to the clean-link path even when no report ever
+// arrives to piggyback a sweep on — is driven by the engine's single
+// maintenance ticker (park.go), not a goroutine here: at a million sessions
+// one timer per session would dominate the scheduler.
+func newSessionAdaptor(s *Session, cs *chainState, policy adapt.Policy) (*sessionAdaptor, error) {
 	a := &sessionAdaptor{
 		s:      s,
 		bus:    raplet.NewBus(64),
@@ -63,44 +64,17 @@ func newSessionAdaptor(s *Session, policy adapt.Policy) (*sessionAdaptor, error)
 		return nil, err
 	}
 	if !s.eng.branching {
-		if _, err := a.addLoop(trunkReceiver, s.live); err != nil {
+		if _, err := a.addLoop(trunkReceiver, cs.live); err != nil {
 			a.bus.Stop()
 			return nil, err
 		}
 	}
-	if window := s.eng.cfg.ReportStaleness; window > 0 {
-		a.sweepStop = make(chan struct{})
-		a.sweepWg.Add(1)
-		go a.sweepLoop(window)
-	}
 	return a, nil
 }
 
-// sweepLoop drives staleness aging from a timer so a receiver decays back to
-// the clean-link path even when no report ever arrives to piggyback a sweep
-// on. Report-path sweeping alone has a hole: once every station of a session
-// goes silent — the exact situation aging exists for — nothing sweeps, and the
-// last reporter pins its protection level forever. The report path still
-// sweeps opportunistically (CAS-gated in report) so decay is not delayed a
-// full tick under traffic; the timer stamps lastSweep to push the next
-// opportunistic sweep out past its own.
-func (a *sessionAdaptor) sweepLoop(window time.Duration) {
-	defer a.sweepWg.Done()
-	tick := time.NewTicker(window / 4)
-	defer tick.Stop()
-	for {
-		select {
-		case <-tick.C:
-			a.lastSweep.Store(time.Now().UnixNano())
-			a.sweepAll()
-		case <-a.sweepStop:
-			return
-		}
-	}
-}
-
 // sweepAll sweeps every loop's observer for receivers whose last report has
-// gone stale. Called from the timer goroutine and (gated) the report path.
+// gone stale. Called from the engine's maintenance tick and (gated) the
+// report path.
 func (a *sessionAdaptor) sweepAll() {
 	a.mu.Lock()
 	loops := make([]*receiverLoop, 0, len(a.loops))
@@ -241,13 +215,10 @@ func (l *receiverLoop) fill(st *metrics.ReceiverStats) {
 	st.Mechanism = l.resp.Mechanism().String()
 }
 
-// stop shuts the plane down: the sweep timer first (so no sweep can race the
-// bus teardown), then the bus, draining queued events.
+// stop shuts the plane down, draining queued bus events. (The engine's
+// maintenance tick may still call sweepAll concurrently — sweeps only read
+// observers, which outlive the bus.)
 func (a *sessionAdaptor) stop() {
-	if a.sweepStop != nil {
-		close(a.sweepStop)
-		a.sweepWg.Wait()
-	}
 	a.bus.Stop()
 }
 

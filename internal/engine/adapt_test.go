@@ -235,7 +235,7 @@ func TestEngineSweepAllExpiresStaleReceivers(t *testing.T) {
 	// Re-arm the trunk loop's observer on a fake clock and jump past the
 	// window; nothing else reports, so only a sweep can expire the receiver.
 	s := e.Session(55)
-	a := s.adaptor
+	a := s.state().adaptor
 	a.mu.Lock()
 	loop := a.loops[trunkReceiver]
 	a.mu.Unlock()

@@ -31,7 +31,11 @@ import (
 // plus a tee dispatch; membership walks happen only when the group actually
 // changed.
 type deliveryTree struct {
-	s   *Session
+	s *Session
+	// cs is the chain incarnation this tree belongs to: branch priming reads
+	// its live trunk's replay stage and branch adaptation loops join its
+	// adaptor's bus. A parked session has no tree; unpark builds a fresh one.
+	cs  *chainState
 	tee *filter.Tee
 
 	mu       sync.Mutex // guards branches and reconciliation
@@ -39,8 +43,8 @@ type deliveryTree struct {
 	version  atomic.Uint64 // AddrGroup version last reconciled; 0 = never
 }
 
-func newDeliveryTree(s *Session) *deliveryTree {
-	return &deliveryTree{s: s, tee: filter.NewTee(), branches: make(map[netip.AddrPort]*branch)}
+func newDeliveryTree(s *Session, cs *chainState) *deliveryTree {
+	return &deliveryTree{s: s, cs: cs, tee: filter.NewTee(), branches: make(map[netip.AddrPort]*branch)}
 }
 
 // dispatch fans one trunk output frame out to every branch, reconciling the
@@ -81,7 +85,7 @@ func (t *deliveryTree) reconcile() {
 		if t.branches[ap] != nil {
 			continue
 		}
-		br, err := newBranch(t.s, ap)
+		br, err := newBranch(t, ap)
 		if err != nil {
 			// The member gets nothing until membership changes again; branch
 			// specs are validated at engine construction, so this is a
@@ -109,7 +113,7 @@ func (t *deliveryTree) reconcile() {
 // thinning — before the first live frame does. Runs before SetTaps publishes
 // the branch, on the reconcile path under t.mu.
 func (t *deliveryTree) prime(br *branch) {
-	rf, ok := t.s.live.Instance(compose.KindReplay).(*cache.ReplayFilter)
+	rf, ok := t.cs.live.Instance(compose.KindReplay).(*cache.ReplayFilter)
 	if !ok {
 		return
 	}
@@ -165,6 +169,7 @@ func (t *deliveryTree) stats() []metrics.ReceiverStats {
 // protocol, and the per-receiver responder drives them over the session bus.
 type branch struct {
 	s      *Session
+	tree   *deliveryTree
 	member netip.AddrPort
 
 	chain *filter.Chain
@@ -189,10 +194,12 @@ type branch struct {
 // branch is fully constructed — always-on policies primed, encoder spliced —
 // before the caller publishes it to the tee, so the first frame through the
 // branch is already protected.
-func newBranch(s *Session, member netip.AddrPort) (*branch, error) {
+func newBranch(t *deliveryTree, member netip.AddrPort) (*branch, error) {
+	s := t.s
 	e := s.eng
 	br := &branch{
 		s:      s,
+		tree:   t,
 		member: member,
 		in:     make(chan *packet.Buf, e.cfg.QueueDepth),
 		done:   make(chan struct{}),
@@ -230,7 +237,7 @@ func newBranch(s *Session, member netip.AddrPort) (*branch, error) {
 		return nil, fmt.Errorf("branch start: %w", err)
 	}
 	if e.branching && e.adaptOn {
-		loop, err := s.adaptor.addLoop(member.String(), br.live)
+		loop, err := t.cs.adaptor.addLoop(member.String(), br.live)
 		if err != nil {
 			br.stop()
 			return nil, fmt.Errorf("branch adaptor: %w", err)
@@ -303,7 +310,7 @@ func (br *branch) stop() {
 	br.stopOnce.Do(func() {
 		br.closed.Store(true)
 		if br.loop != nil {
-			br.s.adaptor.removeLoop(br.loop)
+			br.tree.cs.adaptor.removeLoop(br.loop)
 		}
 		close(br.done)
 		br.chain.Stop()

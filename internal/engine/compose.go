@@ -18,23 +18,28 @@ import (
 
 // liveFor resolves the composed chain a control operation addresses: the
 // session's trunk when receiver is empty, otherwise the delivery branch
-// serving that receiver address.
+// serving that receiver address. A parked session is unparked first — a
+// control operation is activity, and it needs a chain to act on.
 func (e *Engine) liveFor(id uint32, receiver string) (*compose.Live, compose.Mode, error) {
 	s := e.table.lookup(id)
 	if s == nil {
 		return nil, compose.Mode{}, fmt.Errorf("%w: %d", ErrUnknownSession, id)
 	}
-	if receiver == "" {
-		return s.live, e.trunkMode(), nil
+	cs, err := s.ensureLive()
+	if err != nil {
+		return nil, compose.Mode{}, fmt.Errorf("engine: session %d: %w", id, err)
 	}
-	if s.tree == nil {
+	if receiver == "" {
+		return cs.live, e.trunkMode(), nil
+	}
+	if cs.tree == nil {
 		return nil, compose.Mode{}, fmt.Errorf("engine: session %d has no delivery branches", id)
 	}
 	ap, err := netip.ParseAddrPort(receiver)
 	if err != nil {
 		return nil, compose.Mode{}, fmt.Errorf("engine: receiver %q: %w", receiver, err)
 	}
-	br := s.tree.branchFor(multicast.UnmapAddrPort(ap))
+	br := cs.tree.branchFor(multicast.UnmapAddrPort(ap))
 	if br == nil {
 		return nil, compose.Mode{}, fmt.Errorf("engine: session %d has no branch for receiver %s", id, receiver)
 	}

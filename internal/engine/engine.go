@@ -36,6 +36,15 @@
 // detachable streams, to the shard writer's socket write, and session
 // lookup, peer tracking and counters all avoid per-packet allocation.
 //
+// The engine scales to a million mostly-idle sessions by making idleness
+// free: after Config.IdleTTL without traffic a session is parked — its chain,
+// goroutines and buffers released, only identity, plan and counters retained
+// — and transparently rebuilt on the next datagram (park.go). Session counts
+// and engine stats are maintained as atomic gauges, so admission checks and
+// Stats() are O(1)/O(shards) regardless of table size, and an explicit
+// admission policy (Config.Admission) chooses between rejecting new sessions
+// at capacity and harvesting the oldest-idle one to make room.
+//
 // Fan-out sessions with adaptation (or a Branch spec) relay through a
 // delivery tree instead of a single chain: the shared trunk's output is teed
 // by reference into one short filter tail per receiver, each driven by that
@@ -72,7 +81,11 @@ import (
 
 // Defaults applied by New.
 const (
-	DefaultMaxSessions = 4096
+	// DefaultMaxSessions admits a million concurrent sessions. Idle sessions
+	// park down to a few hundred bytes each (see park.go), so the practical
+	// bound is live traffic and memory, not a configured ceiling; deployments
+	// that want the old small cap set MaxSessions explicitly.
+	DefaultMaxSessions = 1 << 20
 	DefaultQueueDepth  = 256
 	// maxShards caps Config.Shards; beyond this the readers only contend on
 	// the kernel's socket lock.
@@ -175,9 +188,33 @@ type Config struct {
 	// a station that crashed without leaving the group decays back to the
 	// clean-link path. 0 (the default) disables aging.
 	ReportStaleness time.Duration
+	// IdleTTL parks sessions that see no traffic (and no control operations)
+	// for this long: the chain and its goroutines are released and only a
+	// compact record — identity, plan, counters — remains; the next datagram
+	// rebuilds the chain transparently. 0 (the default) disables parking.
+	// See park.go.
+	IdleTTL time.Duration
+	// Admission selects what happens to a new session arriving at
+	// MaxSessions: AdmitReject (the default) refuses it, AdmitHarvest evicts
+	// the oldest-idle existing session to make room.
+	Admission AdmissionPolicy
 	// Logger receives engine lifecycle messages; nil disables logging.
 	Logger *log.Logger
 }
+
+// AdmissionPolicy selects the engine's behavior when a new session arrives
+// while MaxSessions are registered.
+type AdmissionPolicy string
+
+const (
+	// AdmitReject refuses new sessions at capacity (the default): the
+	// datagram is dropped and counted, and the sender retries later.
+	AdmitReject AdmissionPolicy = "reject"
+	// AdmitHarvest evicts the oldest-idle registered session — parked ones
+	// first — to make room for the new one, so a full table churns instead
+	// of rejecting.
+	AdmitHarvest AdmissionPolicy = "harvest"
+)
 
 // Stats is an engine-level counter snapshot, aggregated across shards on
 // demand.
@@ -213,7 +250,7 @@ type Engine struct {
 	shards []shard
 
 	closed      atomic.Bool
-	active      atomic.Int64 // live sessions, admission-checked against MaxSessions
+	active      atomic.Int64 // registered sessions (live + parked), admission-checked against MaxSessions
 	stopWriters chan struct{}
 	wg          sync.WaitGroup // shard readers and writers
 
@@ -237,6 +274,17 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
+	}
+	switch cfg.Admission {
+	case "":
+		cfg.Admission = AdmitReject
+	case AdmitReject, AdmitHarvest:
+	default:
+		return nil, fmt.Errorf("engine: unknown admission policy %q (want %q or %q)",
+			cfg.Admission, AdmitReject, AdmitHarvest)
+	}
+	if cfg.IdleTTL < 0 {
+		return nil, errors.New("engine: IdleTTL must be >= 0")
 	}
 	cfg.Shards = resolveShards(cfg.Shards)
 	if cfg.ReusePort && !reusePortAvailable {
@@ -421,6 +469,13 @@ func (e *Engine) Start() error {
 		go sh.readLoop()
 		go sh.writeLoop()
 	}
+	// One maintenance ticker for the whole engine serves both timer-driven
+	// concerns — stale-receiver sweeps and idle-session parking — so the
+	// timer goroutine count is O(1), not O(sessions).
+	if iv := e.maintInterval(); iv > 0 {
+		e.wg.Add(1)
+		go e.maintenanceLoop(iv)
+	}
 	mode := "shared socket"
 	if e.cfg.ReusePort {
 		mode = "SO_REUSEPORT sockets"
@@ -436,6 +491,9 @@ func (e *Engine) Start() error {
 		e.conns[0].LocalAddr(), len(e.shards), mode, io, e.cfg.MaxSessions, e.cfg.Chain)
 	if e.adaptOn {
 		e.logf("adaptation plane on (policy %s)", e.policy)
+	}
+	if e.cfg.IdleTTL > 0 {
+		e.logf("idle harvester on (TTL %s, admission %s)", e.cfg.IdleTTL, e.cfg.Admission)
 	}
 	if e.group != nil {
 		if e.branching {
@@ -531,9 +589,19 @@ func (e *Engine) openSession(id uint32, peer netip.AddrPort) (*Session, error) {
 	if e.closed.Load() {
 		return nil, ErrEngineClosed
 	}
-	if n := e.active.Add(1); n > int64(e.cfg.MaxSessions) {
+	// Admission is one atomic against the global cap. Under the harvest
+	// policy a full table evicts its oldest-idle session and retries; the
+	// attempt bound keeps a pathological race (every freed slot snatched by
+	// concurrent opens) from spinning the read loop.
+	for attempt := 0; ; attempt++ {
+		if n := e.active.Add(1); n <= int64(e.cfg.MaxSessions) {
+			break
+		}
 		e.active.Add(-1)
-		return nil, ErrSessionLimit
+		if e.cfg.Admission != AdmitHarvest || attempt >= 2 || !e.harvestOldestIdle(id) {
+			e.shardFor(id).counters.admitDrops.Add(1)
+			return nil, ErrSessionLimit
+		}
 	}
 	s, err := newSession(e, id, peer)
 	if err != nil {
@@ -559,9 +627,13 @@ func (e *Engine) openSession(id uint32, peer netip.AddrPort) (*Session, error) {
 		if e.table.remove(id, s) {
 			e.active.Add(-1)
 		}
+		var cause error
+		if cs := s.state(); cs != nil {
+			cause = cs.sink.Err()
+		}
 		s.close()
-		if err := s.sink.Err(); err != nil {
-			return nil, fmt.Errorf("engine: session %d: chain died during open: %w", id, err)
+		if cause != nil {
+			return nil, fmt.Errorf("engine: session %d: chain died during open: %w", id, cause)
 		}
 		return nil, fmt.Errorf("engine: session %d: chain ended during open", id)
 	}
@@ -583,15 +655,19 @@ func (e *Engine) trackSessionExit() bool {
 	return true
 }
 
-// sessionExited runs on a session's sink goroutine after its chain
-// terminates. A chain that dies on its own — for example because a filter
-// stage failed — is evicted so a dead session cannot occupy a slot and
-// blackhole its ID forever; deliberate closes are ignored. Replacing the old
+// sessionExited runs on a chain incarnation's sink goroutine after that
+// chain terminates. A chain that dies on its own — for example because a
+// filter stage failed — is evicted so a dead session cannot occupy a slot and
+// blackhole its ID forever; deliberate stops (park, close) retired the
+// incarnation first and are ignored here. Replacing the old
 // one-watchdog-goroutine-per-session design with this exit hook removes a
 // third of the engine's per-session goroutines.
-func (e *Engine) sessionExited(s *Session, tracked bool) {
+func (e *Engine) sessionExited(s *Session, cs *chainState, tracked bool) {
 	if tracked {
 		defer e.exitWg.Done()
+	}
+	if cs.retired.Load() {
+		return // park or close tore this incarnation down deliberately
 	}
 	select {
 	case <-s.done:
@@ -603,7 +679,7 @@ func (e *Engine) sessionExited(s *Session, tracked bool) {
 	// openSession's post-insert check of this flag that evicts instead (the
 	// shard lock orders that check after this store).
 	s.exited.Store(true)
-	if err := s.sink.Err(); err != nil {
+	if err := cs.sink.Err(); err != nil {
 		s.shard.counters.chainErrors.Add(1)
 		e.logf("session %d: chain failed, evicting: %v", s.id, err)
 	} else {
@@ -618,7 +694,8 @@ func (e *Engine) sessionExited(s *Session, tracked bool) {
 // Session returns the live session with the given ID, or nil.
 func (e *Engine) Session(id uint32) *Session { return e.table.lookup(id) }
 
-// SessionCount returns the number of live sessions.
+// SessionCount returns the number of registered sessions (live + parked),
+// summed from per-shard gauges in O(shards).
 func (e *Engine) SessionCount() int { return e.table.count() }
 
 // CloseSession terminates one session and releases its resources.
@@ -643,12 +720,16 @@ func (e *Engine) SessionStats() []metrics.SessionStats {
 	return out
 }
 
-// Stats aggregates the per-shard counters into an engine-level snapshot.
+// Stats aggregates the per-shard counters into an engine-level snapshot. The
+// whole snapshot is O(shards) atomic loads — it never walks the session
+// table, so reading it under million-session churn costs the same as on an
+// empty engine.
 func (e *Engine) Stats() Stats {
 	st := Stats{
 		ActiveSessions: e.table.count(),
 		Shards:         len(e.shards),
 	}
+	parked := int64(0)
 	for i := range e.shards {
 		c := &e.shards[i].counters
 		st.TotalSessions += c.opened.Load()
@@ -664,6 +745,15 @@ func (e *Engine) Stats() Stats {
 		st.WriteDrops += c.writeDrops.Load()
 		st.RecvCalls += c.recvCalls.Load()
 		st.SendCalls += c.sendCalls.Load()
+		parked += c.parkedNow.Load()
+		st.Parks += c.parks.Load()
+		st.Unparks += c.unparks.Load()
+		st.Harvested += c.harvested.Load()
+		st.AdmissionDrops += c.admitDrops.Load()
+	}
+	st.ParkedSessions = int(parked)
+	if st.LiveSessions = st.ActiveSessions - st.ParkedSessions; st.LiveSessions < 0 {
+		st.LiveSessions = 0 // transient skew between independent gauges
 	}
 	return st
 }

@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rapidware/internal/packet"
+)
+
+// Idle-session parking: the mechanism that lets the engine hold a million
+// mostly-idle sessions. A live session costs two chain goroutines, a queue of
+// pooled buffers, and (with adaptation) a bus goroutine. After Config.IdleTTL
+// with no traffic the engine's maintenance tick *parks* the session: its
+// chain drains and stops through the ordinary quiescence machinery, both
+// goroutines and the queue are released, and all that remains is the Session
+// struct — identity, counters, peer — plus the canonical compose.Plan and an
+// adaptation snapshot. The first inbound datagram (or control operation)
+// *unparks* it by rebuilding the chain from the retained plan, transparently
+// to peers. Parked sessions keep their registration: the session ID, its
+// pinned peer and its counters all survive, so parking is invisible except as
+// first-packet rebuild latency.
+
+// errSessionClosed reports an unpark attempt on a session that is being torn
+// down.
+var errSessionClosed = errors.New("engine: session closed")
+
+// park tears down the session's chain incarnation, retaining only the compact
+// parked record. It reports whether the session transitioned live→parked.
+// Datagrams that raced into the retiring queue are reclaimed and re-delivered
+// through a fresh incarnation — parking never loses a datagram.
+func (s *Session) park() bool {
+	s.parkMu.Lock()
+	defer s.parkMu.Unlock()
+	select {
+	case <-s.done:
+		return false
+	default:
+	}
+	cs := s.cs.Load()
+	if cs == nil {
+		return false
+	}
+	var snap = s.parkedAdapt
+	if cs.adaptor != nil {
+		snap = cs.adaptor.stats()
+	}
+	// Retire, then drain, then stop: the adaptation plane goes first (its
+	// responder must not be left blocking on the splice lock we are about to
+	// take), then — under the chain's splice lock, so no recompose holds a
+	// link detached mid-swap — cs.stop feeds the source io.EOF and the EOF
+	// cascades down the chain, each stage draining what is buffered before
+	// observing it, until the sink has emitted every in-flight frame and its
+	// goroutine exits. Only then is the chain formally stopped: calling Stop
+	// earlier would force-close the interior streams and discard whatever was
+	// mid-chain, and park — unlike close — must not lose output. The retired
+	// flag tells the sink's exit hook this teardown is deliberate.
+	cs.retired.Store(true)
+	if cs.adaptor != nil {
+		cs.adaptor.stop()
+	}
+	cs.live.Quiesce(func() {
+		close(cs.stop)
+		cs.sink.Wait()
+		if err := cs.chain.Stop(); err != nil {
+			s.eng.logf("session %d: park: chain stop: %v", s.id, err)
+		}
+	})
+	if cs.tree != nil {
+		cs.tree.close()
+	}
+	// The plan is captured after the stop so a recompose that won the splice
+	// lock before quiescence is retained, not lost.
+	s.parkedPlan = cs.live.Plan()
+	s.parkedAdapt = snap
+	s.cs.Store(nil)
+	s.parked.Store(true)
+	s.shard.counters.parkedNow.Add(1)
+	s.shard.counters.parks.Add(1)
+	// Reclaim datagrams that raced past deliver's confirming load into the
+	// retired queue: they are exactly the traffic that proves the session is
+	// not idle after all, so rebuild immediately and re-deliver them in order.
+	var leftovers []*packet.Buf
+reclaim:
+	for {
+		select {
+		case b := <-cs.in:
+			leftovers = append(leftovers, b)
+		default:
+			break reclaim
+		}
+	}
+	if len(leftovers) > 0 {
+		// Each reclaimed datagram was already counted by its deliverer (the
+		// confirming-load protocol guarantees exactly one of deliver and this
+		// drain owns it), so re-enqueue without recounting.
+		ncs, err := s.unparkLocked()
+		for _, b := range leftovers {
+			if err != nil {
+				s.counters.Drops.Add(1)
+				b.Release()
+				continue
+			}
+			select {
+			case ncs.in <- b:
+			default:
+				s.counters.Drops.Add(1)
+				b.Release()
+			}
+		}
+	}
+	return true
+}
+
+// unpark rebuilds a parked session's chain from its retained plan. It is the
+// slow path of deliver (first datagram after an idle period) and of control
+// operations addressing a parked session; on a live session it is a no-op
+// returning the current state.
+func (s *Session) unpark() (*chainState, error) {
+	s.parkMu.Lock()
+	defer s.parkMu.Unlock()
+	if cs := s.cs.Load(); cs != nil {
+		return cs, nil
+	}
+	select {
+	case <-s.done:
+		return nil, errSessionClosed
+	default:
+	}
+	return s.unparkLocked()
+}
+
+// unparkLocked does the rebuild; the caller holds parkMu and has verified the
+// session is parked and not closed.
+func (s *Session) unparkLocked() (*chainState, error) {
+	cs, err := s.eng.buildChainState(s, s.parkedPlan)
+	if err != nil {
+		s.shard.counters.chainErrors.Add(1)
+		s.eng.logf("session %d: unpark: %v", s.id, err)
+		return nil, err
+	}
+	s.cs.Store(cs)
+	s.parked.Store(false)
+	s.idleSince.Store(time.Now().UnixNano())
+	s.idleSeen.Store(s.activitySum())
+	s.shard.counters.parkedNow.Add(-1)
+	s.shard.counters.unparks.Add(1)
+	return cs, nil
+}
+
+// ensureLive returns the session's chain-bound state for a control operation,
+// rebuilding it first when the session is parked. The control touch counts as
+// activity so an operator composing a session holds its idle clock back.
+func (s *Session) ensureLive() (*chainState, error) {
+	s.ctlActivity.Add(1)
+	if cs := s.cs.Load(); cs != nil {
+		return cs, nil
+	}
+	return s.unpark()
+}
+
+// ParkSession immediately parks the session with the given ID, as the idle
+// harvester would after the TTL. Exposed for operators draining capacity
+// ahead of load and for benchmarks; parking an already-parked session is a
+// no-op.
+func (e *Engine) ParkSession(id uint32) error {
+	s := e.table.lookup(id)
+	if s == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	s.park()
+	return nil
+}
+
+// maintInterval derives the single maintenance ticker's period from the two
+// concerns it serves: stale-receiver sweeps resolve at a quarter of the
+// report-staleness window, idle harvesting at a quarter of the idle TTL.
+// Returns 0 when neither concern is configured (no ticker goroutine at all).
+func (e *Engine) maintInterval() time.Duration {
+	var iv time.Duration
+	if e.adaptOn && e.cfg.ReportStaleness > 0 {
+		iv = e.cfg.ReportStaleness / 4
+	}
+	if ttl := e.cfg.IdleTTL; ttl > 0 {
+		if q := ttl / 4; iv == 0 || q < iv {
+			iv = q
+		}
+	}
+	if iv > 0 && iv < time.Millisecond {
+		iv = time.Millisecond
+	}
+	return iv
+}
+
+// maintenanceLoop is the engine's one timer goroutine: it drives both
+// stale-receiver aging and idle-session harvesting from a single ticker,
+// instead of one timer per concern per session.
+func (e *Engine) maintenanceLoop(interval time.Duration) {
+	defer e.wg.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			e.maintain(time.Now())
+		case <-e.stopWriters:
+			return
+		}
+	}
+}
+
+// maintain runs one maintenance tick at the given time: every live session's
+// observers are swept for stale receivers (when aging is on), and every live
+// session whose activity sum hasn't moved since the previous tick for at
+// least IdleTTL is parked. Taking `now` as a parameter keeps the tick
+// deterministic under test. Parked sessions are skipped — they cost nothing
+// and have nothing to sweep.
+func (e *Engine) maintain(now time.Time) {
+	sweep := e.adaptOn && e.cfg.ReportStaleness > 0
+	harvest := e.cfg.IdleTTL > 0
+	if !sweep && !harvest {
+		return
+	}
+	nanos := now.UnixNano()
+	for _, s := range e.table.snapshot() {
+		cs := s.cs.Load()
+		if cs == nil {
+			continue
+		}
+		if sweep && cs.adaptor != nil {
+			// Stamp lastSweep so the report path's opportunistic sweep backs
+			// off past this one.
+			cs.adaptor.lastSweep.Store(nanos)
+			cs.adaptor.sweepAll()
+		}
+		if harvest {
+			if sum := s.activitySum(); sum != s.idleSeen.Load() {
+				s.idleSeen.Store(sum)
+				s.idleSince.Store(nanos)
+				continue
+			}
+			if nanos-s.idleSince.Load() >= int64(e.cfg.IdleTTL) {
+				s.park()
+			}
+		}
+	}
+}
+
+// harvestOldestIdle frees one admission slot under the AdmitHarvest policy by
+// evicting the best victim: a parked session if any, else the live session
+// idle the longest. The scan starts at the table shard that will own the
+// incoming ID — O(sessions/shards) in the common case — and walks subsequent
+// shards only if that one is empty. It reports whether a slot was freed.
+func (e *Engine) harvestOldestIdle(incoming uint32) bool {
+	victim := e.table.oldestIdle(incoming)
+	if victim == nil {
+		return false
+	}
+	if !e.table.remove(victim.id, victim) {
+		// Somebody else (a concurrent harvest, close, or the exit hook) beat
+		// us to this victim; report failure and let the caller retry.
+		return false
+	}
+	e.active.Add(-1)
+	victim.shard.counters.harvested.Add(1)
+	e.logf("session %d: harvested for admission", victim.id)
+	victim.close()
+	return true
+}

@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rapidware/internal/compose"
 	"rapidware/internal/endpoint"
@@ -15,10 +16,15 @@ import (
 	"rapidware/internal/packet"
 )
 
-// Session is one proxied stream inside an Engine: an inbound datagram queue,
-// a filter chain bracketed by UDP endpoints, and the counters the control
-// protocol reports. Sessions are created on demand by the engine's read loop
-// when a datagram with an unknown session ID arrives.
+// Session is one proxied stream inside an Engine. Its identity, counters and
+// peer pinning live directly on the struct and survive for the session's
+// whole registered lifetime; everything that costs resources at scale — the
+// filter chain, its two endpoint goroutines, the inbound queue, the
+// adaptation bus and the delivery tree — lives behind one atomic pointer to a
+// chainState, so an idle session can be parked down to this struct plus a
+// retained plan and later rebuilt transparently (see park.go). Sessions are
+// created on demand by the engine's read loop when a datagram with an unknown
+// session ID arrives.
 type Session struct {
 	id  uint32
 	eng *Engine
@@ -27,23 +33,28 @@ type Session struct {
 	// the session's output.
 	shard *shard
 
-	chain *filter.Chain
-	// live binds the trunk chain to its composition plan; all structural
-	// mutation — control-plane recompose, responder splices — goes through
-	// it, serialized by its splice lock.
-	live     *compose.Live
-	source   *endpoint.UDPSource
-	sink     *endpoint.UDPSink
+	// cs is the session's chain-bound state: nil exactly while the session is
+	// parked. The data path loads it once per packet; park/unpark swap it
+	// under parkMu.
+	cs atomic.Pointer[chainState]
+
+	// parkMu serializes the park/unpark/close lifecycle transitions. The
+	// fields below it are the "compact parked record": what remains of a
+	// session when its chain is gone.
+	parkMu      sync.Mutex
+	parked      atomic.Bool
+	parkedPlan  compose.Plan        // canonical trunk plan retained at park (guarded by parkMu)
+	parkedAdapt *metrics.AdaptStats // last adaptation snapshot, for stats while parked (guarded by parkMu)
+
 	counters metrics.SessionCounters
 
-	// adaptor is the session's closed adaptation plane; nil when the engine
-	// runs without the feedback loop.
-	adaptor *sessionAdaptor
-
-	// tree is the session's per-receiver delivery tree: the trunk chain's
-	// output is cloned by reference into one branch tail per fan-out member.
-	// nil on unicast sessions and on plain (branch-less) fan-out.
-	tree *deliveryTree
+	// ctlActivity counts control-plane touches (recompose and friends) so an
+	// operator working on a session keeps it from being harvested; together
+	// with the packet counters it forms the activity sum the maintenance tick
+	// compares against idleSeen — no per-packet clock reads anywhere.
+	ctlActivity atomic.Uint64
+	idleSeen    atomic.Uint64 // activity sum at the last maintenance observation
+	idleSince   atomic.Int64  // unix nanos of the last observed activity change
 
 	// repairs reports FEC reconstruction counts from decoder stages built
 	// into the chain (past and present — a recomposed-away decoder's final
@@ -52,7 +63,6 @@ type Session struct {
 	repairsMu sync.Mutex
 	repairs   []func() uint64
 
-	in   chan *packet.Buf
 	done chan struct{}
 
 	// exited is set by the engine's exit hook when the chain terminates on
@@ -69,6 +79,38 @@ type Session struct {
 	peer   netip.AddrPort
 }
 
+// chainState is one incarnation of a session's running machinery: the filter
+// chain bracketed by UDP endpoints, the inbound datagram queue, and — when
+// configured — the adaptation plane and the per-receiver delivery tree.
+// filter chains cannot restart once stopped, so park discards the whole
+// incarnation and unpark builds a fresh one from the session's retained plan.
+type chainState struct {
+	chain *filter.Chain
+	// live binds the trunk chain to its composition plan; all structural
+	// mutation — control-plane recompose, responder splices — goes through
+	// it, serialized by its splice lock.
+	live   *compose.Live
+	source *endpoint.UDPSource
+	sink   *endpoint.UDPSink
+
+	// adaptor is the session's closed adaptation plane; nil when the engine
+	// runs without the feedback loop.
+	adaptor *sessionAdaptor
+
+	// tree is the session's per-receiver delivery tree: the trunk chain's
+	// output is cloned by reference into one branch tail per fan-out member.
+	// nil on unicast sessions and on plain (branch-less) fan-out.
+	tree *deliveryTree
+
+	in   chan *packet.Buf
+	stop chan struct{}
+
+	// retired is set (under the session's parkMu) before a deliberate chain
+	// stop — park or close — so the sink's exit hook can tell teardown from a
+	// chain dying on its own and skip the eviction path.
+	retired atomic.Bool
+}
+
 // newSession builds and starts the chain for one session. It runs with no
 // lock held — the caller registers the finished session in the sharded table
 // afterwards and resolves any construction race there.
@@ -77,12 +119,30 @@ func newSession(e *Engine, id uint32, peer netip.AddrPort) (*Session, error) {
 		id:    id,
 		eng:   e,
 		shard: e.shardFor(id),
-		in:    make(chan *packet.Buf, e.cfg.QueueDepth),
 		done:  make(chan struct{}),
 		peer:  peer,
 	}
-	s.chain = filter.NewChain(fmt.Sprintf("session-%d", id))
-	s.source = endpoint.NewUDPSource(fmt.Sprintf("udp-in:%d", id), s.recv)
+	s.idleSince.Store(time.Now().UnixNano())
+	cs, err := e.buildChainState(s, e.trunkPlan)
+	if err != nil {
+		return nil, err
+	}
+	s.cs.Store(cs)
+	return s, nil
+}
+
+// buildChainState assembles and starts one incarnation of a session's chain
+// from the given trunk plan: at open time from the engine's configured plan,
+// at unpark time from the plan the session retained when it was parked.
+func (e *Engine) buildChainState(s *Session, plan compose.Plan) (*chainState, error) {
+	cs := &chainState{
+		in:   make(chan *packet.Buf, e.cfg.QueueDepth),
+		stop: make(chan struct{}),
+	}
+	cs.chain = filter.NewChain(fmt.Sprintf("session-%d", s.id))
+	cs.source = endpoint.NewUDPSource(fmt.Sprintf("udp-in:%d", s.id), func() (*packet.Buf, error) {
+		return s.recv(cs)
+	})
 	// On the delivery-tree path the trunk's output frames are teed into the
 	// branch tails, which re-frame with their own session-ID headroom; the
 	// trunk sink therefore reserves none, so b.B is exactly the shared frame.
@@ -90,63 +150,87 @@ func newSession(e *Engine, id uint32, peer netip.AddrPort) (*Session, error) {
 	if e.branching {
 		headroom = 0
 	}
-	s.sink = endpoint.NewUDPSink(fmt.Sprintf("udp-out:%d", id), headroom, s.send)
-	if err := s.chain.Append(s.source); err != nil {
+	cs.sink = endpoint.NewUDPSink(fmt.Sprintf("udp-out:%d", s.id), headroom, func(b *packet.Buf) error {
+		return s.send(cs, b)
+	})
+	if err := cs.chain.Append(cs.source); err != nil {
 		return nil, err
 	}
-	if err := s.chain.Append(s.sink); err != nil {
+	if err := cs.chain.Append(cs.sink); err != nil {
 		return nil, err
 	}
-	// Compose the trunk interior between the endpoints from the engine's
-	// plan; the same Live later applies control-plane recompositions and the
-	// adaptation responder's splices to the running chain.
-	live, err := compose.Attach(s.chain, e.reg, s.composeEnv(), e.trunkMode(), e.trunkPlan)
+	// Compose the trunk interior between the endpoints from the plan; the
+	// same Live later applies control-plane recompositions and the adaptation
+	// responder's splices to the running chain.
+	live, err := compose.Attach(cs.chain, e.reg, s.composeEnv(), e.trunkMode(), plan)
 	if err != nil {
-		return nil, fmt.Errorf("engine: session %d chain: %w", id, err)
+		return nil, fmt.Errorf("engine: session %d chain: %w", s.id, err)
 	}
-	s.live = live
+	cs.live = live
 	// The sink's exit hook is the session's watchdog: when the chain
 	// terminates on its own the hook evicts the session, without spending a
 	// goroutine per session on a blocking Wait. Registered (and accounted in
 	// the engine's exit WaitGroup) before Start so the hook cannot be missed.
 	tracked := e.trackSessionExit()
-	s.sink.OnExit(func() { e.sessionExited(s, tracked) })
-	if err := s.chain.Start(); err != nil {
-		if tracked && !s.sink.Running() {
+	cs.sink.OnExit(func() { e.sessionExited(s, cs, tracked) })
+	if err := cs.chain.Start(); err != nil {
+		if tracked && !cs.sink.Running() {
 			// The sink goroutine never launched, so the exit hook will never
 			// fire; balance the accounting here.
 			e.exitWg.Done()
 		}
-		return nil, fmt.Errorf("engine: session %d start: %w", id, err)
+		return nil, fmt.Errorf("engine: session %d start: %w", s.id, err)
 	}
 	if e.adaptOn {
-		a, err := newSessionAdaptor(s, e.policy)
+		a, err := newSessionAdaptor(s, cs, e.policy)
 		if err != nil {
-			s.close()
-			return nil, fmt.Errorf("engine: session %d adaptor: %w", id, err)
+			// Deliberate teardown of the half-built incarnation: retire it
+			// first so the exit hook doesn't mistake the stop for a chain
+			// death and try to evict a session that was never registered.
+			cs.retired.Store(true)
+			cs.chain.Stop()
+			return nil, fmt.Errorf("engine: session %d adaptor: %w", s.id, err)
 		}
-		s.adaptor = a
+		cs.adaptor = a
 	}
 	if e.branching {
 		// Build the delivery tree (and one branch per current fan-out member)
 		// before the session can receive a packet, so the first trunk frame
 		// already fans out through fully primed branches.
-		s.tree = newDeliveryTree(s)
-		s.tree.reconcile()
+		cs.tree = newDeliveryTree(s, cs)
+		cs.tree.reconcile()
 	}
-	return s, nil
+	return cs, nil
 }
 
 // ID returns the session's wire identifier.
 func (s *Session) ID() uint32 { return s.id }
 
-// Chain exposes the session's filter chain for observation. Structural
-// mutation goes through Live, which keeps the chain and its plan consistent.
-func (s *Session) Chain() *filter.Chain { return s.chain }
+// state returns the session's current chain-bound state, nil while parked.
+func (s *Session) state() *chainState { return s.cs.Load() }
+
+// Chain exposes the session's filter chain for observation (nil while the
+// session is parked). Structural mutation goes through Live, which keeps the
+// chain and its plan consistent.
+func (s *Session) Chain() *filter.Chain {
+	if cs := s.cs.Load(); cs != nil {
+		return cs.chain
+	}
+	return nil
+}
 
 // Live exposes the session's composed trunk so the control plane (and tests)
-// can recompose it transactionally while traffic flows.
-func (s *Session) Live() *compose.Live { return s.live }
+// can recompose it transactionally while traffic flows. nil while parked; the
+// engine's control operations go through liveFor, which unparks first.
+func (s *Session) Live() *compose.Live {
+	if cs := s.cs.Load(); cs != nil {
+		return cs.live
+	}
+	return nil
+}
+
+// Parked reports whether the session is currently parked.
+func (s *Session) Parked() bool { return s.parked.Load() }
 
 // composeEnv is the build environment trunk plan stages are instantiated
 // with.
@@ -170,8 +254,18 @@ func (s *Session) addRepairHook(fn func() uint64) {
 // Counters returns the session's counter block.
 func (s *Session) Counters() *metrics.SessionCounters { return &s.counters }
 
+// activitySum folds every signal that counts as session activity into one
+// number the maintenance tick can compare against its last mark: inbound
+// packets (delivered or queue-dropped — a flooding sender is not idle) and
+// control-plane touches.
+func (s *Session) activitySum() uint64 {
+	return s.counters.Packets.Load() + s.counters.Drops.Load() + s.ctlActivity.Load()
+}
+
 // Stats snapshots the session's counters, folding in FEC repair counts from
 // any decoder stages and the adaptation loop's state when the plane is on.
+// On a parked session the chain columns come from the retained plan and the
+// adaptation snapshot taken at park time.
 func (s *Session) Stats() metrics.SessionStats {
 	st := s.counters.Snapshot(s.id)
 	st.Shard = s.shard.idx
@@ -181,13 +275,28 @@ func (s *Session) Stats() metrics.SessionStats {
 	for _, fn := range hooks {
 		st.Repairs += fn()
 	}
-	st.Chain = s.live.String()
-	st.Stages = s.live.StageStats()
-	if s.adaptor != nil {
-		st.Adapt = s.adaptor.stats()
+	if cs := s.cs.Load(); cs != nil {
+		st.Chain = cs.live.String()
+		st.Stages = cs.live.StageStats()
+		if cs.adaptor != nil {
+			st.Adapt = cs.adaptor.stats()
+		}
+		if cs.tree != nil {
+			st.Receivers = cs.tree.stats()
+		}
+	} else {
+		st.Parked = true
+		s.parkMu.Lock()
+		st.Chain = s.parkedPlan.String()
+		st.Adapt = s.parkedAdapt
+		s.parkMu.Unlock()
 	}
-	if s.tree != nil {
-		st.Receivers = s.tree.stats()
+	if s.eng.cfg.IdleTTL > 0 {
+		if since := s.idleSince.Load(); since > 0 {
+			if ms := (time.Now().UnixNano() - since) / int64(time.Millisecond); ms > 0 {
+				st.IdleForMs = ms
+			}
+		}
 	}
 	return st
 }
@@ -197,10 +306,13 @@ func (s *Session) Stats() metrics.SessionStats {
 // downstream station steers only its own delivery branch. Reports from
 // addresses that are not legitimate receivers of this session are dropped —
 // the feedback plane honors the same off-path protections as the data path.
-// Called from the engine's read loop; the heavy lifting happens on the bus
-// goroutine.
+// Reports for a parked session are dropped too: feedback describes a stream
+// that is not flowing, and a chatty reporter must not keep an idle session's
+// chain alive (nor rebuild it). Called from the engine's read loop; the heavy
+// lifting happens on the bus goroutine.
 func (s *Session) handleFeedback(from netip.AddrPort, frame []byte) {
-	if s.adaptor == nil {
+	cs := s.cs.Load()
+	if cs == nil || cs.adaptor == nil {
 		return
 	}
 	// Canonicalize once: authorization and the receiver key both compare
@@ -214,14 +326,14 @@ func (s *Session) handleFeedback(from netip.AddrPort, frame []byte) {
 	if err != nil {
 		return
 	}
-	if s.tree != nil {
+	if cs.tree != nil {
 		// Membership may have changed since the last packet: a departed
 		// member's branch (and loop) is torn down before routing, so its last
 		// report cannot pin anything, and a member that joined silently gets
 		// its branch before its first report would be dropped on the floor.
-		s.tree.reconcile()
+		cs.tree.reconcile()
 	}
-	s.adaptor.report(from, rep)
+	cs.adaptor.report(from, rep)
 }
 
 // retransmitter is what a NACK is answered from: any stage instance holding a
@@ -253,8 +365,13 @@ func historyFor(live *compose.Live) retransmitter {
 // is consulted first, so a branch whose responder escalated to ARQ serves its
 // receiver from its own history. Requests for sequence numbers the bounded
 // history no longer holds are silently unanswerable — the receiver's give-up
-// accounting owns that loss. Called from the engine's read loop.
+// accounting owns that loss, and a parked session's history went with its
+// chain. Called from the engine's read loop.
 func (s *Session) handleNack(from netip.AddrPort, frame []byte) {
+	cs := s.cs.Load()
+	if cs == nil {
+		return
+	}
 	from = multicast.UnmapAddrPort(from)
 	if !s.eng.receiverAuthorized(s, from) {
 		return
@@ -266,17 +383,17 @@ func (s *Session) handleNack(from netip.AddrPort, frame []byte) {
 	}
 	var rx *metrics.ReceiverCounters
 	var h retransmitter
-	if s.tree != nil {
+	if cs.tree != nil {
 		// Same reconcile-before-routing rule as reports: a silently joined
 		// member gets its branch before its first NACK is dropped.
-		s.tree.reconcile()
-		if br := s.tree.branchFor(from); br != nil {
+		cs.tree.reconcile()
+		if br := cs.tree.branchFor(from); br != nil {
 			rx = &br.counters
 			h = historyFor(br.live)
 		}
 	}
 	if h == nil {
-		h = historyFor(s.live)
+		h = historyFor(cs.live)
 	}
 	if h == nil {
 		return
@@ -325,28 +442,62 @@ func (s *Session) setPeer(from netip.AddrPort) {
 
 // deliver hands one inbound datagram (session ID still prefixed) to the
 // session, dropping rather than blocking when the queue is full so one slow
-// session cannot stall the engine's shared read loop. deliver takes ownership
-// of b.
+// session cannot stall the engine's shared read loop. A datagram for a parked
+// session unparks it first — the rebuild is the slow path; the live path is
+// one atomic load, the enqueue, and one confirming load. The confirming load
+// closes the park race: if park retired the queue between our load and the
+// enqueue, the datagram could sit in a channel nothing reads, so we reclaim
+// one buffer from the retired queue (ours, or an equivalent predecessor
+// park's drain didn't own) and deliver it through the fresh state. deliver
+// takes ownership of b.
 func (s *Session) deliver(b *packet.Buf, from netip.AddrPort) {
 	s.setPeer(from)
-	n := uint64(len(b.B)) // read before the send: the chain owns b afterwards
-	select {
-	case s.in <- b:
-		s.counters.Packets.Add(1)
-		s.counters.Bytes.Add(n)
-	default:
-		s.counters.Drops.Add(1)
-		b.Release()
+	for {
+		cs := s.cs.Load()
+		if cs == nil {
+			var err error
+			if cs, err = s.unpark(); err != nil {
+				s.counters.Drops.Add(1)
+				b.Release()
+				return
+			}
+		}
+		n := uint64(len(b.B)) // read before the send: the chain owns b afterwards
+		select {
+		case cs.in <- b:
+		default:
+			s.counters.Drops.Add(1)
+			b.Release()
+			return
+		}
+		if s.cs.Load() == cs {
+			s.counters.Packets.Add(1)
+			s.counters.Bytes.Add(n)
+			return
+		}
+		select {
+		case b = <-cs.in:
+			// Park raced us; go around with the reclaimed buffer.
+		default:
+			// Park's drain (or the old chain, before it stopped) took
+			// ownership of our datagram; either way it is not lost.
+			s.counters.Packets.Add(1)
+			s.counters.Bytes.Add(n)
+			return
+		}
 	}
 }
 
-// recv feeds the UDPSource: it blocks for the next queued datagram, strips
-// the session-ID prefix, and returns io.EOF once the session is closed.
-func (s *Session) recv() (*packet.Buf, error) {
+// recv feeds one incarnation's UDPSource: it blocks for the next queued
+// datagram, strips the session-ID prefix, and returns io.EOF once the
+// incarnation is parked or the session is closed.
+func (s *Session) recv(cs *chainState) (*packet.Buf, error) {
 	select {
-	case b := <-s.in:
+	case b := <-cs.in:
 		b.B = b.B[packet.SessionIDSize:]
 		return b, nil
+	case <-cs.stop:
+		return nil, io.EOF
 	case <-s.done:
 		return nil, io.EOF
 	}
@@ -360,9 +511,9 @@ func (s *Session) recv() (*packet.Buf, error) {
 // every datagram of a session through one shard writer preserves per-session
 // output order; a full writer queue drops (UDP-style, counted) rather than
 // blocking the chain. send owns b until the enqueue.
-func (s *Session) send(b *packet.Buf) error {
-	if s.tree != nil {
-		s.tree.dispatch(b)
+func (s *Session) send(cs *chainState, b *packet.Buf) error {
+	if cs.tree != nil {
+		cs.tree.dispatch(b)
 		return nil
 	}
 	packet.PutSessionID(b.B, s.id)
@@ -389,26 +540,42 @@ func (s *Session) send(b *packet.Buf) error {
 // splice can race the teardown), then the source observes EOF, the trunk
 // chain drains and stops — flushing any in-flight frames through the tee —
 // the delivery branches drain and stop in turn, and queued buffers are
-// returned to the pool.
+// returned to the pool. A parked session closes by just releasing its slot in
+// the parked gauge — there is nothing else left to stop.
 func (s *Session) close() error {
 	s.closeOnce.Do(func() {
-		if s.adaptor != nil {
-			s.adaptor.stop()
+		s.parkMu.Lock()
+		defer s.parkMu.Unlock()
+		cs := s.cs.Load()
+		if cs != nil {
+			// Retire before stopping so the sink's exit hook recognizes the
+			// deliberate teardown.
+			cs.retired.Store(true)
+			if cs.adaptor != nil {
+				cs.adaptor.stop()
+			}
 		}
 		close(s.done)
-		s.closeErr = s.chain.Stop()
-		if s.tree != nil {
-			// The trunk is stopped, so no dispatch is in flight; tear the
-			// branches down after it so trailing trunk output still fanned out.
-			s.tree.close()
-		}
-		for {
-			select {
-			case b := <-s.in:
-				b.Release()
-			default:
-				return
+		if cs != nil {
+			s.closeErr = cs.chain.Stop()
+			if cs.tree != nil {
+				// The trunk is stopped, so no dispatch is in flight; tear the
+				// branches down after it so trailing trunk output still fanned
+				// out.
+				cs.tree.close()
 			}
+		drain:
+			for {
+				select {
+				case b := <-cs.in:
+					b.Release()
+				default:
+					break drain
+				}
+			}
+		}
+		if s.parked.CompareAndSwap(true, false) {
+			s.shard.counters.parkedNow.Add(-1)
 		}
 	})
 	return s.closeErr

@@ -50,7 +50,14 @@ type shardCounters struct {
 	writeDrops  atomic.Uint64
 	recvCalls   atomic.Uint64
 	sendCalls   atomic.Uint64
-	_           [24]byte // pad so neighboring shards' counters don't false-share
+	// Park/admission accounting (see park.go): parkedNow gauges the shard's
+	// currently parked sessions; the rest count lifecycle transitions.
+	parkedNow  atomic.Int64
+	parks      atomic.Uint64
+	unparks    atomic.Uint64
+	harvested  atomic.Uint64
+	admitDrops atomic.Uint64
+	_          [48]byte // pad so neighboring shards' counters don't false-share
 }
 
 // outbound is one datagram queued on a shard writer. dst is the resolved
@@ -110,6 +117,12 @@ func (sh *shard) stats() metrics.ShardStats {
 		WriteDrops:  sh.counters.writeDrops.Load(),
 		RecvCalls:   sh.counters.recvCalls.Load(),
 		SendCalls:   sh.counters.sendCalls.Load(),
+
+		Parked:         int(sh.counters.parkedNow.Load()),
+		Parks:          sh.counters.parks.Load(),
+		Unparks:        sh.counters.unparks.Load(),
+		Harvested:      sh.counters.harvested.Load(),
+		AdmissionDrops: sh.counters.admitDrops.Load(),
 	}
 }
 

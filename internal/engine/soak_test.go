@@ -107,8 +107,8 @@ func TestEngineSoak256Sessions(t *testing.T) {
 	}
 }
 
-// TestEngineSoak4096SessionsCrossShard opens DefaultMaxSessions (4096)
-// concurrent sessions spread across every shard of the sharded data plane,
+// TestEngineSoak4096SessionsCrossShard opens 4096 concurrent live (unparked)
+// sessions spread across every shard of the sharded data plane,
 // requires an echo from each, checks that the shard placement is reasonably
 // balanced, and then tears the engine down with all of them live. Client
 // sockets are shared (64 sessions per socket) so the test stays within file
@@ -119,7 +119,7 @@ func TestEngineSoak256Sessions(t *testing.T) {
 // scales itself down to stay inside that budget while still crossing every
 // shard.
 func TestEngineSoak4096SessionsCrossShard(t *testing.T) {
-	sessions := DefaultMaxSessions // 4096
+	sessions := 4096 // all live: 2 chain goroutines each
 	if raceEnabled {
 		sessions = 3584 // 2 goroutines/session + clients + runtime < 8128
 	}

@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // table is the engine's sharded session registry. Session IDs hash onto a
 // power-of-two number of shards, each an independently locked map, so
@@ -13,13 +16,17 @@ type table struct {
 	shards []tableShard
 }
 
-// tableShard is one lock domain of the session table. The trailing pad keeps
-// neighboring shards' locks on separate cache lines so a hot shard cannot
-// false-share with its neighbors.
+// tableShard is one lock domain of the session table. n mirrors
+// len(sessions) as an atomic gauge maintained at every insert and remove, so
+// count/countShard — and through them admission checks and Stats — read O(1)
+// per shard instead of walking the maps under their locks. The trailing pad
+// keeps neighboring shards' locks on separate cache lines so a hot shard
+// cannot false-share with its neighbors.
 type tableShard struct {
 	mu       sync.RWMutex
 	sessions map[uint32]*Session
-	_        [32]byte
+	n        atomic.Int64
+	_        [24]byte
 }
 
 // newTable returns a table with n shards; n must be a power of two.
@@ -68,6 +75,7 @@ func (t *table) insert(id uint32, s *Session, reject func() bool) (*Session, boo
 		return cur, false
 	}
 	sh.sessions[id] = s
+	sh.n.Add(1)
 	return s, true
 }
 
@@ -82,6 +90,7 @@ func (t *table) remove(id uint32, s *Session) bool {
 		return false
 	}
 	delete(sh.sessions, id)
+	sh.n.Add(-1)
 	return true
 }
 
@@ -93,28 +102,58 @@ func (t *table) delete(id uint32) (*Session, bool) {
 	s, ok := sh.sessions[id]
 	if ok {
 		delete(sh.sessions, id)
+		sh.n.Add(-1)
 	}
 	return s, ok
 }
 
-// count returns the number of live sessions across all shards.
+// count returns the number of registered sessions across all shards. It sums
+// the per-shard gauges — no locks, no map walks — so stats and admission stay
+// O(shards) no matter how many sessions are registered.
 func (t *table) count() int {
-	n := 0
+	n := int64(0)
 	for i := range t.shards {
-		sh := &t.shards[i]
-		sh.mu.RLock()
-		n += len(sh.sessions)
-		sh.mu.RUnlock()
+		n += t.shards[i].n.Load()
 	}
-	return n
+	return int(n)
 }
 
-// countShard returns the number of sessions owned by shard i.
+// countShard returns the number of sessions owned by shard i, lock-free.
 func (t *table) countShard(i int) int {
-	sh := &t.shards[i]
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	return len(sh.sessions)
+	return int(t.shards[i].n.Load())
+}
+
+// oldestIdle returns the best admission-harvest victim: preferring parked
+// sessions over live ones, and among equals the one whose last observed
+// activity is oldest. The scan starts in the shard that will own the incoming
+// ID (so at capacity it touches one map of ~sessions/shards entries) and
+// walks the remaining shards only while coming up empty.
+func (t *table) oldestIdle(incoming uint32) *Session {
+	start := t.shardIndex(incoming)
+	for off := uint32(0); off <= t.mask; off++ {
+		sh := &t.shards[(start+off)&t.mask]
+		var best *Session
+		var bestParked bool
+		var bestSince int64
+		sh.mu.RLock()
+		for id, s := range sh.sessions {
+			if id == incoming {
+				continue
+			}
+			parked, since := s.parked.Load(), s.idleSince.Load()
+			switch {
+			case best == nil,
+				parked && !bestParked,
+				parked == bestParked && since < bestSince:
+				best, bestParked, bestSince = s, parked, since
+			}
+		}
+		sh.mu.RUnlock()
+		if best != nil {
+			return best
+		}
+	}
+	return nil
 }
 
 // snapshot returns every live session. Order is unspecified.
@@ -141,6 +180,7 @@ func (t *table) sweep() []*Session {
 			out = append(out, s)
 		}
 		sh.sessions = make(map[uint32]*Session)
+		sh.n.Store(0)
 		sh.mu.Unlock()
 	}
 	return out

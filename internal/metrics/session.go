@@ -44,10 +44,20 @@ type SessionStats struct {
 	// unicast (echo/forward) sessions and for plain fan-out without branches.
 	Receivers []ReceiverStats `json:"receivers,omitempty"`
 	// Chain is the canonical spec string of the session's trunk plan, the
-	// form accepted back by the recompose control operation.
+	// form accepted back by the recompose control operation. On a parked
+	// session it is the retained plan the chain will be rebuilt from.
 	Chain string `json:"chain,omitempty"`
-	// Stages is the per-stage view of the trunk plan, in chain order.
+	// Stages is the per-stage view of the trunk plan, in chain order. Empty
+	// while parked (there are no running instances to describe).
 	Stages []StageStats `json:"stages,omitempty"`
+	// Parked reports whether the session is currently parked: its chain and
+	// goroutines released after the idle TTL, ready to be rebuilt from the
+	// retained plan on the next datagram.
+	Parked bool `json:"parked,omitempty"`
+	// IdleForMs is how long ago the engine's maintenance tick last observed
+	// activity on the session, in milliseconds. 0 when idle harvesting is
+	// off.
+	IdleForMs int64 `json:"idle_for_ms,omitempty"`
 }
 
 // StageStats is the control-plane view of one stage of a composed chain: its
@@ -163,8 +173,21 @@ type AdaptStats struct {
 // EngineStats is an engine-level counter snapshot, aggregated across the
 // data plane's shards on demand.
 type EngineStats struct {
+	// ActiveSessions counts registered sessions: LiveSessions with running
+	// chains plus ParkedSessions idle-harvested down to their compact
+	// records. All three are O(1) gauge reads, never table walks.
 	ActiveSessions int    `json:"active_sessions"`
+	LiveSessions   int    `json:"live_sessions"`
+	ParkedSessions int    `json:"parked_sessions"`
 	TotalSessions  uint64 `json:"total_sessions"`
+	// Parks and Unparks count idle-session park/rebuild transitions;
+	// Harvested counts sessions evicted by the admission harvester to make
+	// room at MaxSessions; AdmissionDrops counts new sessions refused at
+	// capacity.
+	Parks          uint64 `json:"parks,omitempty"`
+	Unparks        uint64 `json:"unparks,omitempty"`
+	Harvested      uint64 `json:"harvested,omitempty"`
+	AdmissionDrops uint64 `json:"admission_drops,omitempty"`
 	Datagrams      uint64 `json:"datagrams"`
 	Malformed      uint64 `json:"malformed"`
 	Rejected       uint64 `json:"rejected"`
@@ -217,6 +240,14 @@ type ShardStats struct {
 	// readings.
 	RecvCalls uint64 `json:"recv_calls"`
 	SendCalls uint64 `json:"send_calls"`
+	// Parked gauges this shard's currently parked sessions (a subset of
+	// Sessions); Parks/Unparks/Harvested/AdmissionDrops count the park and
+	// admission lifecycle events attributed to this shard.
+	Parked         int    `json:"parked"`
+	Parks          uint64 `json:"parks,omitempty"`
+	Unparks        uint64 `json:"unparks,omitempty"`
+	Harvested      uint64 `json:"harvested,omitempty"`
+	AdmissionDrops uint64 `json:"admission_drops,omitempty"`
 }
 
 // Snapshot captures the counters for the session with the given ID.
