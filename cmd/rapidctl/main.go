@@ -315,17 +315,18 @@ func printStats(out *os.File, eng *metrics.EngineStats, shards []metrics.ShardSt
 	}
 	fmt.Fprintf(out, "writes %d in %d flushes (%.1f/flush)  write-drops %d\n",
 		eng.BatchedWrites, eng.WriteFlushes, perFlush, eng.WriteDrops)
+	fmt.Fprintf(out, "bypass-hits %d  coalesced-sends %d\n", eng.BypassHits, eng.CoalescedSends)
 	fmt.Fprintf(out, "syscalls %d (recv %d, send %d)  per-packet %s  batch-fill %s\n",
 		eng.RecvCalls+eng.SendCalls, eng.RecvCalls, eng.SendCalls,
 		perPacket(eng.Datagrams+eng.BatchedWrites, eng.RecvCalls+eng.SendCalls),
 		fillRatio(eng.Datagrams+eng.BatchedWrites, eng.RecvCalls+eng.SendCalls))
-	fmt.Fprintf(out, "%-5s %8s %6s %10s %9s %8s %8s %6s %7s %10s %10s %8s %7s %7s %6s %9s %10s\n",
-		"shard", "sessions", "parked", "datagrams", "malformed", "rejected", "feedback", "nacks", "rexmits", "chain-errs", "writes", "flushes", "wdrops", "harvest", "adrops", "syscalls", "batch-fill")
+	fmt.Fprintf(out, "%-5s %8s %6s %10s %9s %8s %8s %6s %7s %10s %10s %8s %7s %7s %6s %7s %7s %9s %10s\n",
+		"shard", "sessions", "parked", "datagrams", "malformed", "rejected", "feedback", "nacks", "rexmits", "chain-errs", "writes", "flushes", "wdrops", "harvest", "adrops", "bypass", "coalsc", "syscalls", "batch-fill")
 	for _, sh := range shards {
-		fmt.Fprintf(out, "%-5d %8d %6d %10d %9d %8d %8d %6d %7d %10d %10d %8d %7d %7d %6d %9d %10s\n",
+		fmt.Fprintf(out, "%-5d %8d %6d %10d %9d %8d %8d %6d %7d %10d %10d %8d %7d %7d %6d %7d %7d %9d %10s\n",
 			sh.Shard, sh.Sessions, sh.Parked, sh.Datagrams, sh.Malformed, sh.Rejected, sh.Feedback,
 			sh.Nacks, sh.Retransmits, sh.ChainErrors, sh.Writes, sh.Flushes, sh.WriteDrops,
-			sh.Harvested, sh.AdmissionDrops,
+			sh.Harvested, sh.AdmissionDrops, sh.BypassHits, sh.CoalescedSends,
 			sh.RecvCalls+sh.SendCalls, fillRatio(sh.Datagrams+sh.Writes, sh.RecvCalls+sh.SendCalls))
 	}
 }
@@ -396,15 +397,20 @@ func printSessions(out *os.File, stats []metrics.SessionStats) {
 	// output is deterministic and scripts can diff it.
 	stats = append([]metrics.SessionStats(nil), stats...)
 	sort.Slice(stats, func(i, j int) bool { return stats[i].ID < stats[j].ID })
-	adaptive := false
+	adaptive, cohorted := false, false
 	for _, s := range stats {
 		if s.Adapt != nil {
 			adaptive = true
-			break
+		}
+		if s.Cohorts > 0 {
+			cohorted = true
 		}
 	}
 	fmt.Fprintf(out, "%-10s %5s %6s %8s %10s %12s %10s %12s %8s %8s",
 		"session", "shard", "state", "idle", "pkts", "bytes", "out-pkts", "out-bytes", "repairs", "drops")
+	if cohorted {
+		fmt.Fprintf(out, " %7s", "cohorts")
+	}
 	if adaptive {
 		fmt.Fprintf(out, " %5s %6s %7s %8s %8s", "mech", "fec", "loss", "reports", "retunes")
 	}
@@ -420,6 +426,13 @@ func printSessions(out *os.File, stats []metrics.SessionStats) {
 		}
 		fmt.Fprintf(out, "%-10d %5d %6s %8s %10d %12d %10d %12d %8d %8d",
 			s.ID, s.Shard, state, idle, s.Packets, s.Bytes, s.OutPackets, s.OutBytes, s.Repairs, s.Drops)
+		if cohorted {
+			cohorts := "-"
+			if s.Cohorts > 0 {
+				cohorts = strconv.Itoa(s.Cohorts)
+			}
+			fmt.Fprintf(out, " %7s", cohorts)
+		}
 		if adaptive {
 			mech, fec, loss := "-", "-", "-"
 			var reports, retunes uint64

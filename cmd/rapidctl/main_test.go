@@ -155,6 +155,38 @@ func TestPrintSessionsAdaptColumns(t *testing.T) {
 	}
 }
 
+// TestPrintSessionsCohortColumn pins the cohorts column: it appears only when
+// some session reports delivery cohorts, counts them for fan-out sessions and
+// renders a dash for unicast ones.
+func TestPrintSessionsCohortColumn(t *testing.T) {
+	out := captureOutput(t, func(f *os.File) error {
+		printSessions(f, []metrics.SessionStats{
+			{ID: 1, Packets: 4},
+			{ID: 2, Packets: 9, Cohorts: 3},
+		})
+		return nil
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[0], "cohorts") {
+		t.Fatalf("header %q missing cohorts column", lines[0])
+	}
+	if !strings.HasSuffix(strings.TrimRight(lines[1], " "), "-") {
+		t.Fatalf("unicast row %q should render cohorts as -", lines[1])
+	}
+	if !strings.HasSuffix(strings.TrimRight(lines[2], " "), "3") {
+		t.Fatalf("fan-out row %q should render 3 cohorts", lines[2])
+	}
+
+	// Without any cohorted session the column stays out of the table.
+	out = captureOutput(t, func(f *os.File) error {
+		printSessions(f, []metrics.SessionStats{{ID: 1, Packets: 4}})
+		return nil
+	})
+	if strings.Contains(out, "cohorts") {
+		t.Fatalf("cohorts column printed for cohort-free sessions:\n%s", out)
+	}
+}
+
 // TestPrintSessionsParkedColumns pins the state/idle columns: a parked
 // session renders "parked" with its idle age, a live one renders "live", and
 // a session the engine has no idle clock for renders a dash.
@@ -551,11 +583,13 @@ func TestPrintStatsGolden(t *testing.T) {
 		Parks: 9, Unparks: 8, Harvested: 1, AdmissionDrops: 2,
 		BatchedWrites: 6400, WriteFlushes: 400, WriteDrops: 7,
 		RecvCalls: 200, SendCalls: 200,
+		BypassHits: 11, CoalescedSends: 12,
 	}
 	shards := []metrics.ShardStats{
 		{Shard: 0, Sessions: 2, Parked: 1, Datagrams: 3200, Malformed: 1, Rejected: 2,
 			Feedback: 3, Nacks: 4, Retransmits: 5, ChainErrors: 6,
 			Writes: 3200, Flushes: 200, WriteDrops: 7, Harvested: 1, AdmissionDrops: 2,
+			BypassHits: 11, CoalescedSends: 12,
 			RecvCalls: 100, SendCalls: 100},
 		{Shard: 1, Sessions: 1, Datagrams: 3200,
 			Writes: 3200, Flushes: 200, RecvCalls: 100, SendCalls: 100},
@@ -569,11 +603,12 @@ func TestPrintStatsGolden(t *testing.T) {
 datagrams 6400  malformed 1  rejected 2  feedback 3  nacks 4  retransmits 5  chain-errors 6
 parks 9  unparks 8  harvested 1  admission-drops 2
 writes 6400 in 400 flushes (16.0/flush)  write-drops 7
+bypass-hits 11  coalesced-sends 12
 syscalls 400 (recv 200, send 200)  per-packet 0.031  batch-fill 32.0
-shard sessions parked  datagrams malformed rejected feedback  nacks rexmits chain-errs     writes  flushes  wdrops harvest adrops  syscalls batch-fill
-0            2      1       3200         1        2        3      4       5          6       3200      200       7       1      2       200       32.0
-1            1      0       3200         0        0        0      0       0          0       3200      200       0       0      0       200       32.0
-2            0      0          0         0        0        0      0       0          0          0        0       0       0      0         0          -
+shard sessions parked  datagrams malformed rejected feedback  nacks rexmits chain-errs     writes  flushes  wdrops harvest adrops  bypass  coalsc  syscalls batch-fill
+0            2      1       3200         1        2        3      4       5          6       3200      200       7       1      2      11      12       200       32.0
+1            1      0       3200         0        0        0      0       0          0       3200      200       0       0      0       0       0       200       32.0
+2            0      0          0         0        0        0      0       0          0          0        0       0       0      0       0       0         0          -
 `
 	if out != want {
 		t.Fatalf("stats output drifted:\ngot:\n%s\nwant:\n%s", out, want)

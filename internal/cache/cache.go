@@ -63,6 +63,25 @@ func (c *LRU) Get(key string) ([]byte, bool) {
 	return append([]byte(nil), v...), true
 }
 
+// View invokes visit with the cached value in place — no copy — and marks the
+// entry recently used. The slice is only valid for the duration of the call
+// and must not be mutated or retained; callers that need the bytes afterwards
+// copy them into their own (typically pooled) storage. This is the
+// allocation-free read path the engine's replay priming drains.
+func (c *LRU) View(key string, visit func(value []byte)) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	visit(el.Value.(*entry).value)
+	return true
+}
+
 // Put stores a copy of value under key, evicting least-recently-used entries
 // as needed to stay within capacity.
 func (c *LRU) Put(key string, value []byte) error {

@@ -97,6 +97,26 @@ func (f *ReplayFilter) Frames() [][]byte {
 	return out
 }
 
+// VisitFrames invokes visit for each retained data frame in admission order
+// (oldest first), handing each frame's bytes in place under the filter's lock
+// — the allocation-free priming drain. visit must not retain or mutate the
+// frame past the call (copy into pooled storage instead). It returns the
+// number of frames visited and counts one priming drain when any were.
+func (f *ReplayFilter) VisitFrames(visit func(frame []byte)) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	visited := 0
+	for i := 0; i < f.count; i++ {
+		if f.lru.View(seqKey(f.seqs[(f.head+i)%f.n]), visit) {
+			visited++
+		}
+	}
+	if visited > 0 {
+		f.primes++
+	}
+	return visited
+}
+
 // Depth returns the configured retention depth n.
 func (f *ReplayFilter) Depth() int { return f.n }
 

@@ -69,6 +69,19 @@ func (p Plan) String() string {
 	return strings.Join(parts, ",")
 }
 
+// Key returns the plan's canonical identity string: two plans with equal
+// keys are interchangeable compositions (same stages, same canonical
+// arguments, same order). Unlike String it is never parsed back, so it uses
+// unprintable separators and is safe to extend with out-of-band identity
+// (the engine appends the repair mechanism to form cohort keys).
+func (p Plan) Key() string {
+	parts := make([]string, len(p.Stages))
+	for i, s := range p.Stages {
+		parts[i] = s.key()
+	}
+	return strings.Join(parts, "\x01")
+}
+
 // Len returns the number of stages (markers included).
 func (p Plan) Len() int { return len(p.Stages) }
 

@@ -23,8 +23,21 @@ type UDPSource struct {
 // frame is available and returns io.EOF to end the stream cleanly; the source
 // releases each Buf after copying it into the chain.
 func NewUDPSource(name string, recv func() (*packet.Buf, error)) *UDPSource {
+	return NewUDPSourceOffset(name, 0, recv)
+}
+
+// NewUDPSourceOffset is NewUDPSource for buffers carrying a fixed prefix that
+// is not part of the frame: only b.B[offset:] is written into the chain. The
+// engine's cohort tails are fed shared trunk buffers whose first bytes are
+// the trunk's session-ID stamp; the shared buffer is never re-sliced (sibling
+// cohorts read it concurrently), so the trim happens here at the stream
+// boundary. Buffers shorter than offset are skipped and released.
+func NewUDPSourceOffset(name string, offset int, recv func() (*packet.Buf, error)) *UDPSource {
 	if name == "" {
 		name = "udp-source"
+	}
+	if offset < 0 {
+		offset = 0
 	}
 	us := &UDPSource{}
 	us.Base = filter.New(name, func(_ io.Reader, w io.Writer) error {
@@ -36,7 +49,11 @@ func NewUDPSource(name string, recv func() (*packet.Buf, error)) *UDPSource {
 				}
 				return err
 			}
-			_, werr := w.Write(b.B)
+			if len(b.B) < offset {
+				b.Release()
+				continue
+			}
+			_, werr := w.Write(b.B[offset:])
 			b.Release()
 			if werr != nil {
 				return werr

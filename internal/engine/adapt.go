@@ -9,6 +9,7 @@ import (
 
 	"rapidware/internal/adapt"
 	"rapidware/internal/compose"
+	"rapidware/internal/fec"
 	"rapidware/internal/metrics"
 	"rapidware/internal/packet"
 	"rapidware/internal/raplet"
@@ -35,6 +36,12 @@ type sessionAdaptor struct {
 	// it when it sweeps (park.go), pushing the next opportunistic
 	// report-path sweep out past its own.
 	lastSweep atomic.Int64
+
+	// retuned counts every retune decision any of the session's responders
+	// ever made, including loops that have since been removed. It is bumped
+	// at the bus-dispatch choke point, so polling it (Session.AdaptRetunes)
+	// is one atomic load — no lock shared with the report path.
+	retuned atomic.Uint64
 
 	mu    sync.Mutex
 	loops map[string]*receiverLoop
@@ -64,12 +71,26 @@ func newSessionAdaptor(s *Session, cs *chainState, policy adapt.Policy) (*sessio
 		return nil, err
 	}
 	if !s.eng.branching {
-		if _, err := a.addLoop(trunkReceiver, cs.live); err != nil {
+		if _, err := a.addTrunkLoop(cs.live); err != nil {
 			a.bus.Stop()
 			return nil, err
 		}
 	}
 	return a, nil
+}
+
+// repairResponder is the loop-facing surface of a receiver's repair state
+// machine. Trunk loops use raplet.ChainFECResponder, which splices and
+// retunes an encoder on the receiver's private chain; fan-out member loops
+// use the engine's memberResponder, which moves the member between shared
+// delivery cohorts instead. The accessors feed stats.
+type repairResponder interface {
+	Handle(raplet.Event) error
+	Current() fec.Params
+	Mechanism() adapt.Mechanism
+	LastLoss() float64
+	Retunes() uint64
+	Active() bool
 }
 
 // sweepAll sweeps every loop's observer for receivers whose last report has
@@ -95,7 +116,7 @@ func (a *sessionAdaptor) sweepAll() {
 type receiverLoop struct {
 	key  string
 	obs  *raplet.WorstLossObserver
-	resp *raplet.ChainFECResponder
+	resp repairResponder
 	sub  raplet.ResponderFunc
 
 	mu         sync.Mutex
@@ -103,39 +124,62 @@ type receiverLoop struct {
 	lastReport packet.Report
 }
 
-// addLoop builds, subscribes and primes the loop for one receiver on the
-// given live chain; the responder splices its encoder at the plan's
+// addTrunkLoop builds, subscribes and primes the unicast session's loop on
+// the given live chain; the responder splices its encoder at the plan's
 // fec-adapt marker. Priming delivers a synchronous clean-link event so a
 // policy whose cleanest rung already demands FEC (always-on protection) has
 // its encoder spliced in before the chain carries its first packet; for
 // ordinary ladders it is a no-op. Synchronous is safe: the chain is not yet
-// receiving (the session is unregistered, or the branch is not yet published
-// to the tee) and the fresh observer has published nothing the dispatch
-// goroutine could race with.
-func (a *sessionAdaptor) addLoop(key string, live *compose.Live) (*receiverLoop, error) {
-	obsName := fmt.Sprintf("loss:%d:%s", a.s.id, key)
-	l := &receiverLoop{key: key, obs: raplet.NewWorstLossObserver(obsName, a.bus)}
-	if window := a.s.eng.cfg.ReportStaleness; window > 0 {
-		l.obs.SetStaleness(window, nil)
-	}
-	resp, err := raplet.NewChainFECResponder(fmt.Sprintf("adapt:%d:%s", a.s.id, key), live, a.policy, a.s.id)
+// receiving (the session is unregistered) and the fresh observer has
+// published nothing the dispatch goroutine could race with.
+func (a *sessionAdaptor) addTrunkLoop(live *compose.Live) (*receiverLoop, error) {
+	resp, err := raplet.NewChainFECResponder(fmt.Sprintf("adapt:%d:%s", a.s.id, trunkReceiver), live, a.policy, a.s.id)
 	if err != nil {
 		return nil, err
 	}
-	l.resp = resp
+	return a.addLoop(trunkReceiver, resp, true)
+}
+
+// addMemberLoop builds and subscribes the loop for one fan-out member. No
+// synchronous prime: the delivery tree already placed the member into the
+// cohort the policy's clean-link decision selects, and the responder's Handle
+// would re-enter the tree's lock.
+func (a *sessionAdaptor) addMemberLoop(key string, resp repairResponder) (*receiverLoop, error) {
+	return a.addLoop(key, resp, false)
+}
+
+// addLoop wires one receiver's observer → responder loop onto the session
+// bus. The subscriber filters by the observer's source name so sibling loops
+// never cross-trigger.
+func (a *sessionAdaptor) addLoop(key string, resp repairResponder, prime bool) (*receiverLoop, error) {
+	obsName := fmt.Sprintf("loss:%d:%s", a.s.id, key)
+	l := &receiverLoop{key: key, obs: raplet.NewWorstLossObserver(obsName, a.bus), resp: resp}
+	if window := a.s.eng.cfg.ReportStaleness; window > 0 {
+		l.obs.SetStaleness(window, nil)
+	}
+	handle := func(e raplet.Event) error {
+		before := resp.Retunes()
+		err := resp.Handle(e)
+		if d := resp.Retunes() - before; d != 0 {
+			a.retuned.Add(d)
+		}
+		return err
+	}
 	l.sub = raplet.ResponderFunc{
 		RName: obsName + ":responder",
 		Fn: func(e raplet.Event) error {
 			if e.Source != obsName {
 				return nil
 			}
-			return resp.Handle(e)
+			return handle(e)
 		},
 	}
 	a.bus.Subscribe(raplet.EventLossRate, l.sub)
-	if err := resp.Handle(raplet.Event{Type: raplet.EventLossRate, Source: obsName, Value: 0}); err != nil {
-		a.bus.Unsubscribe(raplet.EventLossRate, l.sub.Name())
-		return nil, err
+	if prime {
+		if err := handle(raplet.Event{Type: raplet.EventLossRate, Source: obsName, Value: 0}); err != nil {
+			a.bus.Unsubscribe(raplet.EventLossRate, l.sub.Name())
+			return nil, err
+		}
 	}
 	a.mu.Lock()
 	a.loops[key] = l
@@ -213,6 +257,13 @@ func (l *receiverLoop) fill(st *metrics.ReceiverStats) {
 	st.Retunes = l.resp.Retunes()
 	st.HighestSeq = last.HighestSeq
 	st.Mechanism = l.resp.Mechanism().String()
+}
+
+// retunes returns the monotonic count of retune decisions across the
+// session's lifetime: encoder splices on trunk loops, cohort moves on member
+// loops, including loops since removed. One atomic load, safe to busy-poll.
+func (a *sessionAdaptor) retunes() uint64 {
+	return a.retuned.Load()
 }
 
 // stop shuts the plane down, draining queued bus events. (The engine's

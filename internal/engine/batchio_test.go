@@ -178,6 +178,72 @@ func TestBatchedWriterPartialFailure(t *testing.T) {
 	}
 }
 
+// TestBatchedWriterCohortDropAccounting extends the partial-failure contract
+// to cohort fan-out: two clean receivers share one bypass cohort, so each
+// trunk frame is expanded in the writer into one datagram per member off a
+// shared payload buffer — and every send to one member fails. The surviving
+// member must receive every frame in order, and each lost datagram must be
+// charged exactly once to the poisoned member's branch counters, once to the
+// session, and once to the shard's write-drop counter — never to the member
+// that was delivered.
+func TestBatchedWriterCohortDropAccounting(t *testing.T) {
+	addrA := netip.MustParseAddrPort("10.3.0.1:4000")
+	addrB := netip.MustParseAddrPort("10.3.0.2:4000")
+	// Branch engages the per-receiver delivery plane (Fanout alone uses the
+	// legacy whole-group expansion); a marker-only branch plan with no loss
+	// reports keeps both members in the single bypass cohort.
+	e, sc := newScriptedEngine(t, Config{Branch: "fec-adapt", Fanout: []string{addrA.String(), addrB.String()}})
+	sc.poison = addrA
+	client := netip.MustParseAddrPort("10.3.0.9:4000")
+
+	const rounds = 10
+	for seq := uint64(0); seq < rounds; seq++ {
+		sc.in <- []scriptedDgram{{data: mustDatagram(t, 1, seq, []byte("fan")), from: client}}
+	}
+
+	waitFor(t, "fan-out to the healthy member", func() bool {
+		return len(sc.sentTo(addrB)) == rounds
+	})
+	if got := len(sc.sentTo(addrA)); got != 0 {
+		t.Fatalf("poisoned member received %d datagrams, want 0", got)
+	}
+	waitFor(t, "cohort write-drop accounting", func() bool {
+		return e.Stats().WriteDrops == rounds
+	})
+
+	s := e.Session(1)
+	if s == nil {
+		t.Fatal("session missing")
+	}
+	st := s.Stats()
+	if st.Drops != rounds {
+		t.Fatalf("session drops = %d, want %d", st.Drops, rounds)
+	}
+	if st.Cohorts != 1 {
+		t.Fatalf("session reports %d cohorts, want 1 (both members clean)", st.Cohorts)
+	}
+	for _, rs := range st.Receivers {
+		switch rs.Receiver {
+		case addrA.String():
+			if rs.Drops != rounds || rs.OutPackets != 0 {
+				t.Fatalf("poisoned member: %d drops, %d delivered — want %d, 0", rs.Drops, rs.OutPackets, rounds)
+			}
+		case addrB.String():
+			if rs.Drops != 0 || rs.OutPackets != rounds {
+				t.Fatalf("healthy member: %d drops, %d delivered — want 0, %d", rs.Drops, rs.OutPackets, rounds)
+			}
+		default:
+			t.Fatalf("unexpected receiver %s in stats", rs.Receiver)
+		}
+	}
+	// The healthy member's frames arrived whole and in trunk order.
+	for seq, d := range sc.sentTo(addrB) {
+		if got := binary.BigEndian.Uint64(d[packet.SessionIDSize+4:]); got != uint64(seq) {
+			t.Fatalf("member B datagram %d carries seq %d — order broken", seq, got)
+		}
+	}
+}
+
 // TestBatchSplitDemuxEquivalence is the framing property test: a stream of
 // session-ID-prefixed datagrams split arbitrarily across ReadBatch calls must
 // demux exactly like the single-datagram-per-read path, and each session's

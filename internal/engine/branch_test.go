@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"encoding/binary"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -321,4 +323,139 @@ func TestEngineBranchConfigValidation(t *testing.T) {
 	if e.FanoutGroup() == nil || !e.branching {
 		t.Fatal("Branch without Fanout did not set up the delivery tree")
 	}
+}
+
+// TestEngineCohortChurnNoLoss races cohort migration against live traffic:
+// one of two receivers oscillates its loss reports across the adaptation
+// threshold, so its membership ping-pongs between the shared bypass lane and
+// an FEC cohort while data keeps flowing. The handover contract being pinned:
+// migration may duplicate a frame already in flight (the fade window) but may
+// never lose one — every data sequence number reaches the churning receiver —
+// and its delivery counters stay exact: zero drops, and the datagrams counted
+// for the branch are exactly the datagrams its socket saw.
+func TestEngineCohortChurnNoLoss(t *testing.T) {
+	rxStable := listenReceiver(t)
+	rxChurn := listenReceiver(t)
+	e := newTestEngine(t, Config{
+		Adapt:  true,
+		Fanout: []string{rxStable.LocalAddr().String(), rxChurn.LocalAddr().String()},
+	})
+	c := dialEngine(t, e)
+	const id = 11
+
+	// Drain the stable receiver so its kernel queue can never back up.
+	go func() {
+		buf := make([]byte, packet.MaxDatagram)
+		for {
+			rxStable.SetReadDeadline(time.Now().Add(10 * time.Second))
+			if _, err := rxStable.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Record everything the churning receiver's socket sees: which data
+	// frames arrived (possibly more than once) and how many datagrams arrived
+	// in total, parity included. Frame identity rides in the payload, not the
+	// header sequence number — an FEC cohort re-sequences data into block
+	// coordinates, but payload bytes survive every repair mechanism.
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	socketFrames := uint64(0)
+	go func() {
+		buf := make([]byte, packet.MaxDatagram)
+		for {
+			rxChurn.SetReadDeadline(time.Now().Add(10 * time.Second))
+			n, err := rxChurn.Read(buf)
+			if err != nil {
+				return
+			}
+			_, frame, err := packet.SplitSessionID(buf[:n])
+			if err != nil {
+				continue
+			}
+			p, _, err := packet.Unmarshal(frame)
+			if err != nil {
+				continue
+			}
+			mu.Lock()
+			socketFrames++
+			if p.Kind == packet.KindData && len(p.Payload) >= 8 {
+				seen[binary.BigEndian.Uint64(p.Payload)] = true
+			}
+			mu.Unlock()
+		}
+	}()
+
+	stamp := func(seq uint64) []byte {
+		p := make([]byte, 8)
+		binary.BigEndian.PutUint64(p, seq)
+		return p
+	}
+	sendPacket(t, c, id, &packet.Packet{Seq: 0, Kind: packet.KindData, Payload: stamp(0)})
+	churnKey := rxChurn.LocalAddr().(*net.UDPAddr).AddrPort().String()
+	receiverStat(t, e, id, churnKey, "prime delivery", func(rs metrics.ReceiverStats) bool {
+		return rs.OutPackets >= 1
+	})
+
+	// Each round flips the churning receiver's report across the policy
+	// threshold and immediately pushes a burst of data, so the cohort move
+	// lands in the middle of live traffic.
+	const rounds, perRound = 8, 25
+	seq := uint64(1)
+	for r := 0; r < rounds; r++ {
+		rep := packet.Report{Received: 90, Lost: 10, Window: 100}
+		wantActive := true
+		if r%2 == 1 {
+			rep = packet.Report{Received: 100, Lost: 0, Window: 100}
+			wantActive = false
+		}
+		reportFrom(t, rxChurn, e, id, rep)
+		for i := 0; i < perRound; i++ {
+			sendPacket(t, c, id, &packet.Packet{Seq: seq, Kind: packet.KindData, Payload: stamp(seq)})
+			seq++
+			time.Sleep(200 * time.Microsecond)
+		}
+		receiverStat(t, e, id, churnKey, "cohort move", func(rs metrics.ReceiverStats) bool {
+			return rs.Active == wantActive
+		})
+	}
+	last := seq - 1
+
+	// No data frame may be lost across any of the migrations.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		missing := uint64(0)
+		mu.Lock()
+		for s := uint64(0); s <= last; s++ {
+			if !seen[s] {
+				missing++
+			}
+		}
+		mu.Unlock()
+		if missing == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			var miss []uint64
+			mu.Lock()
+			for s := uint64(0); s <= last; s++ {
+				if !seen[s] {
+					miss = append(miss, s)
+				}
+			}
+			mu.Unlock()
+			t.Fatalf("%d of %d data frames never reached the churning receiver: %v", missing, last+1, miss)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Counters stay exact through churn: nothing dropped, and the branch's
+	// send counter matches the socket's arrival count once traffic settles.
+	receiverStat(t, e, id, churnKey, "counter reconciliation", func(rs metrics.ReceiverStats) bool {
+		mu.Lock()
+		got := socketFrames
+		mu.Unlock()
+		return rs.Drops == 0 && rs.OutPackets == got
+	})
 }

@@ -10,17 +10,19 @@ import (
 )
 
 // Session-scoped composition: the control plane addresses a live session (and
-// optionally one of its delivery branches) and rewrites its chain while
-// traffic flows. Every operation resolves the target chain's compose.Live
-// and applies the rewrite under its splice lock, serialized with the
-// session's adaptation responder; the canonical plan string after the
-// rewrite is returned for display.
+// optionally one of its fan-out receivers) and rewrites its chain while
+// traffic flows. Trunk operations resolve the session's compose.Live and
+// apply the rewrite under its splice lock, serialized with the session's
+// adaptation responder. Receiver operations rewrite the member's tail *plan*
+// and reassign its delivery cohort — under cohort delivery a receiver's tail
+// is shared state, so a per-receiver rewrite is a membership move, never
+// surgery on a chain other receivers are using. The canonical plan string
+// after the rewrite is returned for display.
 
-// liveFor resolves the composed chain a control operation addresses: the
-// session's trunk when receiver is empty, otherwise the delivery branch
-// serving that receiver address. A parked session is unparked first — a
-// control operation is activity, and it needs a chain to act on.
-func (e *Engine) liveFor(id uint32, receiver string) (*compose.Live, compose.Mode, error) {
+// liveFor resolves the composed trunk chain a session-wide control operation
+// addresses. A parked session is unparked first — a control operation is
+// activity, and it needs a chain to act on.
+func (e *Engine) liveFor(id uint32) (*compose.Live, compose.Mode, error) {
 	s := e.table.lookup(id)
 	if s == nil {
 		return nil, compose.Mode{}, fmt.Errorf("%w: %d", ErrUnknownSession, id)
@@ -29,31 +31,47 @@ func (e *Engine) liveFor(id uint32, receiver string) (*compose.Live, compose.Mod
 	if err != nil {
 		return nil, compose.Mode{}, fmt.Errorf("engine: session %d: %w", id, err)
 	}
-	if receiver == "" {
-		return cs.live, e.trunkMode(), nil
+	return cs.live, e.trunkMode(), nil
+}
+
+// memberPlanOp applies a plan rewrite to one fan-out receiver's tail: resolve
+// the session and its delivery tree, canonicalize the receiver address, and
+// hand op to the tree, which validates the resulting plan and moves the
+// member to the cohort it now selects.
+func (e *Engine) memberPlanOp(id uint32, receiver string, op func(compose.Plan) (compose.Plan, error)) (string, error) {
+	s := e.table.lookup(id)
+	if s == nil {
+		return "", fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	cs, err := s.ensureLive()
+	if err != nil {
+		return "", fmt.Errorf("engine: session %d: %w", id, err)
 	}
 	if cs.tree == nil {
-		return nil, compose.Mode{}, fmt.Errorf("engine: session %d has no delivery branches", id)
+		return "", fmt.Errorf("engine: session %d has no delivery branches", id)
 	}
 	ap, err := netip.ParseAddrPort(receiver)
 	if err != nil {
-		return nil, compose.Mode{}, fmt.Errorf("engine: receiver %q: %w", receiver, err)
+		return "", fmt.Errorf("engine: receiver %q: %w", receiver, err)
 	}
-	br := cs.tree.branchFor(multicast.UnmapAddrPort(ap))
-	if br == nil {
-		return nil, compose.Mode{}, fmt.Errorf("engine: session %d has no branch for receiver %s", id, receiver)
-	}
-	return br.live, compose.ModeBranch, nil
+	s.ctlActivity.Add(1)
+	return cs.tree.rewriteMemberPlan(multicast.UnmapAddrPort(ap), op)
 }
 
 // RecomposeSession atomically rewrites a live session chain to the target
-// spec — the control plane's compose operation. Stages the current plan
-// already contains (same kind and argument) keep their running instances;
-// the rest are built fresh and the drop-outs stopped, in one splice that
-// never exposes a half-built chain to traffic. It returns the canonical plan
-// string after the rewrite.
+// spec — the control plane's compose operation. On the trunk, stages the
+// current plan already contains (same kind and argument) keep their running
+// instances; the rest are built fresh and the drop-outs stopped, in one
+// splice that never exposes a half-built chain to traffic. On a fan-out
+// receiver the rewrite retargets the member's tail plan and recohorts it. It
+// returns the canonical plan string after the rewrite.
 func (e *Engine) RecomposeSession(id uint32, receiver, target string) (string, error) {
-	live, mode, err := e.liveFor(id, receiver)
+	if receiver != "" {
+		return e.memberPlanOp(id, receiver, func(compose.Plan) (compose.Plan, error) {
+			return compose.ParseWith(e.reg, target, compose.ModeBranch)
+		})
+	}
+	live, mode, err := e.liveFor(id)
 	if err != nil {
 		return "", err
 	}
@@ -70,7 +88,16 @@ func (e *Engine) RecomposeSession(id uint32, receiver, target string) (string, e
 // InsertSessionStage splices one stage (spec syntax, e.g. "delay=5ms") into
 // a live session chain at the given plan position.
 func (e *Engine) InsertSessionStage(id uint32, receiver, stage string, pos int) (string, error) {
-	live, mode, err := e.liveFor(id, receiver)
+	if receiver != "" {
+		return e.memberPlanOp(id, receiver, func(p compose.Plan) (compose.Plan, error) {
+			st, err := parseOneStage(e.reg, stage, compose.ModeBranch)
+			if err != nil {
+				return compose.Plan{}, err
+			}
+			return p.WithInsert(pos, st)
+		})
+	}
+	live, mode, err := e.liveFor(id)
 	if err != nil {
 		return "", err
 	}
@@ -87,7 +114,18 @@ func (e *Engine) InsertSessionStage(id uint32, receiver, stage string, pos int) 
 // RemoveSessionStage removes a stage from a live session chain. sel is a
 // plan position or a stage kind (first match).
 func (e *Engine) RemoveSessionStage(id uint32, receiver, sel string) (string, error) {
-	live, _, err := e.liveFor(id, receiver)
+	if receiver != "" {
+		return e.memberPlanOp(id, receiver, func(p compose.Plan) (compose.Plan, error) {
+			pos, convErr := strconv.Atoi(sel)
+			if convErr != nil {
+				if pos = p.Index(sel); pos < 0 {
+					return compose.Plan{}, fmt.Errorf("engine: no %q stage in plan", sel)
+				}
+			}
+			return p.WithRemove(pos)
+		})
+	}
+	live, _, err := e.liveFor(id)
 	if err != nil {
 		return "", err
 	}
@@ -105,7 +143,12 @@ func (e *Engine) RemoveSessionStage(id uint32, receiver, sel string) (string, er
 // MoveSessionStage relocates a stage between plan positions of a live
 // session chain, preserving its running instance.
 func (e *Engine) MoveSessionStage(id uint32, receiver string, from, to int) (string, error) {
-	live, _, err := e.liveFor(id, receiver)
+	if receiver != "" {
+		return e.memberPlanOp(id, receiver, func(p compose.Plan) (compose.Plan, error) {
+			return p.WithMove(from, to)
+		})
+	}
+	live, _, err := e.liveFor(id)
 	if err != nil {
 		return "", err
 	}

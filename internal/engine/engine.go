@@ -47,8 +47,20 @@
 //
 // Fan-out sessions with adaptation (or a Branch spec) relay through a
 // delivery tree instead of a single chain: the shared trunk's output is teed
-// by reference into one short filter tail per receiver, each driven by that
-// receiver's own loss reports — see branch.go.
+// by reference into delivery *cohorts* — one shared tail per distinct
+// protection level, not one per receiver. Receivers whose tail plans and
+// decided repair mechanisms match share one chain traversal and one FEC
+// encode, fanned to all of them by the shard writer (same payload, N address
+// stamps); receivers needing no tail at all ride a bypass lane straight into
+// the writer's batch. Each receiver's own loss reports still drive its
+// protection level — a retune just moves the receiver between cohorts — so
+// per-station adaptation costs one chain per *level*, not per station.
+// Migration is exact: an in-band marker seals the old cohort at a sequence
+// number and a gate opens the new one at the same point, so no frame is
+// lost, duplicated or miscounted while a member moves. Cohort output is
+// flushed destination-major so the batched writer can fold one traversal's
+// fan-out into GSO super-datagrams; the BypassHits and CoalescedSends
+// counters (metrics.ShardStats) expose both fast paths. See branch.go.
 //
 // Reliability stages close two more loops on the read path. NACK datagrams
 // (packet.KindNack) are consumed like feedback — never entering a chain,
@@ -56,8 +68,8 @@
 // answered out of the session's ARQ retransmission history (an "arq" chain
 // stage, or the history an adaptation responder spliced in), unicast back to
 // the requester. And when a session's trunk carries a "replay=<n>" stage, a
-// station joining the fan-out group mid-stream has its fresh delivery branch
-// primed with the retained window before live traffic reaches it.
+// station joining the fan-out group mid-stream is primed with the retained
+// window — replayed directly to it, as recorded — when it is admitted.
 package engine
 
 import (
@@ -745,6 +757,8 @@ func (e *Engine) Stats() Stats {
 		st.WriteDrops += c.writeDrops.Load()
 		st.RecvCalls += c.recvCalls.Load()
 		st.SendCalls += c.sendCalls.Load()
+		st.BypassHits += c.bypassHits.Load()
+		st.CoalescedSends += c.coalesced.Load()
 		parked += c.parkedNow.Load()
 		st.Parks += c.parks.Load()
 		st.Unparks += c.unparks.Load()

@@ -412,6 +412,11 @@ func TestParkVsRecomposeRace(t *testing.T) {
 			if _, err := e.RecomposeSession(id, "", specs[i%len(specs)]); err == nil {
 				recomposed.Add(1)
 			}
+			// Yield like the parker does. Each recompose spawns and reaps
+			// filter goroutines; without a yield the recomposer and its
+			// children can hand a single P back and forth through runnext
+			// indefinitely, starving the timed traffic loop above.
+			runtime.Gosched()
 		}
 	}()
 	go func() { // echo drain

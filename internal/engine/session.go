@@ -143,14 +143,12 @@ func (e *Engine) buildChainState(s *Session, plan compose.Plan) (*chainState, er
 	cs.source = endpoint.NewUDPSource(fmt.Sprintf("udp-in:%d", s.id), func() (*packet.Buf, error) {
 		return s.recv(cs)
 	})
-	// On the delivery-tree path the trunk's output frames are teed into the
-	// branch tails, which re-frame with their own session-ID headroom; the
-	// trunk sink therefore reserves none, so b.B is exactly the shared frame.
-	headroom := packet.SessionIDSize
-	if e.branching {
-		headroom = 0
-	}
-	cs.sink = endpoint.NewUDPSink(fmt.Sprintf("udp-out:%d", s.id), headroom, func(b *packet.Buf) error {
+	// The trunk sink always reserves session-ID headroom: on the unicast path
+	// the frame is stamped and sent as-is, and on the delivery-tree path the
+	// tree stamps the same headroom once before teeing so the bypass lane can
+	// forward the shared buffer to the shard writer with no copy at all
+	// (cohort chains read past the stamp at a fixed offset).
+	cs.sink = endpoint.NewUDPSink(fmt.Sprintf("udp-out:%d", s.id), packet.SessionIDSize, func(b *packet.Buf) error {
 		return s.send(cs, b)
 	})
 	if err := cs.chain.Append(cs.source); err != nil {
@@ -254,6 +252,18 @@ func (s *Session) addRepairHook(fn func() uint64) {
 // Counters returns the session's counter block.
 func (s *Session) Counters() *metrics.SessionCounters { return &s.counters }
 
+// AdaptRetunes returns how many retune decisions the session's adaptation
+// plane has applied across all of its loops (encoder splices on unicast
+// trunks, cohort moves on fan-out members). Zero when the plane is off or the
+// session is parked. Cheap enough for benchmarks and tests to poll, unlike a
+// full Stats snapshot.
+func (s *Session) AdaptRetunes() uint64 {
+	if cs := s.cs.Load(); cs != nil && cs.adaptor != nil {
+		return cs.adaptor.retunes()
+	}
+	return 0
+}
+
 // activitySum folds every signal that counts as session activity into one
 // number the maintenance tick can compare against its last mark: inbound
 // packets (delivered or queue-dropped — a flooding sender is not idle) and
@@ -283,6 +293,7 @@ func (s *Session) Stats() metrics.SessionStats {
 		}
 		if cs.tree != nil {
 			st.Receivers = cs.tree.stats()
+			st.Cohorts = cs.tree.cohortCount()
 		}
 	} else {
 		st.Parked = true
@@ -385,11 +396,12 @@ func (s *Session) handleNack(from netip.AddrPort, frame []byte) {
 	var h retransmitter
 	if cs.tree != nil {
 		// Same reconcile-before-routing rule as reports: a silently joined
-		// member gets its branch before its first NACK is dropped.
+		// member gets its membership before its first NACK is dropped.
 		cs.tree.reconcile()
-		if br := cs.tree.branchFor(from); br != nil {
-			rx = &br.counters
-			h = historyFor(br.live)
+		var live *compose.Live
+		rx, live = cs.tree.memberRepair(from)
+		if live != nil {
+			h = historyFor(live)
 		}
 	}
 	if h == nil {
@@ -503,11 +515,11 @@ func (s *Session) recv(cs *chainState) (*packet.Buf, error) {
 	}
 }
 
-// send relays one chain-output frame. On the delivery-tree path the frame is
-// teed into every receiver branch by reference (the branches stamp IDs and
-// enqueue on the shard writer themselves); otherwise the sink reserved
-// SessionIDSize bytes of headroom, the session ID is stamped in place and the
-// whole buffer is one datagram for the owning shard's batched writer. Routing
+// send relays one chain-output frame. On the delivery-tree path the tree
+// stamps the session ID into the sink's reserved headroom once and tees the
+// frame into every delivery cohort by reference; otherwise the session ID is
+// stamped in place and the whole buffer is one datagram for the owning
+// shard's batched writer. Routing
 // every datagram of a session through one shard writer preserves per-session
 // output order; a full writer queue drops (UDP-style, counted) rather than
 // blocking the chain. send owns b until the enqueue.

@@ -57,18 +57,29 @@ type shardCounters struct {
 	unparks    atomic.Uint64
 	harvested  atomic.Uint64
 	admitDrops atomic.Uint64
+	// Delivery-cohort accounting: bypassHits counts trunk frames that took a
+	// bypass lane straight into the writer batch (no chain, no copy);
+	// coalesced counts cohort outbounds the writer expanded to two or more
+	// destinations — frames that traversed (and were encoded by) one shared
+	// chain instead of one per receiver.
+	bypassHits atomic.Uint64
+	coalesced  atomic.Uint64
 	_          [48]byte // pad so neighboring shards' counters don't false-share
 }
 
 // outbound is one datagram queued on a shard writer. dst is the resolved
 // unicast destination; fan selects the engine's fan-out group instead (the
-// plain multicast path — delivery-tree branches enqueue per-receiver unicast
-// datagrams with rx pointing at the branch's counter block).
+// plain multicast path); grp selects a delivery cohort, expanded to the
+// cohort's current membership — targets plus still-fading migrated members —
+// at flush time, so membership changes apply to queued datagrams too.
+// Per-receiver unicast datagrams (replay priming, NACK retransmissions) set
+// dst with rx pointing at the receiver's counter block.
 type outbound struct {
 	s   *Session
 	b   *packet.Buf
 	dst netip.AddrPort
 	rx  *metrics.ReceiverCounters
+	grp *cohort
 	fan bool
 }
 
@@ -98,6 +109,8 @@ type shard struct {
 	// allocates in steady state. Only the writer goroutine touches these.
 	wmsgs []ioMsg
 	wacct []wmeta
+	wseqs [batchSize]int64
+	whits [batchSize]int32
 }
 
 // stats snapshots this shard's counters.
@@ -123,6 +136,9 @@ func (sh *shard) stats() metrics.ShardStats {
 		Unparks:        sh.counters.unparks.Load(),
 		Harvested:      sh.counters.harvested.Load(),
 		AdmissionDrops: sh.counters.admitDrops.Load(),
+
+		BypassHits:     sh.counters.bypassHits.Load(),
+		CoalescedSends: sh.counters.coalesced.Load(),
 	}
 }
 
@@ -250,6 +266,20 @@ func (sh *shard) enqueue(o outbound) {
 		if o.rx != nil {
 			o.rx.Drops.Add(1)
 		}
+		if o.grp != nil {
+			// One lost cohort frame is one lost datagram per member. The
+			// frame still consumes its cohort sequence number so fade fences
+			// stay aligned with the frames that actually flush.
+			seq := o.grp.consumed.Add(1) - 1
+			v := o.grp.view.Load()
+			for i := range v.targets {
+				t := &v.targets[i]
+				if t.gate != nil && seq < t.gate.at.Load() {
+					continue // not this member's frame; see flush
+				}
+				t.rx.Drops.Add(1)
+			}
+		}
 		sh.counters.writeDrops.Add(1)
 		o.b.Release()
 	}
@@ -296,25 +326,80 @@ func (sh *shard) writeLoop() {
 // entries become one datagram per group member, sharing the payload buffer by
 // reference — sends it, and releases every buffer. flush owns the batch's
 // buffers.
+//
+// Consecutive frames bound for the same cohort expand destination-major: all
+// of member A's frames, then all of member B's, and so on. Per-destination
+// order is exactly queue order (all UDP promises), and runs of equal-size
+// datagrams to one address are what the batch conn's UDP GSO path folds into
+// single segmented sends — so a busy fan-out session pays per-burst, not
+// per-datagram, kernel cost at every destination.
 func (sh *shard) flush(batch []outbound) {
 	ms := sh.wmsgs[:0]
 	acct := sh.wacct[:0]
-	for i := range batch {
+	for i := 0; i < len(batch); {
 		o := &batch[i]
-		if !o.fan {
-			ms = append(ms, ioMsg{Buf: o.b.B, Addr: o.dst})
-			acct = append(acct, wmeta{s: o.s, rx: o.rx})
+		if o.grp == nil {
+			if !o.fan {
+				ms = append(ms, ioMsg{Buf: o.b.B, Addr: o.dst})
+				acct = append(acct, wmeta{s: o.s, rx: o.rx})
+				i++
+				continue
+			}
+			targets := o.s.eng.group.Snapshot()
+			if len(targets) == 0 {
+				o.s.counters.Drops.Add(1)
+				i++
+				continue
+			}
+			for _, dst := range targets {
+				ms = append(ms, ioMsg{Buf: o.b.B, Addr: dst})
+				acct = append(acct, wmeta{s: o.s})
+			}
+			i++
 			continue
 		}
-		targets := o.s.eng.group.Snapshot()
-		if len(targets) == 0 {
-			o.s.counters.Drops.Add(1)
-			continue
+		// Cohort fan-out: one payload buffer per frame, one address stamp per
+		// member, plus migrated members whose fade fence a frame's cohort
+		// sequence number still precedes (frames in flight at migration time
+		// reach them; newer frames — which their new cohort delivers — do
+		// not) and minus joined members whose start gate it hasn't reached
+		// (their old cohort still owes them those).
+		grp := o.grp
+		run := 0
+		for i+run < len(batch) && batch[i+run].grp == grp {
+			sh.wseqs[run] = grp.consumed.Add(1) - 1
+			sh.whits[run] = 0
+			run++
 		}
-		for _, dst := range targets {
-			ms = append(ms, ioMsg{Buf: o.b.B, Addr: dst})
-			acct = append(acct, wmeta{s: o.s})
+		v := grp.view.Load()
+		for j := range v.targets {
+			t := &v.targets[j]
+			for k := 0; k < run; k++ {
+				if t.gate != nil && sh.wseqs[k] < t.gate.at.Load() {
+					continue // joined after this frame; its old cohort delivers it
+				}
+				ms = append(ms, ioMsg{Buf: batch[i+k].b.B, Addr: t.dst})
+				acct = append(acct, wmeta{s: batch[i+k].s, rx: t.rx})
+				sh.whits[k]++
+			}
 		}
+		for _, f := range v.fades {
+			for k := 0; k < run; k++ {
+				if sh.wseqs[k] < f.expiresAt.Load() {
+					ms = append(ms, ioMsg{Buf: batch[i+k].b.B, Addr: f.dst})
+					acct = append(acct, wmeta{s: batch[i+k].s, rx: f.rx})
+					sh.whits[k]++
+				}
+			}
+		}
+		for k := 0; k < run; k++ {
+			if sh.whits[k] == 0 {
+				batch[i+k].s.counters.Drops.Add(1)
+			} else if sh.whits[k] >= 2 {
+				sh.counters.coalesced.Add(1)
+			}
+		}
+		i += run
 	}
 	sh.wmsgs, sh.wacct = ms, acct
 	sh.sendBatch(ms, acct)

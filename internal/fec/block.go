@@ -121,9 +121,13 @@ func (e *BlockEncoder) flushGroup() ([]*packet.Packet, error) {
 		e.staging[i] = b
 		e.sources[i] = b.B
 	}
+	// Parity payloads escape into the emitted packets, so they cannot come
+	// from the buffer pool — but one backing slab sliced n-k ways costs one
+	// allocation instead of n-k.
+	slab := make([]byte, (n-k)*shareSize)
 	parity := make([][]byte, n-k)
 	for i := range parity {
-		parity[i] = make([]byte, shareSize)
+		parity[i] = slab[i*shareSize : (i+1)*shareSize : (i+1)*shareSize]
 	}
 	err := e.coder.EncodeParityInto(e.sources, parity)
 	for i, b := range e.staging {
@@ -257,7 +261,7 @@ func (d *BlockDecoder) Add(p *packet.Packet) ([]*packet.Packet, error) {
 				padded[idx] = s
 			}
 		}
-		coder, err := NewCoder(g.params)
+		coder, err := CoderFor(g.params)
 		if err != nil {
 			return nil, err
 		}

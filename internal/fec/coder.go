@@ -13,6 +13,7 @@ package fec
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"rapidware/internal/gf256"
 )
@@ -90,6 +91,28 @@ func NewCoder(params Params) (*Coder, error) {
 
 // Params returns the coder's parameters.
 func (c *Coder) Params() Params { return c.params }
+
+// coderCache memoizes coders by their (comparable) parameters. A Coder is
+// immutable after construction, so one instance per (n,k) serves every
+// encoder, decoder and adaptation retune in the process — the generator
+// construction (Vandermonde build, k×k inversion, n×k multiply) is paid once
+// per code, not once per retune or per reconstructed group.
+var coderCache sync.Map // Params -> *Coder
+
+// CoderFor returns the process-wide shared coder for the given parameters,
+// building it on first use. The returned coder is safe for concurrent use and
+// must not be mutated.
+func CoderFor(params Params) (*Coder, error) {
+	if c, ok := coderCache.Load(params); ok {
+		return c.(*Coder), nil
+	}
+	c, err := NewCoder(params)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := coderCache.LoadOrStore(params, c)
+	return actual.(*Coder), nil
+}
 
 // validateSources checks that sources has exactly k non-empty, equally sized
 // shares and returns the common share size.

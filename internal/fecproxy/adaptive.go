@@ -56,7 +56,7 @@ func NewAdaptiveEncoderFilter(name string, policy AdaptivePolicy, streamID uint3
 		name = "adaptive-fec-encoder"
 	}
 	start := policy.Select(0)
-	coder, err := fec.NewCoder(start)
+	coder, err := fec.CoderFor(start)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +133,7 @@ func (af *AdaptiveEncoderFilter) maybeSwitchLocked() error {
 	if af.enc.Pending() != 0 {
 		return nil // mid-group: wait for the boundary
 	}
-	coder, err := fec.NewCoder(af.pending)
+	coder, err := fec.CoderFor(af.pending)
 	if err != nil {
 		return err
 	}

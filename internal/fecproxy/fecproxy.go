@@ -31,7 +31,7 @@ type EncoderFilter struct {
 // NewEncoderFilter returns an encoder filter using the given (n,k) code.
 // streamID is stamped on emitted packets.
 func NewEncoderFilter(name string, params fec.Params, streamID uint32) (*EncoderFilter, error) {
-	coder, err := fec.NewCoder(params)
+	coder, err := fec.CoderFor(params)
 	if err != nil {
 		return nil, err
 	}
@@ -42,8 +42,21 @@ func NewEncoderFilter(name string, params fec.Params, streamID uint32) (*Encoder
 	ef.Base = filter.NewPacketFunc(name,
 		func(p *packet.Packet) ([]*packet.Packet, error) {
 			// Parity and control packets pass through untouched; only data
-			// packets are (re)grouped into FEC blocks.
+			// packets are (re)grouped into FEC blocks. Control packets act as
+			// group barriers: a partially filled group is flushed (without
+			// parity) ahead of them, so an in-band marker never overtakes data
+			// the encoder was still holding — stream position stays meaningful
+			// across the filter.
 			if p.Kind != packet.KindData {
+				if p.Kind == packet.KindControl {
+					ef.mu.Lock()
+					out := ef.enc.Flush()
+					ef.dataOut += uint64(len(out))
+					ef.mu.Unlock()
+					if len(out) > 0 {
+						return append(out, p), nil
+					}
+				}
 				return []*packet.Packet{p}, nil
 			}
 			ef.mu.Lock()

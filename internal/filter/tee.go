@@ -1,6 +1,7 @@
 package filter
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -19,12 +20,17 @@ type BufSink func(*packet.Buf)
 // trunk chain terminates in a Tee whose taps are the per-receiver branch
 // tails.
 //
-// Dispatch is wait-free with respect to SetTaps (one atomic pointer load), so
-// the trunk's hot path never takes a lock; SetTaps is for the control path
-// (membership reconciliation) and may be called concurrently with Dispatch.
+// Dispatch is wait-free with respect to SetTaps (one atomic pointer load plus
+// two atomic in-flight marks), so the trunk's hot path never takes a lock;
+// SetTaps is for the control path (membership reconciliation) and may be
+// called concurrently with Dispatch. Swap additionally lets the control path
+// run a critical section that is ordered after every Dispatch that saw the
+// old tap set — the hook delivery cohorts use to cut handover fences that are
+// exact in the frame stream.
 type Tee struct {
 	mu   sync.Mutex
 	taps atomic.Pointer[[]BufSink]
+	busy atomic.Int64
 }
 
 // NewTee returns a tee with no taps; Dispatch releases every buffer until
@@ -34,13 +40,31 @@ func NewTee() *Tee { return &Tee{} }
 // SetTaps replaces the tap set. The slice is published as-is and must not be
 // mutated by the caller afterwards. nil (or empty) detaches every tap.
 func (t *Tee) SetTaps(taps []BufSink) {
+	t.Swap(taps, nil)
+}
+
+// Swap replaces the tap set, waits until no Dispatch that could have loaded
+// the old set is still in flight, then runs fn (which may be nil). When fn
+// runs, every buffer dispatched through the old taps has been fully handed to
+// them, and every later Dispatch will use the new taps — so fn observes an
+// exact cut in the dispatch stream. fn must not call Dispatch (it would
+// deadlock behind its own barrier) and should be brief: the barrier only
+// spin-yields for the tail of at most one in-flight Dispatch, but fn itself
+// runs with the tee's control mutex held.
+func (t *Tee) Swap(taps []BufSink, fn func()) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(taps) == 0 {
 		t.taps.Store(nil)
-		return
+	} else {
+		t.taps.Store(&taps)
 	}
-	t.taps.Store(&taps)
+	for t.busy.Load() != 0 {
+		runtime.Gosched()
+	}
+	if fn != nil {
+		fn()
+	}
 }
 
 // Len returns the current number of taps.
@@ -57,6 +81,8 @@ func (t *Tee) Len() int {
 // buffer is released, with n taps each receives the same buffer holding one
 // of n references. It returns how many taps received the buffer.
 func (t *Tee) Dispatch(b *packet.Buf) int {
+	t.busy.Add(1)
+	defer t.busy.Add(-1)
 	p := t.taps.Load()
 	if p == nil {
 		b.Release()

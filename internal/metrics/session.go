@@ -40,9 +40,14 @@ type SessionStats struct {
 	// Receivers.
 	Adapt *AdaptStats `json:"adapt,omitempty"`
 	// Receivers is the per-receiver breakdown of a fan-out session's delivery
-	// tree: one entry per branch, ordered by receiver address. Empty for
+	// tree: one entry per member, ordered by receiver address. Empty for
 	// unicast (echo/forward) sessions and for plain fan-out without branches.
 	Receivers []ReceiverStats `json:"receivers,omitempty"`
+	// Cohorts counts the session's distinct delivery cohorts: groups of
+	// receivers at the same protection level sharing one branch chain and one
+	// encode. len(Receivers) receivers served by 1 cohort is the homogeneous
+	// ideal; one cohort per receiver is full heterogeneity.
+	Cohorts int `json:"cohorts,omitempty"`
 	// Chain is the canonical spec string of the session's trunk plan, the
 	// form accepted back by the recompose control operation. On a parked
 	// session it is the retained plan the chain will be rebuilt from.
@@ -214,6 +219,11 @@ type EngineStats struct {
 	// is the syscalls-per-packet figure the batching exists to shrink.
 	RecvCalls uint64 `json:"recv_calls"`
 	SendCalls uint64 `json:"send_calls"`
+	// BypassHits counts trunk frames delivered through a cohort bypass lane
+	// (no chain, no copy); CoalescedSends counts cohort frames the writers
+	// fanned to two or more receivers off one shared chain traversal.
+	BypassHits     uint64 `json:"bypass_hits,omitempty"`
+	CoalescedSends uint64 `json:"coalesced_sends,omitempty"`
 }
 
 // ShardStats is the counter snapshot of one engine data-plane shard.
@@ -248,6 +258,10 @@ type ShardStats struct {
 	Unparks        uint64 `json:"unparks,omitempty"`
 	Harvested      uint64 `json:"harvested,omitempty"`
 	AdmissionDrops uint64 `json:"admission_drops,omitempty"`
+	// BypassHits and CoalescedSends are this shard's delivery-cohort
+	// accounting; see EngineStats.
+	BypassHits     uint64 `json:"bypass_hits,omitempty"`
+	CoalescedSends uint64 `json:"coalesced_sends,omitempty"`
 }
 
 // Snapshot captures the counters for the session with the given ID.
