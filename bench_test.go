@@ -360,15 +360,18 @@ func BenchmarkEngineFanoutBranches(b *testing.B) {
 			}
 
 			// Drain every receiver but the first (clean) one concurrently —
-			// in batches, so 63 drain goroutines on a small host don't serve
-			// one syscall per datagram while the timed loop runs. The bench
-			// datagrams are a few hundred bytes, so modest buffers suffice.
+			// in batches with GRO, so 63 drain goroutines on a small host
+			// don't serve one syscall per datagram while the timed loop runs.
+			// With the engine sending GSO super-datagrams and the drains
+			// opted into GRO, a whole run of same-size frames crosses
+			// loopback unsegmented and lands in one slot, so the buffers are
+			// sized for coalesced (64 KiB) delivery.
 			for _, rx := range rxs[1:] {
 				go func(rx *net.UDPConn) {
-					br := netbatch.New(rx, netbatch.Options{})
+					br := netbatch.New(rx, netbatch.Options{GRO: true})
 					bufs := make([][]byte, netbatch.BatchSize)
 					for i := range bufs {
-						bufs[i] = make([]byte, 2048)
+						bufs[i] = make([]byte, 64<<10)
 					}
 					ms := make([]netbatch.Msg, netbatch.BatchSize)
 					for {
@@ -389,7 +392,10 @@ func BenchmarkEngineFanoutBranches(b *testing.B) {
 			// back at the first (clean, bypass-lane) receiver; a timed-out
 			// window is re-primed and the iteration still counts, since UDP
 			// loss under overload must not wedge the benchmark.
-			rx0 := netbatch.New(rxs[0], netbatch.Options{})
+			// The counting receiver opts into GRO as well: one slot may then
+			// hold a coalesced run of frames, each Seg bytes long, and counts
+			// for that many ops.
+			rx0 := netbatch.New(rxs[0], netbatch.Options{GRO: true})
 			rbufs := make([][]byte, netbatch.BatchSize)
 			for i := range rbufs {
 				rbufs[i] = make([]byte, packet.MaxDatagram)
@@ -423,8 +429,16 @@ func BenchmarkEngineFanoutBranches(b *testing.B) {
 					inflight = 0
 					continue
 				}
-				inflight -= n
-				banked = n - 1
+				got := 0
+				for j := 0; j < n; j++ {
+					if rmsgs[j].Seg > 0 {
+						got += (rmsgs[j].N + rmsgs[j].Seg - 1) / rmsgs[j].Seg
+					} else {
+						got++
+					}
+				}
+				inflight -= got
+				banked = got - 1
 			}
 		})
 	}

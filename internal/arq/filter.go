@@ -49,27 +49,21 @@ func NewSenderFilter(name string, historyLimit int) *SenderFilter {
 	return f
 }
 
-// Retransmit looks seq up in the history and, when present, marshals the
-// frame and hands it to emit. It reports whether the packet was still
-// buffered. emit is called without the filter's lock held.
-func (f *SenderFilter) Retransmit(seq uint64, emit func(frame []byte)) bool {
+// Lookup returns the buffered packet for seq, or nil when the history no
+// longer (or never) held it. Ring entries are replaced, never mutated, so the
+// returned packet is safe to read without the filter's lock; callers marshal
+// it themselves, which lets the repair path serialize straight into a pooled
+// wire buffer instead of paying a fresh frame allocation per retransmission.
+func (f *SenderFilter) Lookup(seq uint64) *packet.Packet {
 	f.mu.Lock()
+	defer f.mu.Unlock()
 	p := f.ring[seq%uint64(len(f.ring))]
 	if p == nil || p.Seq != seq {
 		f.misses++
-		f.mu.Unlock()
-		return false
+		return nil
 	}
 	f.served++
-	f.mu.Unlock()
-	// Ring entries are replaced, never mutated, so marshaling outside the
-	// lock is safe.
-	frame, err := packet.Marshal(p)
-	if err != nil {
-		return false
-	}
-	emit(frame)
-	return true
+	return p
 }
 
 // HistoryLimit returns the ring depth.

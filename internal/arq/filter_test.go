@@ -67,18 +67,21 @@ func TestSenderFilterRecordsAndRetransmits(t *testing.T) {
 		t.Fatalf("forwarded %d packets, want %d", len(out), len(in))
 	}
 
-	var frames [][]byte
-	emit := func(frame []byte) { frames = append(frames, append([]byte(nil), frame...)) }
-	if !f.Retransmit(3, emit) {
-		t.Fatal("Retransmit(3) = false, want buffered")
+	p := f.Lookup(3)
+	if p == nil {
+		t.Fatal("Lookup(3) = nil, want buffered")
 	}
-	p, _, err := packet.Unmarshal(frames[0])
-	if err != nil || p.Seq != 3 || p.Kind != packet.KindData {
-		t.Fatalf("retransmitted frame = %+v, %v", p, err)
+	frame, err := packet.Marshal(p)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	rt, _, err := packet.Unmarshal(frame)
+	if err != nil || rt.Seq != 3 || rt.Kind != packet.KindData {
+		t.Fatalf("retransmitted frame = %+v, %v", rt, err)
 	}
 	// The parity frame's sequence number was never admitted.
-	if f.Retransmit(99, emit) {
-		t.Fatal("Retransmit(99) = true for a non-data sequence")
+	if f.Lookup(99) != nil {
+		t.Fatal("Lookup(99) != nil for a non-data sequence")
 	}
 	if tracked, served, misses := f.Stats(); tracked != 5 || served != 1 || misses != 1 {
 		t.Fatalf("Stats = (%d, %d, %d), want (5, 1, 1)", tracked, served, misses)
@@ -92,16 +95,15 @@ func TestSenderFilterRingEviction(t *testing.T) {
 		in = append(in, &packet.Packet{Seq: seq, Kind: packet.KindData, Payload: []byte{byte(seq)}})
 	}
 	runPackets(t, f, in)
-	emit := func([]byte) {}
 	// Seqs 0..5 were overwritten by 6..9 in the 4-deep ring.
 	for seq := uint64(0); seq < 6; seq++ {
-		if f.Retransmit(seq, emit) {
-			t.Fatalf("Retransmit(%d) = true after eviction", seq)
+		if f.Lookup(seq) != nil {
+			t.Fatalf("Lookup(%d) != nil after eviction", seq)
 		}
 	}
 	for seq := uint64(6); seq < 10; seq++ {
-		if !f.Retransmit(seq, emit) {
-			t.Fatalf("Retransmit(%d) = false, want buffered", seq)
+		if f.Lookup(seq) == nil {
+			t.Fatalf("Lookup(%d) = nil, want buffered", seq)
 		}
 	}
 }

@@ -352,7 +352,9 @@ func (s *Session) handleFeedback(from netip.AddrPort, frame []byte) {
 // implements it; the lookup is structural so a future stage kind (or a custom
 // registry's) can serve NACKs without touching the engine.
 type retransmitter interface {
-	Retransmit(seq uint64, emit func(frame []byte)) bool
+	// Lookup returns the buffered packet for seq (nil when evicted or never
+	// sent). The returned packet must be treated as read-only.
+	Lookup(seq uint64) *packet.Packet
 }
 
 // historyFor resolves the retransmission history a NACK against the given
@@ -410,16 +412,23 @@ func (s *Session) handleNack(from netip.AddrPort, frame []byte) {
 	if h == nil {
 		return
 	}
-	emit := func(frame []byte) {
-		b := packet.GetBuf(packet.SessionIDSize + len(frame))
-		packet.PutSessionID(b.B, s.id)
-		copy(b.B[packet.SessionIDSize:], frame)
-		s.shard.enqueue(outbound{s: s, b: b, dst: from, rx: rx})
-	}
 	for _, seq := range seqs {
-		if h.Retransmit(seq, emit) {
-			s.shard.counters.retransmits.Add(1)
+		p := h.Lookup(seq)
+		if p == nil {
+			continue
 		}
+		// Serialize the stored packet straight into a pooled wire buffer:
+		// session prefix first, then the frame appended in place.
+		b := packet.GetBuf(packet.SessionIDSize + packet.HeaderSize + len(p.Payload))
+		packet.PutSessionID(b.B, s.id)
+		dgram, err := packet.AppendFrame(b.B[:packet.SessionIDSize], p)
+		if err != nil {
+			b.Release()
+			continue
+		}
+		b.B = dgram
+		s.shard.enqueue(outbound{s: s, b: b, dst: from, rx: rx})
+		s.shard.counters.retransmits.Add(1)
 	}
 }
 

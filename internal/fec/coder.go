@@ -8,6 +8,15 @@
 // single parity share can repair independent single losses at different
 // receivers — the property that makes the scheme attractive for wireless
 // multicast in the paper.
+//
+// Parity generation is one-pass and source-major: each Coder precompiles its
+// parity rows into a gf256.EncodePlan, so EncodeParityInto walks every source
+// share exactly once, scattering into all parity shares in cache-sized tiles
+// through the SIMD kernel hierarchy (see the gf256 package doc), instead of
+// re-reading the sources once per parity row. Encode and the decode-side
+// matrix inversion are allocation-free at steady state (scratch matrices are
+// pooled), which is what keeps the proxy's FEC chains off the garbage
+// collector.
 package fec
 
 import (
@@ -62,6 +71,10 @@ type Coder struct {
 	params Params
 	// enc is the n×k generator matrix whose top k×k block is the identity.
 	enc *gf256.Matrix
+	// plan is the precomputed source-major encode plan over the parity rows
+	// of enc: per-cell nibble tables resolved once at construction so the
+	// encode hot loop never touches the multiplication tables by value.
+	plan *gf256.EncodePlan
 }
 
 // NewCoder builds a coder for the given parameters.
@@ -86,7 +99,11 @@ func NewCoder(params Params) (*Coder, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fec: generator construction failed: %w", err)
 	}
-	return &Coder{params: params, enc: enc}, nil
+	parityRows := make([][]byte, n-k)
+	for i := range parityRows {
+		parityRows[i] = enc.Row(k + i)
+	}
+	return &Coder{params: params, enc: enc, plan: gf256.NewEncodePlan(parityRows)}, nil
 }
 
 // Params returns the coder's parameters.
@@ -178,8 +195,12 @@ func (c *Coder) EncodeParity(sources [][]byte) ([][]byte, error) {
 // slices, the allocation-free encode path: parity must hold exactly
 // Params().Parity() slices, each the same length as the sources. Existing
 // parity contents are overwritten.
+//
+// The multiply is source-major: the precomputed plan walks the generator's
+// parity block column by column in cache-sized tiles, loading each source
+// chunk once and scattering it into every parity row while it is hot, instead
+// of re-streaming all k sources per parity row.
 func (c *Coder) EncodeParityInto(sources, parity [][]byte) error {
-	k := c.params.K
 	size, err := c.validateSources(sources)
 	if err != nil {
 		return err
@@ -191,12 +212,8 @@ func (c *Coder) EncodeParityInto(sources, parity [][]byte) error {
 		if len(out) != size {
 			return fmt.Errorf("%w: parity %d has %d bytes, want %d", ErrShareSize, i, len(out), size)
 		}
-		clear(out)
-		row := c.enc.Row(k + i)
-		for col := 0; col < k; col++ {
-			gf256.AddMulSlice(row[col], sources[col], out)
-		}
 	}
+	c.plan.Encode(sources, parity)
 	return nil
 }
 
@@ -248,19 +265,30 @@ func (c *Coder) Decode(have map[int][]byte) ([][]byte, error) {
 		return out, nil
 	}
 	// General path: invert the k×k submatrix of the generator corresponding
-	// to the chosen shares, then multiply it into the received shares.
-	sub := c.enc.SelectRows(chosen)
-	inv, err := sub.Invert()
-	if err != nil {
+	// to the chosen shares, then multiply it into the received shares. Both
+	// matrix temporaries come from the gf256 scratch pool so repeated
+	// reconstructions under loss churn allocate only the returned shares.
+	sub := gf256.GetMatrix(k, k)
+	defer gf256.PutMatrix(sub)
+	if err := c.enc.SelectRowsInto(chosen, sub); err != nil {
+		return nil, fmt.Errorf("fec: decode matrix selection failed: %w", err)
+	}
+	inv := gf256.GetMatrix(k, k)
+	defer gf256.PutMatrix(inv)
+	if err := sub.InvertInto(inv); err != nil {
 		return nil, fmt.Errorf("fec: decode matrix singular: %w", err)
 	}
+	// Source-major multiply, mirroring the encode side: stream each received
+	// share once through a column of inverse coefficients into all k outputs.
 	for i := 0; i < k; i++ {
-		recovered := make([]byte, size)
-		row := inv.Row(i)
-		for j, idx := range chosen {
-			gf256.MulAddSlice(row[j], have[idx], recovered)
+		out[i] = make([]byte, size)
+	}
+	var coefs [MaxShares]byte
+	for j, idx := range chosen {
+		for i := 0; i < k; i++ {
+			coefs[i] = inv.At(i, j)
 		}
-		out[i] = recovered
+		gf256.AddMulSliceN(coefs[:k], have[idx], out)
 	}
 	return out, nil
 }

@@ -1,0 +1,44 @@
+package fec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkFECEncodeParity measures the one-pass source-major parity encode
+// for the two group shapes the proxy actually runs — the paper-style (12,8)
+// and the deeper (24,16) — at a small-audio share (256B) and a full MTU frame
+// (1400B). It is part of the CI-tracked benchmark set (see BENCH_engine.json);
+// bytes/op counts source bytes consumed, so throughput reads as source
+// goodput, not parity volume.
+func BenchmarkFECEncodeParity(b *testing.B) {
+	for _, p := range []Params{{K: 8, N: 12}, {K: 16, N: 24}} {
+		for _, size := range []int{256, 1400} {
+			b.Run(fmt.Sprintf("n%d-k%d-%dB", p.N, p.K, size), func(b *testing.B) {
+				coder, err := NewCoder(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(1))
+				sources := make([][]byte, p.K)
+				for i := range sources {
+					sources[i] = make([]byte, size)
+					rng.Read(sources[i])
+				}
+				parity := make([][]byte, p.N-p.K)
+				for i := range parity {
+					parity[i] = make([]byte, size)
+				}
+				b.SetBytes(int64(p.K * size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := coder.EncodeParityInto(sources, parity); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -8,7 +8,9 @@ package fecproxy
 
 import (
 	"fmt"
+	"io"
 	"sync"
+	"sync/atomic"
 
 	"rapidware/internal/fec"
 	"rapidware/internal/filter"
@@ -18,14 +20,19 @@ import (
 
 // EncoderFilter groups incoming data packets into FEC blocks and emits the
 // data plus parity packets, the "FEC Encoder" stage of Figure 6.
+//
+// The processing loop never materializes decoded packets: frames are read
+// into pooled buffers, grouped as raw frames, re-stamped in place, and the
+// parity frames are encoded directly into pooled buffers (see
+// fec.FrameEncoder) — the steady-state data path performs no heap
+// allocations.
 type EncoderFilter struct {
 	*filter.Base
 
-	mu      sync.Mutex
-	enc     *fec.BlockEncoder
-	dataIn  uint64
-	dataOut uint64
-	parity  uint64
+	params  fec.Params
+	dataIn  atomic.Uint64
+	dataOut atomic.Uint64
+	parity  atomic.Uint64
 }
 
 // NewEncoderFilter returns an encoder filter using the given (n,k) code.
@@ -38,66 +45,78 @@ func NewEncoderFilter(name string, params fec.Params, streamID uint32) (*Encoder
 	if name == "" {
 		name = "fec-encoder" + params.String()
 	}
-	ef := &EncoderFilter{enc: fec.NewBlockEncoder(coder, streamID)}
-	ef.Base = filter.NewPacketFunc(name,
-		func(p *packet.Packet) ([]*packet.Packet, error) {
+	ef := &EncoderFilter{params: params}
+	k, n := params.K, params.N
+	ef.Base = filter.New(name, func(r io.Reader, w io.Writer) error {
+		enc := fec.NewFrameEncoder(coder, streamID)
+		defer enc.Discard()
+		pr := packet.NewReader(r)
+		// Each emitted frame is one Write call, so downstream pause/reconnect
+		// operations always happen on frame boundaries.
+		emit := func(frame []byte) error {
+			_, err := w.Write(frame)
+			return err
+		}
+		flush := func() error {
+			held := uint64(enc.Pending())
+			if err := enc.Flush(emit); err != nil {
+				return err
+			}
+			ef.dataOut.Add(held)
+			return nil
+		}
+		for {
+			b, err := pr.ReadFrameBuf(0)
+			if err != nil {
+				if err == io.EOF {
+					return flush()
+				}
+				return err
+			}
 			// Parity and control packets pass through untouched; only data
 			// packets are (re)grouped into FEC blocks. Control packets act as
 			// group barriers: a partially filled group is flushed (without
-			// parity) ahead of them, so an in-band marker never overtakes data
-			// the encoder was still holding — stream position stays meaningful
-			// across the filter.
-			if p.Kind != packet.KindData {
-				if p.Kind == packet.KindControl {
-					ef.mu.Lock()
-					out := ef.enc.Flush()
-					ef.dataOut += uint64(len(out))
-					ef.mu.Unlock()
-					if len(out) > 0 {
-						return append(out, p), nil
+			// parity) ahead of them, so an in-band marker never overtakes
+			// data the encoder was still holding — stream position stays
+			// meaningful across the filter.
+			if kind := packet.FrameKind(b.B); kind != packet.KindData {
+				if kind == packet.KindControl {
+					if err := flush(); err != nil {
+						b.Release()
+						return err
 					}
 				}
-				return []*packet.Packet{p}, nil
-			}
-			ef.mu.Lock()
-			defer ef.mu.Unlock()
-			ef.dataIn++
-			out, err := ef.enc.Add(p.Payload)
-			if err != nil {
-				return nil, fmt.Errorf("fecproxy: encode: %w", err)
-			}
-			for _, op := range out {
-				if op.Kind == packet.KindParity {
-					ef.parity++
-				} else {
-					ef.dataOut++
+				err := emit(b.B)
+				b.Release()
+				if err != nil {
+					return err
 				}
+				continue
 			}
-			return out, nil
-		},
-		func() []*packet.Packet {
-			ef.mu.Lock()
-			defer ef.mu.Unlock()
-			out := ef.enc.Flush()
-			ef.dataOut += uint64(len(out))
-			return out
-		})
+			ef.dataIn.Add(1)
+			full, err := enc.Add(b)
+			if err != nil {
+				return fmt.Errorf("fecproxy: encode: %w", err)
+			}
+			if full {
+				if err := enc.Encode(emit); err != nil {
+					return fmt.Errorf("fecproxy: encode: %w", err)
+				}
+				ef.dataOut.Add(uint64(k))
+				ef.parity.Add(uint64(n - k))
+			}
+		}
+	})
 	return ef, nil
 }
 
 // Params returns the encoder's code parameters.
-func (ef *EncoderFilter) Params() fec.Params {
-	ef.mu.Lock()
-	defer ef.mu.Unlock()
-	return ef.enc.Params()
-}
+func (ef *EncoderFilter) Params() fec.Params { return ef.params }
 
 // Stats returns the number of data packets consumed, data packets emitted and
 // parity packets emitted.
 func (ef *EncoderFilter) Stats() (dataIn, dataOut, parity uint64) {
-	ef.mu.Lock()
-	defer ef.mu.Unlock()
-	return ef.dataIn, ef.dataOut, ef.parity
+	return ef.dataIn.Load(), ef.dataOut.Load(), ef.parity.Load()
 }
 
 // Overhead returns the observed bandwidth expansion (emitted / consumed).

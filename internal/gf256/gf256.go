@@ -7,6 +7,17 @@
 // and division are table driven (log/exp tables built at package
 // initialization from constant data, not from mutable global state observable
 // by callers).
+//
+// The bulk slice operations ([AddMulSlice], [MulSlice], [AddMulSliceN] and
+// the precompiled [EncodePlan]) dispatch through a tiered kernel hierarchy
+// selected once at init: byte-table scalar, 8-byte split-nibble SWAR (the
+// portable floor, also the purego and 386 path), SSSE3 16-byte PSHUFB blocks
+// and AVX2 32-byte VPSHUFB blocks on amd64, and NEON 32-byte TBL blocks on
+// arm64. The AVX2 tier is additionally gated by a startup calibration,
+// because virtualized hosts can tax YMM state per call; hosts where 32-byte
+// ops carry that tax route short slices to SSSE3 and engage AVX2 only above
+// the measured crossover. Every tier is differentially tested against the
+// scalar field arithmetic for all multipliers, lengths and alignments.
 package gf256
 
 import "fmt"

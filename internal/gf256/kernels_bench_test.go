@@ -11,7 +11,7 @@ import (
 // figure the wide split-table and PSHUFB kernels exist to move. It is part of
 // the CI-tracked benchmark set (see BENCH_engine.json).
 func BenchmarkGF256AddMul(b *testing.B) {
-	for _, size := range []int{64, 320, 1024, 16 << 10, 64 << 10} {
+	for _, size := range []int{64, 320, 1024, 1400, 16 << 10, 64 << 10} {
 		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
 			rng := rand.New(rand.NewSource(1))
 			src := make([]byte, size)

@@ -1,10 +1,10 @@
-//go:build !amd64 || purego
+//go:build (!amd64 && !arm64) || purego
 
 package gf256
 
 // Portable builds have no assembly tier; the wide SWAR kernel is the fast
 // path. These stubs compile away at the call sites in AddMulSlice/MulSlice.
 
-func addMulFast(c byte, src, dst []byte) bool { return false }
+func addMulFast(nt *nibTab, wt *wideTab, src, dst []byte) bool { return false }
 
-func mulFast(c byte, src, dst []byte) bool { return false }
+func mulFast(nt *nibTab, wt *wideTab, src, dst []byte) bool { return false }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // ErrSingular is returned when attempting to invert a matrix that has no
@@ -167,10 +168,56 @@ func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) *Matrix {
 // SelectRows returns a new matrix consisting of the given rows, in order.
 func (m *Matrix) SelectRows(rows []int) *Matrix {
 	out := NewMatrix(len(rows), m.cols)
+	m.selectRowsInto(rows, out)
+	return out
+}
+
+// SelectRowsInto copies the given rows, in order, into out, which must be
+// len(rows)×Cols(). Pair with GetMatrix for an allocation-free row pick.
+func (m *Matrix) SelectRowsInto(rows []int, out *Matrix) error {
+	if out.rows != len(rows) || out.cols != m.cols {
+		return fmt.Errorf("gf256: SelectRowsInto needs a %dx%d destination, got %dx%d",
+			len(rows), m.cols, out.rows, out.cols)
+	}
+	m.selectRowsInto(rows, out)
+	return nil
+}
+
+func (m *Matrix) selectRowsInto(rows []int, out *Matrix) {
 	for i, r := range rows {
 		copy(out.Row(i), m.Row(r))
 	}
-	return out
+}
+
+// matrixPool recycles matrix scratch across decode-side reconstructions: the
+// FEC repair path needs two k×k temporaries (the selected generator rows and
+// their inverse) plus a Gauss–Jordan work copy per recovered group, and under
+// loss churn those would otherwise be fresh garbage every time.
+var matrixPool = sync.Pool{New: func() any { return &Matrix{} }}
+
+// GetMatrix returns a zeroed rows×cols matrix drawn from the scratch pool.
+// Return it with PutMatrix when done; the matrix must not be used after that.
+func GetMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("gf256: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	m := matrixPool.Get().(*Matrix)
+	m.rows, m.cols = rows, cols
+	need := rows * cols
+	if cap(m.data) < need {
+		m.data = make([]byte, need)
+	} else {
+		m.data = m.data[:need]
+		clear(m.data)
+	}
+	return m
+}
+
+// PutMatrix returns a GetMatrix matrix to the scratch pool.
+func PutMatrix(m *Matrix) {
+	if m != nil {
+		matrixPool.Put(m)
+	}
 }
 
 // SwapRows exchanges rows i and j in place.
@@ -187,12 +234,33 @@ func (m *Matrix) SwapRows(i, j int) {
 // Invert returns the inverse of a square matrix using Gauss–Jordan
 // elimination over GF(2^8). ErrSingular is returned when no inverse exists.
 func (m *Matrix) Invert() (*Matrix, error) {
+	inv := NewMatrix(m.rows, m.cols)
+	if err := m.InvertInto(inv); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// InvertInto computes the inverse into inv, which must be square with m's
+// dimensions; the Gauss–Jordan work copy comes from the matrix scratch pool,
+// so paired with GetMatrix for inv the whole inversion is allocation-free.
+// ErrSingular is returned when no inverse exists.
+func (m *Matrix) InvertInto(inv *Matrix) error {
 	if m.rows != m.cols {
-		return nil, fmt.Errorf("gf256: cannot invert non-square %dx%d matrix", m.rows, m.cols)
+		return fmt.Errorf("gf256: cannot invert non-square %dx%d matrix", m.rows, m.cols)
+	}
+	if inv.rows != m.rows || inv.cols != m.cols {
+		return fmt.Errorf("gf256: InvertInto needs a %dx%d destination, got %dx%d",
+			m.rows, m.cols, inv.rows, inv.cols)
 	}
 	n := m.rows
-	work := m.Clone()
-	inv := Identity(n)
+	work := GetMatrix(n, n)
+	defer PutMatrix(work)
+	copy(work.data, m.data)
+	clear(inv.data)
+	for i := 0; i < n; i++ {
+		inv.data[i*n+i] = 1
+	}
 	for col := 0; col < n; col++ {
 		// Find a pivot at or below the diagonal.
 		pivot := -1
@@ -203,7 +271,7 @@ func (m *Matrix) Invert() (*Matrix, error) {
 			}
 		}
 		if pivot < 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		work.SwapRows(col, pivot)
 		inv.SwapRows(col, pivot)
@@ -229,7 +297,7 @@ func (m *Matrix) Invert() (*Matrix, error) {
 			MulAddSlice(factor, inv.Row(col), inv.Row(r))
 		}
 	}
-	return inv, nil
+	return nil
 }
 
 // IsIdentity reports whether the matrix is square and equal to the identity.

@@ -1,0 +1,133 @@
+package gf256
+
+// EncodePlan is a precomputed source-major encode schedule for a fixed
+// coefficient matrix: m destination rows, each a linear combination of k
+// source slices. Building the plan classifies every (row, source) cell once —
+// skip (coefficient 0), plain XOR (coefficient 1) or a table multiply with
+// the multiplier's nibble and SWAR tables resolved to pointers — so the
+// encode inner loop performs no per-call dispatch or table derivation.
+//
+// Encode walks the work cache-blocked and source-major: the byte range is cut
+// into tiles small enough that one source tile plus every destination tile
+// fit in L1/L2 together, and within a tile each source column is loaded once
+// and scattered into all destination rows (the first column overwrites, so
+// destinations never need a separate clear pass). Compare the classic
+// row-major loop, which streams every source through the cache once per
+// destination row.
+//
+// An EncodePlan is immutable after construction and safe for concurrent use.
+type EncodePlan struct {
+	k, m  int
+	cells []planCell // column-major: cells[col*m+row]
+}
+
+// planCell is one (row, source) coefficient's precomputed kernel state.
+type planCell struct {
+	op   uint8
+	nib  *nibTab
+	wide *wideTab
+}
+
+// planCell operations. opMul applies the cell's tables; the degenerate
+// coefficients are folded into dedicated ops at plan-build time.
+const (
+	opSkip uint8 = iota // coefficient 0: contributes nothing
+	opXor               // coefficient 1: plain XOR / copy
+	opMul               // any other coefficient
+)
+
+// encodeTileBytes is the cache-block width of EncodePlan.Encode. One source
+// tile plus a typical code's worth of destination tiles (a handful of parity
+// rows) stays within L1 on current cores, and the tile is large enough that
+// per-column loop overhead is noise against the kernel work.
+const encodeTileBytes = 4096
+
+// NewEncodePlan builds a plan from m coefficient rows of k entries each:
+// destination i is sum over j of coefRows[i][j] * source j. The rows are
+// copied into the plan's cell schedule; the caller's slices are not retained.
+func NewEncodePlan(coefRows [][]byte) *EncodePlan {
+	m := len(coefRows)
+	k := 0
+	if m > 0 {
+		k = len(coefRows[0])
+	}
+	p := &EncodePlan{k: k, m: m, cells: make([]planCell, k*m)}
+	for r, row := range coefRows {
+		if len(row) != k {
+			panic("gf256: NewEncodePlan ragged coefficient rows")
+		}
+		for col, c := range row {
+			cell := &p.cells[col*m+r]
+			switch c {
+			case 0:
+				cell.op = opSkip
+			case 1:
+				cell.op = opXor
+			default:
+				cell.op = opMul
+				cell.nib = &nibTables[c]
+				cell.wide = &wideTables[c]
+			}
+		}
+	}
+	return p
+}
+
+// Sources returns k, the number of source slices Encode consumes.
+func (p *EncodePlan) Sources() int { return p.k }
+
+// Dests returns m, the number of destination rows Encode produces.
+func (p *EncodePlan) Dests() int { return p.m }
+
+// Encode computes every destination row from the sources in one source-major,
+// cache-blocked pass. sources must hold exactly Sources() slices and dsts
+// exactly Dests(), all of one common length. Destination contents are
+// overwritten. Encode performs no validation beyond slice indexing; callers
+// (fec.Coder) validate shapes at their boundary.
+func (p *EncodePlan) Encode(sources, dsts [][]byte) {
+	if p.m == 0 {
+		return
+	}
+	if p.k == 0 {
+		// No sources: every destination is the empty combination.
+		for _, d := range dsts {
+			clear(d)
+		}
+		return
+	}
+	size := len(sources[0])
+	for off := 0; off < size; {
+		end := min(off+encodeTileBytes, size)
+		// Column 0 overwrites its tile of every destination row, so the rows
+		// need no clear pass and are written exactly once per column round.
+		s := sources[0][off:end]
+		for r := 0; r < p.m; r++ {
+			cell := &p.cells[r]
+			d := dsts[r][off:end]
+			switch cell.op {
+			case opSkip:
+				clear(d)
+			case opXor:
+				copy(d, s)
+			default:
+				mulTabs(cell.nib, cell.wide, s, d)
+			}
+		}
+		for col := 1; col < p.k; col++ {
+			s := sources[col][off:end]
+			cells := p.cells[col*p.m : (col+1)*p.m]
+			for r := 0; r < p.m; r++ {
+				cell := &cells[r]
+				d := dsts[r][off:end]
+				switch cell.op {
+				case opSkip:
+				case opXor:
+					xorWords(d, s)
+				default:
+					addMulTabs(cell.nib, cell.wide, s, d)
+				}
+			}
+		}
+		off = end
+	}
+}

@@ -27,6 +27,11 @@ type Msg struct {
 	N int
 	// Addr is the datagram's source (read side) or destination (write side).
 	Addr netip.AddrPort
+	// Seg is the GRO segment size when the kernel delivered several coalesced
+	// datagrams from one peer in this slot (read side, GRO-enabled fast path
+	// only): Buf[:N] then holds ceil(N/Seg) back-to-back datagrams of Seg
+	// bytes each (the last possibly shorter). Zero means one plain datagram.
+	Seg int
 }
 
 // Conn is a batched datagram socket.
@@ -51,6 +56,14 @@ type Options struct {
 	// kernel rejects the GSO control message the connection permanently
 	// falls back to plain batched sends.
 	GSO bool
+	// GRO enables UDP generic receive offload on the read side of the fast
+	// path (no effect on the fallback): datagrams from one peer that the
+	// kernel coalesced — notably GSO super-datagrams crossing loopback, which
+	// then skip segmentation entirely — arrive as a single slot with Msg.Seg
+	// recording the segment size. Callers must size their buffers for
+	// coalesced delivery (64 KiB) and split on Seg themselves. If the running
+	// kernel lacks UDP_GRO the option is silently ignored.
+	GRO bool
 	// RecvCalls and SendCalls, when non-nil, are incremented once per
 	// receive/send syscall issued (including retries), so callers can derive
 	// syscalls-per-packet and batch-fill figures.
@@ -82,6 +95,7 @@ func (c *simpleConn) ReadBatch(ms []Msg) (int, error) {
 	}
 	ms[0].N = n
 	ms[0].Addr = from
+	ms[0].Seg = 0
 	return 1, nil
 }
 

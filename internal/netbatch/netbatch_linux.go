@@ -30,6 +30,7 @@ const (
 	// where to cut. SOL_UDP/UDP_SEGMENT are absent from the syscall package.
 	solUDP      = 17
 	udpSegment  = 103
+	udpGRO      = 104
 	maxGSOSegs  = 64    // kernel limit on segments per GSO send
 	maxGSOBytes = 65000 // stay inside one UDP datagram's payload bound
 )
@@ -45,6 +46,10 @@ type mmsghdr struct {
 // gsoCtrlSpace is the aligned room for one UDP_SEGMENT cmsg (uint16 payload).
 var gsoCtrlSpace = syscall.CmsgSpace(2)
 
+// groCtrlSpace is the aligned room for one UDP_GRO cmsg (int payload): the
+// kernel reports the segment size of a coalesced delivery as a 4-byte int.
+var groCtrlSpace = syscall.CmsgSpace(4)
+
 // mmsgConn is the recvmmsg/sendmmsg Conn. All syscall scaffolding (headers,
 // iovecs, name and control buffers) is preallocated at BatchSize width, so
 // steady state does not allocate.
@@ -54,12 +59,14 @@ type mmsgConn struct {
 	// sockaddr_in, not sockaddr_in6.
 	v4        bool
 	gso       atomic.Bool
+	gro       bool
 	recvCalls *atomic.Uint64
 	sendCalls *atomic.Uint64
 
 	rhdrs  []mmsghdr
 	riovs  []syscall.Iovec
 	rnames [][sizeofSockaddrAny]byte
+	rctrl  []byte // groCtrlSpace bytes per read header, when gro is on
 
 	whdrs  []mmsghdr
 	wiovs  []syscall.Iovec
@@ -104,6 +111,18 @@ func New(conn *net.UDPConn, opts Options) Conn {
 		c.v4 = true
 	}
 	c.gso.Store(opts.GSO)
+	if opts.GRO {
+		// Opting the socket into coalesced delivery needs kernel support
+		// (5.0+); on refusal the socket simply keeps per-datagram delivery
+		// and Msg.Seg stays zero.
+		var soerr error
+		if rc.Control(func(fd uintptr) {
+			soerr = syscall.SetsockoptInt(int(fd), solUDP, udpGRO, 1)
+		}) == nil && soerr == nil {
+			c.gro = true
+			c.rctrl = make([]byte, BatchSize*groCtrlSpace)
+		}
+	}
 	c.readFn = c.recvmmsg
 	c.writeFn = c.sendmmsg
 	return c
@@ -165,6 +184,10 @@ func (c *mmsgConn) ReadBatch(ms []Msg) (int, error) {
 		c.rhdrs[i].hdr.Namelen = sizeofSockaddrAny
 		c.rhdrs[i].hdr.Iov = &c.riovs[i]
 		c.rhdrs[i].hdr.Iovlen = 1
+		if c.gro {
+			c.rhdrs[i].hdr.Control = &c.rctrl[i*groCtrlSpace]
+			c.rhdrs[i].hdr.Controllen = uint64(groCtrlSpace)
+		}
 	}
 	c.rn, c.rgot, c.roperr = n, 0, nil
 	err := c.rc.Read(c.readFn)
@@ -178,6 +201,14 @@ func (c *mmsgConn) ReadBatch(ms []Msg) (int, error) {
 	for i := 0; i < got; i++ {
 		ms[i].N = int(c.rhdrs[i].len)
 		ms[i].Addr = c.name(&c.rnames[i])
+		ms[i].Seg = 0
+		if c.gro && c.rhdrs[i].hdr.Controllen >= uint64(syscall.CmsgLen(4)) {
+			ctrl := c.rctrl[i*groCtrlSpace:]
+			cm := (*syscall.Cmsghdr)(unsafe.Pointer(&ctrl[0]))
+			if cm.Level == solUDP && cm.Type == udpGRO {
+				ms[i].Seg = int(*(*int32)(unsafe.Pointer(&ctrl[syscall.CmsgLen(0)])))
+			}
+		}
 	}
 	return got, nil
 }

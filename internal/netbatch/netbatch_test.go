@@ -184,3 +184,68 @@ func TestGSOCoalescedSend(t *testing.T) {
 	// in one sendmmsg.
 	t.Logf("sent %d datagrams in %d send syscalls", len(payloads), sendCalls.Load())
 }
+
+func TestGROCoalescedReceive(t *testing.T) {
+	if !Available {
+		t.Skip("batched fast path not available in this build")
+	}
+	a, b, ba, _ := pair(t, Options{GSO: true})
+	_ = a
+	bb := New(b, Options{GRO: true})
+	dst := b.LocalAddr().(*net.UDPAddr).AddrPort()
+
+	// A GSO run of equal-size datagrams over loopback: with the receiver
+	// opted into GRO the kernel may deliver them coalesced, in which case Seg
+	// must record the cut size so the caller can recover every original
+	// datagram; without coalescing (old kernel, GRO refused) they arrive as
+	// plain datagrams with Seg == 0. Both deliveries must reassemble to the
+	// same payload sequence.
+	const count, size = 16, 512
+	var ms []Msg
+	for i := 0; i < count; i++ {
+		ms = append(ms, Msg{Buf: bytes.Repeat([]byte{byte(i + 1)}, size), Addr: dst})
+	}
+	sent := 0
+	for sent < len(ms) {
+		n, err := ba.WriteBatch(ms[sent:])
+		if err != nil {
+			t.Fatalf("WriteBatch: %v", err)
+		}
+		if n == 0 {
+			t.Fatal("WriteBatch made no progress")
+		}
+		sent += n
+	}
+
+	var payloads [][]byte
+	deadline := time.Now().Add(5 * time.Second)
+	coalesced := false
+	for len(payloads) < count {
+		rms := make([]Msg, BatchSize)
+		for i := range rms {
+			rms[i].Buf = make([]byte, 64<<10)
+		}
+		b.SetReadDeadline(deadline)
+		n, err := bb.ReadBatch(rms)
+		if err != nil {
+			t.Fatalf("ReadBatch after %d of %d datagrams: %v", len(payloads), count, err)
+		}
+		for _, m := range rms[:n] {
+			if m.Seg <= 0 {
+				payloads = append(payloads, append([]byte(nil), m.Buf[:m.N]...))
+				continue
+			}
+			coalesced = true
+			for off := 0; off < m.N; off += m.Seg {
+				end := min(off+m.Seg, m.N)
+				payloads = append(payloads, append([]byte(nil), m.Buf[off:end]...))
+			}
+		}
+	}
+	for i, p := range payloads {
+		if !bytes.Equal(p, bytes.Repeat([]byte{byte(i + 1)}, size)) {
+			t.Fatalf("datagram %d: %d bytes, want %d of %#x (segment boundary lost)", i, len(p), size, byte(i+1))
+		}
+	}
+	t.Logf("received %d datagrams, coalesced delivery observed: %v", count, coalesced)
+}

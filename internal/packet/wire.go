@@ -81,6 +81,38 @@ func ValidateFrame(frame []byte) error {
 	return nil
 }
 
+// FrameKind returns the packet kind a marshaled frame declares. The frame
+// must have passed header validation (e.g. come from Reader.ReadFrameBuf).
+func FrameKind(frame []byte) Kind { return Kind(frame[3]) }
+
+// PutFrameHeader encodes p's header fields into hdr, declaring a payload of
+// plen bytes, without touching the payload region — the in-place sibling of
+// AppendFrame for callers that compute (or already hold) the payload directly
+// in a pooled frame buffer. p.Payload is ignored.
+func PutFrameHeader(hdr []byte, p *Packet, plen int) error {
+	if !p.Kind.Valid() {
+		return ErrBadKind
+	}
+	if plen < 0 || plen > MaxPayload {
+		return ErrPayloadRange
+	}
+	if len(hdr) < HeaderSize {
+		return ErrShortBuffer
+	}
+	hdr[0], hdr[1] = magic0, magic1
+	hdr[2] = Version
+	hdr[3] = byte(p.Kind)
+	binary.BigEndian.PutUint64(hdr[4:], p.Seq)
+	binary.BigEndian.PutUint32(hdr[12:], p.StreamID)
+	binary.BigEndian.PutUint32(hdr[16:], p.Group)
+	hdr[20] = p.Index
+	hdr[21] = p.K
+	hdr[22] = p.N
+	hdr[23] = 0
+	binary.BigEndian.PutUint32(hdr[24:], uint32(plen))
+	return nil
+}
+
 // AppendFrame appends the wire encoding of p to dst and returns the extended
 // slice, allowing callers to marshal into pooled or stack buffers without the
 // allocation made by Marshal.
